@@ -1,0 +1,181 @@
+/// E10: microbenchmarks for every hot kernel, backing Theorem 3.1's
+/// running-time claim (sqrt(n) poly(log k, 1/eps) + poly(k, 1/eps)): each
+/// stage's time is linear in the samples it draws plus small offline work.
+#include <benchmark/benchmark.h>
+
+#include <cmath>
+#include <memory>
+
+#include "common/rng.h"
+#include "core/approx_part.h"
+#include "core/histogram_tester.h"
+#include "core/learner.h"
+#include "dist/generators.h"
+#include "dist/sampler.h"
+#include "histogram/distance_to_hk.h"
+#include "histogram/fit_dp.h"
+#include "histogram/fit_merge.h"
+#include "histogram/modality.h"
+#include "stats/zstat.h"
+#include "testing/oracle.h"
+
+namespace histest {
+namespace {
+
+void BM_AliasSample(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  const auto dist = MakeZipf(n, 1.0).value();
+  AliasSampler sampler(dist);
+  Rng rng(3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sampler.Sample(rng));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_AliasSample)->Arg(1 << 10)->Arg(1 << 14)->Arg(1 << 18);
+
+void BM_PiecewiseSample(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  Rng gen(5);
+  const auto pwc = MakeRandomKHistogram(n, 16, gen).value();
+  PiecewiseSampler sampler(pwc);
+  Rng rng(7);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sampler.Sample(rng));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_PiecewiseSample)->Arg(1 << 14)->Arg(1 << 20);
+
+void BM_PoissonizedCounts(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  const auto dist = Distribution::UniformOver(n);
+  Rng rng(9);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        PoissonizedCounts(dist, 10.0 * static_cast<double>(n), rng));
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(n));
+}
+BENCHMARK(BM_PoissonizedCounts)->Arg(1 << 10)->Arg(1 << 14);
+
+void BM_ZStatistic(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  const auto dist = Distribution::UniformOver(n);
+  const Partition partition = Partition::EquiWidth(n, n / 16);
+  Rng rng(11);
+  const double m = 20.0 * std::sqrt(static_cast<double>(n));
+  const CountVector counts =
+      CountVector::FromCounts(PoissonizedCounts(dist, m, rng));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        ComputeZStatistics(counts, m, dist.pmf(), partition, 0.25));
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(n));
+}
+BENCHMARK(BM_ZStatistic)->Arg(1 << 10)->Arg(1 << 14)->Arg(1 << 18);
+
+void BM_ApproxPart(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  const auto dist = MakeZipf(n, 1.0).value();
+  Rng rng(13);
+  for (auto _ : state) {
+    DistributionOracle oracle(dist, rng.Next());
+    benchmark::DoNotOptimize(ApproxPartition(oracle, 128.0));
+  }
+}
+BENCHMARK(BM_ApproxPart)->Arg(1 << 12)->Arg(1 << 16);
+
+void BM_Learner(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  const auto dist = Distribution::UniformOver(n);
+  const Partition partition = Partition::EquiWidth(n, 256);
+  Rng rng(17);
+  for (auto _ : state) {
+    DistributionOracle oracle(dist, rng.Next());
+    benchmark::DoNotOptimize(
+        LearnHistogramChiSquare(oracle, partition, 0.05));
+  }
+}
+BENCHMARK(BM_Learner)->Arg(1 << 12)->Arg(1 << 16);
+
+void BM_FitAtomsL1(benchmark::State& state) {
+  const size_t m = static_cast<size_t>(state.range(0));
+  Rng rng(19);
+  std::vector<WeightedAtom> atoms(m);
+  for (auto& a : atoms) a = {rng.UniformDouble(), 1.0, 1.0};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(FitAtomsL1(atoms, 8));
+  }
+}
+BENCHMARK(BM_FitAtomsL1)->Arg(64)->Arg(256)->Arg(1024);
+
+void BM_GreedyMerge(benchmark::State& state) {
+  const size_t m = static_cast<size_t>(state.range(0));
+  Rng rng(23);
+  std::vector<WeightedAtom> atoms(m);
+  for (auto& a : atoms) a = {rng.UniformDouble(), 1.0, 1.0};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(GreedyMergeAtoms(atoms, 16));
+  }
+}
+BENCHMARK(BM_GreedyMerge)->Arg(1 << 10)->Arg(1 << 14);
+
+void BM_DistanceToHk(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  const auto zipf = MakeZipf(n, 1.0).value();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(DistanceToHk(zipf, 8));
+  }
+}
+BENCHMARK(BM_DistanceToHk)->Arg(1 << 10)->Arg(1 << 13);
+
+void BM_RestrictedDistanceToHk(benchmark::State& state) {
+  // The Step-10 offline check on a large learned hypothesis (the witness
+  // bound + coarsened DP path).
+  const size_t pieces = static_cast<size_t>(state.range(0));
+  Rng gen(37);
+  const auto h = MakeRandomKHistogram(1 << 14, pieces, gen).value();
+  const std::vector<Interval> kept = {Interval{0, (1u << 14) * 3 / 4}};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(RestrictedDistanceToHkPieces(h, kept, 8));
+  }
+}
+BENCHMARK(BM_RestrictedDistanceToHk)->Arg(256)->Arg(1024)->Arg(4096);
+
+void BM_KModalFitError(benchmark::State& state) {
+  const size_t m = static_cast<size_t>(state.range(0));
+  Rng rng(41);
+  std::vector<double> values(m);
+  for (auto& v : values) v = rng.UniformDouble();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(KModalFitError(values, 4));
+  }
+}
+BENCHMARK(BM_KModalFitError)->Arg(128)->Arg(512);
+
+void BM_HistogramTesterEndToEnd(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  Rng gen(29);
+  const auto truth = MakeRandomKHistogram(n, 5, gen).value();
+  const auto dist = truth.ToDistribution().value();
+  Rng rng(31);
+  for (auto _ : state) {
+    DistributionOracle oracle(dist, rng.Next());
+    HistogramTester tester(5, 0.25, HistogramTesterOptions{}, rng.Next());
+    auto outcome = tester.Test(oracle);
+    benchmark::DoNotOptimize(outcome);
+    state.counters["samples"] = static_cast<double>(
+        outcome.ok() ? outcome.value().samples_used : 0);
+  }
+}
+BENCHMARK(BM_HistogramTesterEndToEnd)
+    ->Arg(1 << 10)
+    ->Arg(1 << 12)
+    ->Arg(1 << 14)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace histest
+
+BENCHMARK_MAIN();

@@ -1,0 +1,70 @@
+#ifndef HISTEST_BENCH_EXP_COMMON_H_
+#define HISTEST_BENCH_EXP_COMMON_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "benchutil/parallel.h"
+#include "benchutil/report.h"
+#include "benchutil/sweep.h"
+#include "benchutil/workloads.h"
+#include "common/check.h"
+#include "common/cli.h"
+#include "common/rng.h"
+#include "common/table.h"
+#include "core/histogram_tester.h"
+
+namespace histest {
+namespace bench {
+
+/// Correctness + cost of a tester over a full workload grid: the minimum
+/// per-instance correctness rate on each side, and the mean samples drawn.
+struct GridStats {
+  double min_accept_rate_in = 1.0;  // worst accept rate over in-class
+  double min_reject_rate_far = 1.0; // worst reject rate over far
+  double avg_samples = 0.0;
+  size_t instances = 0;
+};
+
+/// Runs `trials` runs of the factory's tester on every instance of the
+/// grid (trials run on DefaultBenchThreads() workers; results are
+/// deterministic regardless) and aggregates correctness/cost.
+inline GridStats RunGrid(const std::vector<WorkloadInstance>& grid,
+                         const SeededTesterFactory& factory, int trials,
+                         uint64_t seed) {
+  GridStats stats;
+  Rng rng(seed);
+  double total_samples = 0.0;
+  for (const auto& inst : grid) {
+    auto trial_stats = EstimateAcceptanceParallel(
+        factory, inst.dist, trials, rng.Next(), DefaultBenchThreads());
+    HISTEST_CHECK(trial_stats.ok());
+    total_samples += trial_stats.value().avg_samples;
+    if (inst.side == InstanceSide::kInClass) {
+      stats.min_accept_rate_in =
+          std::min(stats.min_accept_rate_in, trial_stats.value().accept_rate);
+    } else {
+      stats.min_reject_rate_far =
+          std::min(stats.min_reject_rate_far,
+                   1.0 - trial_stats.value().accept_rate);
+    }
+    ++stats.instances;
+  }
+  stats.avg_samples = total_samples / static_cast<double>(stats.instances);
+  return stats;
+}
+
+/// Factory for the paper's Algorithm 1 at a given budget scale.
+inline ScaledTesterFactory OursScaledFactory(size_t k, double eps) {
+  return [k, eps](double scale, uint64_t seed) {
+    HistogramTesterOptions options;
+    options.sample_scale = scale;
+    return std::make_unique<HistogramTester>(k, eps, options, seed);
+  };
+}
+
+}  // namespace bench
+}  // namespace histest
+
+#endif  // HISTEST_BENCH_EXP_COMMON_H_

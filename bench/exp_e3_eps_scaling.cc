@@ -1,0 +1,58 @@
+/// E3 (Figure 3): sample complexity vs eps at fixed (n, k).
+///
+/// Theorem 3.1's eps-dependence: the sqrt(n) term pays 1/eps^2 and the k
+/// term 1/eps^3; over a laptop-scale eps range the measured total should
+/// interpolate between the two exponents and track the theory column.
+#include <memory>
+
+#include "exp_common.h"
+#include "stats/bounds.h"
+
+namespace histest {
+namespace bench {
+namespace {
+
+int Run(int argc, const char* const* argv) {
+  const ArgParser args(argc, argv);
+  const size_t n = static_cast<size_t>(args.GetInt("n", 2048));
+  const size_t k = static_cast<size_t>(args.GetInt("k", 5));
+  const int trials = static_cast<int>(ScaledTrials(args.GetInt("trials", 6)));
+
+  PrintExperimentHeader(
+      "E3", "sample complexity vs eps (n, k fixed)",
+      "Theorem 3.1: 1/eps^2 (sqrt(n) term) + 1/eps^3 (k term)");
+  Table table({"eps", "samples(meas)", "theory(norm)", "accept(in)",
+               "reject(far)"});
+
+  Rng rng(20260708);
+  double norm = 0.0;
+  for (const double eps : {0.40, 0.30, 0.25, 0.20, 0.15}) {
+    auto grid = MakeWorkloadGrid(n, k, eps, rng);
+    HISTEST_CHECK(grid.ok());
+    const GridStats stats = RunGrid(
+        grid.value(),
+        [&](uint64_t seed) {
+          return std::make_unique<HistogramTester>(
+              k, eps, HistogramTesterOptions{}, seed);
+        },
+        trials, rng.Next());
+    const double theory = static_cast<double>(
+        OursSampleComplexity(n, k, eps));
+    if (norm == 0.0) norm = stats.avg_samples / theory;
+    table.AddRow({Table::FmtDouble(eps, 3),
+                  Table::FmtInt(static_cast<int64_t>(stats.avg_samples)),
+                  Table::FmtInt(static_cast<int64_t>(theory * norm)),
+                  Table::FmtProb(stats.min_accept_rate_in),
+                  Table::FmtProb(stats.min_reject_rate_far)});
+  }
+  PrintResultTable(table);
+  PrintNote("expected shape: cost rises between 1/eps^2 and 1/eps^3 as eps "
+            "shrinks; correctness stays >= 2/3 throughout");
+  return 0;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace histest
+
+int main(int argc, char** argv) { return histest::bench::Run(argc, argv); }

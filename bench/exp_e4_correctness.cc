@@ -1,0 +1,66 @@
+/// E4 (Table 1): the completeness/soundness matrix of Algorithm 1.
+///
+/// Theorem 3.1 promises correctness 2/3 on both sides. We run the
+/// calibrated tester on every instance of the workload grid across several
+/// (n, k, eps) settings and report per-instance accept rates; in-class rows
+/// must accept and certified-far rows must reject with rate >= 2/3.
+#include <memory>
+
+#include "exp_common.h"
+
+namespace histest {
+namespace bench {
+namespace {
+
+int Run(int argc, const char* const* argv) {
+  const ArgParser args(argc, argv);
+  const int trials =
+      static_cast<int>(ScaledTrials(args.GetInt("trials", 10)));
+
+  PrintExperimentHeader("E4", "completeness/soundness matrix",
+                        "Theorem 3.1: 2/3-correct on both sides");
+  Table table({"n", "k", "eps", "instance", "side", "cert.dist",
+               "accept rate", "ok?"});
+
+  struct Config {
+    size_t n;
+    size_t k;
+    double eps;
+  };
+  const std::vector<Config> configs = {
+      {1024, 2, 0.30}, {1024, 4, 0.25}, {2048, 8, 0.25}, {4096, 16, 0.20}};
+  Rng rng(20260709);
+  int violations = 0;
+  for (const Config& cfg : configs) {
+    auto grid = MakeWorkloadGrid(cfg.n, cfg.k, cfg.eps, rng);
+    HISTEST_CHECK(grid.ok());
+    for (const auto& inst : grid.value()) {
+      auto stats = EstimateAcceptance(
+          [&](uint64_t seed) {
+            return std::make_unique<HistogramTester>(
+                cfg.k, cfg.eps, HistogramTesterOptions{}, seed);
+          },
+          inst.dist, trials, rng.Next());
+      HISTEST_CHECK(stats.ok());
+      const bool in_class = inst.side == InstanceSide::kInClass;
+      const double rate = stats.value().accept_rate;
+      const bool ok = in_class ? rate >= 2.0 / 3.0 : rate <= 1.0 / 3.0;
+      if (!ok) ++violations;
+      table.AddRow({Table::FmtInt(static_cast<int64_t>(cfg.n)),
+                    Table::FmtInt(static_cast<int64_t>(cfg.k)),
+                    Table::FmtDouble(cfg.eps, 3), inst.name,
+                    in_class ? "in" : "far",
+                    Table::FmtProb(inst.certified_distance),
+                    Table::FmtProb(rate), ok ? "yes" : "NO"});
+    }
+  }
+  PrintResultTable(table);
+  PrintNote("violations of the 2/3 guarantee: " + std::to_string(violations));
+  return violations == 0 ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace histest
+
+int main(int argc, char** argv) { return histest::bench::Run(argc, argv); }

@@ -1,0 +1,131 @@
+/// E5 (Figure 4): comparison against [ILR12] and [CDGR16].
+///
+/// The paper's Section 1.2 comparison is about *guaranteed budgets*:
+/// Theorem 1.1's O(sqrt(n)/eps^2 log k + k poly(1/eps)) vs [ILR12]'s
+/// O(sqrt(kn)/eps^5 log n) and [CDGR16]'s O(sqrt(kn)/eps^3 log n). This
+/// experiment reports, per tester and configuration:
+///   (a) the guaranteed budget (the formula each tester ships with, at its
+///       calibrated constants) and whether the tester is 2/3-correct when
+///       given it — validating the guarantee;
+///   (b) the *empirical floor*: the smallest budget at which the tester
+///       happens to be correct on this workload grid (geometric bisection).
+/// The guaranteed budgets reproduce the paper's asymptotic ordering in n,
+/// k, and 1/eps. The empirical floors are much lower for every tester —
+/// benign instances are far easier than the worst case the formulas must
+/// cover (the worst-case hardness lives in E6/E7's lower-bound families).
+#include <memory>
+
+#include "exp_common.h"
+#include "stats/bounds.h"
+#include "testing/baseline_cdgr.h"
+#include "testing/baseline_ilr.h"
+#include "testing/naive_tester.h"
+
+namespace histest {
+namespace bench {
+namespace {
+
+struct Config {
+  size_t n;
+  size_t k;
+  double eps;
+};
+
+int Run(int argc, const char* const* argv) {
+  const ArgParser args(argc, argv);
+  const int trials = static_cast<int>(ScaledTrials(args.GetInt("trials", 4)));
+
+  PrintExperimentHeader(
+      "E5", "guaranteed budgets and empirical floors: ours vs baselines",
+      "Section 1.2 comparison claims (Theorem 1.1 vs [ILR12], [CDGR16])");
+  Table table({"n", "k", "eps", "tester", "guaranteed budget",
+               "correct@guar", "empirical floor"});
+
+  const std::vector<Config> configs = {
+      {512, 4, 0.25}, {2048, 4, 0.25}, {2048, 4, 0.15}, {2048, 8, 0.25}};
+  Rng rng(20260710);
+
+  for (const Config& cfg : configs) {
+    auto grid = MakeWorkloadGrid(cfg.n, cfg.k, cfg.eps, rng);
+    HISTEST_CHECK(grid.ok());
+    std::vector<Distribution> yes, no;
+    for (const auto& inst : grid.value()) {
+      (inst.side == InstanceSide::kInClass ? yes : no).push_back(inst.dist);
+    }
+    const size_t k = cfg.k;
+    const double eps = cfg.eps;
+
+    struct Entry {
+      std::string name;
+      ScaledTesterFactory factory;
+      double search_lo;
+    };
+    const std::vector<Entry> entries = {
+        {"ours (Alg. 1)", OursScaledFactory(k, eps), 0.02},
+        {"cdgr16",
+         [k, eps](double scale, uint64_t seed) {
+           return std::make_unique<CdgrHistogramTester>(
+               k, eps, scale, LearnVerifyOptions{}, seed);
+         },
+         0.02},
+        {"ilr12",
+         [k, eps](double scale, uint64_t seed) {
+           return std::make_unique<IlrHistogramTester>(
+               k, eps, scale, LearnVerifyOptions{}, seed);
+         },
+         5e-4},
+        {"naive",
+         [k, eps](double scale, uint64_t seed) {
+           (void)seed;
+           NaiveTesterOptions nopts;
+           nopts.sample_constant = 4.0 * scale;
+           return std::make_unique<NaiveHistogramTester>(k, eps, nopts);
+         },
+         0.02},
+    };
+    for (const Entry& entry : entries) {
+      // (a) Guaranteed budget = measured samples at scale 1, and
+      // correctness there.
+      const GridStats at_one = RunGrid(
+          grid.value(),
+          [&](uint64_t seed) { return entry.factory(1.0, seed); }, trials,
+          rng.Next());
+      const bool ok = at_one.min_accept_rate_in >= 2.0 / 3.0 &&
+                      at_one.min_reject_rate_far >= 2.0 / 3.0;
+      // (b) Empirical floor by bisection.
+      MinimalBudgetOptions options;
+      options.trials_per_instance = trials;
+      options.bisection_steps = 5;
+      options.scale_lo = entry.search_lo;
+      options.scale_hi = 1.0;
+      options.threads = DefaultBenchThreads();
+      auto floor =
+          FindMinimalBudget(entry.factory, yes, no, options, rng.Next());
+      HISTEST_CHECK(floor.ok());
+      table.AddRow(
+          {Table::FmtInt(static_cast<int64_t>(cfg.n)),
+           Table::FmtInt(static_cast<int64_t>(cfg.k)),
+           Table::FmtDouble(cfg.eps, 3), entry.name,
+           Table::FmtInt(static_cast<int64_t>(at_one.avg_samples)),
+           ok ? "yes" : "NO",
+           floor.value().found
+               ? Table::FmtInt(static_cast<int64_t>(floor.value().avg_samples))
+               : "n/a"});
+    }
+  }
+  PrintResultTable(table);
+  PrintNote("expected shape: every tester is correct at its guaranteed "
+            "budget; the guaranteed budgets order as the formulas do — "
+            "ilr12's eps^-5 explodes as eps shrinks (rows 2 vs 3), the "
+            "baselines' sqrt(kn) couples n and k while ours adds an "
+            "n-independent k-term; empirical floors are far below every "
+            "guarantee on this benign grid (worst-case hardness is "
+            "exercised by E6/E7)");
+  return 0;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace histest
+
+int main(int argc, char** argv) { return histest::bench::Run(argc, argv); }

@@ -1,0 +1,82 @@
+/// E6 (Figure 5): the Paninski lower-bound family in action.
+///
+/// Proposition 4.1: distinguishing a random member of Q_eps from uniform
+/// requires Omega(sqrt(n)/eps^2) samples, and Q_eps members are eps-far
+/// from H_k for k < n/3. We sweep the sample budget of the coincidence
+/// tester over multiples of sqrt(n)/eps^2 and report the distinguishing
+/// error (worst of false-accept on Q_eps and false-reject on uniform):
+/// below ~1x the error should hover near chance; above a constant multiple
+/// it should collapse — for every n, at the same multiple of sqrt(n)/eps^2.
+#include <cmath>
+#include <memory>
+
+#include "exp_common.h"
+#include "lowerbound/paninski_family.h"
+#include "testing/oracle.h"
+#include "testing/uniformity.h"
+
+namespace histest {
+namespace bench {
+namespace {
+
+int Run(int argc, const char* const* argv) {
+  const ArgParser args(argc, argv);
+  const double eps = args.GetDouble("eps", 0.25);
+  const int trials =
+      static_cast<int>(ScaledTrials(args.GetInt("trials", 60)));
+
+  PrintExperimentHeader(
+      "E6", "distinguishing error vs budget on the Paninski family Q_eps",
+      "Prop 4.1 / Thm 1.2 first term: Omega(sqrt(n)/eps^2) samples needed");
+  Table table({"n", "m/(sqrt(n)/eps^2)", "err(uniform)", "err(Q_eps)",
+               "distinguish err"});
+
+  Rng rng(20260711);
+  for (const size_t n : {size_t{1024}, size_t{4096}, size_t{16384}}) {
+    const auto uniform = Distribution::UniformOver(n);
+    for (const double factor : {0.3, 1.0, 3.0, 10.0, 30.0}) {
+      const double budget =
+          factor * std::sqrt(static_cast<double>(n)) / (eps * eps);
+      int err_uniform = 0, err_far = 0;
+      for (int t = 0; t < trials; ++t) {
+        PaninskiOptions options;
+        options.sample_constant = factor;
+        // Uniform side: tester must accept.
+        {
+          DistributionOracle oracle(uniform, rng.Next());
+          PaninskiUniformityTester tester(eps, options, rng.Next());
+          auto outcome = tester.Test(oracle);
+          HISTEST_CHECK(outcome.ok());
+          if (outcome.value().verdict != Verdict::kAccept) ++err_uniform;
+        }
+        // Q_eps side: a fresh random member each trial; must reject.
+        {
+          auto inst = MakePaninskiInstance(n, eps, 2.0, 1, rng);
+          HISTEST_CHECK(inst.ok());
+          DistributionOracle oracle(inst.value().dist, rng.Next());
+          PaninskiUniformityTester tester(eps, options, rng.Next());
+          auto outcome = tester.Test(oracle);
+          HISTEST_CHECK(outcome.ok());
+          if (outcome.value().verdict != Verdict::kReject) ++err_far;
+        }
+      }
+      const double eu = static_cast<double>(err_uniform) / trials;
+      const double ef = static_cast<double>(err_far) / trials;
+      table.AddRow({Table::FmtInt(static_cast<int64_t>(n)),
+                    Table::FmtDouble(factor, 3), Table::FmtProb(eu),
+                    Table::FmtProb(ef), Table::FmtProb(std::max(eu, ef))});
+      (void)budget;
+    }
+  }
+  PrintResultTable(table);
+  PrintNote("expected shape: at the same multiple of sqrt(n)/eps^2 the "
+            "error transitions from ~chance to ~0 for every n — the "
+            "hardness scales exactly as Omega(sqrt(n)/eps^2)");
+  return 0;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace histest
+
+int main(int argc, char** argv) { return histest::bench::Run(argc, argv); }

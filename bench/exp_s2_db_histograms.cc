@@ -1,0 +1,98 @@
+/// S2 (supplementary): classic DB summaries vs tested-and-learned ones.
+///
+/// The introduction motivates histogram testing with database summaries.
+/// This table compares, per column: the classic constructions built from
+/// the FULL data (equi-width, equi-depth, V-optimal, all k buckets) and
+/// the sampled pipeline (model-select k* with Algorithm 1, then learn) —
+/// reporting TV error and worst range-selectivity error. The point: on
+/// histogram-friendly columns the sampled summary matches the full-data
+/// constructions while touching o(rows * n) data, and the tester tells you
+/// *when* that is the case.
+#include <memory>
+
+#include "app/column_sketch.h"
+#include "app/selectivity.h"
+#include "app/summary.h"
+#include "dist/distance.h"
+#include "dist/generators.h"
+#include "dist/sampler.h"
+#include "exp_common.h"
+#include "histogram/classic.h"
+
+namespace histest {
+namespace bench {
+namespace {
+
+int Run(int argc, const char* const* argv) {
+  const ArgParser args(argc, argv);
+  const size_t n = static_cast<size_t>(args.GetInt("n", 1024));
+  const size_t rows =
+      static_cast<size_t>(ScaledTrials(args.GetInt("rows", 300000)));
+  const size_t k = static_cast<size_t>(args.GetInt("k", 8));
+  const double eps = args.GetDouble("eps", 0.25);
+
+  PrintExperimentHeader(
+      "S2", "classic full-data summaries vs sampled tested-and-learned",
+      "the introduction's database motivation ([Koo80], [JKM+98], ...)");
+  Table table({"dataset", "summary", "buckets", "TV", "max sel. err",
+               "data touched"});
+
+  Rng rng(20260716);
+  struct Dataset {
+    std::string name;
+    Distribution dist;
+  };
+  const std::vector<Dataset> datasets = {
+      {"staircase-8",
+       MakeStaircase(n, 8).value().ToDistribution().value()},
+      {"zipf-1.0", MakeZipf(n, 1.0).value()},
+  };
+  const auto queries = MakeQueryGrid(n, 8);
+
+  for (const auto& ds : datasets) {
+    AliasSampler sampler(ds.dist);
+    std::vector<size_t> values(rows);
+    for (auto& v : values) v = sampler.Sample(rng);
+    auto sketch = ColumnSketch::Build(values, n);
+    HISTEST_CHECK(sketch.ok());
+    const Distribution& column = sketch.value().distribution();
+
+    auto add_row = [&](const std::string& name, const PiecewiseConstant& h,
+                       int64_t touched) {
+      SelectivityEstimator estimator(h);
+      table.AddRow({ds.name, name,
+                    Table::FmtInt(static_cast<int64_t>(h.NumPieces())),
+                    Table::FmtProb(TotalVariation(
+                        h.ToDistribution().value(), column)),
+                    Table::FmtProb(estimator.MaxAbsError(column, queries)),
+                    Table::FmtInt(touched)});
+    };
+    const int64_t full_data = static_cast<int64_t>(rows);
+    add_row("equi-width", EquiWidthHistogram(column, k).value(), full_data);
+    add_row("equi-depth", EquiDepthHistogram(column, k).value(), full_data);
+    add_row("v-optimal", VOptimalHistogram(column, k).value(), full_data);
+
+    SummaryOptions options;
+    options.eps = eps;
+    auto summary = SummarizeColumn(sketch.value(), options, rng.Next());
+    HISTEST_CHECK(summary.ok());
+    add_row("tested+learned", summary.value().histogram,
+            summary.value().samples_used);
+  }
+  PrintResultTable(table);
+  PrintNote("expected shape: on the histogram column all four summaries are "
+            "accurate and the sampled one certifies its own bucket count; "
+            "on the Zipf column no k-bucket summary is accurate and the "
+            "tester reports that by selecting a large k*. At this toy scale "
+            "the sampled pipeline draws more samples than the row count — "
+            "its advantages are the adequacy certificate and random-probe "
+            "access, which dominate once rows * n outgrows the o(n) sample "
+            "budgets");
+  return 0;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace histest
+
+int main(int argc, char** argv) { return histest::bench::Run(argc, argv); }

@@ -1,0 +1,76 @@
+/// Quickstart: test whether samples come from a k-histogram.
+///
+/// Builds two distributions over a domain of n values — one that IS a
+/// 5-histogram and one certified far from every 5-histogram — and runs the
+/// paper's tester (Algorithm 1) on iid samples from each, printing the
+/// verdict, the stage that decided, and the number of samples drawn
+/// (sublinear in n).
+///
+///   ./example_quickstart [--n=4096] [--k=5] [--eps=0.25] [--seed=1]
+#include <cstdio>
+
+#include "common/cli.h"
+#include "common/rng.h"
+#include "core/histogram_tester.h"
+#include "dist/generators.h"
+#include "dist/perturb.h"
+#include "testing/oracle.h"
+
+int main(int argc, char** argv) {
+  using namespace histest;
+  const ArgParser args(argc, argv);
+  const size_t n = static_cast<size_t>(args.GetInt("n", 4096));
+  const size_t k = static_cast<size_t>(args.GetInt("k", 5));
+  const double eps = args.GetDouble("eps", 0.25);
+  Rng rng(static_cast<uint64_t>(args.GetInt("seed", 1)));
+
+  std::printf("histest quickstart: is the unknown distribution a "
+              "%zu-histogram over [0, %zu)?\n\n", k, n);
+
+  // A genuine k-histogram (random breakpoints, random masses)...
+  auto in_class = MakeRandomKHistogram(n, k, rng);
+  if (!in_class.ok()) {
+    std::printf("error: %s\n", in_class.status().ToString().c_str());
+    return 1;
+  }
+  // ...and a certified eps-far perturbation of a k-step staircase.
+  auto staircase = MakeStaircase(n, k);
+  auto far = MakeFarFromHk(staircase.value(), k, eps, rng);
+  if (!far.ok()) {
+    std::printf("error: %s\n", far.status().ToString().c_str());
+    return 1;
+  }
+
+  struct Case {
+    const char* label;
+    Distribution dist;
+  };
+  const Case cases[] = {
+      {"in-class (true k-histogram)",
+       in_class.value().ToDistribution().value()},
+      {"certified eps-far instance", far.value().dist},
+  };
+  for (const Case& c : cases) {
+    DistributionOracle oracle(c.dist, rng.Next());
+    HistogramTester tester(k, eps, HistogramTesterOptions{}, rng.Next());
+    auto report = tester.TestWithReport(oracle);
+    if (!report.ok()) {
+      std::printf("error: %s\n", report.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("%-32s -> %s (decided by %s stage, %lld samples, "
+                "partition K=%zu, removed %zu intervals)\n",
+                c.label, VerdictToString(report.value().verdict),
+                report.value().decided_by.c_str(),
+                static_cast<long long>(report.value().samples_total),
+                report.value().partition_size,
+                report.value().removed_intervals);
+  }
+  std::printf("\n(naive learn-everything costs ~%lld samples and grows "
+              "linearly in n; the tester's cost is sqrt(n)-ish in n plus an "
+              "n-independent k-term, so it wins as n grows — run "
+              "bench/exp_e1_n_scaling to see the crossover)\n",
+              static_cast<long long>(4.0 * static_cast<double>(n) /
+                                     (eps * eps)));
+  return 0;
+}

@@ -1,0 +1,41 @@
+#ifndef HISTEST_APP_CSV_H_
+#define HISTEST_APP_CSV_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace histest {
+
+/// Minimal CSV ingestion for the database examples: extracts one integer
+/// column from CSV text. Lines are newline-separated; fields are
+/// comma-separated with no quoting (values are non-negative integers).
+struct CsvColumnOptions {
+  /// 0-based column index to extract.
+  size_t column = 0;
+  /// Skip the first line (header).
+  bool has_header = true;
+  /// Values must be < domain (0 = derive domain as max value + 1).
+  size_t domain = 0;
+};
+
+struct CsvColumn {
+  std::vector<size_t> values;
+  size_t domain = 0;
+};
+
+/// Parses `text` and extracts the configured column. Fails on missing
+/// columns, non-integer fields, or values outside the configured domain.
+Result<CsvColumn> ParseCsvColumn(const std::string& text,
+                                 const CsvColumnOptions& options = {});
+
+/// Renders a single-column CSV (with header) from values — the inverse,
+/// used by examples to fabricate input files.
+std::string WriteCsvColumn(const std::string& header,
+                           const std::vector<size_t>& values);
+
+}  // namespace histest
+
+#endif  // HISTEST_APP_CSV_H_

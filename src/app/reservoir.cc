@@ -1,0 +1,42 @@
+#include "app/reservoir.h"
+
+#include "common/check.h"
+
+namespace histest {
+
+ReservoirSampler::ReservoirSampler(size_t capacity, uint64_t seed)
+    : capacity_(capacity), rng_(seed) {
+  HISTEST_CHECK_GT(capacity_, 0u);
+  reservoir_.reserve(capacity_);
+}
+
+void ReservoirSampler::Add(size_t value) {
+  ++seen_;
+  if (reservoir_.size() < capacity_) {
+    reservoir_.push_back(value);
+    return;
+  }
+  // Replace a uniform slot with probability capacity / seen.
+  const uint64_t j = rng_.UniformInt(static_cast<uint64_t>(seen_));
+  if (j < capacity_) reservoir_[j] = value;
+}
+
+ReservoirOracle::ReservoirOracle(const ReservoirSampler& reservoir,
+                                 size_t domain_size, uint64_t seed)
+    : values_(reservoir.sample()), domain_size_(domain_size), rng_(seed) {
+  HISTEST_CHECK(!values_.empty());
+  for (size_t v : values_) HISTEST_CHECK_LT(v, domain_size_);
+  rng_.Shuffle(values_);
+}
+
+size_t ReservoirOracle::Draw() {
+  ++drawn_;
+  if (cursor_ == values_.size()) {
+    cursor_ = 0;
+    ++wraps_;
+    rng_.Shuffle(values_);
+  }
+  return values_[cursor_++];
+}
+
+}  // namespace histest

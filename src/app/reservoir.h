@@ -1,0 +1,70 @@
+#ifndef HISTEST_APP_RESERVOIR_H_
+#define HISTEST_APP_RESERVOIR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "testing/tester.h"
+
+namespace histest {
+
+/// Classic reservoir sampling (Algorithm R): maintains a uniform
+/// without-replacement sample of capacity c from a stream of unknown
+/// length. This is how a massive table becomes the "random samples of the
+/// dataset" the paper's access model assumes, in one pass and O(c) memory.
+class ReservoirSampler {
+ public:
+  ReservoirSampler(size_t capacity, uint64_t seed);
+
+  /// Feeds one stream element (a value in the column's domain).
+  void Add(size_t value);
+
+  /// Items consumed from the stream so far.
+  int64_t items_seen() const { return seen_; }
+
+  /// The current reservoir (size min(capacity, items_seen)).
+  const std::vector<size_t>& sample() const { return reservoir_; }
+
+  size_t capacity() const { return capacity_; }
+
+ private:
+  size_t capacity_;
+  Rng rng_;
+  std::vector<size_t> reservoir_;
+  int64_t seen_ = 0;
+};
+
+/// Sample oracle backed by a reservoir: hands out the reservoir's rows in
+/// a random order *without replacement*. Because the reservoir is a
+/// uniform subset of iid stream rows, such draws are themselves iid draws
+/// from the stream's distribution — exactly the paper's access model — for
+/// up to capacity() draws. Beyond that the oracle wraps around (reshuffled)
+/// and records it in wraps(); wrapped draws are no longer independent, so
+/// size sample budgets to the reservoir (the distance estimator's
+/// O(k/alpha^2) fits easily; Algorithm 1's full budget usually does not).
+class ReservoirOracle : public SampleOracle {
+ public:
+  /// Requires a non-empty reservoir. Copies the current sample.
+  ReservoirOracle(const ReservoirSampler& reservoir, size_t domain_size,
+                  uint64_t seed);
+
+  size_t DomainSize() const override { return domain_size_; }
+  size_t Draw() override;
+  int64_t SamplesDrawn() const override { return drawn_; }
+
+  /// Times the reservoir was exhausted and reshuffled.
+  int64_t wraps() const { return wraps_; }
+
+ private:
+  std::vector<size_t> values_;
+  size_t domain_size_;
+  Rng rng_;
+  size_t cursor_ = 0;
+  int64_t drawn_ = 0;
+  int64_t wraps_ = 0;
+};
+
+}  // namespace histest
+
+#endif  // HISTEST_APP_RESERVOIR_H_

@@ -1,0 +1,51 @@
+#include "app/selectivity.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace histest {
+
+SelectivityEstimator::SelectivityEstimator(PiecewiseConstant histogram)
+    : histogram_(std::move(histogram)) {}
+
+double SelectivityEstimator::Estimate(const RangeQuery& query) const {
+  HISTEST_CHECK_LE(query.lo, query.hi);
+  HISTEST_CHECK_LE(query.hi, histogram_.domain_size());
+  return histogram_.MassOf(Interval{query.lo, query.hi});
+}
+
+double SelectivityEstimator::TrueSelectivity(const Distribution& truth,
+                                             const RangeQuery& query) {
+  HISTEST_CHECK_LE(query.lo, query.hi);
+  HISTEST_CHECK_LE(query.hi, truth.size());
+  return truth.MassOf(Interval{query.lo, query.hi});
+}
+
+double SelectivityEstimator::MaxAbsError(
+    const Distribution& truth, const std::vector<RangeQuery>& queries) const {
+  double worst = 0.0;
+  for (const RangeQuery& q : queries) {
+    worst = std::max(worst,
+                     std::fabs(Estimate(q) - TrueSelectivity(truth, q)));
+  }
+  return worst;
+}
+
+std::vector<RangeQuery> MakeQueryGrid(size_t n, size_t queries_per_scale) {
+  HISTEST_CHECK_GT(n, 0u);
+  HISTEST_CHECK_GT(queries_per_scale, 0u);
+  std::vector<RangeQuery> queries;
+  // Three scales: ~n/16, ~n/4, ~n/2 wide ranges, evenly spread.
+  for (const size_t denom : {size_t{16}, size_t{4}, size_t{2}}) {
+    const size_t width = std::max<size_t>(1, n / denom);
+    for (size_t q = 0; q < queries_per_scale; ++q) {
+      const size_t lo = (n - width) * q / std::max<size_t>(1, queries_per_scale - 1);
+      queries.push_back(RangeQuery{lo, std::min(n, lo + width)});
+    }
+  }
+  return queries;
+}
+
+}  // namespace histest

@@ -1,0 +1,49 @@
+#ifndef HISTEST_APP_SELECTIVITY_H_
+#define HISTEST_APP_SELECTIVITY_H_
+
+#include <vector>
+
+#include "dist/distribution.h"
+#include "dist/interval.h"
+#include "dist/piecewise.h"
+
+namespace histest {
+
+/// A half-open range predicate lo <= value < hi over the column domain.
+struct RangeQuery {
+  size_t lo = 0;
+  size_t hi = 0;
+};
+
+/// Classical histogram-based selectivity estimation (the database use case
+/// motivating the paper): once a k-histogram summary of a column is
+/// adequate — which the tester certifies — range-predicate selectivities
+/// can be answered from the k-piece summary instead of the data.
+class SelectivityEstimator {
+ public:
+  explicit SelectivityEstimator(PiecewiseConstant histogram);
+
+  /// Estimated fraction of rows matching the query.
+  double Estimate(const RangeQuery& query) const;
+
+  /// Ground truth under the exact column distribution.
+  static double TrueSelectivity(const Distribution& truth,
+                                const RangeQuery& query);
+
+  /// Maximum absolute selectivity error over a query set.
+  double MaxAbsError(const Distribution& truth,
+                     const std::vector<RangeQuery>& queries) const;
+
+  const PiecewiseConstant& histogram() const { return histogram_; }
+
+ private:
+  PiecewiseConstant histogram_;
+};
+
+/// Generates a deterministic grid of range queries covering short, medium,
+/// and long ranges over [0, n) (for evaluation and examples).
+std::vector<RangeQuery> MakeQueryGrid(size_t n, size_t queries_per_scale);
+
+}  // namespace histest
+
+#endif  // HISTEST_APP_SELECTIVITY_H_

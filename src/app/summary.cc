@@ -1,0 +1,32 @@
+#include "app/summary.h"
+
+#include <memory>
+
+#include "common/check.h"
+
+namespace histest {
+
+Result<DataSummary> SummarizeColumn(const ColumnSketch& column,
+                                    const SummaryOptions& options,
+                                    uint64_t seed) {
+  if (!(options.eps > 0.0) || options.eps > 1.0) {
+    return Status::InvalidArgument("eps must be in (0, 1]");
+  }
+  auto oracle = column.MakeOracle(seed);
+  const HistogramTesterOptions tester_options = options.tester;
+  const double eps = options.eps;
+  HistogramTesterFactory factory = [eps, tester_options](size_t k,
+                                                         uint64_t s) {
+    return std::make_unique<HistogramTester>(k, eps, tester_options, s);
+  };
+  auto selected =
+      FindSmallestAcceptedK(*oracle, factory, options.select, seed ^ 0x5eed);
+  HISTEST_RETURN_IF_ERROR(selected.status());
+  auto learned = LearnKHistogramFromOracle(*oracle, selected.value().k,
+                                           options.eps, options.learn_constant);
+  HISTEST_RETURN_IF_ERROR(learned.status());
+  return DataSummary{std::move(learned).value(), selected.value().k,
+                     oracle->SamplesDrawn()};
+}
+
+}  // namespace histest

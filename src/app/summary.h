@@ -1,0 +1,47 @@
+#ifndef HISTEST_APP_SUMMARY_H_
+#define HISTEST_APP_SUMMARY_H_
+
+#include <cstdint>
+
+#include "app/column_sketch.h"
+#include "common/status.h"
+#include "core/histogram_tester.h"
+#include "dist/piecewise.h"
+#include "histogram/model_select.h"
+
+namespace histest {
+
+/// Tuning of the end-to-end summarization pipeline (the introduction's
+/// motivating application): model selection by doubling search with
+/// Algorithm 1 as the subroutine, then agnostic learning with the selected
+/// k.
+struct SummaryOptions {
+  /// Approximation parameter for both testing and learning.
+  double eps = 0.25;
+  ModelSelectOptions select;
+  HistogramTesterOptions tester;
+  /// Learner budget constant (m = c * k / eps^2). The learning stage is
+  /// cheap next to the testing probes, so the default buys accuracy well
+  /// inside eps rather than borderline.
+  double learn_constant = 32.0;
+};
+
+/// A succinct column summary: the smallest k the tester certified plus the
+/// learned k-histogram.
+struct DataSummary {
+  PiecewiseConstant histogram;
+  size_t k_star = 0;
+  int64_t samples_used = 0;
+};
+
+/// Runs the full pipeline over a column: find the smallest k whose
+/// histogram class passes Algorithm 1, then learn a k-histogram summary.
+/// Sampling is iid row access throughout — the point of the paper is that
+/// this needs o(#rows * domain) work.
+Result<DataSummary> SummarizeColumn(const ColumnSketch& column,
+                                    const SummaryOptions& options,
+                                    uint64_t seed);
+
+}  // namespace histest
+
+#endif  // HISTEST_APP_SUMMARY_H_

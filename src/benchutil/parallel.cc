@@ -1,0 +1,92 @@
+#include "benchutil/parallel.h"
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "common/check.h"
+#include "common/rng.h"
+#include "testing/oracle.h"
+
+namespace histest {
+
+void ParallelFor(int64_t count, int threads,
+                 const std::function<void(int64_t)>& job) {
+  HISTEST_CHECK_GE(count, 0);
+  if (count == 0) return;
+  if (threads <= 1 || count == 1) {
+    for (int64_t i = 0; i < count; ++i) job(i);
+    return;
+  }
+  const int workers =
+      static_cast<int>(std::min<int64_t>(threads, count));
+  std::atomic<int64_t> next{0};
+  std::vector<std::thread> pool;
+  pool.reserve(static_cast<size_t>(workers));
+  for (int w = 0; w < workers; ++w) {
+    pool.emplace_back([&]() {
+      while (true) {
+        const int64_t i = next.fetch_add(1, std::memory_order_relaxed);
+        if (i >= count) return;
+        job(i);
+      }
+    });
+  }
+  for (auto& t : pool) t.join();
+}
+
+int DefaultBenchThreads() {
+  const unsigned hw = std::thread::hardware_concurrency();
+  if (hw == 0) return 1;
+  return static_cast<int>(std::min(8u, hw));
+}
+
+Result<TrialStats> EstimateAcceptanceParallel(
+    const SeededTesterFactory& factory, const Distribution& dist, int trials,
+    uint64_t seed, int threads) {
+  if (trials < 1) return Status::InvalidArgument("trials must be >= 1");
+  // Precompute per-trial seeds sequentially for determinism.
+  Rng rng(seed);
+  std::vector<std::pair<uint64_t, uint64_t>> seeds(
+      static_cast<size_t>(trials));
+  for (auto& s : seeds) {
+    s.first = rng.Next();
+    s.second = rng.Next();
+  }
+  std::vector<int> accepted(static_cast<size_t>(trials), 0);
+  std::vector<double> samples(static_cast<size_t>(trials), 0.0);
+  std::atomic<bool> failed{false};
+  ParallelFor(trials, threads, [&](int64_t t) {
+    if (failed.load(std::memory_order_relaxed)) return;
+    DistributionOracle oracle(dist, seeds[t].first);
+    auto tester = factory(seeds[t].second);
+    if (tester == nullptr) {
+      failed.store(true, std::memory_order_relaxed);
+      return;
+    }
+    auto outcome = tester->Test(oracle);
+    if (!outcome.ok()) {
+      failed.store(true, std::memory_order_relaxed);
+      return;
+    }
+    accepted[t] = outcome.value().verdict == Verdict::kAccept ? 1 : 0;
+    samples[t] = static_cast<double>(outcome.value().samples_used);
+  });
+  if (failed.load()) {
+    return Status::Internal("a parallel trial failed; rerun serially via "
+                            "EstimateAcceptance for the exact status");
+  }
+  TrialStats stats;
+  stats.trials = trials;
+  int accepts = 0;
+  double total = 0.0;
+  for (int t = 0; t < trials; ++t) {
+    accepts += accepted[t];
+    total += samples[t];
+  }
+  stats.accept_rate = static_cast<double>(accepts) / trials;
+  stats.avg_samples = total / trials;
+  return stats;
+}
+
+}  // namespace histest

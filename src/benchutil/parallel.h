@@ -1,0 +1,31 @@
+#ifndef HISTEST_BENCHUTIL_PARALLEL_H_
+#define HISTEST_BENCHUTIL_PARALLEL_H_
+
+#include <cstdint>
+#include <functional>
+
+#include "benchutil/sweep.h"
+
+namespace histest {
+
+/// Runs `count` index-addressed jobs on up to `threads` worker threads
+/// (threads <= 1 runs inline). Jobs must be independent; the caller owns
+/// any synchronization of shared outputs (per-index output slots need
+/// none).
+void ParallelFor(int64_t count, int threads,
+                 const std::function<void(int64_t)>& job);
+
+/// Number of worker threads the experiment harness uses by default:
+/// min(8, hardware_concurrency), at least 1.
+int DefaultBenchThreads();
+
+/// Parallel version of EstimateAcceptance: trial seeds are precomputed
+/// sequentially from `seed`, so the result is bit-identical to the serial
+/// version regardless of scheduling.
+Result<TrialStats> EstimateAcceptanceParallel(
+    const SeededTesterFactory& factory, const Distribution& dist, int trials,
+    uint64_t seed, int threads);
+
+}  // namespace histest
+
+#endif  // HISTEST_BENCHUTIL_PARALLEL_H_

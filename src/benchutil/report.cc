@@ -1,0 +1,25 @@
+#include "benchutil/report.h"
+
+#include <cstdio>
+
+namespace histest {
+
+void PrintExperimentHeader(const std::string& id, const std::string& title,
+                           const std::string& reproduces) {
+  std::printf("=== %s: %s ===\n", id.c_str(), title.c_str());
+  std::printf("reproduces: %s\n\n", reproduces.c_str());
+  std::fflush(stdout);
+}
+
+void PrintResultTable(const Table& table) {
+  std::fputs(table.ToText().c_str(), stdout);
+  std::fputs("\n", stdout);
+  std::fflush(stdout);
+}
+
+void PrintNote(const std::string& note) {
+  std::printf("note: %s\n", note.c_str());
+  std::fflush(stdout);
+}
+
+}  // namespace histest

@@ -1,0 +1,118 @@
+#include "benchutil/sweep.h"
+
+#include <cmath>
+
+#include "benchutil/parallel.h"
+#include "common/check.h"
+#include "common/rng.h"
+#include "testing/oracle.h"
+
+namespace histest {
+
+Result<TrialStats> EstimateAcceptance(const SeededTesterFactory& factory,
+                                      const Distribution& dist, int trials,
+                                      uint64_t seed) {
+  if (trials < 1) return Status::InvalidArgument("trials must be >= 1");
+  Rng rng(seed);
+  int accepts = 0;
+  double total_samples = 0.0;
+  for (int t = 0; t < trials; ++t) {
+    DistributionOracle oracle(dist, rng.Next());
+    auto tester = factory(rng.Next());
+    HISTEST_CHECK(tester != nullptr);
+    auto outcome = tester->Test(oracle);
+    HISTEST_RETURN_IF_ERROR(outcome.status());
+    if (outcome.value().verdict == Verdict::kAccept) ++accepts;
+    total_samples += static_cast<double>(outcome.value().samples_used);
+  }
+  TrialStats stats;
+  stats.trials = trials;
+  stats.accept_rate = static_cast<double>(accepts) / trials;
+  stats.avg_samples = total_samples / trials;
+  return stats;
+}
+
+namespace {
+
+/// Checks correctness of the tester at a given scale over all instances;
+/// also accumulates the mean sample count.
+Result<bool> CorrectAtScale(const ScaledTesterFactory& factory, double scale,
+                            const std::vector<Distribution>& yes,
+                            const std::vector<Distribution>& no,
+                            const MinimalBudgetOptions& options, Rng& rng,
+                            double* avg_samples) {
+  double total_samples = 0.0;
+  int total_runs = 0;
+  bool correct = true;
+  auto run_side = [&](const std::vector<Distribution>& dists,
+                      bool expect_accept) -> Status {
+    for (const Distribution& dist : dists) {
+      const uint64_t seed = rng.Next();
+      auto stats = EstimateAcceptanceParallel(
+          [&](uint64_t s) { return factory(scale, s); }, dist,
+          options.trials_per_instance, seed, options.threads);
+      HISTEST_RETURN_IF_ERROR(stats.status());
+      total_samples += stats.value().avg_samples * stats.value().trials;
+      total_runs += stats.value().trials;
+      const double rate = expect_accept
+                              ? stats.value().accept_rate
+                              : 1.0 - stats.value().accept_rate;
+      if (rate < options.target_rate) correct = false;
+    }
+    return Status::Ok();
+  };
+  HISTEST_RETURN_IF_ERROR(run_side(yes, true));
+  HISTEST_RETURN_IF_ERROR(run_side(no, false));
+  if (avg_samples != nullptr && total_runs > 0) {
+    *avg_samples = total_samples / total_runs;
+  }
+  return correct;
+}
+
+}  // namespace
+
+Result<MinimalBudgetResult> FindMinimalBudget(
+    const ScaledTesterFactory& factory, const std::vector<Distribution>& yes,
+    const std::vector<Distribution>& no, const MinimalBudgetOptions& options,
+    uint64_t seed) {
+  if (yes.empty() && no.empty()) {
+    return Status::InvalidArgument("need at least one instance");
+  }
+  if (!(options.scale_lo > 0.0) || options.scale_lo >= options.scale_hi) {
+    return Status::InvalidArgument("need 0 < scale_lo < scale_hi");
+  }
+  Rng rng(seed);
+  MinimalBudgetResult result;
+
+  // First make sure the upper end works at all.
+  double hi = options.scale_hi;
+  double hi_samples = 0.0;
+  auto hi_ok = CorrectAtScale(factory, hi, yes, no, options, rng, &hi_samples);
+  HISTEST_RETURN_IF_ERROR(hi_ok.status());
+  if (!hi_ok.value()) {
+    result.found = false;
+    return result;
+  }
+  result.found = true;
+  result.scale = hi;
+  result.avg_samples = hi_samples;
+
+  double lo = options.scale_lo;
+  for (int step = 0; step < options.bisection_steps; ++step) {
+    const double mid = std::sqrt(lo * hi);  // geometric midpoint
+    double mid_samples = 0.0;
+    auto ok = CorrectAtScale(factory, mid, yes, no, options, rng,
+                             &mid_samples);
+    HISTEST_RETURN_IF_ERROR(ok.status());
+    if (ok.value()) {
+      hi = mid;
+      result.scale = mid;
+      result.avg_samples = mid_samples;
+    } else {
+      lo = mid;
+    }
+  }
+  return result;
+}
+
+}  // namespace histest

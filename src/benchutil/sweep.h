@@ -1,0 +1,73 @@
+#ifndef HISTEST_BENCHUTIL_SWEEP_H_
+#define HISTEST_BENCHUTIL_SWEEP_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "common/status.h"
+#include "dist/distribution.h"
+#include "testing/tester.h"
+
+namespace histest {
+
+/// Factory producing a fresh tester (fresh internal randomness per seed).
+using SeededTesterFactory =
+    std::function<std::unique_ptr<DistributionTester>(uint64_t seed)>;
+
+/// Factory parameterized additionally by a multiplicative sample-budget
+/// scale — the knob the minimal-budget search varies.
+using ScaledTesterFactory = std::function<std::unique_ptr<DistributionTester>(
+    double scale, uint64_t seed)>;
+
+/// Monte-Carlo estimate of a tester's acceptance behaviour on one
+/// distribution.
+struct TrialStats {
+  double accept_rate = 0.0;
+  double avg_samples = 0.0;
+  int trials = 0;
+};
+
+/// Runs `trials` independent tester runs against iid sample oracles for
+/// `dist` and reports the acceptance rate and mean sample count.
+Result<TrialStats> EstimateAcceptance(const SeededTesterFactory& factory,
+                                      const Distribution& dist, int trials,
+                                      uint64_t seed);
+
+/// Result of the minimal-budget search.
+struct MinimalBudgetResult {
+  /// Smallest scale (on the searched geometric grid) at which the tester
+  /// was simultaneously correct on every yes and no instance.
+  double scale = 0.0;
+  /// Mean samples per run at that scale (averaged over all instances).
+  double avg_samples = 0.0;
+  bool found = false;
+};
+
+struct MinimalBudgetOptions {
+  /// Correctness requirement per instance (accept rate on yes instances,
+  /// reject rate on no instances).
+  double target_rate = 2.0 / 3.0;
+  int trials_per_instance = 9;
+  double scale_lo = 1e-3;
+  double scale_hi = 4.0;
+  /// Geometric bisection steps (resolution ~ (hi/lo)^(1/2^steps)).
+  int bisection_steps = 7;
+  /// Worker threads for the per-instance trials (1 = serial; results are
+  /// bit-identical either way).
+  int threads = 1;
+};
+
+/// Empirical sample complexity: geometric bisection over the budget scale
+/// for the smallest scale at which the tester meets the correctness target
+/// on every provided instance. This is how the experiment harness turns
+/// "tester X needs fewer samples than tester Y" into measured numbers.
+Result<MinimalBudgetResult> FindMinimalBudget(
+    const ScaledTesterFactory& factory, const std::vector<Distribution>& yes,
+    const std::vector<Distribution>& no, const MinimalBudgetOptions& options,
+    uint64_t seed);
+
+}  // namespace histest
+
+#endif  // HISTEST_BENCHUTIL_SWEEP_H_

@@ -1,0 +1,118 @@
+#include "benchutil/workloads.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+#include "dist/generators.h"
+#include "dist/perturb.h"
+#include "dist/piecewise.h"
+#include "histogram/distance_to_hk.h"
+#include "lowerbound/paninski_family.h"
+
+namespace histest {
+namespace {
+
+/// Certifies a candidate far instance via the offline DP; returns true and
+/// fills the certificate when the lower bound clears eps.
+bool CertifyFar(const Distribution& dist, size_t k, double eps,
+                double* certificate) {
+  auto bounds = DistanceToHk(dist, k);
+  if (!bounds.ok()) return false;
+  if (bounds.value().lower < eps) return false;
+  *certificate = bounds.value().lower;
+  return true;
+}
+
+}  // namespace
+
+Result<std::vector<WorkloadInstance>> MakeWorkloadGrid(size_t n, size_t k,
+                                                       double eps, Rng& rng) {
+  if (n < 8 || n % 2 != 0) {
+    return Status::InvalidArgument("n must be even and >= 8");
+  }
+  if (k == 0 || k > n / 4) {
+    return Status::InvalidArgument("need 1 <= k <= n/4");
+  }
+  if (!(eps > 0.0) || eps > 0.45) {
+    return Status::InvalidArgument("eps must be in (0, 0.45]");
+  }
+  std::vector<WorkloadInstance> grid;
+
+  // --- In-class instances. ---
+  grid.push_back(WorkloadInstance{"uniform", Distribution::UniformOver(n),
+                                  InstanceSide::kInClass, 0.0});
+  auto staircase = MakeStaircase(n, k);
+  HISTEST_RETURN_IF_ERROR(staircase.status());
+  {
+    auto dist = staircase.value().ToDistribution();
+    HISTEST_RETURN_IF_ERROR(dist.status());
+    grid.push_back(WorkloadInstance{"staircase-k", std::move(dist).value(),
+                                    InstanceSide::kInClass, 0.0});
+  }
+  for (int variant = 0; variant < 2; ++variant) {
+    auto random_hist = MakeRandomKHistogram(n, k, rng);
+    HISTEST_RETURN_IF_ERROR(random_hist.status());
+    auto dist = random_hist.value().ToDistribution();
+    HISTEST_RETURN_IF_ERROR(dist.status());
+    grid.push_back(WorkloadInstance{
+        "random-khist-" + std::to_string(variant + 1),
+        std::move(dist).value(), InstanceSide::kInClass, 0.0});
+  }
+  if (k >= 3) {
+    // One heavy element on a flat background: a 3-piece histogram.
+    std::vector<double> pmf(n, 0.5 / static_cast<double>(n - 1));
+    pmf[n / 2] = 0.5;
+    auto dist = Distribution::FromWeights(std::move(pmf));
+    HISTEST_RETURN_IF_ERROR(dist.status());
+    grid.push_back(WorkloadInstance{"heavy+flat", std::move(dist).value(),
+                                    InstanceSide::kInClass, 0.0});
+  }
+
+  // --- Far instances. ---
+  {
+    // Paninski member: amplitude c chosen so the analytic certificate
+    // clears eps with margin.
+    const double c = std::min(1.0 / eps, 2.5);
+    auto instance = MakePaninskiInstance(n, eps, c, k, rng);
+    HISTEST_RETURN_IF_ERROR(instance.status());
+    if (instance.value().certified_far_from_hk < eps) {
+      return Status::FailedPrecondition(
+          "Paninski certificate below eps; parameter grid too aggressive");
+    }
+    grid.push_back(WorkloadInstance{"paninski-far",
+                                    std::move(instance.value().dist),
+                                    InstanceSide::kFar,
+                                    instance.value().certified_far_from_hk});
+  }
+  {
+    auto far = MakeFarFromHk(staircase.value(), k, eps, rng);
+    HISTEST_RETURN_IF_ERROR(far.status());
+    grid.push_back(WorkloadInstance{"staircase-perturbed-far",
+                                    std::move(far.value().dist),
+                                    InstanceSide::kFar,
+                                    far.value().certified_tv_lower_bound});
+  }
+  {
+    auto comb = MakeComb(n, std::min(4 * k, n / 2), 0.2);
+    HISTEST_RETURN_IF_ERROR(comb.status());
+    double certificate = 0.0;
+    if (CertifyFar(comb.value(), k, eps, &certificate)) {
+      grid.push_back(WorkloadInstance{"comb-far", std::move(comb).value(),
+                                      InstanceSide::kFar, certificate});
+    }
+  }
+  {
+    auto mixture = MakeGaussianMixture(n, {0.25, 0.6, 0.85},
+                                       {0.05, 0.08, 0.03}, {0.4, 0.4, 0.2});
+    HISTEST_RETURN_IF_ERROR(mixture.status());
+    double certificate = 0.0;
+    if (CertifyFar(mixture.value(), k, eps, &certificate)) {
+      grid.push_back(WorkloadInstance{"gaussian-mixture-far",
+                                      std::move(mixture).value(),
+                                      InstanceSide::kFar, certificate});
+    }
+  }
+  return grid;
+}
+
+}  // namespace histest

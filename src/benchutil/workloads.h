@@ -1,0 +1,42 @@
+#ifndef HISTEST_BENCHUTIL_WORKLOADS_H_
+#define HISTEST_BENCHUTIL_WORKLOADS_H_
+
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "dist/distribution.h"
+
+namespace histest {
+
+/// Which side of the testing promise an instance lies on.
+enum class InstanceSide {
+  kInClass,  // a member of H_k: the tester must accept (w.p. >= 2/3)
+  kFar,      // certified eps-far from H_k: the tester must reject
+};
+
+/// A named benchmark instance with its ground truth.
+struct WorkloadInstance {
+  std::string name;
+  Distribution dist;
+  InstanceSide side = InstanceSide::kInClass;
+  /// For kFar instances: a certified lower bound on d_TV(dist, H_k)
+  /// (analytic where available, otherwise from the exact DP). Zero for
+  /// in-class instances.
+  double certified_distance = 0.0;
+};
+
+/// Builds the standard instance grid for (n, k, eps) used by the
+/// correctness and comparison experiments:
+///   in-class: uniform, staircase-k, two random k-histograms, heavy+flat;
+///   far:      Paninski-perturbed uniform, perturbed staircase, a 4k-tooth
+///             comb, and (when it certifies as far) a Gaussian mixture.
+/// Every far instance carries certified_distance >= eps. Requires n even,
+/// k <= n/4, eps in (0, 0.45].
+Result<std::vector<WorkloadInstance>> MakeWorkloadGrid(size_t n, size_t k,
+                                                       double eps, Rng& rng);
+
+}  // namespace histest
+
+#endif  // HISTEST_BENCHUTIL_WORKLOADS_H_

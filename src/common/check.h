@@ -1,0 +1,60 @@
+#ifndef HISTEST_COMMON_CHECK_H_
+#define HISTEST_COMMON_CHECK_H_
+
+#include <sstream>
+#include <string>
+
+namespace histest {
+namespace internal_check {
+
+/// Prints "<file>:<line>: CHECK failed: <msg>" to stderr and aborts.
+[[noreturn]] void CheckFailed(const char* file, int line, const std::string& msg);
+
+/// Streams both operands into a failure message for binary CHECK macros.
+template <typename A, typename B>
+std::string BinaryFailureMessage(const char* expr, const A& a, const B& b) {
+  std::ostringstream oss;
+  oss << expr << " (with values " << a << " vs " << b << ")";
+  return oss.str();
+}
+
+}  // namespace internal_check
+}  // namespace histest
+
+/// Fatal assertion for programmer errors (contract violations). Active in all
+/// build modes: this library is correctness-critical and the checks are cheap
+/// relative to the statistical work around them.
+#define HISTEST_CHECK(cond)                                                 \
+  do {                                                                      \
+    if (!(cond)) {                                                          \
+      ::histest::internal_check::CheckFailed(__FILE__, __LINE__, #cond);    \
+    }                                                                       \
+  } while (false)
+
+#define HISTEST_CHECK_OP(op, a, b)                                          \
+  do {                                                                      \
+    if (!((a)op(b))) {                                                      \
+      ::histest::internal_check::CheckFailed(                               \
+          __FILE__, __LINE__,                                               \
+          ::histest::internal_check::BinaryFailureMessage(                  \
+              #a " " #op " " #b, (a), (b)));                                \
+    }                                                                       \
+  } while (false)
+
+#define HISTEST_CHECK_EQ(a, b) HISTEST_CHECK_OP(==, a, b)
+#define HISTEST_CHECK_NE(a, b) HISTEST_CHECK_OP(!=, a, b)
+#define HISTEST_CHECK_LT(a, b) HISTEST_CHECK_OP(<, a, b)
+#define HISTEST_CHECK_LE(a, b) HISTEST_CHECK_OP(<=, a, b)
+#define HISTEST_CHECK_GT(a, b) HISTEST_CHECK_OP(>, a, b)
+#define HISTEST_CHECK_GE(a, b) HISTEST_CHECK_OP(>=, a, b)
+
+/// Debug-only assertion for hot paths.
+#ifdef NDEBUG
+#define HISTEST_DCHECK(cond) \
+  do {                       \
+  } while (false)
+#else
+#define HISTEST_DCHECK(cond) HISTEST_CHECK(cond)
+#endif
+
+#endif  // HISTEST_COMMON_CHECK_H_

@@ -1,0 +1,81 @@
+#include "common/cli.h"
+
+#include <cmath>
+#include <cstdlib>
+
+#include "common/check.h"
+
+namespace histest {
+
+ArgParser::ArgParser(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) {
+      positional_.push_back(std::move(arg));
+      continue;
+    }
+    std::string body = arg.substr(2);
+    const size_t eq = body.find('=');
+    if (eq != std::string::npos) {
+      flags_[body.substr(0, eq)] = body.substr(eq + 1);
+    } else if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+      flags_[body] = argv[++i];
+    } else {
+      flags_[body] = "true";
+    }
+  }
+}
+
+bool ArgParser::Has(const std::string& name) const {
+  return flags_.count(name) > 0;
+}
+
+int64_t ArgParser::GetInt(const std::string& name, int64_t fallback) const {
+  auto it = flags_.find(name);
+  if (it == flags_.end()) return fallback;
+  char* end = nullptr;
+  const long long v = std::strtoll(it->second.c_str(), &end, 10);
+  HISTEST_CHECK(end != nullptr && *end == '\0');
+  return v;
+}
+
+double ArgParser::GetDouble(const std::string& name, double fallback) const {
+  auto it = flags_.find(name);
+  if (it == flags_.end()) return fallback;
+  char* end = nullptr;
+  const double v = std::strtod(it->second.c_str(), &end);
+  HISTEST_CHECK(end != nullptr && *end == '\0');
+  return v;
+}
+
+std::string ArgParser::GetString(const std::string& name,
+                                 std::string fallback) const {
+  auto it = flags_.find(name);
+  return it == flags_.end() ? fallback : it->second;
+}
+
+bool ArgParser::GetBool(const std::string& name, bool fallback) const {
+  auto it = flags_.find(name);
+  if (it == flags_.end()) return fallback;
+  const std::string& v = it->second;
+  if (v == "true" || v == "1" || v == "yes") return true;
+  if (v == "false" || v == "0" || v == "no") return false;
+  HISTEST_CHECK(false);
+  return fallback;
+}
+
+double BenchScale() {
+  const char* env = std::getenv("HISTEST_BENCH_SCALE");
+  if (env == nullptr) return 1.0;
+  char* end = nullptr;
+  const double v = std::strtod(env, &end);
+  if (end == nullptr || *end != '\0' || !(v > 0.0)) return 1.0;
+  return v;
+}
+
+int64_t ScaledTrials(int64_t base) {
+  const double scaled = std::round(static_cast<double>(base) * BenchScale());
+  return scaled < 1.0 ? 1 : static_cast<int64_t>(scaled);
+}
+
+}  // namespace histest

@@ -1,0 +1,48 @@
+#ifndef HISTEST_COMMON_CLI_H_
+#define HISTEST_COMMON_CLI_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace histest {
+
+/// Minimal command-line flag parser for examples and experiment binaries.
+///
+/// Accepts flags of the form `--name=value` and `--name value`; a bare
+/// `--name` is treated as boolean true. Unrecognized positional arguments
+/// are collected in `positional()`.
+class ArgParser {
+ public:
+  ArgParser(int argc, const char* const* argv);
+
+  /// True iff the flag was passed at all.
+  bool Has(const std::string& name) const;
+
+  /// Typed getters returning `fallback` when the flag is absent. Malformed
+  /// values are a fatal error (these are developer-facing binaries).
+  int64_t GetInt(const std::string& name, int64_t fallback) const;
+  double GetDouble(const std::string& name, double fallback) const;
+  std::string GetString(const std::string& name, std::string fallback) const;
+  bool GetBool(const std::string& name, bool fallback) const;
+
+  const std::vector<std::string>& positional() const { return positional_; }
+
+ private:
+  std::map<std::string, std::string> flags_;
+  std::vector<std::string> positional_;
+};
+
+/// Global scale factor for experiment binaries, read from the environment
+/// variable HISTEST_BENCH_SCALE (default 1.0). Trial counts are multiplied
+/// by this, so CI can run quick smoke passes and researchers can run
+/// high-fidelity sweeps with the same binaries.
+double BenchScale();
+
+/// max(1, round(base * BenchScale())).
+int64_t ScaledTrials(int64_t base);
+
+}  // namespace histest
+
+#endif  // HISTEST_COMMON_CLI_H_

@@ -1,0 +1,93 @@
+#include "common/table.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+#include "common/check.h"
+
+namespace histest {
+namespace {
+
+std::string CsvEscape(const std::string& cell) {
+  if (cell.find_first_of(",\"\n") == std::string::npos) return cell;
+  std::string out = "\"";
+  for (char c : cell) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+}  // namespace
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers)) {
+  HISTEST_CHECK(!headers_.empty());
+}
+
+void Table::AddRow(std::vector<std::string> cells) {
+  HISTEST_CHECK_EQ(cells.size(), headers_.size());
+  rows_.push_back(std::move(cells));
+}
+
+std::string Table::ToText() const {
+  std::vector<size_t> widths(headers_.size());
+  for (size_t c = 0; c < headers_.size(); ++c) widths[c] = headers_[c].size();
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  std::ostringstream oss;
+  auto emit_row = [&](const std::vector<std::string>& row) {
+    oss << "|";
+    for (size_t c = 0; c < row.size(); ++c) {
+      oss << ' ' << row[c];
+      oss << std::string(widths[c] - row[c].size() + 1, ' ') << '|';
+    }
+    oss << '\n';
+  };
+  emit_row(headers_);
+  oss << "|";
+  for (size_t c = 0; c < headers_.size(); ++c) {
+    oss << std::string(widths[c] + 2, '-') << '|';
+  }
+  oss << '\n';
+  for (const auto& row : rows_) emit_row(row);
+  return oss.str();
+}
+
+std::string Table::ToCsv() const {
+  std::ostringstream oss;
+  auto emit_row = [&](const std::vector<std::string>& row) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      if (c > 0) oss << ',';
+      oss << CsvEscape(row[c]);
+    }
+    oss << '\n';
+  };
+  emit_row(headers_);
+  for (const auto& row : rows_) emit_row(row);
+  return oss.str();
+}
+
+std::string Table::FmtDouble(double value, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*g", precision, value);
+  return buf;
+}
+
+std::string Table::FmtInt(int64_t value) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(value));
+  return buf;
+}
+
+std::string Table::FmtProb(double value) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.3f", value);
+  return buf;
+}
+
+}  // namespace histest

@@ -1,0 +1,45 @@
+#ifndef HISTEST_COMMON_TABLE_H_
+#define HISTEST_COMMON_TABLE_H_
+
+#include <string>
+#include <vector>
+
+namespace histest {
+
+/// A small textual table builder used by the benchmark harness and examples
+/// to print experiment results in a fixed, diffable format.
+class Table {
+ public:
+  /// Creates a table with the given column headers (non-empty).
+  explicit Table(std::vector<std::string> headers);
+
+  /// Appends one row; the cell count must match the header count.
+  void AddRow(std::vector<std::string> cells);
+
+  /// Number of data rows.
+  size_t NumRows() const { return rows_.size(); }
+
+  /// Renders as an aligned, pipe-separated text table (markdown-compatible).
+  std::string ToText() const;
+
+  /// Renders as CSV (RFC-4180-style quoting for cells containing commas,
+  /// quotes, or newlines).
+  std::string ToCsv() const;
+
+  /// Formats a double with `precision` significant-looking decimal places.
+  static std::string FmtDouble(double value, int precision);
+
+  /// Formats an integer count with no grouping.
+  static std::string FmtInt(int64_t value);
+
+  /// Formats a probability/rate as e.g. "0.667".
+  static std::string FmtProb(double value);
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace histest
+
+#endif  // HISTEST_COMMON_TABLE_H_

@@ -1,0 +1,50 @@
+#include "core/approx_part.h"
+
+#include <cmath>
+
+#include "common/check.h"
+#include "common/math_util.h"
+
+namespace histest {
+
+Result<Partition> ApproxPartition(SampleOracle& oracle, double b,
+                                  const ApproxPartOptions& options) {
+  if (!(b > 0.0)) return Status::InvalidArgument("b must be positive");
+  const size_t n = oracle.DomainSize();
+  const int64_t m =
+      CeilToCount(options.sample_constant * b * std::log2(b + 2.0));
+  const CountVector counts = oracle.DrawCounts(m);
+  const double md = static_cast<double>(counts.total());
+  const double singleton_cut = options.singleton_threshold / b;
+  const double close_cut = options.close_threshold / b;
+
+  std::vector<Interval> intervals;
+  size_t open_begin = 0;
+  bool has_open = false;
+  double open_mass = 0.0;
+  auto close_open = [&](size_t end) {
+    if (has_open) {
+      intervals.push_back(Interval{open_begin, end});
+      has_open = false;
+      open_mass = 0.0;
+    }
+  };
+  for (size_t i = 0; i < n; ++i) {
+    const double emp = static_cast<double>(counts[i]) / md;
+    if (emp >= singleton_cut) {
+      close_open(i);
+      intervals.push_back(Interval{i, i + 1});
+      continue;
+    }
+    if (!has_open) {
+      open_begin = i;
+      has_open = true;
+    }
+    open_mass += emp;
+    if (open_mass >= close_cut) close_open(i + 1);
+  }
+  close_open(n);
+  return Partition::Create(n, std::move(intervals));
+}
+
+}  // namespace histest

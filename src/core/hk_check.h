@@ -1,0 +1,47 @@
+#ifndef HISTEST_CORE_HK_CHECK_H_
+#define HISTEST_CORE_HK_CHECK_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "dist/interval.h"
+#include "dist/piecewise.h"
+#include "histogram/distance_to_hk.h"
+
+namespace histest {
+
+/// Tuning of Algorithm 1's Step-10 offline check.
+struct HkCheckOptions {
+  /// Accept when the certified lower bound on the restricted distance is at
+  /// most threshold_fraction * eps. The paper uses eps/60 with its literal
+  /// constants; the calibrated default matches the calibrated learner
+  /// accuracy (see HistogramTesterOptions).
+  double threshold_fraction = 1.0 / 12.0;
+  HkDistanceOptions distance;
+};
+
+/// Outcome of the Step-10 check, with the computed distance bracket for
+/// diagnostics.
+struct HkCheckResult {
+  bool close = false;
+  DistanceBounds bounds;
+};
+
+/// Step 10 of Algorithm 1: decides whether some k-histogram is
+/// (threshold_fraction * eps)-close to the learned hypothesis `dhat` in
+/// total variation restricted to the kept subdomain G (the union of active
+/// partition intervals). Computed offline by the dynamic program of
+/// [CDGR16, Lemma 4.11] (see RestrictedDistanceToHkPieces).
+Result<HkCheckResult> CheckCloseToHkOnSubdomain(
+    const PiecewiseConstant& dhat, const Partition& partition,
+    const std::vector<bool>& active, size_t k, double eps,
+    const HkCheckOptions& options = {});
+
+/// Merges the active intervals of a partition into maximal contiguous kept
+/// intervals (the subdomain G).
+std::vector<Interval> ActiveSubdomain(const Partition& partition,
+                                      const std::vector<bool>& active);
+
+}  // namespace histest
+
+#endif  // HISTEST_CORE_HK_CHECK_H_

@@ -1,0 +1,88 @@
+#include "dist/continuous.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+#include "common/math_util.h"
+
+namespace histest {
+
+QuantileSource::QuantileSource(std::function<double(double)> quantile,
+                               uint64_t seed)
+    : quantile_(std::move(quantile)), rng_(seed) {
+  HISTEST_CHECK(quantile_ != nullptr);
+}
+
+double QuantileSource::Draw() {
+  const double x = quantile_(rng_.UniformDouble());
+  return Clamp(x, 0.0, std::nextafter(1.0, 0.0));
+}
+
+Result<std::unique_ptr<PiecewiseDensitySource>> PiecewiseDensitySource::Create(
+    std::vector<double> breaks, std::vector<double> masses, uint64_t seed) {
+  if (masses.size() != breaks.size() + 1) {
+    return Status::InvalidArgument("need masses.size() == breaks.size() + 1");
+  }
+  double prev = 0.0;
+  for (double b : breaks) {
+    if (!(b > prev) || b >= 1.0) {
+      return Status::InvalidArgument(
+          "breaks must be strictly increasing within (0, 1)");
+    }
+    prev = b;
+  }
+  KahanSum total;
+  for (double m : masses) {
+    if (!(m >= 0.0)) return Status::InvalidArgument("masses must be >= 0");
+    total.Add(m);
+  }
+  if (std::fabs(total.Total() - 1.0) > 1e-6) {
+    return Status::InvalidArgument("masses must sum to 1");
+  }
+  std::vector<double> edges;
+  edges.reserve(breaks.size() + 2);
+  edges.push_back(0.0);
+  for (double b : breaks) edges.push_back(b);
+  edges.push_back(1.0);
+  std::vector<double> cumulative = PrefixSums(masses);
+  cumulative.back() = 1.0;
+  return std::unique_ptr<PiecewiseDensitySource>(new PiecewiseDensitySource(
+      std::move(edges), std::move(cumulative), seed));
+}
+
+PiecewiseDensitySource::PiecewiseDensitySource(std::vector<double> edges,
+                                               std::vector<double> cumulative,
+                                               uint64_t seed)
+    : edges_(std::move(edges)), cumulative_(std::move(cumulative)),
+      rng_(seed) {}
+
+double PiecewiseDensitySource::Draw() {
+  const double u = rng_.UniformDouble();
+  const size_t piece = static_cast<size_t>(
+      std::lower_bound(cumulative_.begin(), cumulative_.end(), u) -
+      cumulative_.begin());
+  const size_t idx = std::min(piece, cumulative_.size() - 1);
+  const double lo_mass = idx == 0 ? 0.0 : cumulative_[idx - 1];
+  const double piece_mass = cumulative_[idx] - lo_mass;
+  const double frac =
+      piece_mass > 0.0 ? (u - lo_mass) / piece_mass : rng_.UniformDouble();
+  const double x = edges_[idx] + frac * (edges_[idx + 1] - edges_[idx]);
+  return Clamp(x, 0.0, std::nextafter(1.0, 0.0));
+}
+
+GriddedOracle::GriddedOracle(ContinuousSampleSource* source, size_t n)
+    : source_(source), n_(n) {
+  HISTEST_CHECK(source_ != nullptr);
+  HISTEST_CHECK_GT(n_, 0u);
+}
+
+size_t GriddedOracle::Draw() {
+  ++drawn_;
+  const double x = source_->Draw();
+  HISTEST_DCHECK(x >= 0.0 && x < 1.0);
+  const size_t cell = static_cast<size_t>(x * static_cast<double>(n_));
+  return std::min(cell, n_ - 1);
+}
+
+}  // namespace histest

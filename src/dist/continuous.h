@@ -1,0 +1,84 @@
+#ifndef HISTEST_DIST_CONTINUOUS_H_
+#define HISTEST_DIST_CONTINUOUS_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "testing/tester.h"
+
+namespace histest {
+
+/// Support for continuous domains, per the paper's Section 2 remark: "our
+/// techniques can be easily extended to continuous ones by suitably
+/// gridding the range of values". A continuous source emits samples in
+/// [0, 1); the gridding adapter buckets them into [0, n) cells, after
+/// which every discrete tester applies. A density that is piecewise
+/// constant over k real intervals grids to (roughly) a (k + #straddled
+/// cells)-histogram, and TV distances can only contract under gridding, so
+/// completeness is preserved exactly and soundness up to the grid
+/// resolution (choose n large enough that the far-case distance survives;
+/// the paper notes the choice of step is workload-dependent).
+
+/// Source of iid real-valued samples in [0, 1).
+class ContinuousSampleSource {
+ public:
+  virtual ~ContinuousSampleSource() = default;
+  virtual double Draw() = 0;
+};
+
+/// Source defined by an inverse-CDF (quantile function) on [0, 1): draws
+/// u ~ U[0,1) and returns quantile(u) clamped into [0, 1).
+class QuantileSource : public ContinuousSampleSource {
+ public:
+  QuantileSource(std::function<double(double)> quantile, uint64_t seed);
+  double Draw() override;
+
+ private:
+  std::function<double(double)> quantile_;
+  Rng rng_;
+};
+
+/// A piecewise-constant density on [0, 1): k real intervals with constant
+/// density; the continuous analogue of a k-histogram. Exposed so tests can
+/// build in-class continuous instances with known structure.
+class PiecewiseDensitySource : public ContinuousSampleSource {
+ public:
+  /// `breaks` are the interior breakpoints (sorted, in (0, 1)); `masses`
+  /// has breaks.size() + 1 entries summing to ~1.
+  static Result<std::unique_ptr<PiecewiseDensitySource>> Create(
+      std::vector<double> breaks, std::vector<double> masses, uint64_t seed);
+
+  double Draw() override;
+
+ private:
+  PiecewiseDensitySource(std::vector<double> edges,
+                         std::vector<double> cumulative, uint64_t seed);
+
+  std::vector<double> edges_;       // 0, breaks..., 1
+  std::vector<double> cumulative_;  // cumulative masses, ending at 1
+  Rng rng_;
+};
+
+/// The gridding adapter: a discrete SampleOracle over [0, n) whose draws
+/// are floor(n * x) for x from the continuous source.
+class GriddedOracle : public SampleOracle {
+ public:
+  /// Does not own the source; it must outlive the oracle.
+  GriddedOracle(ContinuousSampleSource* source, size_t n);
+
+  size_t DomainSize() const override { return n_; }
+  size_t Draw() override;
+  int64_t SamplesDrawn() const override { return drawn_; }
+
+ private:
+  ContinuousSampleSource* source_;
+  size_t n_;
+  int64_t drawn_ = 0;
+};
+
+}  // namespace histest
+
+#endif  // HISTEST_DIST_CONTINUOUS_H_

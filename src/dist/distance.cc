@@ -1,0 +1,126 @@
+#include "dist/distance.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/check.h"
+#include "common/math_util.h"
+
+namespace histest {
+
+double L1Distance(const std::vector<double>& a, const std::vector<double>& b) {
+  HISTEST_CHECK_EQ(a.size(), b.size());
+  KahanSum acc;
+  for (size_t i = 0; i < a.size(); ++i) acc.Add(std::fabs(a[i] - b[i]));
+  return acc.Total();
+}
+
+double TotalVariation(const Distribution& a, const Distribution& b) {
+  return 0.5 * L1Distance(a.pmf(), b.pmf());
+}
+
+double TotalVariation(const PiecewiseConstant& a, const PiecewiseConstant& b) {
+  HISTEST_CHECK_EQ(a.domain_size(), b.domain_size());
+  KahanSum acc;
+  size_t ia = 0, ib = 0;
+  size_t cursor = 0;
+  const auto& pa = a.pieces();
+  const auto& pb = b.pieces();
+  while (cursor < a.domain_size()) {
+    const size_t next = std::min(pa[ia].interval.end, pb[ib].interval.end);
+    acc.Add(std::fabs(pa[ia].value - pb[ib].value) *
+            static_cast<double>(next - cursor));
+    cursor = next;
+    if (ia < pa.size() - 1 && pa[ia].interval.end == cursor) ++ia;
+    if (ib < pb.size() - 1 && pb[ib].interval.end == cursor) ++ib;
+  }
+  return 0.5 * acc.Total();
+}
+
+double L2DistanceSquared(const std::vector<double>& a,
+                         const std::vector<double>& b) {
+  HISTEST_CHECK_EQ(a.size(), b.size());
+  KahanSum acc;
+  for (size_t i = 0; i < a.size(); ++i) {
+    const double d = a[i] - b[i];
+    acc.Add(d * d);
+  }
+  return acc.Total();
+}
+
+double ChiSquareDistance(const std::vector<double>& p,
+                         const std::vector<double>& q) {
+  HISTEST_CHECK_EQ(p.size(), q.size());
+  KahanSum acc;
+  for (size_t i = 0; i < p.size(); ++i) {
+    if (q[i] <= 0.0) {
+      if (p[i] > 0.0) return std::numeric_limits<double>::infinity();
+      continue;
+    }
+    const double d = p[i] - q[i];
+    acc.Add(d * d / q[i]);
+  }
+  return acc.Total();
+}
+
+double HellingerSquared(const Distribution& a, const Distribution& b) {
+  HISTEST_CHECK_EQ(a.size(), b.size());
+  KahanSum acc;
+  for (size_t i = 0; i < a.size(); ++i) {
+    const double d = std::sqrt(a[i]) - std::sqrt(b[i]);
+    acc.Add(d * d);
+  }
+  return 0.5 * acc.Total();
+}
+
+double KolmogorovSmirnov(const Distribution& a, const Distribution& b) {
+  HISTEST_CHECK_EQ(a.size(), b.size());
+  KahanSum ca, cb;
+  double best = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    ca.Add(a[i]);
+    cb.Add(b[i]);
+    best = std::max(best, std::fabs(ca.Total() - cb.Total()));
+  }
+  return best;
+}
+
+double RestrictedL1(const std::vector<double>& a, const std::vector<double>& b,
+                    const std::vector<Interval>& g) {
+  HISTEST_CHECK_EQ(a.size(), b.size());
+  KahanSum acc;
+  for (const Interval& iv : g) {
+    HISTEST_CHECK_LE(iv.end, a.size());
+    for (size_t i = iv.begin; i < iv.end; ++i) {
+      acc.Add(std::fabs(a[i] - b[i]));
+    }
+  }
+  return acc.Total();
+}
+
+double RestrictedTV(const std::vector<double>& a, const std::vector<double>& b,
+                    const std::vector<Interval>& g) {
+  return 0.5 * RestrictedL1(a, b, g);
+}
+
+double RestrictedChiSquare(const std::vector<double>& p,
+                           const std::vector<double>& q,
+                           const std::vector<Interval>& g) {
+  HISTEST_CHECK_EQ(p.size(), q.size());
+  KahanSum acc;
+  for (const Interval& iv : g) {
+    HISTEST_CHECK_LE(iv.end, p.size());
+    for (size_t i = iv.begin; i < iv.end; ++i) {
+      if (q[i] <= 0.0) {
+        if (p[i] > 0.0) return std::numeric_limits<double>::infinity();
+        continue;
+      }
+      const double d = p[i] - q[i];
+      acc.Add(d * d / q[i]);
+    }
+  }
+  return acc.Total();
+}
+
+}  // namespace histest

@@ -1,0 +1,56 @@
+#ifndef HISTEST_DIST_DISTANCE_H_
+#define HISTEST_DIST_DISTANCE_H_
+
+#include <vector>
+
+#include "dist/distribution.h"
+#include "dist/interval.h"
+#include "dist/piecewise.h"
+
+namespace histest {
+
+/// L1 distance ||a - b||_1 between two equal-length value vectors.
+double L1Distance(const std::vector<double>& a, const std::vector<double>& b);
+
+/// Total variation distance = L1 / 2 (the paper's metric).
+double TotalVariation(const Distribution& a, const Distribution& b);
+
+/// Exact total variation between two piecewise-constant functions over the
+/// same domain, computed on the merged breakpoint grid in
+/// O(#pieces_a + #pieces_b) — no densification.
+double TotalVariation(const PiecewiseConstant& a, const PiecewiseConstant& b);
+
+/// Squared L2 distance ||a - b||_2^2.
+double L2DistanceSquared(const std::vector<double>& a,
+                         const std::vector<double>& b);
+
+/// Asymmetric chi-square distance d_{chi^2}(p || q) =
+/// sum_i (p_i - q_i)^2 / q_i. Convention: terms with q_i == 0 contribute 0
+/// when p_i == 0 and +infinity otherwise.
+double ChiSquareDistance(const std::vector<double>& p,
+                         const std::vector<double>& q);
+
+/// Squared Hellinger distance: 0.5 * sum (sqrt(p_i) - sqrt(q_i))^2.
+double HellingerSquared(const Distribution& a, const Distribution& b);
+
+/// Kolmogorov-Smirnov distance: max_i |CDF_a(i) - CDF_b(i)|.
+double KolmogorovSmirnov(const Distribution& a, const Distribution& b);
+
+/// L1 distance restricted to the union of (disjoint) intervals G:
+/// sum_{i in G} |a_i - b_i| (the paper's footnote-6 restriction).
+double RestrictedL1(const std::vector<double>& a, const std::vector<double>& b,
+                    const std::vector<Interval>& g);
+
+/// Restricted total variation = RestrictedL1 / 2.
+double RestrictedTV(const std::vector<double>& a, const std::vector<double>& b,
+                    const std::vector<Interval>& g);
+
+/// Restricted chi-square distance over the union of intervals G, same
+/// zero-denominator convention as ChiSquareDistance.
+double RestrictedChiSquare(const std::vector<double>& p,
+                           const std::vector<double>& q,
+                           const std::vector<Interval>& g);
+
+}  // namespace histest
+
+#endif  // HISTEST_DIST_DISTANCE_H_

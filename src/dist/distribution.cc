@@ -1,0 +1,95 @@
+#include "dist/distribution.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+#include "common/math_util.h"
+
+namespace histest {
+
+Result<Distribution> Distribution::Create(std::vector<double> pmf) {
+  if (pmf.empty()) {
+    return Status::InvalidArgument("pmf must be non-empty");
+  }
+  for (double p : pmf) {
+    if (!(p >= 0.0) || !std::isfinite(p)) {
+      return Status::InvalidArgument("pmf entries must be finite and >= 0");
+    }
+  }
+  const double total = SumOf(pmf);
+  if (std::fabs(total - 1.0) > kMassTolerance) {
+    return Status::InvalidArgument("pmf must sum to 1 (got " +
+                                   std::to_string(total) + ")");
+  }
+  for (double& p : pmf) p /= total;
+  return Distribution(std::move(pmf));
+}
+
+Result<Distribution> Distribution::FromWeights(std::vector<double> weights) {
+  if (weights.empty()) {
+    return Status::InvalidArgument("weights must be non-empty");
+  }
+  for (double w : weights) {
+    if (!(w >= 0.0) || !std::isfinite(w)) {
+      return Status::InvalidArgument("weights must be finite and >= 0");
+    }
+  }
+  const double total = SumOf(weights);
+  if (total <= 0.0) {
+    return Status::InvalidArgument("weights must have positive total");
+  }
+  for (double& w : weights) w /= total;
+  return Distribution(std::move(weights));
+}
+
+Distribution Distribution::UniformOver(size_t n) {
+  HISTEST_CHECK_GT(n, 0u);
+  return Distribution(std::vector<double>(n, 1.0 / static_cast<double>(n)));
+}
+
+Distribution Distribution::PointMass(size_t n, size_t i) {
+  HISTEST_CHECK_GT(n, 0u);
+  HISTEST_CHECK_LT(i, n);
+  std::vector<double> pmf(n, 0.0);
+  pmf[i] = 1.0;
+  return Distribution(std::move(pmf));
+}
+
+double Distribution::MassOf(const Interval& interval) const {
+  HISTEST_CHECK_LE(interval.end, pmf_.size());
+  KahanSum acc;
+  for (size_t i = interval.begin; i < interval.end; ++i) acc.Add(pmf_[i]);
+  return acc.Total();
+}
+
+std::vector<double> Distribution::Cdf() const {
+  std::vector<double> cdf = PrefixSums(pmf_);
+  if (!cdf.empty()) cdf.back() = 1.0;
+  return cdf;
+}
+
+double Distribution::MaxProbability() const {
+  return *std::max_element(pmf_.begin(), pmf_.end());
+}
+
+size_t Distribution::SupportSize() const {
+  size_t count = 0;
+  for (double p : pmf_) count += (p > 0.0) ? 1 : 0;
+  return count;
+}
+
+Result<Distribution> Distribution::ConditionedOn(
+    const std::vector<Interval>& intervals) const {
+  std::vector<double> pmf(pmf_.size(), 0.0);
+  for (const Interval& iv : intervals) {
+    if (iv.end > pmf_.size()) {
+      return Status::OutOfRange("interval " + iv.ToString() +
+                                " exceeds domain");
+    }
+    for (size_t i = iv.begin; i < iv.end; ++i) pmf[i] = pmf_[i];
+  }
+  return FromWeights(std::move(pmf));
+}
+
+}  // namespace histest

@@ -1,0 +1,69 @@
+#ifndef HISTEST_DIST_DISTRIBUTION_H_
+#define HISTEST_DIST_DISTRIBUTION_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "common/status.h"
+#include "dist/interval.h"
+
+namespace histest {
+
+/// An explicit discrete probability distribution over the domain [0, n),
+/// stored as a dense probability mass function.
+///
+/// Instances are immutable after construction and always represent a valid
+/// distribution: all entries non-negative and summing to 1 up to ~1 ulp per
+/// element (construction renormalizes with compensated summation).
+class Distribution {
+ public:
+  /// Validates `pmf` (non-empty, non-negative entries, total within
+  /// kMassTolerance of 1) and renormalizes exactly.
+  static Result<Distribution> Create(std::vector<double> pmf);
+
+  /// Builds a distribution from any non-negative, non-zero weight vector by
+  /// normalizing it.
+  static Result<Distribution> FromWeights(std::vector<double> weights);
+
+  /// The uniform distribution over [0, n). Requires n > 0.
+  static Distribution UniformOver(size_t n);
+
+  /// The point mass at element i of a size-n domain. Requires i < n.
+  static Distribution PointMass(size_t n, size_t i);
+
+  /// Tolerance on |sum(pmf) - 1| accepted by Create().
+  static constexpr double kMassTolerance = 1e-6;
+
+  /// Domain size n.
+  size_t size() const { return pmf_.size(); }
+
+  /// Probability of element i. Requires i < size().
+  double operator[](size_t i) const { return pmf_[i]; }
+
+  const std::vector<double>& pmf() const { return pmf_; }
+
+  /// Probability mass of the interval (O(|interval|)).
+  double MassOf(const Interval& interval) const;
+
+  /// Inclusive CDF: out[i] = P[X <= i]; out.back() == 1 exactly.
+  std::vector<double> Cdf() const;
+
+  /// Largest single-element probability.
+  double MaxProbability() const;
+
+  /// Number of elements with non-zero probability.
+  size_t SupportSize() const;
+
+  /// The conditional distribution given the union of `intervals` (which must
+  /// be disjoint and carry positive mass).
+  Result<Distribution> ConditionedOn(const std::vector<Interval>& intervals) const;
+
+ private:
+  explicit Distribution(std::vector<double> pmf) : pmf_(std::move(pmf)) {}
+
+  std::vector<double> pmf_;
+};
+
+}  // namespace histest
+
+#endif  // HISTEST_DIST_DISTRIBUTION_H_

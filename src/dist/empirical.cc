@@ -1,0 +1,74 @@
+#include "dist/empirical.h"
+
+#include "common/check.h"
+
+namespace histest {
+
+CountVector::CountVector(std::vector<int64_t> counts)
+    : counts_(std::move(counts)), total_(0) {
+  for (int64_t c : counts_) {
+    HISTEST_CHECK_GE(c, 0);
+    total_ += c;
+  }
+}
+
+CountVector CountVector::FromSamples(size_t n,
+                                     const std::vector<size_t>& samples) {
+  CountVector cv(n);
+  for (size_t s : samples) cv.Add(s);
+  return cv;
+}
+
+CountVector CountVector::FromCounts(std::vector<int64_t> counts) {
+  return CountVector(std::move(counts));
+}
+
+void CountVector::Add(size_t i) {
+  HISTEST_CHECK_LT(i, counts_.size());
+  ++counts_[i];
+  ++total_;
+}
+
+int64_t CountVector::IntervalCount(const Interval& interval) const {
+  HISTEST_CHECK_LE(interval.end, counts_.size());
+  int64_t total = 0;
+  for (size_t i = interval.begin; i < interval.end; ++i) total += counts_[i];
+  return total;
+}
+
+std::vector<int64_t> CountVector::IntervalCounts(
+    const Partition& partition) const {
+  HISTEST_CHECK_EQ(partition.domain_size(), counts_.size());
+  std::vector<int64_t> out;
+  out.reserve(partition.NumIntervals());
+  for (const Interval& iv : partition.intervals()) {
+    out.push_back(IntervalCount(iv));
+  }
+  return out;
+}
+
+Result<Distribution> CountVector::ToEmpirical() const {
+  if (total_ == 0) {
+    return Status::FailedPrecondition("no samples: empirical distribution "
+                                      "undefined");
+  }
+  std::vector<double> weights(counts_.size());
+  for (size_t i = 0; i < counts_.size(); ++i) {
+    weights[i] = static_cast<double>(counts_[i]);
+  }
+  return Distribution::FromWeights(std::move(weights));
+}
+
+size_t CountVector::DistinctCount() const {
+  size_t distinct = 0;
+  for (int64_t c : counts_) distinct += (c > 0) ? 1 : 0;
+  return distinct;
+}
+
+int64_t CountVector::CollisionPairs() const {
+  int64_t pairs = 0;
+  for (int64_t c : counts_) pairs += c * (c - 1) / 2;
+  return pairs;
+}
+
+}  // namespace histest

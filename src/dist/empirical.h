@@ -1,0 +1,60 @@
+#ifndef HISTEST_DIST_EMPIRICAL_H_
+#define HISTEST_DIST_EMPIRICAL_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+#include "dist/distribution.h"
+#include "dist/interval.h"
+
+namespace histest {
+
+/// A vector of per-element sample counts over [0, n), with interval
+/// aggregation helpers. This is the common currency between oracles and the
+/// statistics layer.
+class CountVector {
+ public:
+  /// Zero counts over a size-n domain.
+  explicit CountVector(size_t n) : counts_(n, 0), total_(0) {}
+
+  /// Builds counts from raw samples; every sample must be < n.
+  static CountVector FromSamples(size_t n, const std::vector<size_t>& samples);
+
+  /// Adopts a precomputed count vector (e.g., from PoissonizedCounts).
+  static CountVector FromCounts(std::vector<int64_t> counts);
+
+  size_t size() const { return counts_.size(); }
+  int64_t total() const { return total_; }
+  int64_t operator[](size_t i) const { return counts_[i]; }
+  const std::vector<int64_t>& counts() const { return counts_; }
+
+  /// Adds one observation of element i.
+  void Add(size_t i);
+
+  /// Total count falling in `interval`.
+  int64_t IntervalCount(const Interval& interval) const;
+
+  /// Per-interval totals for a whole partition.
+  std::vector<int64_t> IntervalCounts(const Partition& partition) const;
+
+  /// The empirical (plug-in) distribution. Requires total() > 0.
+  Result<Distribution> ToEmpirical() const;
+
+  /// Number of elements observed at least once.
+  size_t DistinctCount() const;
+
+  /// Number of colliding pairs: sum_i C(counts_i, 2) (the Paninski
+  /// coincidence statistic's numerator).
+  int64_t CollisionPairs() const;
+
+ private:
+  explicit CountVector(std::vector<int64_t> counts);
+
+  std::vector<int64_t> counts_;
+  int64_t total_;
+};
+
+}  // namespace histest
+
+#endif  // HISTEST_DIST_EMPIRICAL_H_

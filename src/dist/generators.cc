@@ -1,0 +1,134 @@
+#include "dist/generators.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+#include "common/math_util.h"
+
+namespace histest {
+
+Result<Distribution> MakeZipf(size_t n, double s) {
+  if (n == 0) return Status::InvalidArgument("n must be positive");
+  if (!(s >= 0.0)) return Status::InvalidArgument("s must be >= 0");
+  std::vector<double> weights(n);
+  for (size_t i = 0; i < n; ++i) {
+    weights[i] = std::pow(static_cast<double>(i + 1), -s);
+  }
+  return Distribution::FromWeights(std::move(weights));
+}
+
+Result<Distribution> MakeGeometric(size_t n, double ratio) {
+  if (n == 0) return Status::InvalidArgument("n must be positive");
+  if (!(ratio > 0.0) || ratio > 1.0) {
+    return Status::InvalidArgument("ratio must be in (0, 1]");
+  }
+  std::vector<double> weights(n);
+  double w = 1.0;
+  for (size_t i = 0; i < n; ++i) {
+    weights[i] = w;
+    w *= ratio;
+  }
+  return Distribution::FromWeights(std::move(weights));
+}
+
+Result<PiecewiseConstant> MakeStaircase(size_t n, size_t k) {
+  if (k == 0 || k > n) return Status::InvalidArgument("need 1 <= k <= n");
+  const Partition partition = Partition::EquiWidth(n, k);
+  std::vector<double> masses(k);
+  double total = 0.0;
+  for (size_t j = 0; j < k; ++j) {
+    masses[j] = static_cast<double>(k - j);
+    total += masses[j];
+  }
+  for (double& m : masses) m /= total;
+  return PiecewiseConstant::FromPartitionMasses(partition, masses);
+}
+
+Result<PiecewiseConstant> MakeRandomKHistogram(size_t n, size_t k, Rng& rng,
+                                               double mass_alpha) {
+  if (k == 0 || k > n) return Status::InvalidArgument("need 1 <= k <= n");
+  if (!(mass_alpha > 0.0)) {
+    return Status::InvalidArgument("mass_alpha must be positive");
+  }
+  // Choose k-1 distinct breakpoints from {1, ..., n-1} via a partial
+  // Fisher-Yates over candidate cut positions.
+  std::vector<size_t> cuts(n - 1);
+  for (size_t i = 0; i < n - 1; ++i) cuts[i] = i + 1;
+  for (size_t j = 0; j + 1 < k; ++j) {
+    const size_t swap_with =
+        j + static_cast<size_t>(rng.UniformInt(cuts.size() - j));
+    std::swap(cuts[j], cuts[swap_with]);
+  }
+  std::vector<size_t> ends(cuts.begin(),
+                           cuts.begin() + static_cast<ptrdiff_t>(k - 1));
+  std::sort(ends.begin(), ends.end());
+  ends.push_back(n);
+  auto partition = Partition::FromEndpoints(n, std::move(ends));
+  HISTEST_CHECK(partition.ok());
+  const std::vector<double> masses = rng.DirichletSymmetric(k, mass_alpha);
+  return PiecewiseConstant::FromPartitionMasses(partition.value(), masses);
+}
+
+Result<Distribution> MakeGaussianMixture(size_t n,
+                                         const std::vector<double>& means,
+                                         const std::vector<double>& stddevs,
+                                         const std::vector<double>& weights) {
+  if (n == 0) return Status::InvalidArgument("n must be positive");
+  if (means.empty() || means.size() != stddevs.size() ||
+      means.size() != weights.size()) {
+    return Status::InvalidArgument(
+        "means/stddevs/weights must be non-empty and equal-length");
+  }
+  std::vector<double> pmf(n, 0.0);
+  for (size_t c = 0; c < means.size(); ++c) {
+    if (!(stddevs[c] > 0.0) || !(weights[c] >= 0.0)) {
+      return Status::InvalidArgument("stddevs must be > 0, weights >= 0");
+    }
+    const double mu = means[c] * static_cast<double>(n);
+    const double sigma = stddevs[c] * static_cast<double>(n);
+    for (size_t i = 0; i < n; ++i) {
+      const double z = (static_cast<double>(i) + 0.5 - mu) / sigma;
+      pmf[i] += weights[c] * std::exp(-0.5 * z * z) / sigma;
+    }
+  }
+  return Distribution::FromWeights(std::move(pmf));
+}
+
+Result<Distribution> MakeComb(size_t n, size_t teeth, double background_mass) {
+  if (n == 0) return Status::InvalidArgument("n must be positive");
+  if (teeth == 0 || teeth > n) {
+    return Status::InvalidArgument("need 1 <= teeth <= n");
+  }
+  if (!(background_mass >= 0.0) || background_mass >= 1.0) {
+    return Status::InvalidArgument("background_mass must be in [0, 1)");
+  }
+  std::vector<double> pmf(n, background_mass / static_cast<double>(n));
+  const double spike = (1.0 - background_mass) / static_cast<double>(teeth);
+  for (size_t t = 0; t < teeth; ++t) {
+    // Evenly spaced positions, centered within strides.
+    const size_t pos = (2 * t + 1) * n / (2 * teeth);
+    pmf[std::min(pos, n - 1)] += spike;
+  }
+  return Distribution::Create(std::move(pmf));
+}
+
+Result<Distribution> MakeSmoothedKModal(size_t n, size_t k, Rng& rng) {
+  auto base = MakeRandomKHistogram(n, k, rng);
+  HISTEST_RETURN_IF_ERROR(base.status());
+  const std::vector<double> dense = base.value().ToDense();
+  // Box filter of width ~n/(8k), clamped to >= 1; preserves mode count.
+  const size_t width =
+      std::max<size_t>(1, n / std::max<size_t>(8 * k, 1));
+  std::vector<double> smoothed(n, 0.0);
+  for (size_t i = 0; i < n; ++i) {
+    const size_t lo = i >= width ? i - width : 0;
+    const size_t hi = std::min(n - 1, i + width);
+    KahanSum acc;
+    for (size_t j = lo; j <= hi; ++j) acc.Add(dense[j]);
+    smoothed[i] = acc.Total() / static_cast<double>(hi - lo + 1);
+  }
+  return Distribution::FromWeights(std::move(smoothed));
+}
+
+}  // namespace histest

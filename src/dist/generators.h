@@ -1,0 +1,56 @@
+#ifndef HISTEST_DIST_GENERATORS_H_
+#define HISTEST_DIST_GENERATORS_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "dist/distribution.h"
+#include "dist/piecewise.h"
+
+namespace histest {
+
+/// Workload distribution families used throughout the tests, examples, and
+/// benchmark harness. Deterministic families take only shape parameters;
+/// random families take an Rng.
+
+/// Zipf(s) over [0, n): p_i proportional to 1/(i+1)^s. Requires s >= 0.
+Result<Distribution> MakeZipf(size_t n, double s);
+
+/// Geometric decay: p_i proportional to ratio^i. Requires ratio in (0, 1].
+Result<Distribution> MakeGeometric(size_t n, double ratio);
+
+/// Deterministic "staircase" k-histogram: k near-equal-width steps whose
+/// masses decay linearly (step j has weight k - j). Requires 1 <= k <= n.
+Result<PiecewiseConstant> MakeStaircase(size_t n, size_t k);
+
+/// Random k-histogram: k-1 breakpoints drawn uniformly without replacement,
+/// piece masses ~ Dirichlet(mass_alpha). Requires 1 <= k <= n,
+/// mass_alpha > 0. The result has exactly k pieces structurally (adjacent
+/// equal values are possible but measure-zero).
+Result<PiecewiseConstant> MakeRandomKHistogram(size_t n, size_t k, Rng& rng,
+                                               double mass_alpha = 1.0);
+
+/// Discretized mixture of Gaussians over [0, n): component c has mean
+/// means[c] * n, stddev stddevs[c] * n, weight weights[c]. Densities are
+/// evaluated at cell centers and normalized. Smooth, so far from H_k for
+/// small k.
+Result<Distribution> MakeGaussianMixture(size_t n,
+                                         const std::vector<double>& means,
+                                         const std::vector<double>& stddevs,
+                                         const std::vector<double>& weights);
+
+/// "Comb" distribution: `teeth` evenly spaced unit spikes on top of a light
+/// uniform background carrying `background_mass`. A comb with t teeth needs
+/// ~2t pieces, so it is far from H_k for k much smaller than 2t.
+Result<Distribution> MakeComb(size_t n, size_t teeth, double background_mass);
+
+/// Random k-modal distribution: a random k-histogram convolved with a small
+/// box filter, preserving ~k modes while smoothing piece interiors (used for
+/// the k-modal remark after Theorem 1.2).
+Result<Distribution> MakeSmoothedKModal(size_t n, size_t k, Rng& rng);
+
+}  // namespace histest
+
+#endif  // HISTEST_DIST_GENERATORS_H_

@@ -1,0 +1,109 @@
+#include "dist/interval.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/check.h"
+
+namespace histest {
+
+std::string Interval::ToString() const {
+  std::ostringstream oss;
+  oss << "[" << begin << ", " << end << ")";
+  return oss.str();
+}
+
+Result<Partition> Partition::Create(size_t n, std::vector<Interval> intervals) {
+  if (n == 0) return Status::InvalidArgument("domain size must be positive");
+  if (intervals.empty()) {
+    return Status::InvalidArgument("partition must have at least one interval");
+  }
+  size_t cursor = 0;
+  for (const Interval& iv : intervals) {
+    if (iv.begin != cursor) {
+      return Status::InvalidArgument("partition intervals must be contiguous, "
+                                     "found gap/overlap at " +
+                                     iv.ToString());
+    }
+    if (iv.empty()) {
+      return Status::InvalidArgument("partition interval " + iv.ToString() +
+                                     " is empty");
+    }
+    cursor = iv.end;
+  }
+  if (cursor != n) {
+    return Status::InvalidArgument("partition does not cover [0, n)");
+  }
+  return Partition(n, std::move(intervals));
+}
+
+Partition Partition::Trivial(size_t n) {
+  HISTEST_CHECK_GT(n, 0u);
+  return Partition(n, {Interval{0, n}});
+}
+
+Partition Partition::Singletons(size_t n) {
+  HISTEST_CHECK_GT(n, 0u);
+  std::vector<Interval> intervals;
+  intervals.reserve(n);
+  for (size_t i = 0; i < n; ++i) intervals.push_back(Interval{i, i + 1});
+  return Partition(n, std::move(intervals));
+}
+
+Partition Partition::EquiWidth(size_t n, size_t num_intervals) {
+  HISTEST_CHECK_GE(num_intervals, 1u);
+  HISTEST_CHECK_LE(num_intervals, n);
+  std::vector<Interval> intervals;
+  intervals.reserve(num_intervals);
+  const size_t base = n / num_intervals;
+  const size_t extra = n % num_intervals;
+  size_t cursor = 0;
+  for (size_t j = 0; j < num_intervals; ++j) {
+    const size_t len = base + (j < extra ? 1 : 0);
+    intervals.push_back(Interval{cursor, cursor + len});
+    cursor += len;
+  }
+  return Partition(n, std::move(intervals));
+}
+
+Result<Partition> Partition::FromEndpoints(size_t n, std::vector<size_t> ends) {
+  std::vector<Interval> intervals;
+  intervals.reserve(ends.size());
+  size_t cursor = 0;
+  for (size_t e : ends) {
+    intervals.push_back(Interval{cursor, e});
+    cursor = e;
+  }
+  return Create(n, std::move(intervals));
+}
+
+size_t Partition::IntervalOf(size_t i) const {
+  HISTEST_CHECK_LT(i, n_);
+  // Binary search over interval begins.
+  size_t lo = 0, hi = intervals_.size();
+  while (hi - lo > 1) {
+    const size_t mid = lo + (hi - lo) / 2;
+    if (intervals_[mid].begin <= i) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  HISTEST_DCHECK(intervals_[lo].Contains(i));
+  return lo;
+}
+
+std::string Partition::ToString() const {
+  std::ostringstream oss;
+  oss << "Partition(n=" << n_ << ", K=" << intervals_.size() << ": ";
+  const size_t show = std::min<size_t>(intervals_.size(), 8);
+  for (size_t j = 0; j < show; ++j) {
+    if (j > 0) oss << " ";
+    oss << intervals_[j].ToString();
+  }
+  if (intervals_.size() > show) oss << " ...";
+  oss << ")";
+  return oss.str();
+}
+
+}  // namespace histest

@@ -1,0 +1,74 @@
+#ifndef HISTEST_DIST_INTERVAL_H_
+#define HISTEST_DIST_INTERVAL_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace histest {
+
+/// A half-open interval [begin, end) of domain indices. The library is
+/// 0-indexed internally; the paper's [n] = {1..n} maps to [0, n).
+struct Interval {
+  size_t begin = 0;
+  size_t end = 0;
+
+  size_t size() const { return end - begin; }
+  bool empty() const { return begin >= end; }
+  bool Contains(size_t i) const { return i >= begin && i < end; }
+
+  friend bool operator==(const Interval& a, const Interval& b) {
+    return a.begin == b.begin && a.end == b.end;
+  }
+
+  std::string ToString() const;
+};
+
+/// An ordered partition of the domain [0, n) into contiguous, disjoint,
+/// non-empty intervals. This is the object ApproxPart produces and on which
+/// the learner, sieve, and Z-statistics operate.
+class Partition {
+ public:
+  /// Validates that `intervals` are non-empty, contiguous, and exactly cover
+  /// [0, n).
+  static Result<Partition> Create(size_t n, std::vector<Interval> intervals);
+
+  /// The one-interval partition of [0, n).
+  static Partition Trivial(size_t n);
+
+  /// The all-singletons partition of [0, n).
+  static Partition Singletons(size_t n);
+
+  /// Partition of [0, n) into `num_intervals` intervals of near-equal width
+  /// (first `n % num_intervals` intervals one element longer). Requires
+  /// 1 <= num_intervals <= n.
+  static Partition EquiWidth(size_t n, size_t num_intervals);
+
+  /// Builds a partition from interval right endpoints: `ends` must be
+  /// strictly increasing and finish at n.
+  static Result<Partition> FromEndpoints(size_t n, std::vector<size_t> ends);
+
+  size_t domain_size() const { return n_; }
+  size_t NumIntervals() const { return intervals_.size(); }
+  const Interval& interval(size_t j) const { return intervals_[j]; }
+  const std::vector<Interval>& intervals() const { return intervals_; }
+
+  /// Index of the interval containing domain element i (binary search,
+  /// O(log K)). Requires i < domain_size().
+  size_t IntervalOf(size_t i) const;
+
+  std::string ToString() const;
+
+ private:
+  Partition(size_t n, std::vector<Interval> intervals)
+      : n_(n), intervals_(std::move(intervals)) {}
+
+  size_t n_;
+  std::vector<Interval> intervals_;
+};
+
+}  // namespace histest
+
+#endif  // HISTEST_DIST_INTERVAL_H_

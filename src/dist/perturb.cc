@@ -1,0 +1,81 @@
+#include "dist/perturb.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "common/check.h"
+#include "common/math_util.h"
+
+namespace histest {
+namespace {
+
+/// Collects the per-pair certificate weights (value of each paired element):
+/// a pair of elements with common value v contributes delta * v to the
+/// certified TV bound when a candidate histogram is constant across it.
+std::vector<double> PairWeights(const PiecewiseConstant& base) {
+  std::vector<double> weights;
+  for (const auto& piece : base.pieces()) {
+    const size_t pairs = piece.interval.size() / 2;
+    for (size_t j = 0; j < pairs; ++j) weights.push_back(piece.value);
+  }
+  return weights;
+}
+
+/// Certificate value: delta * (sum of pair weights - the (k-1) largest).
+double CertifiedBound(std::vector<double> weights, size_t k, double delta) {
+  if (weights.empty()) return 0.0;
+  std::sort(weights.begin(), weights.end(), std::greater<double>());
+  const size_t skip = std::min(weights.size(), k > 0 ? k - 1 : size_t{0});
+  KahanSum acc;
+  for (size_t i = skip; i < weights.size(); ++i) acc.Add(weights[i]);
+  return delta * acc.Total();
+}
+
+}  // namespace
+
+double MaxCertifiableFarness(const PiecewiseConstant& base, size_t k) {
+  return CertifiedBound(PairWeights(base), k, 1.0);
+}
+
+Result<CertifiedFarInstance> MakePairedPerturbation(
+    const PiecewiseConstant& base, size_t k, double delta, Rng& rng) {
+  if (k == 0) return Status::InvalidArgument("k must be >= 1");
+  if (!(delta >= 0.0) || delta > 1.0) {
+    return Status::InvalidArgument("delta must be in [0, 1]");
+  }
+  std::vector<double> pmf = base.ToDense();
+  for (const auto& piece : base.pieces()) {
+    const size_t pairs = piece.interval.size() / 2;
+    for (size_t j = 0; j < pairs; ++j) {
+      const size_t lo = piece.interval.begin + 2 * j;
+      const double bump = delta * piece.value;
+      const double sign = rng.Bernoulli(0.5) ? 1.0 : -1.0;
+      pmf[lo] += sign * bump;
+      pmf[lo + 1] -= sign * bump;
+    }
+  }
+  auto dist = Distribution::Create(std::move(pmf));
+  HISTEST_RETURN_IF_ERROR(dist.status());
+  return CertifiedFarInstance{std::move(dist).value(),
+                              CertifiedBound(PairWeights(base), k, delta), k};
+}
+
+Result<CertifiedFarInstance> MakeFarFromHk(const PiecewiseConstant& base,
+                                           size_t k, double eps, Rng& rng) {
+  if (!(eps > 0.0)) return Status::InvalidArgument("eps must be positive");
+  const double max_bound = MaxCertifiableFarness(base, k);
+  if (max_bound < eps) {
+    return Status::FailedPrecondition(
+        "base distribution cannot certify eps-farness from H_k: max "
+        "certificate " +
+        std::to_string(max_bound) + " < eps " + std::to_string(eps));
+  }
+  const double delta = std::min(1.0, eps / max_bound);
+  auto instance = MakePairedPerturbation(base, k, delta, rng);
+  HISTEST_RETURN_IF_ERROR(instance.status());
+  HISTEST_CHECK_GE(instance.value().certified_tv_lower_bound, eps * (1 - 1e-9));
+  return instance;
+}
+
+}  // namespace histest

@@ -1,0 +1,50 @@
+#ifndef HISTEST_DIST_PERTURB_H_
+#define HISTEST_DIST_PERTURB_H_
+
+#include <cstddef>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "dist/distribution.h"
+#include "dist/piecewise.h"
+
+namespace histest {
+
+/// A distribution together with a certified (analytic, not estimated) lower
+/// bound on its total-variation distance from the class H_k.
+struct CertifiedFarInstance {
+  Distribution dist;
+  /// TV lower bound to the nearest k-histogram, proven by the Prop 4.1
+  /// pairing/exchange argument.
+  double certified_tv_lower_bound = 0.0;
+  /// The k the certificate refers to.
+  size_t k = 0;
+};
+
+/// Applies a Paninski-style paired perturbation within the pieces of `base`:
+/// consecutive elements (2j, 2j+1) inside each piece are paired, and each
+/// pair's values (v, v) become (v(1 +/- delta), v(1 -/+ delta)) with an
+/// independent random sign. Elements left unpaired (odd piece tails) are
+/// unchanged, so the result is still a distribution.
+///
+/// Certificate: any D* in H_k is constant on all but at most k-1 pairs, and
+/// each constant pair contributes >= delta * v to TV(D, D*); the bound sums
+/// delta * v over all pairs minus the k-1 largest terms (the adversary's
+/// best breakpoint placement). Requires delta in [0, 1].
+Result<CertifiedFarInstance> MakePairedPerturbation(
+    const PiecewiseConstant& base, size_t k, double delta, Rng& rng);
+
+/// Chooses the smallest delta such that the certified TV lower bound is at
+/// least `eps`, then applies MakePairedPerturbation. Fails if even delta = 1
+/// cannot certify eps-farness (e.g., base has too few / too light pairs
+/// relative to k).
+Result<CertifiedFarInstance> MakeFarFromHk(const PiecewiseConstant& base,
+                                           size_t k, double eps, Rng& rng);
+
+/// The maximum certified farness achievable over `base` for class H_k
+/// (i.e., the certificate value at delta = 1).
+double MaxCertifiableFarness(const PiecewiseConstant& base, size_t k);
+
+}  // namespace histest
+
+#endif  // HISTEST_DIST_PERTURB_H_

@@ -1,0 +1,90 @@
+#ifndef HISTEST_DIST_PIECEWISE_H_
+#define HISTEST_DIST_PIECEWISE_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "common/status.h"
+#include "dist/distribution.h"
+#include "dist/interval.h"
+
+namespace histest {
+
+/// A succinct piecewise-constant non-negative function over [0, n): the
+/// representation of a k-histogram.
+///
+/// Each piece assigns a constant per-element value to a contiguous interval;
+/// pieces cover the domain exactly. Unlike `Distribution`, the total mass is
+/// not required to be 1: the learner of Lemma 3.5 and subdomain restrictions
+/// naturally produce sub- or super-probability functions. `Normalized()`
+/// projects back onto the simplex.
+class PiecewiseConstant {
+ public:
+  struct Piece {
+    Interval interval;
+    /// Per-element value (so the piece's mass is value * interval.size()).
+    double value = 0.0;
+
+    friend bool operator==(const Piece& a, const Piece& b) {
+      return a.interval == b.interval && a.value == b.value;
+    }
+  };
+
+  /// Validates that pieces are contiguous, cover [0, n), and have finite
+  /// non-negative values.
+  static Result<PiecewiseConstant> Create(size_t n, std::vector<Piece> pieces);
+
+  /// Builds the histogram over `partition` whose interval j has total mass
+  /// `interval_masses[j]`, spread uniformly within the interval.
+  static PiecewiseConstant FromPartitionMasses(
+      const Partition& partition, const std::vector<double>& interval_masses);
+
+  /// Flat (1-piece) function of the given constant value over [0, n).
+  static PiecewiseConstant Flat(size_t n, double value);
+
+  /// Exact piecewise view of a dense distribution (one piece per maximal run
+  /// of equal values).
+  static PiecewiseConstant FromDistribution(const Distribution& dist);
+
+  size_t domain_size() const { return n_; }
+  size_t NumPieces() const { return pieces_.size(); }
+  const std::vector<Piece>& pieces() const { return pieces_; }
+
+  /// Value at element i (binary search, O(log #pieces)).
+  double ValueAt(size_t i) const;
+
+  /// Mass of an arbitrary interval (O(#overlapping pieces + log)).
+  double MassOf(const Interval& interval) const;
+
+  /// Total mass over the whole domain.
+  double TotalMass() const;
+
+  /// Merges adjacent pieces with equal values; the result represents the
+  /// same function with the minimum number of pieces.
+  PiecewiseConstant Simplified() const;
+
+  /// Scales all values so the total mass is 1. Requires positive total mass.
+  Result<PiecewiseConstant> Normalized() const;
+
+  /// Densifies into an explicit Distribution. Requires total mass within
+  /// Distribution::kMassTolerance of 1.
+  Result<Distribution> ToDistribution() const;
+
+  /// Densifies into a raw value vector regardless of total mass.
+  std::vector<double> ToDense() const;
+
+  /// True iff this function, as a distribution shape, has at most k pieces
+  /// after simplification (i.e., lies in H_k structurally).
+  bool IsKHistogram(size_t k) const;
+
+ private:
+  PiecewiseConstant(size_t n, std::vector<Piece> pieces)
+      : n_(n), pieces_(std::move(pieces)) {}
+
+  size_t n_;
+  std::vector<Piece> pieces_;
+};
+
+}  // namespace histest
+
+#endif  // HISTEST_DIST_PIECEWISE_H_

@@ -1,0 +1,114 @@
+#include "dist/sampler.h"
+
+#include <cmath>
+
+#include "common/check.h"
+#include "common/math_util.h"
+
+namespace histest {
+
+AliasSampler::AliasSampler(const Distribution& dist) { Build(dist.pmf()); }
+
+AliasSampler::AliasSampler(const std::vector<double>& weights) {
+  HISTEST_CHECK(!weights.empty());
+  const double total = SumOf(weights);
+  HISTEST_CHECK_GT(total, 0.0);
+  std::vector<double> normalized = weights;
+  for (double& w : normalized) {
+    HISTEST_CHECK_GE(w, 0.0);
+    w /= total;
+  }
+  Build(std::move(normalized));
+}
+
+void AliasSampler::Build(std::vector<double> weights) {
+  const size_t n = weights.size();
+  prob_.assign(n, 0.0);
+  alias_.assign(n, 0);
+  // Vose's stable construction: scale to mean 1, split into small/large.
+  std::vector<double> scaled(n);
+  for (size_t i = 0; i < n; ++i) {
+    scaled[i] = weights[i] * static_cast<double>(n);
+  }
+  std::vector<size_t> small, large;
+  small.reserve(n);
+  large.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    (scaled[i] < 1.0 ? small : large).push_back(i);
+  }
+  while (!small.empty() && !large.empty()) {
+    const size_t s = small.back();
+    small.pop_back();
+    const size_t l = large.back();
+    large.pop_back();
+    prob_[s] = scaled[s];
+    alias_[s] = l;
+    scaled[l] = (scaled[l] + scaled[s]) - 1.0;
+    (scaled[l] < 1.0 ? small : large).push_back(l);
+  }
+  // Leftovers are 1 up to rounding.
+  for (size_t i : large) {
+    prob_[i] = 1.0;
+    alias_[i] = i;
+  }
+  for (size_t i : small) {
+    prob_[i] = 1.0;
+    alias_[i] = i;
+  }
+}
+
+size_t AliasSampler::Sample(Rng& rng) const {
+  const size_t column = static_cast<size_t>(rng.UniformInt(prob_.size()));
+  return rng.UniformDouble() < prob_[column] ? column : alias_[column];
+}
+
+std::vector<size_t> AliasSampler::SampleMany(Rng& rng, size_t count) const {
+  std::vector<size_t> out(count);
+  for (size_t i = 0; i < count; ++i) out[i] = Sample(rng);
+  return out;
+}
+
+namespace {
+
+std::vector<double> PieceMasses(const PiecewiseConstant& pwc) {
+  std::vector<double> masses;
+  masses.reserve(pwc.NumPieces());
+  for (const auto& p : pwc.pieces()) {
+    masses.push_back(p.value * static_cast<double>(p.interval.size()));
+  }
+  return masses;
+}
+
+}  // namespace
+
+PiecewiseSampler::PiecewiseSampler(const PiecewiseConstant& pwc)
+    : domain_size_(pwc.domain_size()),
+      piece_sampler_(PieceMasses(pwc)) {
+  piece_intervals_.reserve(pwc.NumPieces());
+  for (const auto& p : pwc.pieces()) piece_intervals_.push_back(p.interval);
+}
+
+size_t PiecewiseSampler::Sample(Rng& rng) const {
+  const Interval& iv = piece_intervals_[piece_sampler_.Sample(rng)];
+  return iv.begin + static_cast<size_t>(rng.UniformInt(iv.size()));
+}
+
+std::vector<int64_t> PoissonizedCounts(const Distribution& dist, double m,
+                                       Rng& rng) {
+  HISTEST_CHECK_GE(m, 0.0);
+  std::vector<int64_t> counts(dist.size());
+  for (size_t i = 0; i < dist.size(); ++i) {
+    counts[i] = rng.Poisson(m * dist[i]);
+  }
+  return counts;
+}
+
+std::vector<int64_t> MultinomialCounts(const AliasSampler& sampler, int64_t m,
+                                       Rng& rng) {
+  HISTEST_CHECK_GE(m, 0);
+  std::vector<int64_t> counts(sampler.size(), 0);
+  for (int64_t s = 0; s < m; ++s) ++counts[sampler.Sample(rng)];
+  return counts;
+}
+
+}  // namespace histest

@@ -1,0 +1,71 @@
+#ifndef HISTEST_DIST_SAMPLER_H_
+#define HISTEST_DIST_SAMPLER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "dist/distribution.h"
+#include "dist/piecewise.h"
+
+namespace histest {
+
+/// Walker alias-method sampler: O(n) construction, O(1) per sample. This is
+/// the workhorse behind every sample oracle.
+class AliasSampler {
+ public:
+  /// Builds a sampler for the given distribution.
+  explicit AliasSampler(const Distribution& dist);
+
+  /// Builds a sampler from raw non-negative weights (normalized internally).
+  /// Requires a positive total weight.
+  explicit AliasSampler(const std::vector<double>& weights);
+
+  /// Domain size.
+  size_t size() const { return prob_.size(); }
+
+  /// Draws one sample.
+  size_t Sample(Rng& rng) const;
+
+  /// Draws `count` samples.
+  std::vector<size_t> SampleMany(Rng& rng, size_t count) const;
+
+ private:
+  void Build(std::vector<double> weights);
+
+  std::vector<double> prob_;
+  std::vector<size_t> alias_;
+};
+
+/// Sampler for a succinct piecewise-constant distribution: chooses a piece
+/// by mass (alias method over pieces), then an element uniformly within it.
+/// O(#pieces) construction, O(1) per sample — never densifies.
+class PiecewiseSampler {
+ public:
+  /// Requires `pwc` to have positive total mass (it is normalized
+  /// internally, so sub-probability functions sample their conditional).
+  explicit PiecewiseSampler(const PiecewiseConstant& pwc);
+
+  size_t domain_size() const { return domain_size_; }
+
+  size_t Sample(Rng& rng) const;
+
+ private:
+  size_t domain_size_;
+  std::vector<Interval> piece_intervals_;
+  AliasSampler piece_sampler_;
+};
+
+/// Draws N_i ~ Poisson(m * D(i)) independently for every element — the
+/// Poissonization of drawing Poisson(m) iid samples (Section 2 of the
+/// paper). Returns the count vector; O(n) expected time.
+std::vector<int64_t> PoissonizedCounts(const Distribution& dist, double m,
+                                       Rng& rng);
+
+/// Draws exactly `m` iid samples and returns their count vector.
+std::vector<int64_t> MultinomialCounts(const AliasSampler& sampler, int64_t m,
+                                       Rng& rng);
+
+}  // namespace histest
+
+#endif  // HISTEST_DIST_SAMPLER_H_

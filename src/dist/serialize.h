@@ -1,0 +1,42 @@
+#ifndef HISTEST_DIST_SERIALIZE_H_
+#define HISTEST_DIST_SERIALIZE_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "dist/distribution.h"
+#include "dist/piecewise.h"
+
+namespace histest {
+
+/// Plain-text serialization for distributions and histogram summaries, so
+/// learned summaries can be stored next to the data they sketch (the
+/// database use case) and experiment artifacts can be diffed.
+///
+/// Formats (line-oriented, locale-independent, full round-trip precision):
+///
+///   histest-dist v1
+///   n <n>
+///   <p_0> <p_1> ... <p_{n-1}>
+///
+///   histest-pwc v1
+///   n <n> pieces <p>
+///   <end_0> <value_0>
+///   ...
+///   <end_{p-1}> <value_{p-1}>
+
+std::string SerializeDistribution(const Distribution& d);
+
+Result<Distribution> ParseDistribution(const std::string& text);
+
+std::string SerializePiecewise(const PiecewiseConstant& pwc);
+
+Result<PiecewiseConstant> ParsePiecewise(const std::string& text);
+
+/// Convenience file I/O (whole-file read/write).
+Status WriteTextFile(const std::string& path, const std::string& contents);
+Result<std::string> ReadTextFile(const std::string& path);
+
+}  // namespace histest
+
+#endif  // HISTEST_DIST_SERIALIZE_H_

@@ -1,0 +1,33 @@
+#ifndef HISTEST_HISTOGRAM_BREAKPOINTS_H_
+#define HISTEST_HISTOGRAM_BREAKPOINTS_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "dist/distribution.h"
+#include "dist/interval.h"
+#include "dist/piecewise.h"
+
+namespace histest {
+
+/// Breakpoints of a dense value vector: positions i in {1, .., n-1} such
+/// that v[i-1] != v[i] (i.e., a new piece starts at i). A k-histogram has at
+/// most k-1 of them.
+std::vector<size_t> BreakpointsOf(const std::vector<double>& values);
+
+/// Minimum number of pieces needed to represent `values` exactly
+/// (= breakpoints + 1).
+size_t MinPiecesOf(const std::vector<double>& values);
+
+/// True iff the dense vector is exactly representable with at most k pieces.
+bool IsKHistogramDense(const std::vector<double>& values, size_t k);
+
+/// Indices of the partition intervals that contain at least one breakpoint
+/// of `d` strictly inside them — the paper's "breakpoint intervals" (at most
+/// k-1 of them when d is a k-histogram).
+std::vector<size_t> BreakpointIntervalsOf(const PiecewiseConstant& d,
+                                          const Partition& partition);
+
+}  // namespace histest
+
+#endif  // HISTEST_HISTOGRAM_BREAKPOINTS_H_

@@ -1,0 +1,35 @@
+#ifndef HISTEST_HISTOGRAM_CLASSIC_H_
+#define HISTEST_HISTOGRAM_CLASSIC_H_
+
+#include <cstddef>
+
+#include "common/status.h"
+#include "dist/distribution.h"
+#include "dist/piecewise.h"
+
+namespace histest {
+
+/// The three textbook database histogram constructions ([Koo80], [PIHS96],
+/// [JKM+98] — the literature the paper's introduction situates itself in),
+/// as k-bucket summaries of an explicit distribution. Together with the
+/// sampled learner they let the selectivity experiments compare "classic
+/// summaries built from full data" against "tested-and-learned summaries
+/// built from samples".
+
+/// Equi-width: k buckets of (near-)equal domain width, each holding its
+/// exact mass. Requires 1 <= k <= n.
+Result<PiecewiseConstant> EquiWidthHistogram(const Distribution& d, size_t k);
+
+/// Equi-depth: bucket boundaries at the mass quantiles j/k, so buckets
+/// carry (near-)equal mass; heavy elements can force fewer than k buckets.
+/// Requires 1 <= k <= n.
+Result<PiecewiseConstant> EquiDepthHistogram(const Distribution& d, size_t k);
+
+/// V-optimal: the k-bucket histogram minimizing the sum of squared errors
+/// ([JKM+98]), via the exact L2 dynamic program (inputs longer than the DP
+/// limit are first coarsened by greedy merging; see fit_dp/fit_merge).
+Result<PiecewiseConstant> VOptimalHistogram(const Distribution& d, size_t k);
+
+}  // namespace histest
+
+#endif  // HISTEST_HISTOGRAM_CLASSIC_H_

@@ -1,0 +1,231 @@
+#include "histogram/distance_to_hk.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+#include "common/math_util.h"
+#include "dist/distance.h"
+#include "histogram/fit_dp.h"
+#include "histogram/fit_merge.h"
+
+namespace histest {
+namespace {
+
+/// Coarsens `atoms` to fit the DP limit if needed; returns the (possibly
+/// identical) sequence plus the exact coarsening L1 error.
+Result<CoarsenResult> MaybeCoarsen(std::vector<WeightedAtom> atoms,
+                                   size_t limit) {
+  if (atoms.size() <= limit) {
+    return CoarsenResult{std::move(atoms), 0.0};
+  }
+  return GreedyMergeAtoms(atoms, limit);
+}
+
+/// Expands an AtomFit into a dense value vector over the original domain.
+std::vector<double> FitToDense(const std::vector<WeightedAtom>& atoms,
+                               const AtomFit& fit) {
+  std::vector<double> out;
+  size_t atom_idx = 0;
+  for (size_t p = 0; p < fit.piece_values.size(); ++p) {
+    for (; atom_idx < fit.piece_starts[p + 1]; ++atom_idx) {
+      const size_t len =
+          static_cast<size_t>(std::llround(atoms[atom_idx].length));
+      out.insert(out.end(), len, fit.piece_values[p]);
+    }
+  }
+  return out;
+}
+
+/// Per-piece average values of `d` over the fit's piece spans — a
+/// mass-preserving k-piece candidate (total mass exactly 1).
+std::vector<double> AverageValuedCandidate(const Distribution& d,
+                                           const std::vector<WeightedAtom>& atoms,
+                                           const AtomFit& fit) {
+  std::vector<double> out(d.size());
+  // Element offsets of atoms.
+  std::vector<size_t> offsets(atoms.size() + 1, 0);
+  for (size_t i = 0; i < atoms.size(); ++i) {
+    offsets[i + 1] =
+        offsets[i] + static_cast<size_t>(std::llround(atoms[i].length));
+  }
+  for (size_t p = 0; p < fit.piece_values.size(); ++p) {
+    const size_t begin = offsets[fit.piece_starts[p]];
+    const size_t end = offsets[fit.piece_starts[p + 1]];
+    KahanSum mass;
+    for (size_t i = begin; i < end; ++i) mass.Add(d[i]);
+    const double avg = mass.Total() / static_cast<double>(end - begin);
+    for (size_t i = begin; i < end; ++i) out[i] = avg;
+  }
+  return out;
+}
+
+/// Weighted-median L1 cost of atoms [begin, end) — the "oscillation" a
+/// breakpoint-free piece must pay on that range.
+double GroupOscillation(const std::vector<WeightedAtom>& atoms, size_t begin,
+                        size_t end) {
+  std::vector<std::pair<double, double>> vw;
+  double total_w = 0.0;
+  for (size_t t = begin; t < end; ++t) {
+    if (atoms[t].cost_weight > 0.0) {
+      vw.emplace_back(atoms[t].value, atoms[t].cost_weight);
+      total_w += atoms[t].cost_weight;
+    }
+  }
+  if (vw.empty()) return 0.0;
+  std::sort(vw.begin(), vw.end());
+  double acc = 0.0;
+  double med = vw.back().first;
+  for (const auto& [v, w] : vw) {
+    acc += w;
+    if (acc >= 0.5 * total_w) {
+      med = v;
+      break;
+    }
+  }
+  KahanSum cost;
+  for (const auto& [v, w] : vw) cost.Add(w * std::fabs(v - med));
+  return cost.Total();
+}
+
+/// Witness lower bound on d_TV to any k-piece function, robust to long
+/// atom sequences (no coarsening involved): chunk the atoms into disjoint
+/// consecutive groups; a k-piece function has breakpoints inside at most
+/// k - 1 groups and pays at least the oscillation of every other group.
+/// Dropping the k largest oscillations is therefore safe. Maximized over a
+/// few group widths.
+double WitnessLowerBoundTv(const std::vector<WeightedAtom>& atoms, size_t k) {
+  double best = 0.0;
+  for (const size_t width : {size_t{2}, size_t{4}, size_t{8}}) {
+    if (atoms.size() < width) continue;
+    std::vector<double> oscillations;
+    for (size_t start = 0; start + width <= atoms.size(); start += width) {
+      oscillations.push_back(GroupOscillation(atoms, start, start + width));
+    }
+    std::sort(oscillations.begin(), oscillations.end(),
+              std::greater<double>());
+    KahanSum sum;
+    for (size_t j = std::min(oscillations.size(), k); j < oscillations.size();
+         ++j) {
+      sum.Add(oscillations[j]);
+    }
+    best = std::max(best, 0.5 * sum.Total());
+  }
+  return best;
+}
+
+}  // namespace
+
+Result<DistanceBounds> DistanceToHk(const Distribution& d, size_t k,
+                                    const HkDistanceOptions& options) {
+  if (k == 0) return Status::InvalidArgument("k must be >= 1");
+  std::vector<WeightedAtom> atoms = AtomsFromDense(d.pmf());
+  // The witness bound is computed on the uncoarsened sequence: it stays
+  // informative even when the coarsening error drowns the DP-based bound
+  // (fine alternating patterns).
+  const double witness = WitnessLowerBoundTv(atoms, k);
+  auto coarse = MaybeCoarsen(std::move(atoms), options.dp_atom_limit);
+  HISTEST_RETURN_IF_ERROR(coarse.status());
+  const std::vector<WeightedAtom>& dp_atoms = coarse.value().atoms;
+  const double slack = coarse.value().coarsening_error;
+
+  auto fit = FitAtomsL1(dp_atoms, k);
+  HISTEST_RETURN_IF_ERROR(fit.status());
+
+  // Lower bound: any D* in H_k is a non-negative k-piece function, so its L1
+  // distance to d is at least the unconstrained DP optimum (minus the
+  // coarsening slack when the DP ran on the coarsened sequence), and at
+  // least the witness oscillation bound.
+  const double lower =
+      std::max(witness, 0.5 * (fit.value().l1_error - 2.0 * slack));
+
+  // Upper bound: exact TV to an explicit H_k member. Candidate (a):
+  // mass-preserving averages over the fitted piece spans (always a valid
+  // distribution). Candidate (b): the median-valued fit, renormalized, when
+  // it has positive mass.
+  const std::vector<double> avg_candidate =
+      AverageValuedCandidate(d, dp_atoms, fit.value());
+  double upper = 0.5 * L1Distance(d.pmf(), avg_candidate);
+
+  std::vector<double> med_candidate = FitToDense(dp_atoms, fit.value());
+  const double med_mass = SumOf(med_candidate);
+  if (med_mass > 0.0) {
+    for (double& v : med_candidate) v /= med_mass;
+    upper = std::min(upper, 0.5 * L1Distance(d.pmf(), med_candidate));
+  }
+  HISTEST_CHECK_GE(upper + 1e-12, lower);
+  return DistanceBounds{lower, upper};
+}
+
+Result<std::vector<WeightedAtom>> BuildSubdomainAtoms(
+    const PiecewiseConstant& dhat, const std::vector<Interval>& kept) {
+  const size_t n = dhat.domain_size();
+  // Validate kept intervals: sorted, disjoint, in range.
+  size_t cursor = 0;
+  for (const Interval& iv : kept) {
+    if (iv.begin < cursor || iv.end > n || iv.empty()) {
+      return Status::InvalidArgument(
+          "kept intervals must be sorted, disjoint, non-empty sub-intervals");
+    }
+    cursor = iv.end;
+  }
+
+  // Build the atom sequence: dhat's pieces intersected with kept intervals
+  // (cost weight = length) and with gaps (cost weight = 0). Adjacent atoms
+  // of the same kind and value merge on the fly.
+  std::vector<WeightedAtom> atoms;
+  auto add_atom = [&atoms](double value, size_t len, bool is_kept) {
+    if (len == 0) return;
+    const double length = static_cast<double>(len);
+    const double weight = is_kept ? length : 0.0;
+    if (!atoms.empty() && atoms.back().value == value &&
+        (atoms.back().cost_weight > 0.0) == is_kept) {
+      atoms.back().length += length;
+      atoms.back().cost_weight += weight;
+      return;
+    }
+    atoms.push_back(WeightedAtom{value, length, weight});
+  };
+  size_t kept_idx = 0;
+  for (const auto& piece : dhat.pieces()) {
+    size_t pos = piece.interval.begin;
+    while (pos < piece.interval.end) {
+      // Advance past kept intervals that end at or before pos.
+      while (kept_idx < kept.size() && kept[kept_idx].end <= pos) ++kept_idx;
+      size_t next;
+      bool is_kept;
+      if (kept_idx < kept.size() && kept[kept_idx].begin <= pos) {
+        is_kept = true;
+        next = std::min(piece.interval.end, kept[kept_idx].end);
+      } else {
+        is_kept = false;
+        const size_t gap_end =
+            kept_idx < kept.size() ? kept[kept_idx].begin : n;
+        next = std::min(piece.interval.end, gap_end);
+      }
+      add_atom(piece.value, next - pos, is_kept);
+      pos = next;
+    }
+  }
+  return atoms;
+}
+
+Result<DistanceBounds> RestrictedDistanceToHkPieces(
+    const PiecewiseConstant& dhat, const std::vector<Interval>& kept, size_t k,
+    const HkDistanceOptions& options) {
+  if (k == 0) return Status::InvalidArgument("k must be >= 1");
+  auto built = BuildSubdomainAtoms(dhat, kept);
+  HISTEST_RETURN_IF_ERROR(built.status());
+  std::vector<WeightedAtom> atoms = std::move(built).value();
+
+  const double witness = WitnessLowerBoundTv(atoms, k);
+  auto coarse = MaybeCoarsen(std::move(atoms), options.dp_atom_limit);
+  HISTEST_RETURN_IF_ERROR(coarse.status());
+  const double slack = coarse.value().coarsening_error;
+  auto fit = FitAtomsL1(coarse.value().atoms, k);
+  HISTEST_RETURN_IF_ERROR(fit.status());
+  const double dist = 0.5 * fit.value().l1_error;
+  return DistanceBounds{std::max(witness, dist - slack), dist + slack};
+}
+
+}  // namespace histest

@@ -1,0 +1,292 @@
+#include "histogram/fit_dp.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/check.h"
+#include "common/math_util.h"
+
+namespace histest {
+namespace {
+
+/// Fenwick (binary indexed) tree over value ranks, supporting prefix sums
+/// and a prefix-threshold search; used for incremental weighted medians.
+class Fenwick {
+ public:
+  explicit Fenwick(size_t n) : tree_(n + 1, 0.0) {}
+
+  void Add(size_t i, double v) {
+    for (size_t j = i + 1; j < tree_.size(); j += j & (~j + 1)) tree_[j] += v;
+  }
+
+  /// Sum of entries [0, i].
+  double PrefixSum(size_t i) const {
+    double s = 0.0;
+    for (size_t j = i + 1; j > 0; j -= j & (~j + 1)) s += tree_[j];
+    return s;
+  }
+
+  double Total() const { return PrefixSum(tree_.size() - 2); }
+
+  /// Smallest index i such that PrefixSum(i) >= target (assumes target <=
+  /// Total(); returns the last index otherwise).
+  size_t LowerBound(double target) const {
+    size_t pos = 0;
+    double acc = 0.0;
+    size_t pw = 1;
+    while ((pw << 1) < tree_.size()) pw <<= 1;
+    for (; pw > 0; pw >>= 1) {
+      const size_t next = pos + pw;
+      if (next < tree_.size() && acc + tree_[next] < target) {
+        pos = next;
+        acc += tree_[next];
+      }
+    }
+    // pos is the count of entries strictly below the threshold position.
+    return std::min(pos, tree_.size() - 2);
+  }
+
+  void Clear() { std::fill(tree_.begin(), tree_.end(), 0.0); }
+
+ private:
+  std::vector<double> tree_;
+};
+
+std::vector<double> DistinctSortedValues(const std::vector<WeightedAtom>& atoms) {
+  std::vector<double> values;
+  values.reserve(atoms.size());
+  for (const auto& a : atoms) values.push_back(a.value);
+  std::sort(values.begin(), values.end());
+  values.erase(std::unique(values.begin(), values.end()), values.end());
+  return values;
+}
+
+size_t RankOf(const std::vector<double>& sorted, double v) {
+  return static_cast<size_t>(
+      std::lower_bound(sorted.begin(), sorted.end(), v) - sorted.begin());
+}
+
+constexpr size_t kNoNewPiece = std::numeric_limits<size_t>::max();
+
+}  // namespace
+
+SegmentCostTable::SegmentCostTable(const std::vector<WeightedAtom>& atoms)
+    : m_(atoms.size()), atoms_(&atoms) {
+  HISTEST_CHECK_GT(m_, 0u);
+  HISTEST_CHECK_LE(m_, kMaxAtoms);
+  cost_.assign(m_ * m_, 0.0);
+  const std::vector<double> values = DistinctSortedValues(atoms);
+  Fenwick weight(values.size());
+  Fenwick weighted_value(values.size());
+  for (size_t s = 0; s < m_; ++s) {
+    weight.Clear();
+    weighted_value.Clear();
+    for (size_t e = s; e < m_; ++e) {
+      const WeightedAtom& a = atoms[e];
+      if (a.cost_weight > 0.0) {
+        const size_t r = RankOf(values, a.value);
+        weight.Add(r, a.cost_weight);
+        weighted_value.Add(r, a.cost_weight * a.value);
+      }
+      const double total_w = weight.Total();
+      if (total_w <= 0.0) {
+        cost_[s * m_ + e] = 0.0;
+        continue;
+      }
+      const size_t med_rank = weight.LowerBound(0.5 * total_w);
+      const double med = values[med_rank];
+      const double w_le = weight.PrefixSum(med_rank);
+      const double s_le = weighted_value.PrefixSum(med_rank);
+      const double s_tot = weighted_value.Total();
+      const double cost = med * w_le - s_le + (s_tot - s_le) -
+                          med * (total_w - w_le);
+      // Tiny negative values can appear from float cancellation.
+      cost_[s * m_ + e] = std::max(cost, 0.0);
+    }
+  }
+}
+
+double SegmentCostTable::OptimalValue(size_t s, size_t e) const {
+  HISTEST_CHECK(s <= e && e < m_);
+  // Recompute the weighted median directly (O(len log len)); only called
+  // once per reconstructed piece.
+  std::vector<std::pair<double, double>> vw;
+  double total_w = 0.0;
+  for (size_t t = s; t <= e; ++t) {
+    const WeightedAtom& a = (*atoms_)[t];
+    if (a.cost_weight > 0.0) {
+      vw.emplace_back(a.value, a.cost_weight);
+      total_w += a.cost_weight;
+    }
+  }
+  if (vw.empty()) return 0.0;
+  std::sort(vw.begin(), vw.end());
+  double acc = 0.0;
+  for (const auto& [v, w] : vw) {
+    acc += w;
+    if (acc >= 0.5 * total_w) return v;
+  }
+  return vw.back().first;
+}
+
+namespace {
+
+/// Shared DP over precomputed segment costs; returns the fit with <= k
+/// pieces minimizing total cost. `optimal_value(s, e)` supplies the piece
+/// constant during reconstruction.
+template <typename CostFn, typename ValueFn>
+AtomFit RunPieceDp(size_t m, size_t k, const CostFn& cost,
+                   const ValueFn& optimal_value) {
+  const size_t levels = std::min(k, m);
+  std::vector<double> prev(m), cur(m);
+  // parent[j][e]: start atom of the last piece at level j, or kNoNewPiece if
+  // level j reuses the level j-1 solution (fewer pieces suffice).
+  std::vector<std::vector<size_t>> parent(
+      levels, std::vector<size_t>(m, kNoNewPiece));
+  for (size_t e = 0; e < m; ++e) {
+    prev[e] = cost(0, e);
+    parent[0][e] = 0;
+  }
+  for (size_t j = 1; j < levels; ++j) {
+    for (size_t e = 0; e < m; ++e) {
+      double best = prev[e];
+      size_t best_s = kNoNewPiece;
+      for (size_t s = 1; s <= e; ++s) {
+        const double candidate = prev[s - 1] + cost(s, e);
+        if (candidate < best) {
+          best = candidate;
+          best_s = s;
+        }
+      }
+      cur[e] = best;
+      parent[j][e] = best_s;
+    }
+    std::swap(prev, cur);
+  }
+  // Reconstruct.
+  AtomFit fit;
+  fit.l1_error = prev[m - 1];
+  std::vector<std::pair<size_t, size_t>> segments;  // [start, end] inclusive
+  size_t j = levels - 1;
+  size_t e = m - 1;
+  while (true) {
+    while (j > 0 && parent[j][e] == kNoNewPiece) --j;
+    const size_t s = parent[j][e];
+    HISTEST_CHECK_NE(s, kNoNewPiece);
+    segments.emplace_back(s, e);
+    if (s == 0) break;
+    HISTEST_CHECK_GT(j, 0u);
+    e = s - 1;
+    --j;
+  }
+  std::reverse(segments.begin(), segments.end());
+  for (const auto& [s_idx, e_idx] : segments) {
+    fit.piece_starts.push_back(s_idx);
+    fit.piece_values.push_back(optimal_value(s_idx, e_idx));
+  }
+  fit.piece_starts.push_back(m);
+  return fit;
+}
+
+Status ValidateFitInput(const std::vector<WeightedAtom>& atoms, size_t k) {
+  if (atoms.empty()) return Status::InvalidArgument("atom sequence is empty");
+  if (k == 0) return Status::InvalidArgument("k must be >= 1");
+  if (atoms.size() > SegmentCostTable::kMaxAtoms) {
+    return Status::InvalidArgument(
+        "atom sequence too long for exact DP (" +
+        std::to_string(atoms.size()) + " > " +
+        std::to_string(SegmentCostTable::kMaxAtoms) +
+        "); coarsen with GreedyMergeAtoms first");
+  }
+  for (const auto& a : atoms) {
+    if (!(a.length >= 1.0) || !(a.cost_weight >= 0.0) ||
+        !std::isfinite(a.value)) {
+      return Status::InvalidArgument("invalid atom (length < 1, negative "
+                                     "weight, or non-finite value)");
+    }
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+Result<AtomFit> FitAtomsL1(const std::vector<WeightedAtom>& atoms, size_t k) {
+  HISTEST_RETURN_IF_ERROR(ValidateFitInput(atoms, k));
+  const SegmentCostTable table(atoms);
+  return RunPieceDp(
+      atoms.size(), k, [&](size_t s, size_t e) { return table.Cost(s, e); },
+      [&](size_t s, size_t e) { return table.OptimalValue(s, e); });
+}
+
+Result<AtomFit> FitAtomsL2(const std::vector<WeightedAtom>& atoms, size_t k) {
+  HISTEST_RETURN_IF_ERROR(ValidateFitInput(atoms, k));
+  const size_t m = atoms.size();
+  // Prefix sums of weight, weight*value, weight*value^2.
+  std::vector<double> w(m + 1, 0.0), wv(m + 1, 0.0), wvv(m + 1, 0.0);
+  for (size_t i = 0; i < m; ++i) {
+    const double cw = atoms[i].cost_weight;
+    const double v = atoms[i].value;
+    w[i + 1] = w[i] + cw;
+    wv[i + 1] = wv[i] + cw * v;
+    wvv[i + 1] = wvv[i] + cw * v * v;
+  }
+  auto cost = [&](size_t s, size_t e) {
+    const double sw = w[e + 1] - w[s];
+    if (sw <= 0.0) return 0.0;
+    const double swv = wv[e + 1] - wv[s];
+    const double swvv = wvv[e + 1] - wvv[s];
+    return std::max(swvv - swv * swv / sw, 0.0);
+  };
+  auto value = [&](size_t s, size_t e) {
+    const double sw = w[e + 1] - w[s];
+    return sw > 0.0 ? (wv[e + 1] - wv[s]) / sw : 0.0;
+  };
+  return RunPieceDp(m, k, cost, value);
+}
+
+std::vector<WeightedAtom> AtomsFromDense(const std::vector<double>& values) {
+  std::vector<WeightedAtom> atoms;
+  size_t start = 0;
+  for (size_t i = 1; i <= values.size(); ++i) {
+    if (i == values.size() || values[i] != values[start]) {
+      const double len = static_cast<double>(i - start);
+      atoms.push_back(WeightedAtom{values[start], len, len});
+      start = i;
+    }
+  }
+  return atoms;
+}
+
+Result<PiecewiseConstant> FitToPiecewise(const std::vector<WeightedAtom>& atoms,
+                                         const AtomFit& fit) {
+  if (fit.piece_starts.size() != fit.piece_values.size() + 1) {
+    return Status::InvalidArgument("malformed AtomFit");
+  }
+  // Element offset of each atom.
+  std::vector<size_t> offsets(atoms.size() + 1, 0);
+  for (size_t i = 0; i < atoms.size(); ++i) {
+    offsets[i + 1] =
+        offsets[i] + static_cast<size_t>(std::llround(atoms[i].length));
+  }
+  std::vector<PiecewiseConstant::Piece> pieces;
+  for (size_t p = 0; p < fit.piece_values.size(); ++p) {
+    const size_t begin = offsets[fit.piece_starts[p]];
+    const size_t end = offsets[fit.piece_starts[p + 1]];
+    pieces.push_back(PiecewiseConstant::Piece{Interval{begin, end},
+                                              fit.piece_values[p]});
+  }
+  return PiecewiseConstant::Create(offsets.back(), std::move(pieces));
+}
+
+Result<DenseFitResult> FitHistogramL1(const std::vector<double>& target,
+                                      size_t k) {
+  const std::vector<WeightedAtom> atoms = AtomsFromDense(target);
+  auto fit = FitAtomsL1(atoms, k);
+  HISTEST_RETURN_IF_ERROR(fit.status());
+  auto pwc = FitToPiecewise(atoms, fit.value());
+  HISTEST_RETURN_IF_ERROR(pwc.status());
+  return DenseFitResult{std::move(pwc).value(), fit.value().l1_error};
+}
+
+}  // namespace histest

@@ -1,0 +1,96 @@
+#ifndef HISTEST_HISTOGRAM_FIT_DP_H_
+#define HISTEST_HISTOGRAM_FIT_DP_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "common/status.h"
+#include "dist/piecewise.h"
+
+namespace histest {
+
+/// One atom of a weighted piecewise-fitting problem: a run of `weight`
+/// domain elements sharing the target value `value`. Atoms with
+/// `cost_weight == 0` act as free gaps: a fitted piece may cover them at no
+/// cost (used for discarded subdomains in Algorithm 1's Step 10 check).
+struct WeightedAtom {
+  double value = 0.0;
+  /// Number of domain elements the atom spans (>= 1).
+  double length = 1.0;
+  /// Weight used in the fitting cost; equals `length` for kept atoms and 0
+  /// for gap atoms.
+  double cost_weight = 1.0;
+};
+
+/// A fitted piecewise-constant function over an atom sequence.
+struct AtomFit {
+  /// Piece boundaries as atom indices: piece p covers atoms
+  /// [starts[p], starts[p+1]) with constant value values[p]; starts has one
+  /// trailing entry equal to the atom count.
+  std::vector<size_t> piece_starts;
+  std::vector<double> piece_values;
+  /// Total weighted L1 error: sum over atoms of
+  /// cost_weight * |value - fitted|.
+  double l1_error = 0.0;
+};
+
+/// Precomputed L1 segment costs over an atom sequence:
+/// Cost(s, e) = min_c sum_{t in [s, e]} cost_weight_t * |value_t - c|,
+/// i.e., the weighted-median fitting cost. Construction is
+/// O(M^2 log M) time and O(M^2) memory; M is capped (kMaxAtoms) so callers
+/// coarsen long sequences first (see fit_merge).
+class SegmentCostTable {
+ public:
+  static constexpr size_t kMaxAtoms = 2048;
+
+  explicit SegmentCostTable(const std::vector<WeightedAtom>& atoms);
+
+  size_t num_atoms() const { return m_; }
+
+  /// Cost of fitting one constant to atoms [s, e] (inclusive). s <= e < M.
+  double Cost(size_t s, size_t e) const {
+    HISTEST_DCHECK(s <= e && e < m_);
+    return cost_[s * m_ + e];
+  }
+
+  /// The optimal constant (a weighted median) for atoms [s, e].
+  double OptimalValue(size_t s, size_t e) const;
+
+ private:
+  size_t m_;
+  std::vector<double> cost_;
+  const std::vector<WeightedAtom>* atoms_;  // not owned; outlives the table
+};
+
+/// Exact best k-piece L1 fit over an atom sequence via dynamic programming:
+/// O(M^2 (log M + k)) time. Returns the optimal fit; errors if the atom
+/// sequence is empty, k == 0, or M exceeds SegmentCostTable::kMaxAtoms.
+Result<AtomFit> FitAtomsL1(const std::vector<WeightedAtom>& atoms, size_t k);
+
+/// Exact best k-piece L2 fit over an atom sequence (piece value = weighted
+/// mean; O(M^2 k) with O(1) segment costs from prefix sums). Same
+/// preconditions as FitAtomsL1. `l1_error` in the result holds the *L2
+/// squared* error for this variant.
+Result<AtomFit> FitAtomsL2(const std::vector<WeightedAtom>& atoms, size_t k);
+
+/// Converts a dense target vector into unit atoms (run-length compressing
+/// equal adjacent values first).
+std::vector<WeightedAtom> AtomsFromDense(const std::vector<double>& values);
+
+/// Converts an atom fit over `atoms` back into a piecewise-constant function
+/// over the original domain (atom lengths give element spans).
+Result<PiecewiseConstant> FitToPiecewise(const std::vector<WeightedAtom>& atoms,
+                                         const AtomFit& fit);
+
+/// Exact best k-piece L1 fit to a dense target; convenience wrapper around
+/// AtomsFromDense + FitAtomsL1 + FitToPiecewise.
+struct DenseFitResult {
+  PiecewiseConstant fit;
+  double l1_error = 0.0;
+};
+Result<DenseFitResult> FitHistogramL1(const std::vector<double>& target,
+                                      size_t k);
+
+}  // namespace histest
+
+#endif  // HISTEST_HISTOGRAM_FIT_DP_H_

@@ -1,0 +1,43 @@
+#include "histogram/flatten.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace histest {
+
+Distribution FlattenOutside(const Distribution& d, const Partition& partition,
+                            const std::vector<size_t>& keep_exact) {
+  HISTEST_CHECK_EQ(d.size(), partition.domain_size());
+  std::vector<bool> keep(partition.NumIntervals(), false);
+  for (size_t j : keep_exact) {
+    HISTEST_CHECK_LT(j, partition.NumIntervals());
+    keep[j] = true;
+  }
+  std::vector<double> pmf(d.size());
+  for (size_t j = 0; j < partition.NumIntervals(); ++j) {
+    const Interval& iv = partition.interval(j);
+    if (keep[j]) {
+      for (size_t i = iv.begin; i < iv.end; ++i) pmf[i] = d[i];
+    } else {
+      const double avg = d.MassOf(iv) / static_cast<double>(iv.size());
+      for (size_t i = iv.begin; i < iv.end; ++i) pmf[i] = avg;
+    }
+  }
+  auto result = Distribution::Create(std::move(pmf));
+  HISTEST_CHECK(result.ok());
+  return std::move(result).value();
+}
+
+PiecewiseConstant FlattenAll(const Distribution& d,
+                             const Partition& partition) {
+  HISTEST_CHECK_EQ(d.size(), partition.domain_size());
+  std::vector<double> masses;
+  masses.reserve(partition.NumIntervals());
+  for (const Interval& iv : partition.intervals()) {
+    masses.push_back(d.MassOf(iv));
+  }
+  return PiecewiseConstant::FromPartitionMasses(partition, masses);
+}
+
+}  // namespace histest

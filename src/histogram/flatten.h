@@ -1,0 +1,25 @@
+#ifndef HISTEST_HISTOGRAM_FLATTEN_H_
+#define HISTEST_HISTOGRAM_FLATTEN_H_
+
+#include <vector>
+
+#include "dist/distribution.h"
+#include "dist/interval.h"
+#include "dist/piecewise.h"
+
+namespace histest {
+
+/// The paper's flattening operator D-tilde^J: keeps D exactly on the
+/// intervals whose indices appear in `keep_exact` and replaces it by its
+/// interval average (D(I)/|I|) everywhere else. With `keep_exact` empty this
+/// is the full flattening of D with respect to the partition.
+Distribution FlattenOutside(const Distribution& d, const Partition& partition,
+                            const std::vector<size_t>& keep_exact);
+
+/// Full flattening as a succinct object: one piece per partition interval
+/// carrying D's interval mass.
+PiecewiseConstant FlattenAll(const Distribution& d, const Partition& partition);
+
+}  // namespace histest
+
+#endif  // HISTEST_HISTOGRAM_FLATTEN_H_

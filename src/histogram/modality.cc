@@ -1,0 +1,274 @@
+#include "histogram/modality.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/check.h"
+#include "common/math_util.h"
+#include "histogram/fit_merge.h"
+
+namespace histest {
+namespace {
+
+/// A PAVA block: a maximal run fitted to one constant (its weighted
+/// median), stored as a value-sorted multiset for exact L1 costs.
+struct Block {
+  std::vector<std::pair<double, double>> sorted_vw;
+  double weight = 0.0;
+  double median = 0.0;
+  double cost = 0.0;
+};
+
+void Recompute(Block& block) {
+  double acc = 0.0;
+  block.median = block.sorted_vw.back().first;
+  for (const auto& [v, w] : block.sorted_vw) {
+    acc += w;
+    if (acc >= 0.5 * block.weight) {
+      block.median = v;
+      break;
+    }
+  }
+  KahanSum cost;
+  for (const auto& [v, w] : block.sorted_vw) {
+    cost.Add(w * std::fabs(v - block.median));
+  }
+  block.cost = cost.Total();
+}
+
+/// Incremental weighted PAVA: stack of monotone blocks; appending an
+/// element merges from the right while block medians violate
+/// non-decreasing order. Zero-weight (gap) entries are free.
+class PavaStack {
+ public:
+  void Append(double value, double weight) {
+    if (weight <= 0.0) return;  // gaps never constrain a monotone fit
+    Block fresh;
+    fresh.sorted_vw = {{value, weight}};
+    fresh.weight = weight;
+    fresh.median = value;
+    fresh.cost = 0.0;
+    stack_.push_back(std::move(fresh));
+    while (stack_.size() >= 2 &&
+           stack_[stack_.size() - 2].median > stack_.back().median) {
+      Block top = std::move(stack_.back());
+      stack_.pop_back();
+      Block& below = stack_.back();
+      total_ -= top.cost + below.cost;
+      std::vector<std::pair<double, double>> merged;
+      merged.reserve(below.sorted_vw.size() + top.sorted_vw.size());
+      std::merge(below.sorted_vw.begin(), below.sorted_vw.end(),
+                 top.sorted_vw.begin(), top.sorted_vw.end(),
+                 std::back_inserter(merged));
+      below.sorted_vw = std::move(merged);
+      below.weight += top.weight;
+      Recompute(below);
+      total_ += below.cost;
+    }
+  }
+
+  double total() const { return total_; }
+
+ private:
+  std::vector<Block> stack_;
+  double total_ = 0.0;
+};
+
+/// All-pairs isotonic (non-decreasing) fit costs over weighted entries,
+/// stored flat: Cost(i, j) covers entries [i, j].
+class IsotonicCostTable {
+ public:
+  explicit IsotonicCostTable(
+      const std::vector<std::pair<double, double>>& vw)
+      : m_(vw.size()), cost_(m_ * m_, 0.0) {
+    for (size_t i = 0; i < m_; ++i) {
+      PavaStack pava;
+      for (size_t j = i; j < m_; ++j) {
+        pava.Append(vw[j].first, vw[j].second);
+        cost_[i * m_ + j] = pava.total();
+      }
+    }
+  }
+
+  double Cost(size_t i, size_t j) const { return cost_[i * m_ + j]; }
+
+ private:
+  size_t m_;
+  std::vector<double> cost_;
+};
+
+/// Best-fit error with at most `runs` alternating monotone runs, given
+/// increasing/decreasing segment-cost callables over m entries.
+template <typename IncFn, typename DecFn>
+double RunKModalDp(size_t m, size_t runs, const IncFn& inc,
+                   const DecFn& dec) {
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  std::vector<std::vector<double>> dp(2, std::vector<double>(m + 1, kInf));
+  for (size_t j = 1; j <= m; ++j) {
+    dp[0][j] = inc(0, j - 1);
+    dp[1][j] = dec(0, j - 1);
+  }
+  double best = std::min(dp[0][m], dp[1][m]);
+  std::vector<std::vector<double>> next(2, std::vector<double>(m + 1, kInf));
+  for (size_t r = 2; r <= runs; ++r) {
+    for (auto& row : next) std::fill(row.begin(), row.end(), kInf);
+    for (size_t j = 1; j <= m; ++j) {
+      for (size_t s = 1; s < j; ++s) {
+        if (dp[1][s] < kInf) {
+          next[0][j] = std::min(next[0][j], dp[1][s] + inc(s, j - 1));
+        }
+        if (dp[0][s] < kInf) {
+          next[1][j] = std::min(next[1][j], dp[0][s] + dec(s, j - 1));
+        }
+      }
+      next[0][j] = std::min(next[0][j], dp[0][j]);
+      next[1][j] = std::min(next[1][j], dp[1][j]);
+    }
+    dp.swap(next);
+    best = std::min(best, std::min(dp[0][m], dp[1][m]));
+  }
+  return best;
+}
+
+/// Exact k-modal fit error over weighted (value, weight) entries.
+double KModalErrorOfEntries(const std::vector<std::pair<double, double>>& vw,
+                            size_t max_changes) {
+  const size_t m = vw.size();
+  const IsotonicCostTable inc_table(vw);
+  std::vector<std::pair<double, double>> reversed(vw.rbegin(), vw.rend());
+  const IsotonicCostTable dec_rev(reversed);
+  auto inc = [&](size_t i, size_t j) { return inc_table.Cost(i, j); };
+  auto dec = [&](size_t i, size_t j) {
+    return dec_rev.Cost(m - 1 - j, m - 1 - i);
+  };
+  return RunKModalDp(m, std::min(max_changes + 1, m), inc, dec);
+}
+
+/// One-direction isotonic cost of a short run of entries.
+double IsotonicCostOfRange(
+    const std::vector<std::pair<double, double>>& vw, size_t begin,
+    size_t end, bool increasing) {
+  PavaStack pava;
+  if (increasing) {
+    for (size_t t = begin; t < end; ++t) pava.Append(vw[t].first, vw[t].second);
+  } else {
+    for (size_t t = end; t > begin; --t) {
+      pava.Append(vw[t - 1].first, vw[t - 1].second);
+    }
+  }
+  return pava.total();
+}
+
+/// Modal witness lower bound (TV units): chunk entries into disjoint
+/// groups; a <= c direction-change function is monotone on all but c
+/// groups, and a monotone function pays at least the group's cheaper
+/// isotonic fit cost.
+double KModalWitnessTv(const std::vector<std::pair<double, double>>& vw,
+                       size_t max_changes) {
+  double best = 0.0;
+  for (const size_t width : {size_t{4}, size_t{8}, size_t{16}}) {
+    if (vw.size() < width) continue;
+    std::vector<double> costs;
+    for (size_t start = 0; start + width <= vw.size(); start += width) {
+      costs.push_back(
+          std::min(IsotonicCostOfRange(vw, start, start + width, true),
+                   IsotonicCostOfRange(vw, start, start + width, false)));
+    }
+    std::sort(costs.begin(), costs.end(), std::greater<double>());
+    KahanSum sum;
+    for (size_t g = std::min(costs.size(), max_changes); g < costs.size();
+         ++g) {
+      sum.Add(costs[g]);
+    }
+    best = std::max(best, 0.5 * sum.Total());
+  }
+  return best;
+}
+
+std::vector<std::pair<double, double>> EntriesFromAtoms(
+    const std::vector<WeightedAtom>& atoms) {
+  std::vector<std::pair<double, double>> vw;
+  vw.reserve(atoms.size());
+  for (const auto& a : atoms) vw.emplace_back(a.value, a.cost_weight);
+  return vw;
+}
+
+}  // namespace
+
+size_t DirectionChanges(const std::vector<double>& values) {
+  size_t changes = 0;
+  int direction = 0;  // 0 = undetermined, +1 = rising, -1 = falling
+  for (size_t i = 1; i < values.size(); ++i) {
+    const double step = values[i] - values[i - 1];
+    if (step == 0.0) continue;
+    const int d = step > 0.0 ? 1 : -1;
+    if (direction != 0 && d != direction) ++changes;
+    direction = d;
+  }
+  return changes;
+}
+
+bool IsKModalDense(const std::vector<double>& values, size_t k) {
+  return DirectionChanges(values) <= k;
+}
+
+Result<double> KModalFitError(const std::vector<double>& values,
+                              size_t max_changes) {
+  if (values.empty()) return Status::InvalidArgument("values must be non-empty");
+  if (values.size() > kMaxKModalInput) {
+    return Status::InvalidArgument(
+        "input too long for the exact k-modal DP (" +
+        std::to_string(values.size()) + " > " +
+        std::to_string(kMaxKModalInput) + ")");
+  }
+  std::vector<std::pair<double, double>> vw;
+  vw.reserve(values.size());
+  for (double v : values) vw.emplace_back(v, 1.0);
+  return KModalErrorOfEntries(vw, max_changes);
+}
+
+Result<double> KModalFitErrorAtoms(const std::vector<WeightedAtom>& atoms,
+                                   size_t max_changes) {
+  if (atoms.empty()) return Status::InvalidArgument("atoms must be non-empty");
+  if (atoms.size() > kMaxKModalInput) {
+    return Status::InvalidArgument(
+        "atom sequence too long for the exact k-modal DP (" +
+        std::to_string(atoms.size()) + " > " +
+        std::to_string(kMaxKModalInput) + "); coarsen first");
+  }
+  return KModalErrorOfEntries(EntriesFromAtoms(atoms), max_changes);
+}
+
+Result<double> DistanceToKModalLowerBound(const Distribution& d, size_t k) {
+  auto error = KModalFitError(d.pmf(), k);
+  HISTEST_RETURN_IF_ERROR(error.status());
+  return 0.5 * error.value();
+}
+
+Result<DistanceBounds> RestrictedDistanceToKModal(
+    const PiecewiseConstant& dhat, const std::vector<Interval>& kept,
+    size_t max_changes, size_t coarsen_limit) {
+  if (coarsen_limit == 0 || coarsen_limit > kMaxKModalInput) {
+    return Status::InvalidArgument("coarsen_limit must be in [1, " +
+                                   std::to_string(kMaxKModalInput) + "]");
+  }
+  auto atoms = BuildSubdomainAtoms(dhat, kept);
+  HISTEST_RETURN_IF_ERROR(atoms.status());
+  const double witness = KModalWitnessTv(EntriesFromAtoms(atoms.value()),
+                                         max_changes);
+  double slack = 0.0;
+  std::vector<WeightedAtom> dp_atoms = std::move(atoms).value();
+  if (dp_atoms.size() > coarsen_limit) {
+    auto coarse = GreedyMergeAtoms(dp_atoms, coarsen_limit);
+    HISTEST_RETURN_IF_ERROR(coarse.status());
+    slack = coarse.value().coarsening_error;
+    dp_atoms = std::move(coarse.value().atoms);
+  }
+  auto error = KModalFitErrorAtoms(dp_atoms, max_changes);
+  HISTEST_RETURN_IF_ERROR(error.status());
+  const double dist = 0.5 * error.value();
+  return DistanceBounds{std::max(witness, dist - slack), dist + slack};
+}
+
+}  // namespace histest

@@ -1,0 +1,66 @@
+#ifndef HISTEST_HISTOGRAM_MODALITY_H_
+#define HISTEST_HISTOGRAM_MODALITY_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "common/status.h"
+#include "dist/distribution.h"
+#include "dist/interval.h"
+#include "dist/piecewise.h"
+#include "histogram/distance_to_hk.h"
+#include "histogram/fit_dp.h"
+
+namespace histest {
+
+/// Utilities for k-modal distributions — the class the paper's Theorem 1.2
+/// remark extends the lower bound to ("pmf allowed to go up and down, or
+/// down and up, at most k times").
+
+/// Number of strict direction changes of the sequence (flat steps extend
+/// the current direction). A monotone sequence has 0; a unimodal one has
+/// at most 1.
+size_t DirectionChanges(const std::vector<double>& values);
+
+/// True iff the sequence has at most k direction changes.
+bool IsKModalDense(const std::vector<double>& values, size_t k);
+
+/// Exact minimum L1 error of approximating `values` by a sequence with at
+/// most `max_changes` direction changes (i.e., at most max_changes + 1
+/// alternating monotone runs). Computed by dynamic programming over run
+/// boundaries with isotonic (L1/PAVA, weighted-median blocks) segment
+/// costs; O(M^2 (log M + max_changes)) time, O(M^2) memory. Requires
+/// values.size() <= kMaxKModalInput.
+Result<double> KModalFitError(const std::vector<double>& values,
+                              size_t max_changes);
+
+constexpr size_t kMaxKModalInput = 1024;
+
+/// Lower bound on d_TV(d, {k-modal distributions}):
+/// KModalFitError(pmf, k) / 2 — any k-modal distribution is in particular
+/// a k-direction-change sequence.
+Result<double> DistanceToKModalLowerBound(const Distribution& d, size_t k);
+
+/// Weighted k-modal fit error over an atom sequence (atoms carry lengths
+/// and cost weights; zero-weight atoms act as free gaps, exactly as in
+/// FitAtomsL1). Same DP as KModalFitError with weighted isotonic (PAVA)
+/// segment costs. Requires atoms.size() <= kMaxKModalInput.
+Result<double> KModalFitErrorAtoms(const std::vector<WeightedAtom>& atoms,
+                                   size_t max_changes);
+
+/// Bounds on the restricted distance
+///   min over <= max_changes direction-change functions F of
+///   d^G_TV(dhat, F),
+/// the k-modal analogue of RestrictedDistanceToHkPieces, used by the
+/// KModalTester's offline check. Long atom sequences are greedily
+/// coarsened (Lipschitz sandwich); the lower bound additionally uses a
+/// modal witness: chunk the atoms into disjoint groups — a function with
+/// <= c direction changes is monotone on all but c groups, and a monotone
+/// function pays at least the group's best isotonic (up or down) fit cost.
+Result<DistanceBounds> RestrictedDistanceToKModal(
+    const PiecewiseConstant& dhat, const std::vector<Interval>& kept,
+    size_t max_changes, size_t coarsen_limit = 512);
+
+}  // namespace histest
+
+#endif  // HISTEST_HISTOGRAM_MODALITY_H_

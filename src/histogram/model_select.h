@@ -1,0 +1,57 @@
+#ifndef HISTEST_HISTOGRAM_MODEL_SELECT_H_
+#define HISTEST_HISTOGRAM_MODEL_SELECT_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+#include "dist/piecewise.h"
+#include "testing/tester.h"
+
+namespace histest {
+
+/// Factory producing a fresh tester for H_k (fresh randomness per call).
+using HistogramTesterFactory =
+    std::function<std::unique_ptr<DistributionTester>(size_t k, uint64_t seed)>;
+
+/// Tuning of the model-selection (doubling) search from Section 1.1.
+struct ModelSelectOptions {
+  /// Upper limit for the search; 0 means the oracle's domain size.
+  size_t max_k = 0;
+  /// Per-probe majority-vote repetitions (amplifies the tester's 2/3
+  /// guarantee so the ~log^2(k) probes of the search stay reliable).
+  int repetitions = 5;
+};
+
+/// Result of the search, with the probe trace for diagnostics.
+struct ModelSelectResult {
+  /// Smallest k the (amplified) tester accepted; max_k if none was.
+  size_t k = 0;
+  int64_t samples_used = 0;
+  /// (k probed, accepted) in probe order.
+  std::vector<std::pair<size_t, bool>> probes;
+};
+
+/// The paper's motivating model-selection procedure: doubling search over k
+/// (1, 2, 4, ...) until the tester accepts, then binary search for the
+/// smallest accepted k in the final bracket. With the tester's guarantees,
+/// the result is a k such that D is close to H_k but far from H_{k'} for
+/// k' much smaller — the right parameter to hand to an agnostic learner.
+Result<ModelSelectResult> FindSmallestAcceptedK(
+    SampleOracle& oracle, const HistogramTesterFactory& factory,
+    const ModelSelectOptions& options, uint64_t seed);
+
+/// Agnostic k-histogram learner over an oracle: draws
+/// ceil(sample_constant * k / eps^2) samples and greedy-merges the
+/// empirical distribution down to k pieces (the [ADLS15]-style learning
+/// stage that follows model selection).
+Result<PiecewiseConstant> LearnKHistogramFromOracle(SampleOracle& oracle,
+                                                    size_t k, double eps,
+                                                    double sample_constant = 4.0);
+
+}  // namespace histest
+
+#endif  // HISTEST_HISTOGRAM_MODEL_SELECT_H_

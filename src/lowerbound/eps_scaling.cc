@@ -1,0 +1,16 @@
+#include "lowerbound/eps_scaling.h"
+
+namespace histest {
+
+Result<Distribution> EmbedWithSlackElement(const Distribution& d,
+                                           double scale) {
+  if (!(scale > 0.0) || scale > 1.0) {
+    return Status::InvalidArgument("scale must be in (0, 1]");
+  }
+  std::vector<double> pmf(d.size() + 1);
+  for (size_t i = 0; i < d.size(); ++i) pmf[i] = scale * d[i];
+  pmf[d.size()] = 1.0 - scale;
+  return Distribution::Create(std::move(pmf));
+}
+
+}  // namespace histest

@@ -1,0 +1,25 @@
+#ifndef HISTEST_LOWERBOUND_EPS_SCALING_H_
+#define HISTEST_LOWERBOUND_EPS_SCALING_H_
+
+#include "common/status.h"
+#include "dist/distribution.h"
+
+namespace histest {
+
+/// The "standard trick" closing Section 4.2: scale a hard instance's
+/// distances by embedding it next to a slack element. Given D over [m],
+/// produce D' over [m + 1] with
+///   D'(i) = scale * D(i) for i < m,   D'(m) = 1 - scale.
+///
+/// Distances contract exactly: d_TV(a', b') = scale * d_TV(a, b), so a
+/// family that is eps1-hard to test yields an (scale * eps1)-hard family —
+/// turning the Omega(k/log k) bound at constant eps1 into
+/// Omega((k/log k) / eps) for every eps <= eps1. The slack element costs at
+/// most two extra histogram pieces, so farness from H_k degrades only to
+/// farness from H_{k-2}.
+Result<Distribution> EmbedWithSlackElement(const Distribution& d,
+                                           double scale);
+
+}  // namespace histest
+
+#endif  // HISTEST_LOWERBOUND_EPS_SCALING_H_

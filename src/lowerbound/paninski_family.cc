@@ -1,0 +1,44 @@
+#include "lowerbound/paninski_family.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace histest {
+
+double PaninskiFarnessBound(size_t n, size_t k, double c_eps) {
+  HISTEST_CHECK_GT(n, 0u);
+  HISTEST_CHECK_EQ(n % 2, 0u);
+  const double pairs = static_cast<double>(n) / 2.0;
+  const double constant_pairs =
+      std::max(0.0, pairs - static_cast<double>(k) + 1.0);
+  return constant_pairs * c_eps / static_cast<double>(n);
+}
+
+Result<PaninskiInstance> MakePaninskiInstance(size_t n, double eps, double c,
+                                              size_t k, Rng& rng) {
+  if (n < 2 || n % 2 != 0) {
+    return Status::InvalidArgument("n must be even and >= 2");
+  }
+  if (!(eps > 0.0) || eps > 1.0) {
+    return Status::InvalidArgument("eps must be in (0, 1]");
+  }
+  if (!(c > 0.0) || c * eps > 1.0) {
+    return Status::InvalidArgument("need 0 < c and c * eps <= 1");
+  }
+  if (k == 0) return Status::InvalidArgument("k must be >= 1");
+  const double c_eps = c * eps;
+  const double nd = static_cast<double>(n);
+  std::vector<double> pmf(n);
+  for (size_t i = 0; i < n / 2; ++i) {
+    const double sign = rng.Bernoulli(0.5) ? 1.0 : -1.0;
+    pmf[2 * i] = (1.0 + sign * c_eps) / nd;
+    pmf[2 * i + 1] = (1.0 - sign * c_eps) / nd;
+  }
+  auto dist = Distribution::Create(std::move(pmf));
+  HISTEST_RETURN_IF_ERROR(dist.status());
+  return PaninskiInstance{std::move(dist).value(), c_eps, c_eps / 2.0,
+                          PaninskiFarnessBound(n, k, c_eps)};
+}
+
+}  // namespace histest

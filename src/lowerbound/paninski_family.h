@@ -1,0 +1,40 @@
+#ifndef HISTEST_LOWERBOUND_PANINSKI_FAMILY_H_
+#define HISTEST_LOWERBOUND_PANINSKI_FAMILY_H_
+
+#include <cstddef>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "dist/distribution.h"
+
+namespace histest {
+
+/// A member of Paninski's hard family Q_eps (Proposition 4.1): the uniform
+/// distribution over an even domain with each pair (2i, 2i+1) perturbed to
+/// ((1 +/- c eps)/n, (1 -/+ c eps)/n) by an independent random sign.
+struct PaninskiInstance {
+  Distribution dist;
+  /// The realized perturbation amplitude c * eps (per-element deviation is
+  /// c * eps / n).
+  double c_eps = 0.0;
+  /// Exact TV distance to uniform: c * eps / 2.
+  double tv_to_uniform = 0.0;
+  /// Certified TV lower bound to H_k (the Prop 4.1 exchange argument).
+  double certified_far_from_hk = 0.0;
+};
+
+/// Analytic farness bound of any Q_{c eps} member from H_k:
+///   d_TV(D, H_k) >= (n/2 - k + 1) * (c eps / n), clamped at 0
+/// (every k-histogram is constant across all but k-1 of the n/2 pairs, each
+/// constant pair contributing c eps / n to the distance).
+double PaninskiFarnessBound(size_t n, size_t k, double c_eps);
+
+/// Draws a uniform member of Q_eps with amplitude c (the paper uses c >= 6
+/// so the family is eps-far from H_k whenever k < n/3). Requires n even,
+/// n >= 2, eps in (0, 1], and c * eps <= 1. `k` only feeds the certificate.
+Result<PaninskiInstance> MakePaninskiInstance(size_t n, double eps, double c,
+                                              size_t k, Rng& rng);
+
+}  // namespace histest
+
+#endif  // HISTEST_LOWERBOUND_PANINSKI_FAMILY_H_

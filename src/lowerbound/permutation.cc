@@ -1,0 +1,36 @@
+#include "lowerbound/permutation.h"
+
+#include "common/check.h"
+
+namespace histest {
+
+std::vector<size_t> InversePermutation(const std::vector<size_t>& perm) {
+  std::vector<size_t> inv(perm.size());
+  for (size_t i = 0; i < perm.size(); ++i) {
+    HISTEST_CHECK_LT(perm[i], perm.size());
+    inv[perm[i]] = i;
+  }
+  return inv;
+}
+
+bool IsPermutation(const std::vector<size_t>& perm) {
+  std::vector<bool> seen(perm.size(), false);
+  for (size_t p : perm) {
+    if (p >= perm.size() || seen[p]) return false;
+    seen[p] = true;
+  }
+  return true;
+}
+
+Distribution PermuteDistribution(const Distribution& d,
+                                 const std::vector<size_t>& perm) {
+  HISTEST_CHECK_EQ(d.size(), perm.size());
+  HISTEST_CHECK(IsPermutation(perm));
+  std::vector<double> pmf(d.size());
+  for (size_t i = 0; i < d.size(); ++i) pmf[perm[i]] = d[i];
+  auto dist = Distribution::Create(std::move(pmf));
+  HISTEST_CHECK(dist.ok());
+  return std::move(dist).value();
+}
+
+}  // namespace histest

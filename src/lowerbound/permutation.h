@@ -1,0 +1,25 @@
+#ifndef HISTEST_LOWERBOUND_PERMUTATION_H_
+#define HISTEST_LOWERBOUND_PERMUTATION_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "dist/distribution.h"
+
+namespace histest {
+
+/// Inverse of a permutation given as old-index -> new-index.
+std::vector<size_t> InversePermutation(const std::vector<size_t>& perm);
+
+/// True iff `perm` is a permutation of {0, ..., perm.size() - 1}.
+bool IsPermutation(const std::vector<size_t>& perm);
+
+/// The relabeled distribution D_sigma with D_sigma(perm[i]) = D(i)
+/// (the paper's D o sigma^{-1}). Requires perm to be a permutation of the
+/// domain.
+Distribution PermuteDistribution(const Distribution& d,
+                                 const std::vector<size_t>& perm);
+
+}  // namespace histest
+
+#endif  // HISTEST_LOWERBOUND_PERMUTATION_H_

@@ -1,0 +1,53 @@
+#include "lowerbound/reduction.h"
+
+#include <utility>
+
+#include "common/check.h"
+#include "common/math_util.h"
+#include "lowerbound/permutation.h"
+#include "lowerbound/support_size_family.h"
+#include "testing/oracle.h"
+
+namespace histest {
+
+SupportSizeDecider::SupportSizeDecider(size_t n, size_t k,
+                                       TesterFactory factory,
+                                       ReductionOptions options, uint64_t seed)
+    : n_(n), k_(k), factory_(std::move(factory)), options_(options),
+      rng_(seed) {
+  HISTEST_CHECK_GE(k_, 3u);
+  m_ = static_cast<size_t>(CeilDiv(3 * (static_cast<int64_t>(k_) - 1), 2));
+  HISTEST_CHECK_GE(options_.repetitions, 1);
+}
+
+Result<bool> SupportSizeDecider::Decide(const Distribution& d_on_m) {
+  if (d_on_m.size() != m_) {
+    return Status::InvalidArgument("instance domain must be m = " +
+                                   std::to_string(m_));
+  }
+  if (n_ < 70 * m_) {
+    return Status::FailedPrecondition(
+        "reduction requires n >= 70 m (Lemma 4.4); have n = " +
+        std::to_string(n_) + ", m = " + std::to_string(m_));
+  }
+  auto embedded = EmbedInLargerDomain(d_on_m, n_);
+  HISTEST_RETURN_IF_ERROR(embedded.status());
+  int accepts = 0;
+  int reps = options_.repetitions;
+  if (reps % 2 == 0) ++reps;
+  for (int r = 0; r < reps; ++r) {
+    const std::vector<size_t> sigma = rng_.Permutation(n_);
+    const Distribution d_sigma =
+        PermuteDistribution(embedded.value(), sigma);
+    DistributionOracle oracle(d_sigma, rng_.Next());
+    auto tester = factory_(k_, options_.eps1, rng_.Next());
+    HISTEST_CHECK(tester != nullptr);
+    auto outcome = tester->Test(oracle);
+    HISTEST_RETURN_IF_ERROR(outcome.status());
+    samples_used_ += outcome.value().samples_used;
+    if (outcome.value().verdict == Verdict::kAccept) ++accepts;
+  }
+  return accepts * 2 > reps;
+}
+
+}  // namespace histest

@@ -1,0 +1,65 @@
+#ifndef HISTEST_LOWERBOUND_REDUCTION_H_
+#define HISTEST_LOWERBOUND_REDUCTION_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "dist/distribution.h"
+#include "testing/tester.h"
+
+namespace histest {
+
+/// Tuning of the Section 4.2 reduction from SuppSize_m to H_k testing.
+struct ReductionOptions {
+  /// Independent (permutation, tester) repetitions; the majority vote
+  /// amplifies the single-run success probability 17/30 towards 2/3+.
+  int repetitions = 5;
+  /// The farness parameter the tester is invoked with (the paper's
+  /// eps_1 = 1/24).
+  double eps1 = 1.0 / 24.0;
+};
+
+/// The black-box reduction of Proposition 4.2: any tester for H_k decides
+/// the SuppSize_m promise problem, so testing H_k inherits the [VV10]
+/// Omega(m / log m) lower bound.
+///
+/// Given a histogram-tester factory, Decide() embeds the instance into
+/// [0, n), applies a uniformly random permutation, runs the tester with
+/// parameters (k, eps1), and majority-votes over independent repetitions.
+/// Per the paper, m = ceil(3 (k - 1) / 2) and the lemma needs n >= 70 m.
+class SupportSizeDecider {
+ public:
+  using TesterFactory = std::function<std::unique_ptr<DistributionTester>(
+      size_t k, double eps, uint64_t seed)>;
+
+  /// Requires k >= 3 and n >= 70 * m(k) (checked in Decide()).
+  SupportSizeDecider(size_t n, size_t k, TesterFactory factory,
+                     ReductionOptions options, uint64_t seed);
+
+  /// The SuppSize domain size m = ceil(3 (k - 1) / 2).
+  size_t m() const { return m_; }
+
+  /// Decides the promise problem for a distribution over [0, m()):
+  /// true = "support <= m/3" (tester accepted), false = "support >= 7m/8".
+  /// The instance must satisfy the promise for the answer to be meaningful.
+  Result<bool> Decide(const Distribution& d_on_m);
+
+  /// Total samples consumed by all Decide() calls so far.
+  int64_t samples_used() const { return samples_used_; }
+
+ private:
+  size_t n_;
+  size_t k_;
+  size_t m_;
+  TesterFactory factory_;
+  ReductionOptions options_;
+  Rng rng_;
+  int64_t samples_used_ = 0;
+};
+
+}  // namespace histest
+
+#endif  // HISTEST_LOWERBOUND_REDUCTION_H_

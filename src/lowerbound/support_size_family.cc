@@ -1,0 +1,40 @@
+#include "lowerbound/support_size_family.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace histest {
+
+Result<SupportSizeInstance> MakeSupportSizeInstance(size_t m, bool small_side,
+                                                    Rng& rng) {
+  if (m < 8) return Status::InvalidArgument("m must be >= 8");
+  const size_t support = small_side ? m / 3 : (7 * m + 7) / 8;
+  HISTEST_CHECK_GE(support, 1u);
+  HISTEST_CHECK_LE(support, m);
+  // Random support positions via a partial shuffle.
+  std::vector<size_t> positions(m);
+  for (size_t i = 0; i < m; ++i) positions[i] = i;
+  for (size_t j = 0; j < support; ++j) {
+    const size_t swap_with =
+        j + static_cast<size_t>(rng.UniformInt(m - j));
+    std::swap(positions[j], positions[swap_with]);
+  }
+  std::vector<double> pmf(m, 0.0);
+  const double w = 1.0 / static_cast<double>(support);
+  for (size_t j = 0; j < support; ++j) pmf[positions[j]] = w;
+  auto dist = Distribution::Create(std::move(pmf));
+  HISTEST_RETURN_IF_ERROR(dist.status());
+  return SupportSizeInstance{std::move(dist).value(), support, small_side};
+}
+
+Result<Distribution> EmbedInLargerDomain(const Distribution& d, size_t n) {
+  if (n < d.size()) {
+    return Status::InvalidArgument("target domain smaller than source");
+  }
+  std::vector<double> pmf(d.pmf());
+  pmf.resize(n, 0.0);
+  return Distribution::Create(std::move(pmf));
+}
+
+}  // namespace histest

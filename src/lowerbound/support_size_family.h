@@ -1,0 +1,36 @@
+#ifndef HISTEST_LOWERBOUND_SUPPORT_SIZE_FAMILY_H_
+#define HISTEST_LOWERBOUND_SUPPORT_SIZE_FAMILY_H_
+
+#include <cstddef>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "dist/distribution.h"
+
+namespace histest {
+
+/// A hard instance of the SuppSize_m promise problem (Section 4.2): a
+/// distribution over [0, m) with every non-zero probability at least 1/m
+/// and support size either at most m/3 (yes side) or at least 7m/8 (no
+/// side). The [VV10] lower bound shows distinguishing the two sides takes
+/// Omega(m / log m) samples.
+struct SupportSizeInstance {
+  Distribution dist;
+  size_t support_size = 0;
+  /// True for the small-support (yes) side.
+  bool is_small = true;
+};
+
+/// Builds a SuppSize_m instance uniform over a random support of the
+/// appropriate size (floor(m/3) on the yes side, ceil(7m/8) on the no
+/// side). Requires m >= 8.
+Result<SupportSizeInstance> MakeSupportSizeInstance(size_t m, bool small_side,
+                                                    Rng& rng);
+
+/// Zero-pads a distribution on [0, m) into the larger domain [0, n)
+/// (the embedding step of the reduction). Requires n >= d.size().
+Result<Distribution> EmbedInLargerDomain(const Distribution& d, size_t n);
+
+}  // namespace histest
+
+#endif  // HISTEST_LOWERBOUND_SUPPORT_SIZE_FAMILY_H_

@@ -1,0 +1,35 @@
+#include "stats/amplify.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace histest {
+
+int RepetitionsForConfidence(double delta) {
+  HISTEST_CHECK_GT(delta, 0.0);
+  HISTEST_CHECK_LT(delta, 1.0);
+  // Majority of r trials, each correct w.p. >= 2/3, errs w.p.
+  // <= exp(-r/18) (Chernoff). Solve for r and make it odd.
+  int r = static_cast<int>(std::ceil(18.0 * std::log(1.0 / delta)));
+  if (r < 1) r = 1;
+  if (r % 2 == 0) ++r;
+  return r;
+}
+
+bool MajorityVote(const std::function<bool()>& trial, int repetitions) {
+  HISTEST_CHECK_GE(repetitions, 1);
+  if (repetitions % 2 == 0) ++repetitions;
+  int yes = 0;
+  for (int i = 0; i < repetitions; ++i) {
+    if (trial()) ++yes;
+    // Early exit once the majority is decided.
+    const int remaining = repetitions - i - 1;
+    if (2 * yes > repetitions || 2 * (yes + remaining) < repetitions + 1) {
+      break;
+    }
+  }
+  return yes > repetitions / 2;
+}
+
+}  // namespace histest

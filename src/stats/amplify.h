@@ -1,0 +1,21 @@
+#ifndef HISTEST_STATS_AMPLIFY_H_
+#define HISTEST_STATS_AMPLIFY_H_
+
+#include <functional>
+
+namespace histest {
+
+/// Number of independent repetitions needed to amplify a test with success
+/// probability >= 2/3 to failure probability <= delta, by majority vote
+/// (Chernoff: r = ceil(18 ln(1/delta)) suffices; we use the standard
+/// constant and always return an odd count).
+int RepetitionsForConfidence(double delta);
+
+/// Runs `trial` an odd number `repetitions` of times and returns the
+/// majority verdict. `repetitions` must be >= 1; even values are rounded up
+/// to the next odd value.
+bool MajorityVote(const std::function<bool()>& trial, int repetitions);
+
+}  // namespace histest
+
+#endif  // HISTEST_STATS_AMPLIFY_H_

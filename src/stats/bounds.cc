@@ -1,0 +1,66 @@
+#include "stats/bounds.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+#include "common/math_util.h"
+
+namespace histest {
+namespace {
+
+double SafeLog2(double x) { return std::max(1.0, std::log2(x)); }
+
+void ValidateArgs(size_t n, size_t k, double eps) {
+  HISTEST_CHECK_GT(n, 0u);
+  HISTEST_CHECK_GT(k, 0u);
+  HISTEST_CHECK_GT(eps, 0.0);
+  HISTEST_CHECK_LE(eps, 1.0);
+}
+
+}  // namespace
+
+int64_t OursSampleComplexity(size_t n, size_t k, double eps, double c) {
+  ValidateArgs(n, k, eps);
+  const double nd = static_cast<double>(n);
+  const double kd = static_cast<double>(k);
+  const double logk = SafeLog2(kd);
+  const double term1 = std::sqrt(nd) / (eps * eps) * logk;
+  const double term2 = kd / (eps * eps * eps) * logk * logk;
+  const double term3 = kd / eps * SafeLog2(kd / eps);
+  return CeilToCount(c * (term1 + term2 + term3));
+}
+
+int64_t IlrSampleComplexity(size_t n, size_t k, double eps, double c) {
+  ValidateArgs(n, k, eps);
+  const double nd = static_cast<double>(n);
+  const double kd = static_cast<double>(k);
+  return CeilToCount(c * std::sqrt(kd * nd) / std::pow(eps, 5.0) *
+                     SafeLog2(nd));
+}
+
+int64_t CdgrSampleComplexity(size_t n, size_t k, double eps, double c) {
+  ValidateArgs(n, k, eps);
+  const double nd = static_cast<double>(n);
+  const double kd = static_cast<double>(k);
+  return CeilToCount(c * std::sqrt(kd * nd) / std::pow(eps, 3.0) *
+                     SafeLog2(nd));
+}
+
+int64_t PaninskiSampleComplexity(size_t n, double eps, double c) {
+  ValidateArgs(n, 1, eps);
+  return CeilToCount(c * std::sqrt(static_cast<double>(n)) / (eps * eps));
+}
+
+int64_t SupportSizeTermLowerBound(size_t k, double eps, double c) {
+  ValidateArgs(1, k, eps);
+  const double kd = static_cast<double>(k);
+  return CeilToCount(c * kd / SafeLog2(kd) / eps);
+}
+
+int64_t NaiveSampleComplexity(size_t n, double eps, double c) {
+  ValidateArgs(n, 1, eps);
+  return CeilToCount(c * static_cast<double>(n) / (eps * eps));
+}
+
+}  // namespace histest

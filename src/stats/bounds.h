@@ -1,0 +1,35 @@
+#ifndef HISTEST_STATS_BOUNDS_H_
+#define HISTEST_STATS_BOUNDS_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace histest {
+
+/// Closed-form sample-complexity formulas from the paper and its cited
+/// baselines, with the leading constant exposed. These drive the baselines'
+/// sample budgets and the benchmark harness's theory-curve overlays.
+
+/// Theorem 3.1 (this paper):
+///   c * (sqrt(n)/eps^2 * log k + k/eps^3 * log^2 k + k/eps * log(k/eps)).
+int64_t OursSampleComplexity(size_t n, size_t k, double eps, double c = 1.0);
+
+/// [ILR12]: c * sqrt(kn)/eps^5 * log n.
+int64_t IlrSampleComplexity(size_t n, size_t k, double eps, double c = 1.0);
+
+/// [CDGR16]: c * sqrt(kn)/eps^3 * log n.
+int64_t CdgrSampleComplexity(size_t n, size_t k, double eps, double c = 1.0);
+
+/// [Pan08] uniformity lower bound: c * sqrt(n)/eps^2.
+int64_t PaninskiSampleComplexity(size_t n, double eps, double c = 1.0);
+
+/// Theorem 1.2 second term: c * (k / log k) / eps (log base 2, with
+/// log k floored at 1).
+int64_t SupportSizeTermLowerBound(size_t k, double eps, double c = 1.0);
+
+/// The naive "learn everything" strawman: c * n / eps^2.
+int64_t NaiveSampleComplexity(size_t n, double eps, double c = 1.0);
+
+}  // namespace histest
+
+#endif  // HISTEST_STATS_BOUNDS_H_

@@ -1,0 +1,39 @@
+#include "stats/collision.h"
+
+#include "common/check.h"
+#include "common/math_util.h"
+
+namespace histest {
+
+double CollisionStatistic(const CountVector& counts) {
+  const int64_t m = counts.total();
+  HISTEST_CHECK_GE(m, 2);
+  const double pairs = static_cast<double>(counts.CollisionPairs());
+  const double all_pairs =
+      0.5 * static_cast<double>(m) * static_cast<double>(m - 1);
+  return pairs / all_pairs;
+}
+
+double RestrictedCollisionStatistic(const CountVector& counts,
+                                    const Interval& interval) {
+  HISTEST_CHECK_LE(interval.end, counts.size());
+  int64_t m = 0;
+  int64_t pairs = 0;
+  for (size_t i = interval.begin; i < interval.end; ++i) {
+    const int64_t c = counts[i];
+    m += c;
+    pairs += c * (c - 1) / 2;
+  }
+  if (m < 2) return -1.0;
+  const double all_pairs =
+      0.5 * static_cast<double>(m) * static_cast<double>(m - 1);
+  return static_cast<double>(pairs) / all_pairs;
+}
+
+double ExpectedCollisionStatistic(const std::vector<double>& d) {
+  KahanSum acc;
+  for (double p : d) acc.Add(p * p);
+  return acc.Total();
+}
+
+}  // namespace histest

@@ -1,0 +1,29 @@
+#ifndef HISTEST_STATS_COLLISION_H_
+#define HISTEST_STATS_COLLISION_H_
+
+#include <cstdint>
+
+#include "dist/empirical.h"
+#include "dist/interval.h"
+
+namespace histest {
+
+/// The (normalized) collision statistic over the whole domain:
+///   C = (number of colliding sample pairs) / C(m, 2).
+/// E[C] = ||D||_2^2; for the uniform distribution this is 1/n, and any D
+/// that is eps-far from uniform has ||D||_2^2 >= (1 + 4 eps^2)/n.
+/// Requires at least 2 samples.
+double CollisionStatistic(const CountVector& counts);
+
+/// Collision statistic restricted to samples landing in `interval`
+/// (conditional collision rate). Returns -1 if fewer than 2 samples landed
+/// in the interval (statistic undefined).
+double RestrictedCollisionStatistic(const CountVector& counts,
+                                    const Interval& interval);
+
+/// Expected value of the collision statistic under pmf `d` (= sum d_i^2).
+double ExpectedCollisionStatistic(const std::vector<double>& d);
+
+}  // namespace histest
+
+#endif  // HISTEST_STATS_COLLISION_H_

@@ -1,0 +1,26 @@
+#include "stats/poissonization.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace histest {
+
+int64_t PoissonizedSampleCount(double m, Rng& rng) {
+  HISTEST_CHECK_GE(m, 0.0);
+  return rng.Poisson(m);
+}
+
+double PoissonTailBound(double mean, double dev) {
+  HISTEST_CHECK_GT(dev, 0.0);
+  HISTEST_CHECK_GE(mean, 0.0);
+  if (mean == 0.0) return 0.0;
+  // Two-sided Bennett bound: exp(-mean * h(dev/mean)) each side, with
+  // h(u) = (1+u) log(1+u) - u; the lower tail is never worse.
+  const double u = dev / mean;
+  const double h = (1.0 + u) * std::log1p(u) - u;
+  return std::min(1.0, 2.0 * std::exp(-mean * h));
+}
+
+}  // namespace histest

@@ -1,0 +1,22 @@
+#ifndef HISTEST_STATS_POISSONIZATION_H_
+#define HISTEST_STATS_POISSONIZATION_H_
+
+#include <cstdint>
+
+#include "common/rng.h"
+
+namespace histest {
+
+/// Draws the Poissonized sample count m' ~ Poisson(m) used by the standard
+/// Poissonization trick (Section 2): an algorithm budgeted for m samples
+/// actually draws m' iid samples, making per-element counts independent.
+int64_t PoissonizedSampleCount(double m, Rng& rng);
+
+/// Chernoff-style upper bound on Pr[|Poisson(mean) - mean| >= dev] for
+/// dev > 0 (Bennett's inequality specialization). Used to budget the
+/// negligible failure probability the Poissonization trick introduces.
+double PoissonTailBound(double mean, double dev);
+
+}  // namespace histest
+
+#endif  // HISTEST_STATS_POISSONIZATION_H_

@@ -1,0 +1,31 @@
+#include "stats/support_size.h"
+
+#include <algorithm>
+
+namespace histest {
+
+size_t CoverNumber(std::vector<size_t> positions) {
+  if (positions.empty()) return 0;
+  std::sort(positions.begin(), positions.end());
+  positions.erase(std::unique(positions.begin(), positions.end()),
+                  positions.end());
+  size_t runs = 1;
+  for (size_t i = 1; i < positions.size(); ++i) {
+    if (positions[i] != positions[i - 1] + 1) ++runs;
+  }
+  return runs;
+}
+
+size_t SupportCover(const Distribution& d) {
+  std::vector<size_t> support;
+  for (size_t i = 0; i < d.size(); ++i) {
+    if (d[i] > 0.0) support.push_back(i);
+  }
+  return CoverNumber(std::move(support));
+}
+
+size_t PlugInSupportSize(const CountVector& counts) {
+  return counts.DistinctCount();
+}
+
+}  // namespace histest

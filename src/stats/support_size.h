@@ -1,0 +1,31 @@
+#ifndef HISTEST_STATS_SUPPORT_SIZE_H_
+#define HISTEST_STATS_SUPPORT_SIZE_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "dist/distribution.h"
+#include "dist/empirical.h"
+
+namespace histest {
+
+/// cover(S) from Lemma 4.4: the number of maximal runs of consecutive
+/// integers in the set S (given as any ordering of distinct positions).
+/// cover of the empty set is 0.
+size_t CoverNumber(std::vector<size_t> positions);
+
+/// cover() of a distribution's support: the minimum number of intervals
+/// needed for a histogram representation is 2 * cover(supp) - 1 at least
+/// when the complement also splits pieces; this helper just counts support
+/// runs.
+size_t SupportCover(const Distribution& d);
+
+/// Plug-in support-size estimate: number of distinct elements observed.
+/// A lower bound on the true support size; accurate once m >> m_support
+/// * log, and exactly the quantity the [VV10] lower bound proves hard to
+/// improve with o(m / log m) samples.
+size_t PlugInSupportSize(const CountVector& counts);
+
+}  // namespace histest
+
+#endif  // HISTEST_STATS_SUPPORT_SIZE_H_

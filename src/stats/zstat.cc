@@ -1,0 +1,64 @@
+#include "stats/zstat.h"
+
+#include "common/check.h"
+#include "common/math_util.h"
+
+namespace histest {
+
+Result<ZStatResult> ComputeZStatistics(const CountVector& counts, double m,
+                                       const std::vector<double>& dstar,
+                                       const Partition& partition, double eps,
+                                       const ZStatOptions& options,
+                                       const std::vector<bool>* active_intervals) {
+  if (counts.size() != dstar.size() ||
+      partition.domain_size() != dstar.size()) {
+    return Status::InvalidArgument("counts/dstar/partition size mismatch");
+  }
+  if (!(m > 0.0)) return Status::InvalidArgument("m must be positive");
+  if (!(eps > 0.0) || eps > 1.0) {
+    return Status::InvalidArgument("eps must be in (0, 1]");
+  }
+  if (active_intervals != nullptr &&
+      active_intervals->size() != partition.NumIntervals()) {
+    return Status::InvalidArgument("active_intervals size mismatch");
+  }
+  const double aeps_cut =
+      options.aeps_factor * eps / static_cast<double>(dstar.size());
+  ZStatResult result;
+  result.z.assign(partition.NumIntervals(), 0.0);
+  KahanSum total;
+  for (size_t j = 0; j < partition.NumIntervals(); ++j) {
+    if (active_intervals != nullptr && !(*active_intervals)[j]) continue;
+    const Interval& iv = partition.interval(j);
+    KahanSum zj;
+    for (size_t i = iv.begin; i < iv.end; ++i) {
+      if (dstar[i] < aeps_cut) continue;
+      const double expected = m * dstar[i];
+      const double ni = static_cast<double>(counts[i]);
+      const double dev = ni - expected;
+      zj.Add((dev * dev - ni) / expected);
+    }
+    result.z[j] = zj.Total();
+    total.Add(result.z[j]);
+  }
+  result.total = total.Total();
+  return result;
+}
+
+double ExpectedZ(const std::vector<double>& d, const std::vector<double>& dstar,
+                 const Interval& interval, double m, double eps,
+                 const ZStatOptions& options) {
+  HISTEST_CHECK_EQ(d.size(), dstar.size());
+  HISTEST_CHECK_LE(interval.end, d.size());
+  const double aeps_cut =
+      options.aeps_factor * eps / static_cast<double>(dstar.size());
+  KahanSum acc;
+  for (size_t i = interval.begin; i < interval.end; ++i) {
+    if (dstar[i] < aeps_cut) continue;
+    const double dev = d[i] - dstar[i];
+    acc.Add(dev * dev / dstar[i]);
+  }
+  return m * acc.Total();
+}
+
+}  // namespace histest

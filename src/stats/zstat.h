@@ -1,0 +1,50 @@
+#ifndef HISTEST_STATS_ZSTAT_H_
+#define HISTEST_STATS_ZSTAT_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+#include "dist/empirical.h"
+#include "dist/interval.h"
+
+namespace histest {
+
+/// Configuration of the [ADK15] chi-square statistic of Proposition 3.3.
+struct ZStatOptions {
+  /// Elements enter A_eps iff dstar(i) >= aeps_factor * eps / n (the paper
+  /// uses 1/50).
+  double aeps_factor = 1.0 / 50.0;
+};
+
+/// Per-interval chi-square statistics:
+///   Z_j = sum_{i in I_j, i in A_eps} ((N_i - m dstar(i))^2 - N_i) /
+///         (m dstar(i)),
+/// where N_i are Poissonized counts with budget parameter m. Under
+/// Poissonization the Z_j are independent, E[Z_j] =
+/// m * sum_{i in I_j cap A_eps} (D(i) - dstar(i))^2 / dstar(i).
+struct ZStatResult {
+  std::vector<double> z;  // one entry per partition interval
+  double total = 0.0;     // sum of z (the full statistic Z)
+};
+
+/// Computes the statistics from Poissonized counts against the reference
+/// pmf `dstar` over `partition`. If `active_intervals` is non-null, inactive
+/// intervals get Z_j = 0 and do not contribute to the total. Requires all
+/// sizes to agree and m > 0.
+Result<ZStatResult> ComputeZStatistics(const CountVector& counts, double m,
+                                       const std::vector<double>& dstar,
+                                       const Partition& partition, double eps,
+                                       const ZStatOptions& options = {},
+                                       const std::vector<bool>* active_intervals =
+                                           nullptr);
+
+/// The exact expectation of Z_j under sampling from `d` (for tests and
+/// calibration): m * sum over I_j cap A_eps of (d_i - dstar_i)^2 / dstar_i.
+double ExpectedZ(const std::vector<double>& d, const std::vector<double>& dstar,
+                 const Interval& interval, double m, double eps,
+                 const ZStatOptions& options = {});
+
+}  // namespace histest
+
+#endif  // HISTEST_STATS_ZSTAT_H_

@@ -1,0 +1,30 @@
+#include "testing/baseline_ilr.h"
+
+#include "common/check.h"
+#include "stats/bounds.h"
+
+namespace histest {
+
+IlrHistogramTester::IlrHistogramTester(size_t k, double eps,
+                                       double budget_scale,
+                                       LearnVerifyOptions options,
+                                       uint64_t seed)
+    : k_(k), eps_(eps), budget_scale_(budget_scale), options_(options),
+      rng_(seed) {
+  HISTEST_CHECK_GE(k_, 1u);
+  HISTEST_CHECK_GT(eps_, 0.0);
+  HISTEST_CHECK_LE(eps_, 1.0);
+  HISTEST_CHECK_GT(budget_scale_, 0.0);
+}
+
+int64_t IlrHistogramTester::BudgetFor(size_t n) const {
+  return IlrSampleComplexity(n, k_, eps_, budget_scale_);
+}
+
+Result<TestOutcome> IlrHistogramTester::Test(SampleOracle& oracle) {
+  return LearnThenVerifyHistogramTest(oracle, k_, eps_,
+                                      BudgetFor(oracle.DomainSize()),
+                                      options_, rng_);
+}
+
+}  // namespace histest

@@ -1,0 +1,64 @@
+#include "testing/explicit_partition.h"
+
+#include <cmath>
+#include <sstream>
+
+#include "common/check.h"
+#include "common/math_util.h"
+#include "dist/piecewise.h"
+
+namespace histest {
+
+ExplicitPartitionTester::ExplicitPartitionTester(
+    Partition partition, double eps, ExplicitPartitionOptions options,
+    uint64_t seed)
+    : partition_(std::move(partition)), eps_(eps), options_(options),
+      rng_(seed) {
+  HISTEST_CHECK_GT(eps_, 0.0);
+  HISTEST_CHECK_LE(eps_, 1.0);
+}
+
+Result<TestOutcome> ExplicitPartitionTester::Test(SampleOracle& oracle) {
+  const size_t n = partition_.domain_size();
+  if (oracle.DomainSize() != n) {
+    return Status::InvalidArgument("oracle/partition domain mismatch");
+  }
+  const int64_t drawn_before = oracle.SamplesDrawn();
+
+  // Stage 1: learn the interval masses (add-one smoothing keeps every
+  // hypothesis value strictly positive for the chi-square stage).
+  const size_t big_k = partition_.NumIntervals();
+  const int64_t m1 =
+      CeilToCount(options_.mass_sample_constant * static_cast<double>(big_k) /
+                  (eps_ * eps_));
+  const CountVector counts = oracle.DrawCounts(m1);
+  const std::vector<int64_t> interval_counts =
+      counts.IntervalCounts(partition_);
+  const double denom = static_cast<double>(m1) + static_cast<double>(big_k);
+  std::vector<double> masses(big_k);
+  for (size_t j = 0; j < big_k; ++j) {
+    masses[j] = (static_cast<double>(interval_counts[j]) + 1.0) / denom;
+  }
+  const PiecewiseConstant dhat =
+      PiecewiseConstant::FromPartitionMasses(partition_, masses);
+
+  // Stage 2: identity test of D against the flattened hypothesis.
+  const double eps_final = options_.final_eps_fraction * eps_;
+  const double m2 = options_.adk.sample_constant *
+                    std::sqrt(static_cast<double>(n)) /
+                    (eps_final * eps_final);
+  const std::vector<bool> all_active(big_k, true);
+  auto outcome =
+      AdkRestrictedIdentityTest(oracle, dhat.ToDense(), partition_,
+                                all_active, eps_final, m2, options_.adk,
+                                rng_);
+  HISTEST_RETURN_IF_ERROR(outcome.status());
+  TestOutcome result = std::move(outcome).value();
+  result.samples_used = oracle.SamplesDrawn() - drawn_before;
+  std::ostringstream detail;
+  detail << "explicit-partition: m1=" << m1 << " " << result.detail;
+  result.detail = detail.str();
+  return result;
+}
+
+}  // namespace histest

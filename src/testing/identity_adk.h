@@ -1,0 +1,66 @@
+#ifndef HISTEST_TESTING_IDENTITY_ADK_H_
+#define HISTEST_TESTING_IDENTITY_ADK_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "dist/distribution.h"
+#include "dist/interval.h"
+#include "stats/zstat.h"
+#include "testing/tester.h"
+
+namespace histest {
+
+/// Tuning of the [ADK15] chi-square-vs-TV identity tester (Theorem 3.2).
+struct AdkOptions {
+  /// Poissonized sample budget m = sample_constant * sqrt(n) / eps^2. The
+  /// paper's analysis uses 20000; the calibrated default keeps the same
+  /// statistic and thresholds at laptop scale (validated by experiment E4).
+  double sample_constant = 60.0;
+  /// Accept iff Z <= accept_threshold * m * eps^2 + noise allowance. Must
+  /// lie strictly between the completeness ceiling (1/500 in the paper's
+  /// constants) and the soundness floor (1/5).
+  double accept_threshold = 0.1;
+  /// Finite-m null-fluctuation allowance: the Z statistic has standard
+  /// deviation sqrt(2 |A_eps|) even under a perfect match, which the
+  /// paper's m >= 20000 sqrt(n)/eps^2 renders negligible; at calibrated
+  /// budgets the threshold explicitly budgets noise_sigmas of it.
+  double noise_sigmas = 2.0;
+  ZStatOptions zstat;
+};
+
+/// One-shot restricted identity test (the refinement of Theorem 3.2 used in
+/// Algorithm 1 Step 13): draws Poisson(m) samples from the oracle, computes
+/// the Z statistic against `dstar` over the active intervals of `partition`,
+/// and accepts iff Z <= accept_threshold * m * eps^2.
+///
+/// Distinguishes (whp, for m large enough)
+///   (i)  d_chi^2(D || dstar) small on the active subdomain  -> accept
+///   (ii) d_TV(D, dstar) >= eps on the active subdomain      -> reject.
+Result<TestOutcome> AdkRestrictedIdentityTest(
+    SampleOracle& oracle, const std::vector<double>& dstar,
+    const Partition& partition, const std::vector<bool>& active_intervals,
+    double eps, double m, const AdkOptions& options, Rng& rng);
+
+/// Full-domain [ADK15] identity tester as a reusable DistributionTester:
+/// tests chi^2-closeness to the explicit reference vs eps-TV-farness.
+class AdkIdentityTester : public DistributionTester {
+ public:
+  AdkIdentityTester(Distribution dstar, double eps, AdkOptions options,
+                    uint64_t seed);
+
+  std::string Name() const override { return "adk-identity"; }
+  Result<TestOutcome> Test(SampleOracle& oracle) override;
+
+ private:
+  Distribution dstar_;
+  double eps_;
+  AdkOptions options_;
+  Rng rng_;
+};
+
+}  // namespace histest
+
+#endif  // HISTEST_TESTING_IDENTITY_ADK_H_

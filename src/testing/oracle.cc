@@ -1,0 +1,47 @@
+#include "testing/oracle.h"
+
+#include "common/check.h"
+
+namespace histest {
+
+DistributionOracle::DistributionOracle(const Distribution& dist, uint64_t seed)
+    : domain_size_(dist.size()), rng_(seed) {
+  alias_.emplace_back(dist);
+}
+
+DistributionOracle::DistributionOracle(const PiecewiseConstant& pwc,
+                                       uint64_t seed)
+    : domain_size_(pwc.domain_size()), rng_(seed) {
+  piecewise_.emplace_back(pwc);
+}
+
+size_t DistributionOracle::Draw() {
+  ++drawn_;
+  if (!alias_.empty()) return alias_.front().Sample(rng_);
+  return piecewise_.front().Sample(rng_);
+}
+
+FixedSampleOracle::FixedSampleOracle(size_t domain_size,
+                                     std::vector<size_t> samples)
+    : domain_size_(domain_size), samples_(std::move(samples)) {
+  HISTEST_CHECK_GT(domain_size_, 0u);
+  HISTEST_CHECK(!samples_.empty());
+  for (size_t s : samples_) HISTEST_CHECK_LT(s, domain_size_);
+}
+
+size_t FixedSampleOracle::Draw() {
+  ++drawn_;
+  const size_t s = samples_[cursor_];
+  if (++cursor_ == samples_.size()) {
+    cursor_ = 0;
+    ++wraps_;
+  }
+  return s;
+}
+
+ConstantOracle::ConstantOracle(size_t domain_size, size_t element)
+    : domain_size_(domain_size), element_(element) {
+  HISTEST_CHECK_LT(element_, domain_size_);
+}
+
+}  // namespace histest

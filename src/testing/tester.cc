@@ -1,0 +1,31 @@
+#include "testing/tester.h"
+
+#include "common/check.h"
+
+namespace histest {
+
+const char* VerdictToString(Verdict v) {
+  switch (v) {
+    case Verdict::kAccept:
+      return "accept";
+    case Verdict::kReject:
+      return "reject";
+  }
+  return "unknown";
+}
+
+std::vector<size_t> SampleOracle::DrawMany(int64_t count) {
+  HISTEST_CHECK_GE(count, 0);
+  std::vector<size_t> samples(static_cast<size_t>(count));
+  for (auto& s : samples) s = Draw();
+  return samples;
+}
+
+CountVector SampleOracle::DrawCounts(int64_t count) {
+  HISTEST_CHECK_GE(count, 0);
+  CountVector cv(DomainSize());
+  for (int64_t i = 0; i < count; ++i) cv.Add(Draw());
+  return cv;
+}
+
+}  // namespace histest

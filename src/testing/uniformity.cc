@@ -1,0 +1,55 @@
+#include "testing/uniformity.h"
+
+#include <cmath>
+#include <sstream>
+
+#include "common/check.h"
+#include "stats/collision.h"
+
+namespace histest {
+
+PaninskiUniformityTester::PaninskiUniformityTester(double eps,
+                                                   PaninskiOptions options,
+                                                   uint64_t seed)
+    : eps_(eps), options_(options), rng_(seed) {
+  HISTEST_CHECK_GT(eps_, 0.0);
+  HISTEST_CHECK_LE(eps_, 1.0);
+  HISTEST_CHECK_GT(options_.threshold_factor, 0.0);
+  HISTEST_CHECK_LT(options_.threshold_factor, 4.0);
+}
+
+Result<TestOutcome> PaninskiUniformityTester::Test(SampleOracle& oracle) {
+  const size_t n = oracle.DomainSize();
+  const double nd = static_cast<double>(n);
+  int64_t m = static_cast<int64_t>(
+      std::ceil(options_.sample_constant * std::sqrt(nd) / (eps_ * eps_)));
+  if (m < 2) m = 2;
+  const int64_t drawn_before = oracle.SamplesDrawn();
+  const CountVector counts = oracle.DrawCounts(m);
+  const double stat = CollisionStatistic(counts);
+  const double threshold =
+      (1.0 + options_.threshold_factor * eps_ * eps_) / nd;
+  TestOutcome outcome;
+  outcome.verdict = stat <= threshold ? Verdict::kAccept : Verdict::kReject;
+  outcome.samples_used = oracle.SamplesDrawn() - drawn_before;
+  std::ostringstream detail;
+  detail << "collision=" << stat << " threshold=" << threshold << " m=" << m;
+  outcome.detail = detail.str();
+  return outcome;
+}
+
+ChiSquareUniformityTester::ChiSquareUniformityTester(double eps,
+                                                     AdkOptions options,
+                                                     uint64_t seed)
+    : eps_(eps), options_(options), seed_(seed) {
+  HISTEST_CHECK_GT(eps_, 0.0);
+  HISTEST_CHECK_LE(eps_, 1.0);
+}
+
+Result<TestOutcome> ChiSquareUniformityTester::Test(SampleOracle& oracle) {
+  AdkIdentityTester inner(Distribution::UniformOver(oracle.DomainSize()),
+                          eps_, options_, seed_++);
+  return inner.Test(oracle);
+}
+
+}  // namespace histest

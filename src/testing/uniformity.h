@@ -1,0 +1,56 @@
+#ifndef HISTEST_TESTING_UNIFORMITY_H_
+#define HISTEST_TESTING_UNIFORMITY_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/rng.h"
+#include "testing/identity_adk.h"
+#include "testing/tester.h"
+
+namespace histest {
+
+/// Tuning of the [Pan08] coincidence-based uniformity tester.
+struct PaninskiOptions {
+  /// Sample budget m = sample_constant * sqrt(n) / eps^2.
+  double sample_constant = 10.0;
+  /// Accept iff the collision statistic is at most
+  /// (1 + threshold_factor * eps^2) / n. Must lie in (0, 4): uniform has
+  /// expectation 1/n, any eps-far distribution at least (1 + 4 eps^2)/n.
+  double threshold_factor = 2.0;
+};
+
+/// The collision/coincidence uniformity tester of [Pan08]: the k = 1 case
+/// of histogram testing, and the building block of the Prop 4.1 lower-bound
+/// experiments.
+class PaninskiUniformityTester : public DistributionTester {
+ public:
+  PaninskiUniformityTester(double eps, PaninskiOptions options, uint64_t seed);
+
+  std::string Name() const override { return "paninski-uniformity"; }
+  Result<TestOutcome> Test(SampleOracle& oracle) override;
+
+ private:
+  double eps_;
+  PaninskiOptions options_;
+  Rng rng_;
+};
+
+/// Chi-square uniformity tester: the [ADK15] identity tester specialized to
+/// the uniform reference.
+class ChiSquareUniformityTester : public DistributionTester {
+ public:
+  ChiSquareUniformityTester(double eps, AdkOptions options, uint64_t seed);
+
+  std::string Name() const override { return "chisquare-uniformity"; }
+  Result<TestOutcome> Test(SampleOracle& oracle) override;
+
+ private:
+  double eps_;
+  AdkOptions options_;
+  uint64_t seed_;
+};
+
+}  // namespace histest
+
+#endif  // HISTEST_TESTING_UNIFORMITY_H_

@@ -1,0 +1,62 @@
+#include "stats/amplify.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace histest {
+namespace {
+
+TEST(AmplifyTest, RepetitionsAreOddAndGrowWithConfidence) {
+  const int r1 = RepetitionsForConfidence(0.1);
+  const int r2 = RepetitionsForConfidence(0.01);
+  EXPECT_GE(r1, 1);
+  EXPECT_EQ(r1 % 2, 1);
+  EXPECT_EQ(r2 % 2, 1);
+  EXPECT_GT(r2, r1);
+}
+
+TEST(AmplifyTest, MajorityOfDeterministicTrials) {
+  EXPECT_TRUE(MajorityVote([] { return true; }, 5));
+  EXPECT_FALSE(MajorityVote([] { return false; }, 5));
+  EXPECT_TRUE(MajorityVote([] { return true; }, 1));
+}
+
+TEST(AmplifyTest, MajorityOfAlternatingTrials) {
+  int calls = 0;
+  // T F T F T -> 3 of 5 true.
+  EXPECT_TRUE(MajorityVote([&] { return (calls++ % 2) == 0; }, 5));
+  calls = 1;
+  // F T F T F -> 2 of 5 true.
+  EXPECT_FALSE(MajorityVote([&] { return (calls++ % 2) == 0; }, 5));
+}
+
+TEST(AmplifyTest, EvenRepetitionsRoundUp) {
+  int calls = 0;
+  // 4 -> 5 trials; T T T stops early via majority lock.
+  EXPECT_TRUE(MajorityVote(
+      [&] {
+        ++calls;
+        return true;
+      },
+      4));
+  EXPECT_LE(calls, 5);
+  EXPECT_GE(calls, 3);
+}
+
+TEST(AmplifyTest, AmplificationBoostsTwoThirdsTester) {
+  // A 70%-correct coin amplified with 21 repetitions should be right
+  // nearly always.
+  Rng rng(5);
+  int correct = 0;
+  const int outer = 300;
+  for (int i = 0; i < outer; ++i) {
+    const bool verdict =
+        MajorityVote([&] { return rng.Bernoulli(0.7); }, 21);
+    correct += verdict ? 1 : 0;
+  }
+  EXPECT_GT(correct, outer * 9 / 10);
+}
+
+}  // namespace
+}  // namespace histest

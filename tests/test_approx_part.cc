@@ -1,0 +1,106 @@
+#include "core/approx_part.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "dist/generators.h"
+#include "testing/oracle.h"
+
+namespace histest {
+namespace {
+
+TEST(ApproxPartTest, ValidatesB) {
+  DistributionOracle oracle(Distribution::UniformOver(16), 3);
+  EXPECT_FALSE(ApproxPartition(oracle, 0.0).ok());
+  EXPECT_FALSE(ApproxPartition(oracle, -2.0).ok());
+}
+
+TEST(ApproxPartTest, OutputIsAValidPartition) {
+  Rng rng(5);
+  const auto d = MakeZipf(1024, 1.0).value();
+  DistributionOracle oracle(d, rng.Next());
+  auto p = ApproxPartition(oracle, 32.0);
+  ASSERT_TRUE(p.ok());
+  EXPECT_EQ(p.value().domain_size(), 1024u);
+  EXPECT_GE(p.value().NumIntervals(), 1u);
+}
+
+TEST(ApproxPartTest, IntervalCountIsAtMost2BPlus2) {
+  Rng rng(7);
+  for (const double b : {8.0, 32.0, 128.0}) {
+    const auto d = MakeZipf(2048, 0.8).value();
+    DistributionOracle oracle(d, rng.Next());
+    auto p = ApproxPartition(oracle, b);
+    ASSERT_TRUE(p.ok());
+    EXPECT_LE(p.value().NumIntervals(), static_cast<size_t>(2 * b + 2))
+        << "b = " << b;
+  }
+}
+
+TEST(ApproxPartTest, HeavyElementsBecomeSingletons) {
+  // Element 5 has probability 0.4 >> 1/b: it must be isolated.
+  std::vector<double> pmf(64, 0.6 / 63);
+  pmf[5] = 0.4;
+  const auto d = Distribution::Create(std::move(pmf)).value();
+  Rng rng(9);
+  int isolated = 0;
+  const int trials = 10;
+  for (int t = 0; t < trials; ++t) {
+    DistributionOracle oracle(d, rng.Next());
+    auto p = ApproxPartition(oracle, 16.0);
+    ASSERT_TRUE(p.ok());
+    const size_t j = p.value().IntervalOf(5);
+    if (p.value().interval(j).size() == 1) ++isolated;
+  }
+  EXPECT_EQ(isolated, trials);
+}
+
+TEST(ApproxPartTest, MassGuaranteesHoldWithHighProbability) {
+  // Properties (ii)/(iii): at most two light intervals; all other
+  // non-singleton intervals carry mass in [1/(2b), 2/b].
+  Rng rng(11);
+  const auto d = Distribution::UniformOver(4096);
+  const double b = 64.0;
+  int good_trials = 0;
+  const int trials = 10;
+  for (int t = 0; t < trials; ++t) {
+    DistributionOracle oracle(d, rng.Next());
+    auto p = ApproxPartition(oracle, b);
+    ASSERT_TRUE(p.ok());
+    size_t light = 0;
+    bool heavy_violation = false;
+    for (const Interval& iv : p.value().intervals()) {
+      const double mass = d.MassOf(iv);
+      if (iv.size() == 1) continue;
+      if (mass < 1.0 / (2 * b)) ++light;
+      if (mass > 2.0 / b) heavy_violation = true;
+    }
+    if (light <= 2 && !heavy_violation) ++good_trials;
+  }
+  // Prop 3.4 promises >= 9/10; allow binomial slack over 10 trials.
+  EXPECT_GE(good_trials, 7);
+}
+
+TEST(ApproxPartTest, UniformPartitionHasRoughlyBIntervals) {
+  Rng rng(13);
+  DistributionOracle oracle(Distribution::UniformOver(4096), rng.Next());
+  auto p = ApproxPartition(oracle, 64.0);
+  ASSERT_TRUE(p.ok());
+  // Greedy closes at ~0.75/b mass: expect between b/2 and 2b+2 intervals.
+  EXPECT_GE(p.value().NumIntervals(), 32u);
+  EXPECT_LE(p.value().NumIntervals(), 130u);
+}
+
+TEST(ApproxPartTest, PointMassGivesFewIntervals) {
+  Rng rng(15);
+  DistributionOracle oracle(Distribution::PointMass(256, 100), rng.Next());
+  auto p = ApproxPartition(oracle, 16.0);
+  ASSERT_TRUE(p.ok());
+  // Singleton at 100 plus at most two flanking zero-mass intervals.
+  EXPECT_LE(p.value().NumIntervals(), 3u);
+  const size_t j = p.value().IntervalOf(100);
+  EXPECT_EQ(p.value().interval(j).size(), 1u);
+}
+
+}  // namespace
+}  // namespace histest

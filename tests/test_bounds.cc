@@ -1,0 +1,65 @@
+#include "stats/bounds.h"
+
+#include <gtest/gtest.h>
+
+namespace histest {
+namespace {
+
+TEST(BoundsTest, OursScalesLikeSqrtNForFixedK) {
+  // Quadrupling n should roughly double the first term; with k small the
+  // total should grow by less than 4x but more than 1.5x.
+  const int64_t m1 = OursSampleComplexity(1 << 12, 2, 0.25);
+  const int64_t m2 = OursSampleComplexity(1 << 14, 2, 0.25);
+  EXPECT_GT(m2, m1);
+  EXPECT_LT(static_cast<double>(m2) / static_cast<double>(m1), 2.5);
+}
+
+TEST(BoundsTest, OursDecouplesNAndK) {
+  // For fixed n, the k-dependence is ~k log^2 k (much faster than the
+  // sqrt(kn) coupling of the baselines).
+  const int64_t ours_k1 = OursSampleComplexity(1 << 12, 1, 0.25);
+  const int64_t ours_k64 = OursSampleComplexity(1 << 12, 64, 0.25);
+  const int64_t cdgr_k1 = CdgrSampleComplexity(1 << 12, 1, 0.25);
+  const int64_t cdgr_k64 = CdgrSampleComplexity(1 << 12, 64, 0.25);
+  EXPECT_GT(ours_k64, ours_k1);
+  // CDGR grows exactly by sqrt(64) = 8 in k.
+  EXPECT_NEAR(static_cast<double>(cdgr_k64) / cdgr_k1, 8.0, 0.1);
+}
+
+TEST(BoundsTest, IlrDominatesCdgrByEpsSquared) {
+  const double ratio =
+      static_cast<double>(IlrSampleComplexity(1024, 4, 0.1)) /
+      static_cast<double>(CdgrSampleComplexity(1024, 4, 0.1));
+  EXPECT_NEAR(ratio, 1.0 / (0.1 * 0.1), 1.0);
+}
+
+TEST(BoundsTest, PaninskiMatchesFormula) {
+  EXPECT_EQ(PaninskiSampleComplexity(10000, 0.5), 400);
+  EXPECT_EQ(PaninskiSampleComplexity(10000, 1.0), 100);
+}
+
+TEST(BoundsTest, SupportSizeTermUsesLogK) {
+  const int64_t k8 = SupportSizeTermLowerBound(8, 0.5);
+  EXPECT_EQ(k8, static_cast<int64_t>(8.0 / 3.0 / 0.5) + 1);
+  // log k floored at 1 for tiny k.
+  EXPECT_EQ(SupportSizeTermLowerBound(1, 1.0), 1);
+}
+
+TEST(BoundsTest, NaiveIsLinearInN) {
+  EXPECT_EQ(NaiveSampleComplexity(1000, 1.0), 1000);
+  EXPECT_EQ(NaiveSampleComplexity(1000, 0.5), 4000);
+}
+
+TEST(BoundsTest, ConstantScalesLinearly) {
+  EXPECT_EQ(PaninskiSampleComplexity(10000, 1.0, 3.0), 300);
+}
+
+TEST(BoundsTest, AllReturnAtLeastOne) {
+  EXPECT_GE(OursSampleComplexity(1, 1, 1.0), 1);
+  EXPECT_GE(IlrSampleComplexity(1, 1, 1.0), 1);
+  EXPECT_GE(CdgrSampleComplexity(1, 1, 1.0), 1);
+  EXPECT_GE(SupportSizeTermLowerBound(1, 1.0), 1);
+}
+
+}  // namespace
+}  // namespace histest

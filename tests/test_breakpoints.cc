@@ -1,0 +1,75 @@
+#include "histogram/breakpoints.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "dist/generators.h"
+
+namespace histest {
+namespace {
+
+TEST(BreakpointsTest, BasicDetection) {
+  EXPECT_EQ(BreakpointsOf({1.0, 1.0, 2.0, 2.0, 1.0}),
+            (std::vector<size_t>{2, 4}));
+  EXPECT_TRUE(BreakpointsOf({3.0, 3.0, 3.0}).empty());
+  EXPECT_TRUE(BreakpointsOf({3.0}).empty());
+}
+
+TEST(BreakpointsTest, MinPiecesAndIsKHistogram) {
+  EXPECT_EQ(MinPiecesOf({1.0, 1.0, 2.0}), 2u);
+  EXPECT_EQ(MinPiecesOf({1.0}), 1u);
+  EXPECT_TRUE(IsKHistogramDense({1.0, 2.0, 3.0}, 3));
+  EXPECT_FALSE(IsKHistogramDense({1.0, 2.0, 3.0}, 2));
+}
+
+TEST(BreakpointsTest, RandomKHistogramHasAtMostKPieces) {
+  Rng rng(5);
+  for (int trial = 0; trial < 10; ++trial) {
+    const auto h = MakeRandomKHistogram(128, 6, rng).value();
+    EXPECT_LE(MinPiecesOf(h.ToDense()), 6u);
+  }
+}
+
+TEST(BreakpointIntervalsTest, DetectsStrictlyInteriorBreakpoints) {
+  // d has breakpoints at 3 and 6 (piece starts). Partition {[0,4), [4,8)}:
+  // the cut at 3 is interior to [0,4); the cut at 6 is interior to [4,8).
+  const auto d =
+      PiecewiseConstant::Create(8, {PiecewiseConstant::Piece{{0, 3}, 0.2},
+                                    PiecewiseConstant::Piece{{3, 6}, 0.1},
+                                    PiecewiseConstant::Piece{{6, 8}, 0.05}})
+          .value();
+  const Partition p = Partition::EquiWidth(8, 2);
+  EXPECT_EQ(BreakpointIntervalsOf(d, p), (std::vector<size_t>{0, 1}));
+}
+
+TEST(BreakpointIntervalsTest, AlignedBreakpointsDoNotCount) {
+  // Breakpoint exactly at the partition boundary (4) is not interior.
+  const auto d =
+      PiecewiseConstant::Create(8, {PiecewiseConstant::Piece{{0, 4}, 0.2},
+                                    PiecewiseConstant::Piece{{4, 8}, 0.05}})
+          .value();
+  const Partition p = Partition::EquiWidth(8, 2);
+  EXPECT_TRUE(BreakpointIntervalsOf(d, p).empty());
+}
+
+TEST(BreakpointIntervalsTest, EqualValuedSplitPiecesAreMerged) {
+  // Two adjacent pieces of equal value are not a real breakpoint.
+  const auto d =
+      PiecewiseConstant::Create(8, {PiecewiseConstant::Piece{{0, 3}, 0.125},
+                                    PiecewiseConstant::Piece{{3, 8}, 0.125}})
+          .value();
+  const Partition p = Partition::EquiWidth(8, 2);
+  EXPECT_TRUE(BreakpointIntervalsOf(d, p).empty());
+}
+
+TEST(BreakpointIntervalsTest, AtMostKMinusOneForKHistograms) {
+  Rng rng(7);
+  for (int trial = 0; trial < 10; ++trial) {
+    const auto h = MakeRandomKHistogram(256, 8, rng).value();
+    const Partition p = Partition::EquiWidth(256, 32);
+    EXPECT_LE(BreakpointIntervalsOf(h, p).size(), 7u);
+  }
+}
+
+}  // namespace
+}  // namespace histest

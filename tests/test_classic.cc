@@ -1,0 +1,92 @@
+#include "histogram/classic.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "dist/distance.h"
+#include "dist/generators.h"
+#include "histogram/fit_dp.h"
+
+namespace histest {
+namespace {
+
+TEST(EquiWidthTest, PreservesBucketMasses) {
+  const auto zipf = MakeZipf(100, 1.0).value();
+  auto h = EquiWidthHistogram(zipf, 4);
+  ASSERT_TRUE(h.ok());
+  EXPECT_EQ(h.value().NumPieces(), 4u);
+  EXPECT_NEAR(h.value().TotalMass(), 1.0, 1e-9);
+  for (const auto& piece : h.value().pieces()) {
+    EXPECT_NEAR(piece.value * static_cast<double>(piece.interval.size()),
+                zipf.MassOf(piece.interval), 1e-12);
+  }
+  EXPECT_FALSE(EquiWidthHistogram(zipf, 0).ok());
+  EXPECT_FALSE(EquiWidthHistogram(zipf, 101).ok());
+}
+
+TEST(EquiDepthTest, BucketsCarryNearEqualMass) {
+  const auto uniform = Distribution::UniformOver(100);
+  auto h = EquiDepthHistogram(uniform, 5);
+  ASSERT_TRUE(h.ok());
+  EXPECT_EQ(h.value().NumPieces(), 5u);
+  for (const auto& piece : h.value().pieces()) {
+    EXPECT_NEAR(piece.value * static_cast<double>(piece.interval.size()),
+                0.2, 0.02);
+  }
+}
+
+TEST(EquiDepthTest, SkewConcentratesBucketsAtTheHead) {
+  const auto zipf = MakeZipf(1000, 1.2).value();
+  auto depth = EquiDepthHistogram(zipf, 8);
+  ASSERT_TRUE(depth.ok());
+  // First bucket must be much narrower than the last (mass concentrates at
+  // small values).
+  EXPECT_LT(depth.value().pieces().front().interval.size(),
+            depth.value().pieces().back().interval.size() / 4);
+}
+
+TEST(EquiDepthTest, HeavyElementsCollapseBuckets) {
+  // One element holds 90% of the mass: most quantile boundaries coincide
+  // and the construction yields fewer than k buckets, still valid.
+  std::vector<double> pmf(10, 0.1 / 9);
+  pmf[4] = 0.9;
+  const auto d = Distribution::Create(std::move(pmf)).value();
+  auto h = EquiDepthHistogram(d, 5);
+  ASSERT_TRUE(h.ok());
+  EXPECT_LE(h.value().NumPieces(), 5u);
+  EXPECT_NEAR(h.value().TotalMass(), 1.0, 1e-9);
+}
+
+TEST(VOptimalTest, ExactOnTrueKHistograms) {
+  Rng rng(3);
+  const auto truth = MakeRandomKHistogram(256, 5, rng).value();
+  const auto dist = truth.ToDistribution().value();
+  auto h = VOptimalHistogram(dist, 5);
+  ASSERT_TRUE(h.ok());
+  EXPECT_NEAR(TotalVariation(h.value().ToDistribution().value(), dist), 0.0,
+              1e-9);
+}
+
+TEST(VOptimalTest, BeatsEquiWidthInSse) {
+  const auto zipf = MakeZipf(512, 1.0).value();
+  auto vopt = VOptimalHistogram(zipf, 8).value();
+  auto width = EquiWidthHistogram(zipf, 8).value();
+  const double sse_vopt =
+      L2DistanceSquared(vopt.ToDense(), zipf.pmf());
+  const double sse_width =
+      L2DistanceSquared(width.ToDense(), zipf.pmf());
+  EXPECT_LE(sse_vopt, sse_width + 1e-15);
+}
+
+TEST(VOptimalTest, MatchesExactL2DpOnSmallInputs) {
+  Rng rng(7);
+  const auto d = Distribution::Create(rng.DirichletSymmetric(32, 1.0)).value();
+  auto vopt = VOptimalHistogram(d, 4).value();
+  auto exact = FitAtomsL2(AtomsFromDense(d.pmf()), 4).value();
+  const double sse_vopt = L2DistanceSquared(vopt.ToDense(), d.pmf());
+  // The construction's SSE must equal the DP optimum (piece means).
+  EXPECT_NEAR(sse_vopt, exact.l1_error, 1e-12);
+}
+
+}  // namespace
+}  // namespace histest

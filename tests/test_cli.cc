@@ -1,0 +1,62 @@
+#include "common/cli.h"
+
+#include <gtest/gtest.h>
+
+namespace histest {
+namespace {
+
+ArgParser Parse(std::initializer_list<const char*> args) {
+  std::vector<const char*> argv = {"prog"};
+  argv.insert(argv.end(), args.begin(), args.end());
+  return ArgParser(static_cast<int>(argv.size()), argv.data());
+}
+
+TEST(ArgParserTest, EqualsForm) {
+  const ArgParser p = Parse({"--n=1024", "--eps=0.25", "--name=foo"});
+  EXPECT_EQ(p.GetInt("n", 0), 1024);
+  EXPECT_DOUBLE_EQ(p.GetDouble("eps", 0.0), 0.25);
+  EXPECT_EQ(p.GetString("name", ""), "foo");
+}
+
+TEST(ArgParserTest, SpaceForm) {
+  const ArgParser p = Parse({"--n", "64", "--flag"});
+  EXPECT_EQ(p.GetInt("n", 0), 64);
+  EXPECT_TRUE(p.GetBool("flag", false));
+}
+
+TEST(ArgParserTest, DefaultsWhenAbsent) {
+  const ArgParser p = Parse({});
+  EXPECT_EQ(p.GetInt("n", 42), 42);
+  EXPECT_DOUBLE_EQ(p.GetDouble("eps", 0.5), 0.5);
+  EXPECT_EQ(p.GetString("s", "dflt"), "dflt");
+  EXPECT_FALSE(p.GetBool("b", false));
+  EXPECT_FALSE(p.Has("n"));
+}
+
+TEST(ArgParserTest, BooleanValues) {
+  EXPECT_TRUE(Parse({"--x=true"}).GetBool("x", false));
+  EXPECT_TRUE(Parse({"--x=1"}).GetBool("x", false));
+  EXPECT_FALSE(Parse({"--x=false"}).GetBool("x", true));
+  EXPECT_FALSE(Parse({"--x=no"}).GetBool("x", true));
+}
+
+TEST(ArgParserTest, PositionalArguments) {
+  const ArgParser p = Parse({"input.csv", "--n=3", "other"});
+  ASSERT_EQ(p.positional().size(), 2u);
+  EXPECT_EQ(p.positional()[0], "input.csv");
+  EXPECT_EQ(p.positional()[1], "other");
+}
+
+TEST(ArgParserTest, NegativeNumbersViaEquals) {
+  const ArgParser p = Parse({"--offset=-5"});
+  EXPECT_EQ(p.GetInt("offset", 0), -5);
+}
+
+TEST(BenchScaleTest, DefaultsToOneWithoutEnv) {
+  // The test environment does not set HISTEST_BENCH_SCALE.
+  EXPECT_GT(BenchScale(), 0.0);
+  EXPECT_GE(ScaledTrials(10), 1);
+}
+
+}  // namespace
+}  // namespace histest

@@ -1,0 +1,58 @@
+#include "stats/collision.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "dist/distribution.h"
+#include "dist/sampler.h"
+
+namespace histest {
+namespace {
+
+TEST(CollisionTest, AllSameElementCollidesAlways) {
+  const CountVector cv = CountVector::FromCounts({5, 0});
+  EXPECT_DOUBLE_EQ(CollisionStatistic(cv), 1.0);
+}
+
+TEST(CollisionTest, AllDistinctNeverCollides) {
+  const CountVector cv = CountVector::FromCounts({1, 1, 1, 1});
+  EXPECT_DOUBLE_EQ(CollisionStatistic(cv), 0.0);
+}
+
+TEST(CollisionTest, ExpectedValueIsL2NormSquared) {
+  const auto d = Distribution::Create({0.5, 0.25, 0.25}).value();
+  EXPECT_DOUBLE_EQ(ExpectedCollisionStatistic(d.pmf()), 0.375);
+  // Empirically: sample m, average the statistic.
+  AliasSampler sampler(d);
+  Rng rng(3);
+  double avg = 0.0;
+  const int reps = 3000;
+  for (int r = 0; r < reps; ++r) {
+    CountVector cv(3);
+    for (int s = 0; s < 50; ++s) cv.Add(sampler.Sample(rng));
+    avg += CollisionStatistic(cv);
+  }
+  EXPECT_NEAR(avg / reps, 0.375, 0.01);
+}
+
+TEST(CollisionTest, UniformMinimizesCollisions) {
+  const auto uniform = Distribution::UniformOver(10);
+  const auto skewed = Distribution::Create(
+                          {0.5, 0.5 / 9, 0.5 / 9, 0.5 / 9, 0.5 / 9, 0.5 / 9,
+                           0.5 / 9, 0.5 / 9, 0.5 / 9, 0.5 / 9})
+                          .value();
+  EXPECT_LT(ExpectedCollisionStatistic(uniform.pmf()),
+            ExpectedCollisionStatistic(skewed.pmf()));
+  EXPECT_DOUBLE_EQ(ExpectedCollisionStatistic(uniform.pmf()), 0.1);
+}
+
+TEST(RestrictedCollisionTest, CountsOnlyInsideInterval) {
+  const CountVector cv = CountVector::FromCounts({3, 0, 2, 7});
+  // Interval [0,3): m = 5, pairs = 3 + 1 = 4, C(5,2) = 10.
+  EXPECT_DOUBLE_EQ(RestrictedCollisionStatistic(cv, {0, 3}), 0.4);
+  // Interval with < 2 samples is undefined.
+  EXPECT_DOUBLE_EQ(RestrictedCollisionStatistic(cv, {1, 2}), -1.0);
+}
+
+}  // namespace
+}  // namespace histest

@@ -1,0 +1,112 @@
+#include "dist/continuous.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/histogram_tester.h"
+#include "dist/empirical.h"
+
+namespace histest {
+namespace {
+
+TEST(QuantileSourceTest, UniformQuantileIsUniform) {
+  QuantileSource source([](double u) { return u; }, 3);
+  double sum = 0.0;
+  const int trials = 50000;
+  for (int i = 0; i < trials; ++i) {
+    const double x = source.Draw();
+    ASSERT_GE(x, 0.0);
+    ASSERT_LT(x, 1.0);
+    sum += x;
+  }
+  EXPECT_NEAR(sum / trials, 0.5, 0.01);
+}
+
+TEST(QuantileSourceTest, ClampsOutOfRangeQuantiles) {
+  QuantileSource source([](double) { return 2.0; }, 5);
+  const double x = source.Draw();
+  EXPECT_LT(x, 1.0);
+}
+
+TEST(PiecewiseDensityTest, ValidatesInput) {
+  EXPECT_FALSE(
+      PiecewiseDensitySource::Create({0.5}, {0.5}, 1).ok());  // size mismatch
+  EXPECT_FALSE(PiecewiseDensitySource::Create({0.5, 0.3}, {0.3, 0.3, 0.4}, 1)
+                   .ok());  // unsorted breaks
+  EXPECT_FALSE(PiecewiseDensitySource::Create({1.5}, {0.5, 0.5}, 1).ok());
+  EXPECT_FALSE(PiecewiseDensitySource::Create({0.5}, {0.3, 0.3}, 1).ok());
+}
+
+TEST(PiecewiseDensityTest, MassesLandInTheRightPieces) {
+  auto source =
+      PiecewiseDensitySource::Create({0.25, 0.75}, {0.6, 0.1, 0.3}, 7);
+  ASSERT_TRUE(source.ok());
+  int low = 0, mid = 0, high = 0;
+  const int trials = 60000;
+  for (int i = 0; i < trials; ++i) {
+    const double x = source.value()->Draw();
+    if (x < 0.25) {
+      ++low;
+    } else if (x < 0.75) {
+      ++mid;
+    } else {
+      ++high;
+    }
+  }
+  EXPECT_NEAR(static_cast<double>(low) / trials, 0.6, 0.01);
+  EXPECT_NEAR(static_cast<double>(mid) / trials, 0.1, 0.01);
+  EXPECT_NEAR(static_cast<double>(high) / trials, 0.3, 0.01);
+}
+
+TEST(GriddedOracleTest, CellsMatchTheDensity) {
+  auto source = PiecewiseDensitySource::Create({0.5}, {0.8, 0.2}, 11);
+  ASSERT_TRUE(source.ok());
+  GriddedOracle oracle(source.value().get(), 10);
+  EXPECT_EQ(oracle.DomainSize(), 10u);
+  const CountVector counts = oracle.DrawCounts(50000);
+  // First 5 cells share 0.8 uniformly.
+  for (size_t i = 0; i < 5; ++i) {
+    EXPECT_NEAR(static_cast<double>(counts[i]) / 50000.0, 0.16, 0.01);
+  }
+  EXPECT_EQ(oracle.SamplesDrawn(), 50000);
+}
+
+TEST(GriddedOracleTest, HistogramTesterOnGriddedContinuousDensity) {
+  // The paper's Section 2 workflow: grid a continuous density, run the
+  // discrete tester. A 3-piece density whose breaks align with the grid is
+  // a 3-histogram after gridding -> accept; a fine sawtooth density is far
+  // from H_3 -> reject.
+  const size_t n = 1024;
+  auto flat3 = PiecewiseDensitySource::Create({0.25, 0.5}, {0.5, 0.2, 0.3},
+                                              13);
+  ASSERT_TRUE(flat3.ok());
+  GriddedOracle in_class(flat3.value().get(), n);
+  HistogramTester tester(3, 0.25, HistogramTesterOptions{}, 17);
+  auto accept = tester.Test(in_class);
+  ASSERT_TRUE(accept.ok());
+  EXPECT_EQ(accept.value().verdict, Verdict::kAccept);
+
+  // Sawtooth: 32 teeth of alternating heavy/light halves.
+  std::vector<double> breaks;
+  std::vector<double> masses;
+  const int teeth = 32;
+  for (int t = 0; t < teeth; ++t) {
+    const double lo = static_cast<double>(t) / teeth;
+    breaks.push_back(lo + 0.5 / teeth);
+    if (t + 1 < teeth) breaks.push_back(lo + 1.0 / teeth);
+    masses.push_back(0.9 / teeth);
+    masses.push_back(0.1 / teeth);
+  }
+  auto saw = PiecewiseDensitySource::Create(std::move(breaks),
+                                            std::move(masses), 19);
+  ASSERT_TRUE(saw.ok());
+  GriddedOracle far(saw.value().get(), n);
+  HistogramTester tester2(3, 0.25, HistogramTesterOptions{}, 23);
+  auto reject = tester2.Test(far);
+  ASSERT_TRUE(reject.ok());
+  EXPECT_EQ(reject.value().verdict, Verdict::kReject);
+}
+
+}  // namespace
+}  // namespace histest

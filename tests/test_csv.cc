@@ -1,0 +1,66 @@
+#include "app/csv.h"
+
+#include <gtest/gtest.h>
+
+namespace histest {
+namespace {
+
+TEST(CsvTest, ParsesSingleColumn) {
+  auto column = ParseCsvColumn("value\n3\n1\n4\n1\n5\n");
+  ASSERT_TRUE(column.ok());
+  EXPECT_EQ(column.value().values, (std::vector<size_t>{3, 1, 4, 1, 5}));
+  EXPECT_EQ(column.value().domain, 6u);  // max + 1
+}
+
+TEST(CsvTest, ExtractsConfiguredColumn) {
+  CsvColumnOptions options;
+  options.column = 1;
+  auto column = ParseCsvColumn("id,qty\n10,3\n11,7\n", options);
+  ASSERT_TRUE(column.ok());
+  EXPECT_EQ(column.value().values, (std::vector<size_t>{3, 7}));
+}
+
+TEST(CsvTest, NoHeaderMode) {
+  CsvColumnOptions options;
+  options.has_header = false;
+  auto column = ParseCsvColumn("5\n6\n", options);
+  ASSERT_TRUE(column.ok());
+  EXPECT_EQ(column.value().values.size(), 2u);
+}
+
+TEST(CsvTest, HandlesCrlfAndBlankLines) {
+  auto column = ParseCsvColumn("value\r\n2\r\n\n3\r\n");
+  ASSERT_TRUE(column.ok());
+  EXPECT_EQ(column.value().values, (std::vector<size_t>{2, 3}));
+}
+
+TEST(CsvTest, EnforcesDomain) {
+  CsvColumnOptions options;
+  options.domain = 4;
+  EXPECT_FALSE(ParseCsvColumn("v\n5\n", options).ok());
+  auto ok = ParseCsvColumn("v\n3\n", options);
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(ok.value().domain, 4u);
+}
+
+TEST(CsvTest, RejectsMalformedInput) {
+  EXPECT_FALSE(ParseCsvColumn("").ok());
+  EXPECT_FALSE(ParseCsvColumn("header\n").ok());          // no rows
+  EXPECT_FALSE(ParseCsvColumn("v\nabc\n").ok());          // non-integer
+  EXPECT_FALSE(ParseCsvColumn("v\n-3\n").ok());           // negative
+  EXPECT_FALSE(ParseCsvColumn("v\n1.5\n").ok());          // non-integer
+  CsvColumnOptions options;
+  options.column = 2;
+  EXPECT_FALSE(ParseCsvColumn("a,b\n1,2\n", options).ok());  // missing col
+}
+
+TEST(CsvTest, WriteParseRoundTrip) {
+  const std::vector<size_t> values = {9, 0, 7, 7};
+  const std::string text = WriteCsvColumn("count", values);
+  auto back = ParseCsvColumn(text);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back.value().values, values);
+}
+
+}  // namespace
+}  // namespace histest

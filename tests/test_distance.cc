@@ -1,0 +1,143 @@
+#include "dist/distance.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "dist/generators.h"
+
+namespace histest {
+namespace {
+
+Distribution D(std::vector<double> pmf) {
+  return Distribution::Create(std::move(pmf)).value();
+}
+
+TEST(DistanceTest, L1KnownValue) {
+  EXPECT_DOUBLE_EQ(L1Distance({0.5, 0.5}, {1.0, 0.0}), 1.0);
+  EXPECT_DOUBLE_EQ(L1Distance({0.3, 0.7}, {0.3, 0.7}), 0.0);
+}
+
+TEST(DistanceTest, TotalVariationIsHalfL1) {
+  const auto a = D({0.5, 0.5});
+  const auto b = D({1.0, 0.0});
+  EXPECT_DOUBLE_EQ(TotalVariation(a, b), 0.5);
+}
+
+TEST(DistanceTest, TvPointMassesAreMaximallyFar) {
+  EXPECT_DOUBLE_EQ(TotalVariation(Distribution::PointMass(4, 0),
+                                  Distribution::PointMass(4, 3)),
+                   1.0);
+}
+
+TEST(DistanceTest, MetricAxiomsOnRandomInstances) {
+  Rng rng(11);
+  for (int trial = 0; trial < 20; ++trial) {
+    const auto a = D(rng.DirichletSymmetric(16, 1.0));
+    const auto b = D(rng.DirichletSymmetric(16, 1.0));
+    const auto c = D(rng.DirichletSymmetric(16, 1.0));
+    const double ab = TotalVariation(a, b);
+    // Symmetry, identity, range, triangle inequality.
+    EXPECT_DOUBLE_EQ(ab, TotalVariation(b, a));
+    EXPECT_DOUBLE_EQ(TotalVariation(a, a), 0.0);
+    EXPECT_GE(ab, 0.0);
+    EXPECT_LE(ab, 1.0);
+    EXPECT_LE(ab, TotalVariation(a, c) + TotalVariation(c, b) + 1e-12);
+  }
+}
+
+TEST(DistanceTest, PiecewiseTvMatchesDenseTv) {
+  Rng rng(13);
+  for (int trial = 0; trial < 10; ++trial) {
+    const auto pa = MakeRandomKHistogram(128, 6, rng).value();
+    const auto pb = MakeRandomKHistogram(128, 4, rng).value();
+    const double succinct = TotalVariation(pa, pb);
+    const double dense = TotalVariation(pa.ToDistribution().value(),
+                                        pb.ToDistribution().value());
+    EXPECT_NEAR(succinct, dense, 1e-10);
+  }
+}
+
+TEST(DistanceTest, L2KnownValue) {
+  EXPECT_DOUBLE_EQ(L2DistanceSquared({1.0, 0.0}, {0.0, 1.0}), 2.0);
+}
+
+TEST(DistanceTest, ChiSquareAsymmetricKnownValue) {
+  // d(p||q) = sum (p-q)^2/q.
+  const std::vector<double> p = {0.5, 0.5};
+  const std::vector<double> q = {0.25, 0.75};
+  EXPECT_NEAR(ChiSquareDistance(p, q),
+              0.25 * 0.25 / 0.25 + 0.25 * 0.25 / 0.75, 1e-12);
+  EXPECT_NE(ChiSquareDistance(p, q), ChiSquareDistance(q, p));
+}
+
+TEST(DistanceTest, ChiSquareZeroDenominatorConvention) {
+  EXPECT_TRUE(std::isinf(ChiSquareDistance({0.5, 0.5}, {1.0, 0.0})));
+  EXPECT_DOUBLE_EQ(ChiSquareDistance({1.0, 0.0}, {1.0, 0.0}), 0.0);
+}
+
+TEST(DistanceTest, ChiSquareUpperBoundsFourTvSquared) {
+  // Cauchy-Schwarz: (2 TV)^2 <= chi^2 for distributions.
+  Rng rng(17);
+  for (int trial = 0; trial < 10; ++trial) {
+    auto p = rng.DirichletSymmetric(16, 2.0);
+    auto q = rng.DirichletSymmetric(16, 2.0);
+    const double tv =
+        TotalVariation(D(std::vector<double>(p)), D(std::vector<double>(q)));
+    EXPECT_LE(4.0 * tv * tv, ChiSquareDistance(p, q) + 1e-12);
+  }
+}
+
+TEST(DistanceTest, HellingerKnownValuesAndBounds) {
+  const auto a = D({1.0, 0.0});
+  const auto b = D({0.0, 1.0});
+  EXPECT_DOUBLE_EQ(HellingerSquared(a, b), 1.0);
+  EXPECT_DOUBLE_EQ(HellingerSquared(a, a), 0.0);
+  // H^2 <= TV <= sqrt(2) H.
+  Rng rng(19);
+  for (int trial = 0; trial < 10; ++trial) {
+    const auto p = D(rng.DirichletSymmetric(8, 1.0));
+    const auto q = D(rng.DirichletSymmetric(8, 1.0));
+    const double h2 = HellingerSquared(p, q);
+    const double tv = TotalVariation(p, q);
+    EXPECT_LE(h2, tv + 1e-12);
+    EXPECT_LE(tv, std::sqrt(2.0 * h2) + 1e-12);
+  }
+}
+
+TEST(DistanceTest, KolmogorovSmirnovKnownValue) {
+  const auto a = D({0.5, 0.0, 0.5});
+  const auto b = D({0.0, 0.5, 0.5});
+  EXPECT_DOUBLE_EQ(KolmogorovSmirnov(a, b), 0.5);
+  // KS <= TV always.
+  EXPECT_LE(KolmogorovSmirnov(a, b), TotalVariation(a, b) + 1e-12);
+}
+
+TEST(DistanceTest, RestrictedDistancesSumOverG) {
+  const std::vector<double> a = {0.1, 0.2, 0.3, 0.4};
+  const std::vector<double> b = {0.4, 0.3, 0.2, 0.1};
+  const std::vector<Interval> g = {{0, 1}, {2, 3}};
+  EXPECT_NEAR(RestrictedL1(a, b, g), 0.3 + 0.1, 1e-12);
+  EXPECT_NEAR(RestrictedTV(a, b, g), 0.2, 1e-12);
+  // Full-domain restriction equals the plain distance.
+  EXPECT_NEAR(RestrictedL1(a, b, {{0, 4}}), L1Distance(a, b), 1e-12);
+}
+
+TEST(DistanceTest, RestrictedChiSquareConvention) {
+  const std::vector<double> p = {0.5, 0.5, 0.0};
+  const std::vector<double> q = {0.25, 0.75, 0.0};
+  EXPECT_NEAR(RestrictedChiSquare(p, q, {{0, 1}}), 0.25, 1e-12);
+  EXPECT_DOUBLE_EQ(RestrictedChiSquare(p, q, {{2, 3}}), 0.0);
+  const std::vector<double> bad = {0.5, 0.0, 0.5};
+  EXPECT_TRUE(std::isinf(RestrictedChiSquare(p, bad, {{1, 2}})));
+}
+
+TEST(DistanceTest, EmptyRestrictionIsZero) {
+  const std::vector<double> a = {0.5, 0.5};
+  const std::vector<double> b = {1.0, 0.0};
+  EXPECT_DOUBLE_EQ(RestrictedL1(a, b, {}), 0.0);
+}
+
+}  // namespace
+}  // namespace histest

@@ -1,0 +1,72 @@
+#include "testing/distance_estimator.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "dist/generators.h"
+#include "dist/perturb.h"
+#include "testing/oracle.h"
+
+namespace histest {
+namespace {
+
+TEST(DistanceEstimatorTest, ValidatesArguments) {
+  DistributionOracle oracle(Distribution::UniformOver(32), 3);
+  EXPECT_FALSE(EstimateDistanceToHk(oracle, 0, 0.1).ok());
+  EXPECT_FALSE(EstimateDistanceToHk(oracle, 2, 0.0).ok());
+  DistanceEstimatorOptions bad;
+  bad.delta = 1.5;
+  EXPECT_FALSE(EstimateDistanceToHk(oracle, 2, 0.1, bad).ok());
+}
+
+TEST(DistanceEstimatorTest, NearZeroForClassMembers) {
+  Rng rng(5);
+  const auto h = MakeRandomKHistogram(256, 4, rng).value();
+  DistributionOracle oracle(h.ToDistribution().value(), rng.Next());
+  auto estimate = EstimateDistanceToHk(oracle, 4, 0.05);
+  ASSERT_TRUE(estimate.ok());
+  EXPECT_LE(estimate.value().lower, 0.02);
+  EXPECT_GE(estimate.value().upper, estimate.value().lower);
+}
+
+TEST(DistanceEstimatorTest, BracketsCertifiedFarInstances) {
+  Rng rng(7);
+  const auto base = MakeStaircase(256, 4).value();
+  const auto far = MakeFarFromHk(base, 4, 0.3, rng).value();
+  DistributionOracle oracle(far.dist, rng.Next());
+  auto estimate = EstimateDistanceToHk(oracle, 4, 0.05);
+  ASSERT_TRUE(estimate.ok());
+  // The true distance is >= 0.3 (certified); the estimate's upper end must
+  // reach it and the lower end must clear the testing threshold ~0.2.
+  EXPECT_GE(estimate.value().upper, 0.3 - 1e-9);
+  EXPECT_GE(estimate.value().lower, 0.15);
+}
+
+TEST(DistanceEstimatorTest, SampleCountMatchesFormula) {
+  DistributionOracle oracle(Distribution::UniformOver(64), 11);
+  DistanceEstimatorOptions options;
+  options.sample_constant = 4.0;
+  options.delta = 0.25;  // log2(1/delta) = 2
+  auto estimate = EstimateDistanceToHk(oracle, 6, 0.5, options);
+  ASSERT_TRUE(estimate.ok());
+  EXPECT_EQ(estimate.value().samples_used,
+            static_cast<int64_t>(4.0 * (6.0 + 2.0) / 0.25));
+}
+
+TEST(DistanceEstimatorTest, MonotoneInK) {
+  // More pieces -> smaller (or equal) distance estimate, on the same
+  // sample budget ballpark.
+  const auto zipf = MakeZipf(256, 1.0).value();
+  Rng rng(13);
+  double prev = 1.0;
+  for (const size_t k : {size_t{1}, size_t{4}, size_t{16}, size_t{64}}) {
+    DistributionOracle oracle(zipf, rng.Next());
+    auto estimate = EstimateDistanceToHk(oracle, k, 0.03);
+    ASSERT_TRUE(estimate.ok());
+    EXPECT_LE(estimate.value().point, prev + 0.05) << "k = " << k;
+    prev = estimate.value().point;
+  }
+}
+
+}  // namespace
+}  // namespace histest

@@ -1,0 +1,175 @@
+#include "histogram/distance_to_hk.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "dist/generators.h"
+#include "dist/perturb.h"
+
+namespace histest {
+namespace {
+
+TEST(DistanceToHkTest, ZeroForMembersOfTheClass) {
+  Rng rng(3);
+  for (const size_t k : {size_t{1}, size_t{3}, size_t{8}}) {
+    const auto h = MakeRandomKHistogram(128, k, rng).value();
+    auto bounds = DistanceToHk(h.ToDistribution().value(), k);
+    ASSERT_TRUE(bounds.ok());
+    EXPECT_NEAR(bounds.value().lower, 0.0, 1e-9);
+    EXPECT_NEAR(bounds.value().upper, 0.0, 1e-9);
+  }
+}
+
+TEST(DistanceToHkTest, BoundsAreOrderedAndMonotoneInK) {
+  const auto zipf = MakeZipf(256, 1.0).value();
+  double prev_lower = 1.0;
+  for (size_t k = 1; k <= 32; k *= 2) {
+    auto bounds = DistanceToHk(zipf, k);
+    ASSERT_TRUE(bounds.ok());
+    EXPECT_LE(bounds.value().lower, bounds.value().upper + 1e-12);
+    // More pieces can only get closer.
+    EXPECT_LE(bounds.value().lower, prev_lower + 1e-9);
+    prev_lower = bounds.value().lower;
+  }
+}
+
+TEST(DistanceToHkTest, UniformDistanceToH1IsZero) {
+  auto bounds = DistanceToHk(Distribution::UniformOver(64), 1);
+  ASSERT_TRUE(bounds.ok());
+  EXPECT_NEAR(bounds.value().upper, 0.0, 1e-12);
+}
+
+TEST(DistanceToHkTest, PointMassFarFromH1OnLargeDomain) {
+  // Best 1-piece distribution is uniform; TV(point mass, uniform) = 1-1/n.
+  auto bounds = DistanceToHk(Distribution::PointMass(64, 10), 1);
+  ASSERT_TRUE(bounds.ok());
+  EXPECT_GE(bounds.value().lower, 0.5);
+  EXPECT_LE(bounds.value().upper, 1.0);
+  // With 3 pieces a point mass is exactly representable.
+  auto exact = DistanceToHk(Distribution::PointMass(64, 10), 3);
+  ASSERT_TRUE(exact.ok());
+  EXPECT_NEAR(exact.value().upper, 0.0, 1e-12);
+}
+
+TEST(DistanceToHkTest, CertifiedFarInstancesAreBracketed) {
+  Rng rng(7);
+  const auto base = MakeStaircase(256, 4).value();
+  auto far = MakeFarFromHk(base, 4, 0.2, rng).value();
+  auto bounds = DistanceToHk(far.dist, 4);
+  ASSERT_TRUE(bounds.ok());
+  // The certificate is a genuine lower bound, so upper must exceed it.
+  EXPECT_GE(bounds.value().upper, far.certified_tv_lower_bound - 1e-9);
+  EXPECT_GE(bounds.value().lower, 0.1);
+}
+
+TEST(DistanceToHkTest, CoarseningKeepsBoundsValid) {
+  // Force coarsening with a tiny dp_atom_limit and check the bracket still
+  // contains the uncoarsened value.
+  const auto zipf = MakeZipf(512, 1.0).value();
+  auto exact = DistanceToHk(zipf, 4);
+  ASSERT_TRUE(exact.ok());
+  HkDistanceOptions coarse_opts;
+  coarse_opts.dp_atom_limit = 32;
+  auto coarse = DistanceToHk(zipf, 4, coarse_opts);
+  ASSERT_TRUE(coarse.ok());
+  EXPECT_LE(coarse.value().lower, exact.value().upper + 1e-9);
+  EXPECT_GE(coarse.value().upper, exact.value().lower - 1e-9);
+}
+
+TEST(DistanceToHkTest, RejectsKZero) {
+  EXPECT_FALSE(DistanceToHk(Distribution::UniformOver(8), 0).ok());
+}
+
+TEST(RestrictedDistanceTest, FullDomainMatchesUnrestrictedFit) {
+  Rng rng(11);
+  const auto h = MakeRandomKHistogram(64, 6, rng).value();
+  auto restricted =
+      RestrictedDistanceToHkPieces(h, {Interval{0, 64}}, 6);
+  ASSERT_TRUE(restricted.ok());
+  EXPECT_NEAR(restricted.value().lower, 0.0, 1e-9);
+}
+
+TEST(RestrictedDistanceTest, GapsAbsorbBreakpoints) {
+  // A 3-piece function whose middle piece is entirely inside a gap: with
+  // the gap free, 2 pieces suffice on the kept domain... but the middle
+  // values differ across the gap, so 2 pieces are needed, not 1.
+  const auto f =
+      PiecewiseConstant::Create(12, {PiecewiseConstant::Piece{{0, 4}, 0.1},
+                                     PiecewiseConstant::Piece{{4, 8}, 0.9},
+                                     PiecewiseConstant::Piece{{8, 12}, 0.2}})
+          .value();
+  const std::vector<Interval> kept = {{0, 4}, {8, 12}};
+  auto two = RestrictedDistanceToHkPieces(f, kept, 2);
+  ASSERT_TRUE(two.ok());
+  EXPECT_NEAR(two.value().lower, 0.0, 1e-9);
+  // One piece must average 0.1 and 0.2 (cost > 0) regardless of the gap.
+  auto one = RestrictedDistanceToHkPieces(f, kept, 1);
+  ASSERT_TRUE(one.ok());
+  EXPECT_GT(one.value().lower, 0.09);
+}
+
+TEST(RestrictedDistanceTest, ValidatesKeptIntervals) {
+  const auto f = PiecewiseConstant::Flat(8, 0.125);
+  EXPECT_FALSE(
+      RestrictedDistanceToHkPieces(f, {Interval{4, 2}}, 1).ok());  // reversed
+  EXPECT_FALSE(
+      RestrictedDistanceToHkPieces(f, {Interval{0, 9}}, 1).ok());  // range
+  EXPECT_FALSE(RestrictedDistanceToHkPieces(
+                   f, {Interval{0, 4}, Interval{2, 6}}, 1)
+                   .ok());  // overlap
+  EXPECT_FALSE(RestrictedDistanceToHkPieces(f, {}, 0).ok());  // k = 0
+}
+
+TEST(RestrictedDistanceTest, WitnessBoundSurvivesCoarsening) {
+  // Regression for the E2 k=32 soundness hole: a fine alternating
+  // hypothesis (heavy/light value every other element) is ~far from H_k,
+  // but greedy coarsening to the DP limit erases that structure and the
+  // DP-minus-slack lower bound collapses to 0. The witness oscillation
+  // bound must keep the lower bound sharp.
+  const size_t n = 4096;
+  std::vector<PiecewiseConstant::Piece> pieces;
+  for (size_t i = 0; i < n; i += 2) {
+    pieces.push_back({Interval{i, i + 1}, 1.5 / n});
+    pieces.push_back({Interval{i + 1, i + 2}, 0.5 / n});
+  }
+  const auto zigzag = PiecewiseConstant::Create(n, std::move(pieces)).value();
+  HkDistanceOptions options;
+  options.dp_atom_limit = 128;  // force aggressive coarsening
+  auto bounds = RestrictedDistanceToHkPieces(zigzag, {Interval{0, n}}, 32,
+                                             options);
+  ASSERT_TRUE(bounds.ok());
+  // True distance ~0.25 (each of ~2048 pairs contributes 0.5/n to TV, all
+  // but 31 must be paid); the witness bound must recover most of it.
+  EXPECT_GE(bounds.value().lower, 0.15);
+  EXPECT_LE(bounds.value().lower, bounds.value().upper + 1e-9);
+}
+
+TEST(DistanceToHkTest, WitnessBoundOnDenseAlternatingInstance) {
+  // Same regression through the dense entry point.
+  const size_t n = 4096;
+  std::vector<double> pmf(n);
+  for (size_t i = 0; i < n; ++i) {
+    pmf[i] = (i % 2 == 0 ? 1.5 : 0.5) / static_cast<double>(n);
+  }
+  const auto d = Distribution::Create(std::move(pmf)).value();
+  HkDistanceOptions options;
+  options.dp_atom_limit = 128;
+  auto bounds = DistanceToHk(d, 32, options);
+  ASSERT_TRUE(bounds.ok());
+  EXPECT_GE(bounds.value().lower, 0.15);
+}
+
+TEST(RestrictedDistanceTest, DiscardingEverythingCostsNothing) {
+  const auto f =
+      PiecewiseConstant::Create(8, {PiecewiseConstant::Piece{{0, 4}, 0.01},
+                                    PiecewiseConstant::Piece{{4, 8}, 0.24}})
+          .value();
+  // Kept domain empty -> the atom walk produces only gap atoms.
+  auto bounds = RestrictedDistanceToHkPieces(f, {}, 1);
+  ASSERT_TRUE(bounds.ok());
+  EXPECT_NEAR(bounds.value().lower, 0.0, 1e-12);
+  EXPECT_NEAR(bounds.value().upper, 0.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace histest

@@ -1,0 +1,54 @@
+#include "dist/empirical.h"
+
+#include <gtest/gtest.h>
+
+namespace histest {
+namespace {
+
+TEST(CountVectorTest, FromSamples) {
+  const CountVector cv = CountVector::FromSamples(4, {0, 1, 1, 3, 3, 3});
+  EXPECT_EQ(cv.total(), 6);
+  EXPECT_EQ(cv[0], 1);
+  EXPECT_EQ(cv[1], 2);
+  EXPECT_EQ(cv[2], 0);
+  EXPECT_EQ(cv[3], 3);
+}
+
+TEST(CountVectorTest, FromCountsAndAdd) {
+  CountVector cv = CountVector::FromCounts({1, 0, 2});
+  EXPECT_EQ(cv.total(), 3);
+  cv.Add(1);
+  EXPECT_EQ(cv.total(), 4);
+  EXPECT_EQ(cv[1], 1);
+}
+
+TEST(CountVectorTest, IntervalCounts) {
+  const CountVector cv = CountVector::FromCounts({1, 2, 3, 4});
+  EXPECT_EQ(cv.IntervalCount({1, 3}), 5);
+  EXPECT_EQ(cv.IntervalCount({0, 0}), 0);
+  const Partition p = Partition::EquiWidth(4, 2);
+  const std::vector<int64_t> per = cv.IntervalCounts(p);
+  ASSERT_EQ(per.size(), 2u);
+  EXPECT_EQ(per[0], 3);
+  EXPECT_EQ(per[1], 7);
+}
+
+TEST(CountVectorTest, ToEmpirical) {
+  const CountVector cv = CountVector::FromCounts({1, 3});
+  auto d = cv.ToEmpirical();
+  ASSERT_TRUE(d.ok());
+  EXPECT_DOUBLE_EQ(d.value()[0], 0.25);
+  EXPECT_DOUBLE_EQ(d.value()[1], 0.75);
+  const CountVector empty(3);
+  EXPECT_FALSE(empty.ToEmpirical().ok());
+}
+
+TEST(CountVectorTest, DistinctAndCollisions) {
+  const CountVector cv = CountVector::FromCounts({3, 0, 2, 1});
+  EXPECT_EQ(cv.DistinctCount(), 3u);
+  // C(3,2) + C(2,2) = 3 + 1.
+  EXPECT_EQ(cv.CollisionPairs(), 4);
+}
+
+}  // namespace
+}  // namespace histest

@@ -1,0 +1,58 @@
+#include "lowerbound/eps_scaling.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "dist/distance.h"
+#include "dist/generators.h"
+#include "histogram/distance_to_hk.h"
+
+namespace histest {
+namespace {
+
+TEST(EpsScalingTest, ValidatesScale) {
+  const auto d = Distribution::UniformOver(4);
+  EXPECT_FALSE(EmbedWithSlackElement(d, 0.0).ok());
+  EXPECT_FALSE(EmbedWithSlackElement(d, 1.5).ok());
+}
+
+TEST(EpsScalingTest, SlackElementCarriesResidualMass) {
+  const auto d = Distribution::UniformOver(4);
+  auto e = EmbedWithSlackElement(d, 0.25);
+  ASSERT_TRUE(e.ok());
+  EXPECT_EQ(e.value().size(), 5u);
+  EXPECT_DOUBLE_EQ(e.value()[4], 0.75);
+  EXPECT_DOUBLE_EQ(e.value()[0], 0.0625);
+}
+
+TEST(EpsScalingTest, DistancesContractExactly) {
+  Rng rng(3);
+  for (const double scale : {0.1, 0.5, 1.0}) {
+    const auto a = Distribution::Create(rng.DirichletSymmetric(16, 1.0)).value();
+    const auto b = Distribution::Create(rng.DirichletSymmetric(16, 1.0)).value();
+    const auto ea = EmbedWithSlackElement(a, scale).value();
+    const auto eb = EmbedWithSlackElement(b, scale).value();
+    EXPECT_NEAR(TotalVariation(ea, eb), scale * TotalVariation(a, b), 1e-12)
+        << "scale " << scale;
+  }
+}
+
+TEST(EpsScalingTest, FarnessScalesWithTheEmbedding) {
+  // A certified eps-far instance, scaled by s, stays >= s*eps - slack far
+  // from H_{k} (the slack element costs at most 2 pieces). Check against
+  // the exact DP with the H_{k+2} comparison.
+  const auto comb = MakeComb(128, 16, 0.2).value();
+  const double full = DistanceToHk(comb, 4).value().lower;
+  ASSERT_GT(full, 0.3);
+  const double scale = 0.5;
+  const auto embedded = EmbedWithSlackElement(comb, scale).value();
+  const double scaled = DistanceToHk(embedded, 4).value().upper;
+  // Upper bound on the embedded instance's distance to H_4 must be at
+  // least the contracted lower bound to H_6 (2 pieces absorbed by slack).
+  const double contracted =
+      scale * DistanceToHk(comb, 6).value().lower;
+  EXPECT_GE(scaled + 1e-9, contracted);
+}
+
+}  // namespace
+}  // namespace histest

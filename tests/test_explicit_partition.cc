@@ -1,0 +1,87 @@
+#include "testing/explicit_partition.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "dist/distance.h"
+#include "dist/generators.h"
+#include "histogram/flatten.h"
+#include "testing/oracle.h"
+
+namespace histest {
+namespace {
+
+bool MajorityAccepts(const Distribution& dist, const Partition& partition,
+                     double eps, int reps) {
+  Rng rng(60601);
+  int accepts = 0;
+  for (int r = 0; r < reps; ++r) {
+    DistributionOracle oracle(dist, rng.Next());
+    ExplicitPartitionTester tester(partition, eps,
+                                   ExplicitPartitionOptions{}, rng.Next());
+    auto outcome = tester.Test(oracle);
+    EXPECT_TRUE(outcome.ok()) << outcome.status().ToString();
+    if (outcome.ok() && outcome.value().verdict == Verdict::kAccept) {
+      ++accepts;
+    }
+  }
+  return accepts * 2 > reps;
+}
+
+TEST(ExplicitPartitionTest, AcceptsAlignedHistogram) {
+  // D constant on every interval of the given partition.
+  const Partition p = Partition::EquiWidth(512, 8);
+  const auto d = MakeStaircase(512, 8).value().ToDistribution().value();
+  EXPECT_TRUE(MajorityAccepts(d, p, 0.25, 5));
+}
+
+TEST(ExplicitPartitionTest, AcceptsUniformOnAnyPartition) {
+  const Partition p = Partition::EquiWidth(512, 5);
+  EXPECT_TRUE(MajorityAccepts(Distribution::UniformOver(512), p, 0.25, 5));
+}
+
+TEST(ExplicitPartitionTest, RejectsMisalignedDistribution) {
+  // A comb is violently non-flat within any coarse partition interval.
+  const Partition p = Partition::EquiWidth(512, 3);
+  const auto d = MakeComb(512, 16, 0.2).value();
+  // Sanity: flattening over Pi is genuinely far.
+  const Distribution flat = FlattenOutside(d, p, {});
+  ASSERT_GT(TotalVariation(d, flat), 0.25);
+  EXPECT_FALSE(MajorityAccepts(d, p, 0.25, 5));
+}
+
+TEST(ExplicitPartitionTest, RejectsZipfOnCoarsePartition) {
+  const Partition p = Partition::EquiWidth(1024, 2);
+  const auto zipf = MakeZipf(1024, 1.0).value();
+  EXPECT_FALSE(MajorityAccepts(zipf, p, 0.25, 5));
+}
+
+TEST(ExplicitPartitionTest, SingletonPartitionAcceptsEverything) {
+  // With all-singleton Pi every distribution is Pi-flat.
+  const Partition p = Partition::Singletons(64);
+  const auto zipf = MakeZipf(64, 1.0).value();
+  EXPECT_TRUE(MajorityAccepts(zipf, p, 0.3, 5));
+}
+
+TEST(ExplicitPartitionTest, DomainMismatchIsStructuralError) {
+  DistributionOracle oracle(Distribution::UniformOver(32), 3);
+  ExplicitPartitionTester tester(Partition::EquiWidth(64, 4), 0.25,
+                                 ExplicitPartitionOptions{}, 5);
+  EXPECT_FALSE(tester.Test(oracle).ok());
+}
+
+TEST(ExplicitPartitionTest, CheaperThanFullProblemBudget) {
+  // The known-partition tester has no k/eps^3 log^2 k learning stage; its
+  // cost is O(sqrt(n)/eps^2 + K/eps^2).
+  const size_t n = 4096;
+  const Partition p = Partition::EquiWidth(n, 8);
+  DistributionOracle oracle(Distribution::UniformOver(n), 7);
+  ExplicitPartitionTester tester(p, 0.25, ExplicitPartitionOptions{}, 9);
+  auto outcome = tester.Test(oracle);
+  ASSERT_TRUE(outcome.ok());
+  // m1 = 32 * 8 / eps^2 + m2 = 60 * 64 / (0.125)^2: well under 1M.
+  EXPECT_LT(outcome.value().samples_used, 1000000);
+}
+
+}  // namespace
+}  // namespace histest

@@ -1,0 +1,191 @@
+#include "histogram/fit_dp.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/rng.h"
+
+namespace histest {
+namespace {
+
+/// Brute-force best k-piece L1 fit over unit atoms by enumerating all
+/// breakpoint placements (exponential; tiny inputs only).
+double BruteForceL1(const std::vector<double>& values, size_t k) {
+  const size_t n = values.size();
+  const size_t cuts = n - 1;
+  double best = std::numeric_limits<double>::infinity();
+  // Iterate over subsets of cut positions with at most k-1 cuts.
+  for (uint32_t mask = 0; mask < (1u << cuts); ++mask) {
+    if (static_cast<size_t>(__builtin_popcount(mask)) > k - 1) continue;
+    double cost = 0.0;
+    size_t start = 0;
+    for (size_t i = 0; i <= cuts; ++i) {
+      const bool cut_here = (i < cuts) && ((mask >> i) & 1u);
+      if (cut_here || i == cuts) {
+        // Segment [start, i]: optimal constant is the median.
+        std::vector<double> seg(values.begin() + start,
+                                values.begin() + i + 1);
+        std::sort(seg.begin(), seg.end());
+        const double med = seg[(seg.size() - 1) / 2];
+        for (double v : seg) cost += std::fabs(v - med);
+        start = i + 1;
+      }
+    }
+    best = std::min(best, cost);
+  }
+  return best;
+}
+
+TEST(SegmentCostTableTest, SingleAtomCostsZero) {
+  const std::vector<WeightedAtom> atoms = {{5.0, 1.0, 1.0}};
+  const SegmentCostTable table(atoms);
+  EXPECT_DOUBLE_EQ(table.Cost(0, 0), 0.0);
+  EXPECT_DOUBLE_EQ(table.OptimalValue(0, 0), 5.0);
+}
+
+TEST(SegmentCostTableTest, KnownSmallCosts) {
+  // Values 1, 3, 10 with unit weights: median 3, cost |1-3| + |10-3| = 9.
+  const std::vector<WeightedAtom> atoms = {
+      {1.0, 1.0, 1.0}, {3.0, 1.0, 1.0}, {10.0, 1.0, 1.0}};
+  const SegmentCostTable table(atoms);
+  EXPECT_DOUBLE_EQ(table.Cost(0, 2), 9.0);
+  EXPECT_DOUBLE_EQ(table.Cost(0, 1), 2.0);
+  EXPECT_DOUBLE_EQ(table.Cost(1, 2), 7.0);
+  EXPECT_DOUBLE_EQ(table.OptimalValue(0, 2), 3.0);
+}
+
+TEST(SegmentCostTableTest, WeightsShiftTheMedian) {
+  // Heavy weight on value 10 pulls the weighted median there.
+  const std::vector<WeightedAtom> atoms = {{1.0, 1.0, 1.0},
+                                           {10.0, 3.0, 3.0}};
+  const SegmentCostTable table(atoms);
+  EXPECT_DOUBLE_EQ(table.OptimalValue(0, 1), 10.0);
+  EXPECT_DOUBLE_EQ(table.Cost(0, 1), 9.0);
+}
+
+TEST(SegmentCostTableTest, GapAtomsAreFree) {
+  const std::vector<WeightedAtom> atoms = {
+      {1.0, 1.0, 1.0}, {100.0, 5.0, 0.0}, {1.0, 1.0, 1.0}};
+  const SegmentCostTable table(atoms);
+  EXPECT_DOUBLE_EQ(table.Cost(0, 2), 0.0);
+}
+
+TEST(FitAtomsL1Test, ValidatesInput) {
+  EXPECT_FALSE(FitAtomsL1({}, 2).ok());
+  EXPECT_FALSE(FitAtomsL1({{1.0, 1.0, 1.0}}, 0).ok());
+  EXPECT_FALSE(FitAtomsL1({{1.0, 0.5, 1.0}}, 1).ok());   // length < 1
+  EXPECT_FALSE(FitAtomsL1({{1.0, 1.0, -1.0}}, 1).ok());  // negative weight
+  std::vector<WeightedAtom> too_long(SegmentCostTable::kMaxAtoms + 1,
+                                     {1.0, 1.0, 1.0});
+  EXPECT_FALSE(FitAtomsL1(too_long, 2).ok());
+}
+
+TEST(FitAtomsL1Test, PerfectFitWhenPiecesSuffice) {
+  const std::vector<WeightedAtom> atoms = {
+      {1.0, 2.0, 2.0}, {5.0, 3.0, 3.0}, {2.0, 1.0, 1.0}};
+  auto fit = FitAtomsL1(atoms, 3);
+  ASSERT_TRUE(fit.ok());
+  EXPECT_DOUBLE_EQ(fit.value().l1_error, 0.0);
+  EXPECT_EQ(fit.value().piece_values.size(), 3u);
+}
+
+TEST(FitAtomsL1Test, ExtraPiecesDoNotHurt) {
+  const std::vector<WeightedAtom> atoms = {{1.0, 1.0, 1.0},
+                                           {2.0, 1.0, 1.0}};
+  auto fit = FitAtomsL1(atoms, 10);
+  ASSERT_TRUE(fit.ok());
+  EXPECT_DOUBLE_EQ(fit.value().l1_error, 0.0);
+}
+
+class DpVsBruteForceTest : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(DpVsBruteForceTest, MatchesOnRandomInstances) {
+  const size_t k = GetParam();
+  Rng rng(100 + k);
+  for (int trial = 0; trial < 20; ++trial) {
+    const size_t n = 4 + static_cast<size_t>(rng.UniformInt(8));  // 4..11
+    std::vector<double> values(n);
+    std::vector<WeightedAtom> atoms(n);
+    for (size_t i = 0; i < n; ++i) {
+      values[i] = std::floor(rng.UniformDouble() * 8.0);
+      atoms[i] = {values[i], 1.0, 1.0};
+    }
+    auto fit = FitAtomsL1(atoms, k);
+    ASSERT_TRUE(fit.ok());
+    EXPECT_NEAR(fit.value().l1_error, BruteForceL1(values, k), 1e-9)
+        << "trial " << trial << " n " << n << " k " << k;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Ks, DpVsBruteForceTest,
+                         ::testing::Values(1, 2, 3, 4));
+
+TEST(FitAtomsL1Test, MonotoneInK) {
+  Rng rng(17);
+  std::vector<WeightedAtom> atoms(30);
+  for (auto& a : atoms) a = {rng.UniformDouble(), 1.0, 1.0};
+  double prev = std::numeric_limits<double>::infinity();
+  for (size_t k = 1; k <= 8; ++k) {
+    auto fit = FitAtomsL1(atoms, k);
+    ASSERT_TRUE(fit.ok());
+    EXPECT_LE(fit.value().l1_error, prev + 1e-12);
+    prev = fit.value().l1_error;
+  }
+}
+
+TEST(FitAtomsL2Test, OnePieceUsesWeightedMean) {
+  const std::vector<WeightedAtom> atoms = {{0.0, 1.0, 1.0},
+                                           {3.0, 1.0, 3.0}};
+  auto fit = FitAtomsL2(atoms, 1);
+  ASSERT_TRUE(fit.ok());
+  // Weighted mean = (0*1 + 3*3)/4 = 2.25; SSE = 1*(2.25)^2 + 3*(0.75)^2.
+  EXPECT_NEAR(fit.value().piece_values[0], 2.25, 1e-12);
+  EXPECT_NEAR(fit.value().l1_error, 5.0625 + 1.6875, 1e-9);
+}
+
+TEST(FitAtomsL2Test, PerfectFitWithEnoughPieces) {
+  const std::vector<WeightedAtom> atoms = {
+      {1.0, 1.0, 1.0}, {2.0, 1.0, 1.0}, {3.0, 1.0, 1.0}};
+  auto fit = FitAtomsL2(atoms, 3);
+  ASSERT_TRUE(fit.ok());
+  EXPECT_NEAR(fit.value().l1_error, 0.0, 1e-12);
+}
+
+TEST(AtomsFromDenseTest, RunLengthCompresses) {
+  const auto atoms = AtomsFromDense({1.0, 1.0, 2.0, 2.0, 2.0, 1.0});
+  ASSERT_EQ(atoms.size(), 3u);
+  EXPECT_DOUBLE_EQ(atoms[0].length, 2.0);
+  EXPECT_DOUBLE_EQ(atoms[1].length, 3.0);
+  EXPECT_DOUBLE_EQ(atoms[2].length, 1.0);
+  EXPECT_DOUBLE_EQ(atoms[1].value, 2.0);
+}
+
+TEST(FitToPiecewiseTest, ExpandsAtomLengths) {
+  const std::vector<WeightedAtom> atoms = {{0.5, 2.0, 2.0}, {0.25, 3.0, 3.0}};
+  AtomFit fit;
+  fit.piece_starts = {0, 1, 2};
+  fit.piece_values = {0.5, 0.25};
+  auto pwc = FitToPiecewise(atoms, fit);
+  ASSERT_TRUE(pwc.ok());
+  EXPECT_EQ(pwc.value().domain_size(), 5u);
+  EXPECT_DOUBLE_EQ(pwc.value().ValueAt(1), 0.5);
+  EXPECT_DOUBLE_EQ(pwc.value().ValueAt(2), 0.25);
+}
+
+TEST(FitHistogramL1Test, EndToEndOnDenseTarget) {
+  // A clean 2-level target with one outlier; k=2 must pay only the outlier.
+  const std::vector<double> target = {1.0, 1.0, 9.0, 4.0, 4.0, 4.0};
+  auto result = FitHistogramL1(target, 3);
+  ASSERT_TRUE(result.ok());
+  EXPECT_DOUBLE_EQ(result.value().l1_error, 0.0);
+  auto two = FitHistogramL1(target, 2);
+  ASSERT_TRUE(two.ok());
+  EXPECT_GT(two.value().l1_error, 0.0);
+  EXPECT_LE(two.value().l1_error, 8.0 + 1e-12);
+}
+
+}  // namespace
+}  // namespace histest

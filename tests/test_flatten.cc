@@ -1,0 +1,63 @@
+#include "histogram/flatten.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "dist/distance.h"
+
+namespace histest {
+namespace {
+
+TEST(FlattenTest, FullFlatteningAveragesIntervals) {
+  const auto d = Distribution::Create({0.1, 0.3, 0.2, 0.4}).value();
+  const Partition p = Partition::EquiWidth(4, 2);
+  const Distribution flat = FlattenOutside(d, p, {});
+  EXPECT_DOUBLE_EQ(flat[0], 0.2);
+  EXPECT_DOUBLE_EQ(flat[1], 0.2);
+  EXPECT_DOUBLE_EQ(flat[2], 0.3);
+  EXPECT_DOUBLE_EQ(flat[3], 0.3);
+}
+
+TEST(FlattenTest, KeepExactPreservesIntervals) {
+  const auto d = Distribution::Create({0.1, 0.3, 0.2, 0.4}).value();
+  const Partition p = Partition::EquiWidth(4, 2);
+  const Distribution flat = FlattenOutside(d, p, {0});
+  EXPECT_DOUBLE_EQ(flat[0], 0.1);
+  EXPECT_DOUBLE_EQ(flat[1], 0.3);
+  EXPECT_DOUBLE_EQ(flat[2], 0.3);
+  EXPECT_DOUBLE_EQ(flat[3], 0.3);
+}
+
+TEST(FlattenTest, PreservesIntervalMasses) {
+  Rng rng(3);
+  const auto d =
+      Distribution::Create(rng.DirichletSymmetric(64, 1.0)).value();
+  const Partition p = Partition::EquiWidth(64, 7);
+  const Distribution flat = FlattenOutside(d, p, {});
+  for (const Interval& iv : p.intervals()) {
+    EXPECT_NEAR(flat.MassOf(iv), d.MassOf(iv), 1e-12);
+  }
+}
+
+TEST(FlattenTest, FlattenAllSuccinctMatchesDense) {
+  Rng rng(5);
+  const auto d =
+      Distribution::Create(rng.DirichletSymmetric(32, 1.0)).value();
+  const Partition p = Partition::EquiWidth(32, 5);
+  const PiecewiseConstant succinct = FlattenAll(d, p);
+  const Distribution dense = FlattenOutside(d, p, {});
+  EXPECT_EQ(succinct.NumPieces(), 5u);
+  EXPECT_NEAR(TotalVariation(succinct.ToDistribution().value(), dense), 0.0,
+              1e-12);
+}
+
+TEST(FlattenTest, HistogramAlignedWithPartitionIsFixedPoint) {
+  // If D is constant on every partition interval, flattening is identity.
+  const auto d = Distribution::Create({0.2, 0.2, 0.3, 0.3}).value();
+  const Partition p = Partition::EquiWidth(4, 2);
+  const Distribution flat = FlattenOutside(d, p, {});
+  EXPECT_NEAR(TotalVariation(d, flat), 0.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace histest

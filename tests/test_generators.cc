@@ -1,0 +1,112 @@
+#include "dist/generators.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "histogram/breakpoints.h"
+
+namespace histest {
+namespace {
+
+TEST(GeneratorsTest, ZipfIsDecreasingAndValid) {
+  auto d = MakeZipf(100, 1.0);
+  ASSERT_TRUE(d.ok());
+  for (size_t i = 1; i < 100; ++i) EXPECT_LE(d.value()[i], d.value()[i - 1]);
+  EXPECT_FALSE(MakeZipf(0, 1.0).ok());
+  EXPECT_FALSE(MakeZipf(10, -1.0).ok());
+  // s = 0 degenerates to uniform.
+  auto flat = MakeZipf(10, 0.0);
+  ASSERT_TRUE(flat.ok());
+  EXPECT_DOUBLE_EQ(flat.value()[0], flat.value()[9]);
+}
+
+TEST(GeneratorsTest, GeometricRatioAndValidation) {
+  auto d = MakeGeometric(50, 0.9);
+  ASSERT_TRUE(d.ok());
+  for (size_t i = 1; i < 50; ++i) {
+    EXPECT_NEAR(d.value()[i] / d.value()[i - 1], 0.9, 1e-9);
+  }
+  EXPECT_FALSE(MakeGeometric(10, 0.0).ok());
+  EXPECT_FALSE(MakeGeometric(10, 1.5).ok());
+}
+
+TEST(GeneratorsTest, StaircaseHasExactlyKPieces) {
+  auto s = MakeStaircase(100, 7);
+  ASSERT_TRUE(s.ok());
+  EXPECT_EQ(s.value().Simplified().NumPieces(), 7u);
+  EXPECT_NEAR(s.value().TotalMass(), 1.0, 1e-9);
+  // Step masses decay.
+  const auto& pieces = s.value().pieces();
+  for (size_t j = 1; j < pieces.size(); ++j) {
+    EXPECT_LT(pieces[j].value, pieces[j - 1].value);
+  }
+  EXPECT_FALSE(MakeStaircase(5, 6).ok());
+  EXPECT_FALSE(MakeStaircase(5, 0).ok());
+}
+
+class RandomKHistogramTest : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(RandomKHistogramTest, StructureAndMass) {
+  const size_t k = GetParam();
+  Rng rng(1000 + k);
+  for (int trial = 0; trial < 5; ++trial) {
+    auto h = MakeRandomKHistogram(256, k, rng);
+    ASSERT_TRUE(h.ok());
+    EXPECT_EQ(h.value().NumPieces(), k);
+    EXPECT_NEAR(h.value().TotalMass(), 1.0, 1e-9);
+    // As a dense vector it is a k-histogram.
+    EXPECT_TRUE(IsKHistogramDense(h.value().ToDense(), k));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Ks, RandomKHistogramTest,
+                         ::testing::Values(1, 2, 5, 16, 64));
+
+TEST(GeneratorsTest, RandomKHistogramValidation) {
+  Rng rng(1);
+  EXPECT_FALSE(MakeRandomKHistogram(8, 0, rng).ok());
+  EXPECT_FALSE(MakeRandomKHistogram(8, 9, rng).ok());
+  EXPECT_FALSE(MakeRandomKHistogram(8, 2, rng, -1.0).ok());
+  // k = n is the singleton partition.
+  auto full = MakeRandomKHistogram(8, 8, rng);
+  ASSERT_TRUE(full.ok());
+  EXPECT_EQ(full.value().NumPieces(), 8u);
+}
+
+TEST(GeneratorsTest, GaussianMixtureIsSmoothAndValid) {
+  auto d = MakeGaussianMixture(256, {0.3, 0.7}, {0.05, 0.05}, {0.5, 0.5});
+  ASSERT_TRUE(d.ok());
+  // Two local maxima roughly at the means.
+  EXPECT_GT(d.value()[static_cast<size_t>(0.3 * 256)],
+            d.value()[static_cast<size_t>(0.5 * 256)]);
+  EXPECT_GT(d.value()[static_cast<size_t>(0.7 * 256)],
+            d.value()[static_cast<size_t>(0.5 * 256)]);
+  EXPECT_FALSE(MakeGaussianMixture(256, {0.5}, {0.1}, {0.4, 0.6}).ok());
+  EXPECT_FALSE(MakeGaussianMixture(256, {0.5}, {0.0}, {1.0}).ok());
+}
+
+TEST(GeneratorsTest, CombHasExpectedSpikes) {
+  auto d = MakeComb(100, 5, 0.5);
+  ASSERT_TRUE(d.ok());
+  size_t spikes = 0;
+  const double background = 0.5 / 100;
+  for (size_t i = 0; i < 100; ++i) {
+    if (d.value()[i] > background * 2) ++spikes;
+  }
+  EXPECT_EQ(spikes, 5u);
+  EXPECT_FALSE(MakeComb(100, 0, 0.5).ok());
+  EXPECT_FALSE(MakeComb(100, 5, 1.0).ok());
+}
+
+TEST(GeneratorsTest, SmoothedKModalIsValid) {
+  Rng rng(99);
+  auto d = MakeSmoothedKModal(256, 4, rng);
+  ASSERT_TRUE(d.ok());
+  EXPECT_EQ(d.value().size(), 256u);
+  double total = 0.0;
+  for (size_t i = 0; i < d.value().size(); ++i) total += d.value()[i];
+  EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace histest

@@ -1,0 +1,108 @@
+#include "core/hk_check.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "dist/generators.h"
+
+namespace histest {
+namespace {
+
+TEST(ActiveSubdomainTest, MergesAdjacentKeptIntervals) {
+  const Partition p = Partition::EquiWidth(12, 4);
+  const std::vector<bool> active = {true, true, false, true};
+  const std::vector<Interval> kept = ActiveSubdomain(p, active);
+  ASSERT_EQ(kept.size(), 2u);
+  EXPECT_EQ(kept[0], (Interval{0, 6}));
+  EXPECT_EQ(kept[1], (Interval{9, 12}));
+}
+
+TEST(ActiveSubdomainTest, AllActiveGivesWholeDomain) {
+  const Partition p = Partition::EquiWidth(10, 5);
+  const std::vector<Interval> kept =
+      ActiveSubdomain(p, std::vector<bool>(5, true));
+  ASSERT_EQ(kept.size(), 1u);
+  EXPECT_EQ(kept[0], (Interval{0, 10}));
+}
+
+TEST(ActiveSubdomainTest, NoneActiveGivesEmpty) {
+  const Partition p = Partition::EquiWidth(10, 5);
+  EXPECT_TRUE(ActiveSubdomain(p, std::vector<bool>(5, false)).empty());
+}
+
+TEST(HkCheckTest, ValidatesInput) {
+  Rng rng(3);
+  const auto dhat = MakeRandomKHistogram(64, 4, rng).value();
+  const Partition p = Partition::EquiWidth(64, 8);
+  EXPECT_FALSE(CheckCloseToHkOnSubdomain(dhat, p,
+                                         std::vector<bool>(7, true), 4, 0.25)
+                   .ok());
+  EXPECT_FALSE(CheckCloseToHkOnSubdomain(dhat, Partition::EquiWidth(32, 8),
+                                         std::vector<bool>(8, true), 4, 0.25)
+                   .ok());
+  EXPECT_FALSE(CheckCloseToHkOnSubdomain(dhat, p,
+                                         std::vector<bool>(8, true), 4, 0.0)
+                   .ok());
+}
+
+TEST(HkCheckTest, TrueKHistogramHypothesisPasses) {
+  Rng rng(5);
+  const auto dhat = MakeRandomKHistogram(128, 4, rng).value();
+  const Partition p = Partition::EquiWidth(128, 16);
+  auto result = CheckCloseToHkOnSubdomain(dhat, p,
+                                          std::vector<bool>(16, true), 4,
+                                          0.25);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result.value().close);
+  EXPECT_NEAR(result.value().bounds.lower, 0.0, 1e-9);
+}
+
+TEST(HkCheckTest, FarHypothesisFails) {
+  // A 32-tooth comb hypothesis is nowhere near H_2.
+  const auto comb = MakeComb(256, 32, 0.2).value();
+  const auto dhat = PiecewiseConstant::FromDistribution(comb);
+  const Partition p = Partition::EquiWidth(256, 16);
+  auto result = CheckCloseToHkOnSubdomain(dhat, p,
+                                          std::vector<bool>(16, true), 2,
+                                          0.25);
+  ASSERT_TRUE(result.ok());
+  EXPECT_FALSE(result.value().close);
+  EXPECT_GT(result.value().bounds.lower, 0.25 / 12.0);
+}
+
+TEST(HkCheckTest, DiscardingBreakpointIntervalsRescuesHypothesis) {
+  // A (k+1)-piece hypothesis whose extra breakpoint lives in one interval:
+  // once that interval is discarded, k pieces suffice on the rest.
+  const auto dhat =
+      PiecewiseConstant::Create(64, {PiecewiseConstant::Piece{{0, 30}, 0.02},
+                                     PiecewiseConstant::Piece{{30, 34}, 0.05},
+                                     PiecewiseConstant::Piece{{34, 64}, 0.006}})
+          .value();
+  const Partition p = Partition::EquiWidth(64, 16);  // 4-wide intervals
+  // All active: needs 3 pieces, so k = 2 fails.
+  auto all = CheckCloseToHkOnSubdomain(dhat, p, std::vector<bool>(16, true),
+                                       2, 0.25);
+  ASSERT_TRUE(all.ok());
+  EXPECT_FALSE(all.value().close);
+  // Discard intervals 7 and 8 (covering [28, 36) around the middle piece).
+  std::vector<bool> active(16, true);
+  active[7] = false;
+  active[8] = false;
+  auto sieved = CheckCloseToHkOnSubdomain(dhat, p, active, 2, 0.25);
+  ASSERT_TRUE(sieved.ok());
+  EXPECT_TRUE(sieved.value().close);
+}
+
+TEST(HkCheckTest, EverythingDiscardedIsVacuouslyClose) {
+  Rng rng(7);
+  const auto dhat = MakeRandomKHistogram(32, 8, rng).value();
+  const Partition p = Partition::EquiWidth(32, 4);
+  auto result = CheckCloseToHkOnSubdomain(dhat, p,
+                                          std::vector<bool>(4, false), 1,
+                                          0.1);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result.value().close);
+}
+
+}  // namespace
+}  // namespace histest

@@ -1,0 +1,79 @@
+#include "dist/interval.h"
+
+#include <gtest/gtest.h>
+
+namespace histest {
+namespace {
+
+TEST(IntervalTest, Basics) {
+  const Interval iv{2, 5};
+  EXPECT_EQ(iv.size(), 3u);
+  EXPECT_FALSE(iv.empty());
+  EXPECT_TRUE(iv.Contains(2));
+  EXPECT_TRUE(iv.Contains(4));
+  EXPECT_FALSE(iv.Contains(5));
+  EXPECT_FALSE(iv.Contains(1));
+  EXPECT_EQ(iv.ToString(), "[2, 5)");
+  EXPECT_EQ(iv, (Interval{2, 5}));
+  EXPECT_FALSE(iv == (Interval{2, 4}));
+}
+
+TEST(PartitionTest, CreateValidatesCoverage) {
+  EXPECT_TRUE(Partition::Create(4, {{0, 2}, {2, 4}}).ok());
+  EXPECT_FALSE(Partition::Create(4, {{0, 2}, {3, 4}}).ok());  // gap
+  EXPECT_FALSE(Partition::Create(4, {{0, 2}, {1, 4}}).ok());  // overlap
+  EXPECT_FALSE(Partition::Create(4, {{0, 2}}).ok());          // short
+  EXPECT_FALSE(Partition::Create(4, {{0, 2}, {2, 2}, {2, 4}}).ok());  // empty
+  EXPECT_FALSE(Partition::Create(4, {}).ok());
+  EXPECT_FALSE(Partition::Create(0, {{0, 0}}).ok());
+}
+
+TEST(PartitionTest, TrivialAndSingletons) {
+  const Partition t = Partition::Trivial(5);
+  EXPECT_EQ(t.NumIntervals(), 1u);
+  EXPECT_EQ(t.interval(0), (Interval{0, 5}));
+  const Partition s = Partition::Singletons(3);
+  EXPECT_EQ(s.NumIntervals(), 3u);
+  EXPECT_EQ(s.interval(1), (Interval{1, 2}));
+}
+
+TEST(PartitionTest, EquiWidthDistributesRemainder) {
+  const Partition p = Partition::EquiWidth(10, 3);
+  ASSERT_EQ(p.NumIntervals(), 3u);
+  EXPECT_EQ(p.interval(0).size(), 4u);
+  EXPECT_EQ(p.interval(1).size(), 3u);
+  EXPECT_EQ(p.interval(2).size(), 3u);
+  EXPECT_EQ(p.interval(2).end, 10u);
+}
+
+TEST(PartitionTest, FromEndpoints) {
+  auto p = Partition::FromEndpoints(6, {2, 5, 6});
+  ASSERT_TRUE(p.ok());
+  EXPECT_EQ(p.value().NumIntervals(), 3u);
+  EXPECT_EQ(p.value().interval(1), (Interval{2, 5}));
+  EXPECT_FALSE(Partition::FromEndpoints(6, {2, 5}).ok());   // doesn't end at n
+  EXPECT_FALSE(Partition::FromEndpoints(6, {5, 2, 6}).ok());  // not sorted
+}
+
+TEST(PartitionTest, IntervalOfBinarySearch) {
+  const Partition p = Partition::EquiWidth(100, 7);
+  for (size_t i = 0; i < 100; ++i) {
+    const size_t j = p.IntervalOf(i);
+    EXPECT_TRUE(p.interval(j).Contains(i)) << "element " << i;
+  }
+}
+
+TEST(PartitionTest, IntervalOfSingletons) {
+  const Partition p = Partition::Singletons(16);
+  for (size_t i = 0; i < 16; ++i) EXPECT_EQ(p.IntervalOf(i), i);
+}
+
+TEST(PartitionTest, ToStringMentionsShape) {
+  const Partition p = Partition::EquiWidth(10, 2);
+  const std::string s = p.ToString();
+  EXPECT_NE(s.find("n=10"), std::string::npos);
+  EXPECT_NE(s.find("K=2"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace histest

@@ -1,0 +1,87 @@
+#include "core/learner.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "dist/distance.h"
+#include "dist/generators.h"
+#include "histogram/flatten.h"
+#include "testing/oracle.h"
+
+namespace histest {
+namespace {
+
+TEST(LearnerTest, ValidatesInput) {
+  DistributionOracle oracle(Distribution::UniformOver(16), 3);
+  const Partition p = Partition::EquiWidth(16, 4);
+  EXPECT_FALSE(LearnHistogramChiSquare(oracle, p, 0.0).ok());
+  EXPECT_FALSE(LearnHistogramChiSquare(oracle, p, 1.5).ok());
+  const Partition wrong = Partition::EquiWidth(8, 2);
+  EXPECT_FALSE(LearnHistogramChiSquare(oracle, wrong, 0.25).ok());
+}
+
+TEST(LearnerTest, OutputHasUnitMassAndPartitionShape) {
+  DistributionOracle oracle(Distribution::UniformOver(64), 5);
+  const Partition p = Partition::EquiWidth(64, 8);
+  auto dhat = LearnHistogramChiSquare(oracle, p, 0.2);
+  ASSERT_TRUE(dhat.ok());
+  EXPECT_EQ(dhat.value().NumPieces(), 8u);
+  EXPECT_NEAR(dhat.value().TotalMass(), 1.0, 1e-12);
+  // Laplace smoothing keeps every piece strictly positive.
+  for (const auto& piece : dhat.value().pieces()) {
+    EXPECT_GT(piece.value, 0.0);
+  }
+}
+
+TEST(LearnerTest, ChiSquareAccuracyOnAlignedHistogram) {
+  // When D is constant on every partition interval, the flattening is D
+  // itself and the lemma promises chi^2(D || Dhat) <= eps^2.
+  Rng rng(7);
+  const auto truth = MakeStaircase(128, 8).value();
+  const auto truth_dist = truth.ToDistribution().value();
+  const Partition p = Partition::EquiWidth(128, 8);  // aligned with pieces
+  const double eps = 0.2;
+  int good = 0;
+  const int trials = 10;
+  for (int t = 0; t < trials; ++t) {
+    DistributionOracle oracle(truth_dist, rng.Next());
+    auto dhat = LearnHistogramChiSquare(oracle, p, eps);
+    ASSERT_TRUE(dhat.ok());
+    const double chi2 =
+        ChiSquareDistance(truth_dist.pmf(), dhat.value().ToDense());
+    if (chi2 <= eps * eps) ++good;
+  }
+  EXPECT_GE(good, 9);  // Lemma 3.5's 9/10 guarantee
+}
+
+TEST(LearnerTest, AccuracyOutsideBreakpointIntervals) {
+  // Misaligned histogram: the guarantee applies to the truth flattened ON
+  // its breakpoint intervals, D-tilde^J. Since D is constant on every
+  // non-breakpoint interval, flattening everything produces exactly
+  // D-tilde^J.
+  Rng rng(11);
+  const auto truth = MakeRandomKHistogram(256, 4, rng).value();
+  const auto truth_dist = truth.ToDistribution().value();
+  const Partition p = Partition::EquiWidth(256, 32);
+  const double eps = 0.2;
+  DistributionOracle oracle(truth_dist, rng.Next());
+  auto dhat = LearnHistogramChiSquare(oracle, p, eps);
+  ASSERT_TRUE(dhat.ok());
+  const Distribution flattened = FlattenOutside(truth_dist, p, {});
+  const double chi2 =
+      ChiSquareDistance(flattened.pmf(), dhat.value().ToDense());
+  EXPECT_LE(chi2, 4.0 * eps * eps);  // margin over the 9/10 guarantee
+}
+
+TEST(LearnerTest, SampleCountMatchesFormula) {
+  DistributionOracle oracle(Distribution::UniformOver(64), 13);
+  const Partition p = Partition::EquiWidth(64, 16);
+  LearnerOptions options;
+  options.sample_constant = 2.0;
+  auto dhat = LearnHistogramChiSquare(oracle, p, 0.5, options);
+  ASSERT_TRUE(dhat.ok());
+  EXPECT_EQ(oracle.SamplesDrawn(), static_cast<int64_t>(2.0 * 16 / 0.25));
+}
+
+}  // namespace
+}  // namespace histest

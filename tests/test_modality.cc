@@ -1,0 +1,109 @@
+#include "histogram/modality.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "dist/generators.h"
+
+namespace histest {
+namespace {
+
+TEST(DirectionChangesTest, BasicPatterns) {
+  EXPECT_EQ(DirectionChanges({1.0, 2.0, 3.0}), 0u);       // monotone up
+  EXPECT_EQ(DirectionChanges({3.0, 2.0, 1.0}), 0u);       // monotone down
+  EXPECT_EQ(DirectionChanges({1.0, 3.0, 2.0}), 1u);       // unimodal
+  EXPECT_EQ(DirectionChanges({2.0, 1.0, 3.0}), 1u);       // "valley"
+  EXPECT_EQ(DirectionChanges({1.0, 3.0, 1.0, 3.0}), 2u);  // zigzag
+  EXPECT_EQ(DirectionChanges({5.0}), 0u);
+  EXPECT_EQ(DirectionChanges({}), 0u);
+}
+
+TEST(DirectionChangesTest, FlatStepsDoNotCount) {
+  EXPECT_EQ(DirectionChanges({1.0, 1.0, 2.0, 2.0, 3.0}), 0u);
+  EXPECT_EQ(DirectionChanges({1.0, 2.0, 2.0, 1.0}), 1u);
+  EXPECT_EQ(DirectionChanges({2.0, 2.0, 2.0}), 0u);
+}
+
+TEST(IsKModalTest, Thresholds) {
+  const std::vector<double> zigzag = {1.0, 3.0, 1.0, 3.0, 1.0};
+  EXPECT_FALSE(IsKModalDense(zigzag, 2));
+  EXPECT_TRUE(IsKModalDense(zigzag, 3));
+}
+
+TEST(KModalFitErrorTest, ZeroForMembersOfTheClass) {
+  EXPECT_DOUBLE_EQ(KModalFitError({1.0, 2.0, 3.0}, 0).value(), 0.0);
+  EXPECT_DOUBLE_EQ(KModalFitError({1.0, 3.0, 2.0}, 1).value(), 0.0);
+  EXPECT_DOUBLE_EQ(KModalFitError({1.0, 3.0, 1.0, 3.0}, 2).value(), 0.0);
+}
+
+TEST(KModalFitErrorTest, KnownIsotonicCases) {
+  // Zero direction changes allows either monotone direction, so (2, 1)
+  // fits perfectly (decreasing).
+  EXPECT_DOUBLE_EQ(KModalFitError({2.0, 1.0}, 0).value(), 0.0);
+  // (3, 1, 2): best increasing fit is (2, 2, 2) or (1.5, 1.5, 2) at cost 2;
+  // best decreasing fit is (3, 1.5, 1.5) at cost 1 -> optimum 1.
+  EXPECT_DOUBLE_EQ(KModalFitError({3.0, 1.0, 2.0}, 0).value(), 1.0);
+  // (1, 3, 2, 4): decreasing fits cost >= 3; best increasing fit averages
+  // the middle inversion: (1, 2.5, 2.5, 4) at cost 1.
+  EXPECT_DOUBLE_EQ(KModalFitError({1.0, 3.0, 2.0, 4.0}, 0).value(), 1.0);
+  // A zigzag needing one change: (1, 5, 1): unimodal fits exactly.
+  EXPECT_DOUBLE_EQ(KModalFitError({1.0, 5.0, 1.0}, 1).value(), 0.0);
+  // Same zigzag with 0 changes: increasing (1, 3, 3) or decreasing
+  // (3, 3, 1) cost 4... weighted medians give (1, 1, 1)/(5,5,5) cost 8,
+  // (1, 5, 5) cost 4, optimum is 4.
+  EXPECT_DOUBLE_EQ(KModalFitError({1.0, 5.0, 1.0}, 0).value(), 4.0);
+}
+
+TEST(KModalFitErrorTest, MonotoneInAllowedChanges) {
+  Rng rng(7);
+  std::vector<double> values(64);
+  for (auto& v : values) v = rng.UniformDouble();
+  double prev = 1e18;
+  for (size_t c = 0; c <= 8; c += 2) {
+    const double err = KModalFitError(values, c).value();
+    EXPECT_LE(err, prev + 1e-12);
+    prev = err;
+  }
+  // With enough changes a perfect fit exists.
+  EXPECT_DOUBLE_EQ(KModalFitError(values, 63).value(), 0.0);
+}
+
+TEST(KModalFitErrorTest, ValidatesInput) {
+  EXPECT_FALSE(KModalFitError({}, 1).ok());
+  std::vector<double> too_long(kMaxKModalInput + 1, 0.0);
+  EXPECT_FALSE(KModalFitError(too_long, 1).ok());
+}
+
+TEST(DistanceToKModalTest, ZeroForSmoothKModalInstances) {
+  Rng rng(11);
+  const auto d = MakeSmoothedKModal(256, 4, rng).value();
+  const size_t changes = DirectionChanges(d.pmf());
+  auto lower = DistanceToKModalLowerBound(d, changes);
+  ASSERT_TRUE(lower.ok());
+  EXPECT_DOUBLE_EQ(lower.value(), 0.0);
+}
+
+TEST(DistanceToKModalTest, CombIsFarFromFewModes) {
+  const auto comb = MakeComb(256, 16, 0.2).value();
+  auto lower = DistanceToKModalLowerBound(comb, 2);
+  ASSERT_TRUE(lower.ok());
+  EXPECT_GT(lower.value(), 0.2);
+  // But with enough modes it fits exactly.
+  auto enough = DistanceToKModalLowerBound(comb, 32);
+  ASSERT_TRUE(enough.ok());
+  EXPECT_DOUBLE_EQ(enough.value(), 0.0);
+}
+
+TEST(DistanceToKModalTest, LowerBoundsHistogramDistance) {
+  // Every k-histogram has at most 2k-1 direction changes... conversely a
+  // k-modal bound gives a structural sanity check: distance to (2k)-modal
+  // <= distance to H_k-ish classes. Here: staircases are monotone, so
+  // 0-modal distance is 0.
+  const auto stairs = MakeStaircase(128, 6).value().ToDistribution().value();
+  auto lower = DistanceToKModalLowerBound(stairs, 0);
+  ASSERT_TRUE(lower.ok());
+  EXPECT_DOUBLE_EQ(lower.value(), 0.0);
+}
+
+}  // namespace
+}  // namespace histest

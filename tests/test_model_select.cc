@@ -1,0 +1,147 @@
+#include "histogram/model_select.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "common/rng.h"
+#include "dist/distance.h"
+#include "dist/generators.h"
+#include "histogram/distance_to_hk.h"
+#include "testing/oracle.h"
+
+namespace histest {
+namespace {
+
+/// A deterministic mock tester accepting iff k >= threshold (simulates a
+/// perfect tester; lets us test the search logic in isolation).
+class ThresholdTester : public DistributionTester {
+ public:
+  explicit ThresholdTester(size_t k, size_t threshold)
+      : k_(k), threshold_(threshold) {}
+  std::string Name() const override { return "mock-threshold"; }
+  Result<TestOutcome> Test(SampleOracle& oracle) override {
+    oracle.Draw();  // consume one sample so accounting is visible
+    TestOutcome outcome;
+    outcome.verdict = k_ >= threshold_ ? Verdict::kAccept : Verdict::kReject;
+    outcome.samples_used = 1;
+    return outcome;
+  }
+
+ private:
+  size_t k_;
+  size_t threshold_;
+};
+
+HistogramTesterFactory MockFactory(size_t threshold) {
+  return [threshold](size_t k, uint64_t) {
+    return std::make_unique<ThresholdTester>(k, threshold);
+  };
+}
+
+class ModelSelectExactTest : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(ModelSelectExactTest, FindsExactThreshold) {
+  const size_t threshold = GetParam();
+  DistributionOracle oracle(Distribution::UniformOver(256), 3);
+  ModelSelectOptions options;
+  options.repetitions = 1;
+  auto result =
+      FindSmallestAcceptedK(oracle, MockFactory(threshold), options, 7);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value().k, threshold);
+  EXPECT_GT(result.value().samples_used, 0);
+  EXPECT_FALSE(result.value().probes.empty());
+}
+
+INSTANTIATE_TEST_SUITE_P(Thresholds, ModelSelectExactTest,
+                         ::testing::Values(1, 2, 3, 5, 17, 100, 256));
+
+TEST(ModelSelectTest, ProbeCountIsLogarithmic) {
+  DistributionOracle oracle(Distribution::UniformOver(1 << 14), 3);
+  ModelSelectOptions options;
+  options.repetitions = 1;
+  auto result =
+      FindSmallestAcceptedK(oracle, MockFactory(5000), options, 7);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value().k, 5000u);
+  // Doubling (<= 15) plus binary search (<= 13).
+  EXPECT_LE(result.value().probes.size(), 30u);
+}
+
+TEST(ModelSelectTest, NothingAcceptedReturnsMaxK) {
+  DistributionOracle oracle(Distribution::UniformOver(64), 3);
+  ModelSelectOptions options;
+  options.repetitions = 1;
+  options.max_k = 16;
+  auto result = FindSmallestAcceptedK(
+      oracle, MockFactory(100000), options, 7);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value().k, 16u);
+}
+
+TEST(LearnKHistogramTest, ValidatesArguments) {
+  DistributionOracle oracle(Distribution::UniformOver(32), 3);
+  EXPECT_FALSE(LearnKHistogramFromOracle(oracle, 0, 0.25).ok());
+  EXPECT_FALSE(LearnKHistogramFromOracle(oracle, 4, 0.0).ok());
+}
+
+TEST(LearnKHistogramTest, LearnsCloseHypothesis) {
+  Rng rng(11);
+  const auto truth = MakeStaircase(256, 5).value();
+  const auto dist = truth.ToDistribution().value();
+  DistributionOracle oracle(dist, rng.Next());
+  auto learned = LearnKHistogramFromOracle(oracle, 5, 0.05, 8.0);
+  ASSERT_TRUE(learned.ok());
+  EXPECT_LE(learned.value().NumPieces(), 5u);
+  EXPECT_LT(TotalVariation(learned.value().ToDistribution().value(), dist),
+            0.1);
+}
+
+TEST(ModelSelectTest, DistanceBasedMockMatchesTrueComplexity) {
+  // A "perfect tester" built from the offline distance: accept iff
+  // dist(D, H_k) <= eps/2. The search should then return (approximately)
+  // the smallest k at which the true distribution is eps/2-close.
+  const auto zipf = MakeZipf(128, 1.0).value();
+  const double eps = 0.2;
+  auto factory = [&](size_t k, uint64_t) -> std::unique_ptr<DistributionTester> {
+    class DistTester : public DistributionTester {
+     public:
+      DistTester(const Distribution& d, size_t k, double eps)
+          : d_(d), k_(k), eps_(eps) {}
+      std::string Name() const override { return "mock-distance"; }
+      Result<TestOutcome> Test(SampleOracle& oracle) override {
+        oracle.Draw();
+        auto bounds = DistanceToHk(d_, k_);
+        HISTEST_RETURN_IF_ERROR(bounds.status());
+        TestOutcome outcome;
+        outcome.verdict = bounds.value().upper <= eps_ / 2
+                              ? Verdict::kAccept
+                              : Verdict::kReject;
+        outcome.samples_used = 1;
+        return outcome;
+      }
+
+     private:
+      const Distribution& d_;
+      size_t k_;
+      double eps_;
+    };
+    return std::make_unique<DistTester>(zipf, k, eps);
+  };
+  DistributionOracle oracle(zipf, 3);
+  ModelSelectOptions options;
+  options.repetitions = 1;
+  auto result = FindSmallestAcceptedK(oracle, factory, options, 7);
+  ASSERT_TRUE(result.ok());
+  // Verify minimality directly against the offline distance.
+  auto at_k = DistanceToHk(zipf, result.value().k).value();
+  EXPECT_LE(at_k.upper, eps / 2);
+  if (result.value().k > 1) {
+    auto below = DistanceToHk(zipf, result.value().k - 1).value();
+    EXPECT_GT(below.upper, eps / 2);
+  }
+}
+
+}  // namespace
+}  // namespace histest

@@ -1,0 +1,65 @@
+#include "testing/naive_tester.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "dist/generators.h"
+#include "dist/perturb.h"
+#include "testing/oracle.h"
+
+namespace histest {
+namespace {
+
+bool MajorityAccepts(const Distribution& dist, size_t k, double eps,
+                     int reps) {
+  Rng rng(31337);
+  int accepts = 0;
+  for (int r = 0; r < reps; ++r) {
+    DistributionOracle oracle(dist, rng.Next());
+    NaiveHistogramTester tester(k, eps, NaiveTesterOptions{});
+    auto outcome = tester.Test(oracle);
+    EXPECT_TRUE(outcome.ok()) << outcome.status().ToString();
+    if (outcome.ok() && outcome.value().verdict == Verdict::kAccept) {
+      ++accepts;
+    }
+  }
+  return accepts * 2 > reps;
+}
+
+TEST(NaiveTesterTest, AcceptsKHistograms) {
+  Rng rng(3);
+  const auto h = MakeRandomKHistogram(256, 4, rng).value();
+  EXPECT_TRUE(MajorityAccepts(h.ToDistribution().value(), 4, 0.25, 5));
+}
+
+TEST(NaiveTesterTest, AcceptsUniformForAnyK) {
+  EXPECT_TRUE(MajorityAccepts(Distribution::UniformOver(128), 3, 0.3, 5));
+}
+
+TEST(NaiveTesterTest, RejectsCertifiedFarInstances) {
+  Rng rng(5);
+  const auto base = MakeStaircase(256, 4).value();
+  const auto far = MakeFarFromHk(base, 4, 0.3, rng).value();
+  EXPECT_FALSE(MajorityAccepts(far.dist, 4, 0.3, 5));
+}
+
+TEST(NaiveTesterTest, SampleCountIsLinearInN) {
+  DistributionOracle oracle(Distribution::UniformOver(512), 3);
+  NaiveTesterOptions options;
+  NaiveHistogramTester tester(2, 0.5, options);
+  auto outcome = tester.Test(oracle);
+  ASSERT_TRUE(outcome.ok());
+  // m = c * n / eps^2 = 4 * 512 / 0.25.
+  EXPECT_EQ(outcome.value().samples_used, 4 * 512 * 4);
+}
+
+TEST(NaiveTesterTest, DetailReportsDistanceBracket) {
+  DistributionOracle oracle(Distribution::UniformOver(64), 7);
+  NaiveHistogramTester tester(2, 0.5, NaiveTesterOptions{});
+  auto outcome = tester.Test(oracle);
+  ASSERT_TRUE(outcome.ok());
+  EXPECT_NE(outcome.value().detail.find("dist(emp,Hk)"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace histest

@@ -1,0 +1,64 @@
+#include "testing/oracle.h"
+
+#include <gtest/gtest.h>
+
+#include "dist/generators.h"
+
+namespace histest {
+namespace {
+
+TEST(DistributionOracleTest, CountsEveryDraw) {
+  DistributionOracle oracle(Distribution::UniformOver(8), 3);
+  EXPECT_EQ(oracle.SamplesDrawn(), 0);
+  oracle.Draw();
+  oracle.DrawMany(10);
+  oracle.DrawCounts(5);
+  EXPECT_EQ(oracle.SamplesDrawn(), 16);
+  EXPECT_EQ(oracle.DomainSize(), 8u);
+}
+
+TEST(DistributionOracleTest, SamplesRespectSupport) {
+  DistributionOracle oracle(Distribution::PointMass(16, 9), 5);
+  for (int i = 0; i < 200; ++i) EXPECT_EQ(oracle.Draw(), 9u);
+}
+
+TEST(DistributionOracleTest, DeterministicPerSeed) {
+  DistributionOracle a(Distribution::UniformOver(64), 7);
+  DistributionOracle b(Distribution::UniformOver(64), 7);
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(a.Draw(), b.Draw());
+}
+
+TEST(DistributionOracleTest, PiecewiseVariantAvoidsDensification) {
+  Rng rng(9);
+  const auto pwc = MakeRandomKHistogram(1 << 12, 4, rng).value();
+  DistributionOracle oracle(pwc, 11);
+  EXPECT_EQ(oracle.DomainSize(), size_t{1} << 12);
+  const CountVector counts = oracle.DrawCounts(10000);
+  EXPECT_EQ(counts.total(), 10000);
+}
+
+TEST(DistributionOracleTest, DrawCountsMatchesDistribution) {
+  const auto d = Distribution::Create({0.8, 0.2}).value();
+  DistributionOracle oracle(d, 13);
+  const CountVector counts = oracle.DrawCounts(50000);
+  EXPECT_NEAR(static_cast<double>(counts[0]) / 50000.0, 0.8, 0.01);
+}
+
+TEST(FixedSampleOracleTest, ReplaysAndWraps) {
+  FixedSampleOracle oracle(4, {0, 1, 2});
+  EXPECT_EQ(oracle.Draw(), 0u);
+  EXPECT_EQ(oracle.Draw(), 1u);
+  EXPECT_EQ(oracle.Draw(), 2u);
+  EXPECT_EQ(oracle.wraps(), 1);
+  EXPECT_EQ(oracle.Draw(), 0u);  // wrapped around
+  EXPECT_EQ(oracle.SamplesDrawn(), 4);
+}
+
+TEST(ConstantOracleTest, AlwaysSameElement) {
+  ConstantOracle oracle(10, 4);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(oracle.Draw(), 4u);
+  EXPECT_EQ(oracle.SamplesDrawn(), 100);
+}
+
+}  // namespace
+}  // namespace histest

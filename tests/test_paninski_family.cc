@@ -1,0 +1,90 @@
+#include "lowerbound/paninski_family.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "dist/distance.h"
+#include "histogram/distance_to_hk.h"
+#include "lowerbound/permutation.h"
+
+namespace histest {
+namespace {
+
+TEST(PaninskiFamilyTest, ValidatesArguments) {
+  Rng rng(3);
+  EXPECT_FALSE(MakePaninskiInstance(3, 0.25, 2.0, 1, rng).ok());  // odd n
+  EXPECT_FALSE(MakePaninskiInstance(0, 0.25, 2.0, 1, rng).ok());
+  EXPECT_FALSE(MakePaninskiInstance(8, 0.0, 2.0, 1, rng).ok());
+  EXPECT_FALSE(MakePaninskiInstance(8, 0.6, 2.0, 1, rng).ok());  // c eps > 1
+  EXPECT_FALSE(MakePaninskiInstance(8, 0.25, 2.0, 0, rng).ok());
+}
+
+TEST(PaninskiFamilyTest, TvToUniformIsExact) {
+  Rng rng(5);
+  auto inst = MakePaninskiInstance(256, 0.2, 2.0, 1, rng).value();
+  const double tv =
+      TotalVariation(inst.dist, Distribution::UniformOver(256));
+  EXPECT_NEAR(tv, inst.tv_to_uniform, 1e-12);
+  EXPECT_NEAR(tv, 0.2, 1e-12);  // c * eps / 2
+}
+
+TEST(PaninskiFamilyTest, PairStructure) {
+  Rng rng(7);
+  auto inst = MakePaninskiInstance(64, 0.25, 2.0, 1, rng).value();
+  const double nd = 64.0;
+  for (size_t i = 0; i < 32; ++i) {
+    const double a = inst.dist[2 * i];
+    const double b = inst.dist[2 * i + 1];
+    EXPECT_NEAR(a + b, 2.0 / nd, 1e-12);
+    EXPECT_NEAR(std::abs(a - b), 2.0 * 0.5 / nd, 1e-12);  // 2 c eps / n
+  }
+}
+
+TEST(PaninskiFamilyTest, FarnessBoundFormula) {
+  // (n/2 - k + 1) * c_eps / n.
+  EXPECT_NEAR(PaninskiFarnessBound(100, 1, 0.5), 50.0 * 0.5 / 100.0, 1e-12);
+  EXPECT_NEAR(PaninskiFarnessBound(100, 11, 0.5), 40.0 * 0.5 / 100.0, 1e-12);
+  EXPECT_DOUBLE_EQ(PaninskiFarnessBound(10, 100, 0.5), 0.0);
+}
+
+TEST(PaninskiFamilyTest, CertificateLowerBoundsExactDistance) {
+  Rng rng(11);
+  for (const size_t k : {size_t{1}, size_t{4}, size_t{16}}) {
+    auto inst = MakePaninskiInstance(256, 0.3, 2.5, k, rng).value();
+    auto bounds = DistanceToHk(inst.dist, k);
+    ASSERT_TRUE(bounds.ok());
+    EXPECT_GE(bounds.value().upper + 1e-9, inst.certified_far_from_hk)
+        << "k = " << k;
+  }
+}
+
+TEST(PermutationTest, InverseAndValidity) {
+  const std::vector<size_t> perm = {2, 0, 1};
+  EXPECT_TRUE(IsPermutation(perm));
+  EXPECT_FALSE(IsPermutation({0, 0, 1}));
+  EXPECT_FALSE(IsPermutation({0, 3, 1}));
+  const std::vector<size_t> inv = InversePermutation(perm);
+  EXPECT_EQ(inv, (std::vector<size_t>{1, 2, 0}));
+}
+
+TEST(PermutationTest, PermuteDistributionRelabels) {
+  const auto d = Distribution::Create({0.5, 0.3, 0.2}).value();
+  const std::vector<size_t> perm = {2, 0, 1};  // old -> new
+  const Distribution p = PermuteDistribution(d, perm);
+  EXPECT_DOUBLE_EQ(p[2], 0.5);
+  EXPECT_DOUBLE_EQ(p[0], 0.3);
+  EXPECT_DOUBLE_EQ(p[1], 0.2);
+}
+
+TEST(PermutationTest, PermutationPreservesSymmetricQuantities) {
+  Rng rng(13);
+  const auto d =
+      Distribution::Create(rng.DirichletSymmetric(32, 0.5)).value();
+  const std::vector<size_t> perm = rng.Permutation(32);
+  const Distribution p = PermuteDistribution(d, perm);
+  EXPECT_EQ(p.SupportSize(), d.SupportSize());
+  EXPECT_DOUBLE_EQ(p.MaxProbability(), d.MaxProbability());
+}
+
+}  // namespace
+}  // namespace histest

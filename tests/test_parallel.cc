@@ -1,0 +1,73 @@
+#include "benchutil/parallel.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+#include <vector>
+
+#include "testing/uniformity.h"
+
+namespace histest {
+namespace {
+
+TEST(ParallelForTest, RunsEveryIndexExactlyOnce) {
+  std::vector<std::atomic<int>> hits(1000);
+  ParallelFor(1000, 8, [&](int64_t i) { hits[i].fetch_add(1); });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ParallelForTest, InlineForOneThread) {
+  int count = 0;
+  ParallelFor(10, 1, [&](int64_t) { ++count; });
+  EXPECT_EQ(count, 10);
+}
+
+TEST(ParallelForTest, ZeroJobs) {
+  ParallelFor(0, 4, [](int64_t) { FAIL() << "must not run"; });
+}
+
+TEST(EstimateAcceptanceParallelTest, MatchesSerialBitForBit) {
+  const auto uniform = Distribution::UniformOver(256);
+  const SeededTesterFactory factory = [](uint64_t seed) {
+    return std::make_unique<PaninskiUniformityTester>(
+        0.25, PaninskiOptions{}, seed);
+  };
+  auto serial = EstimateAcceptance(factory, uniform, 12, 99);
+  auto parallel = EstimateAcceptanceParallel(factory, uniform, 12, 99, 8);
+  ASSERT_TRUE(serial.ok());
+  ASSERT_TRUE(parallel.ok());
+  EXPECT_DOUBLE_EQ(serial.value().accept_rate,
+                   parallel.value().accept_rate);
+  EXPECT_DOUBLE_EQ(serial.value().avg_samples,
+                   parallel.value().avg_samples);
+}
+
+TEST(EstimateAcceptanceParallelTest, ValidatesTrials) {
+  const SeededTesterFactory factory = [](uint64_t seed) {
+    return std::make_unique<PaninskiUniformityTester>(
+        0.25, PaninskiOptions{}, seed);
+  };
+  EXPECT_FALSE(EstimateAcceptanceParallel(factory,
+                                          Distribution::UniformOver(4), 0, 1,
+                                          4)
+                   .ok());
+}
+
+TEST(EstimateAcceptanceParallelTest, SurfacesTrialFailures) {
+  // A factory returning null testers must produce an error, not a crash.
+  const SeededTesterFactory factory = [](uint64_t) {
+    return std::unique_ptr<DistributionTester>();
+  };
+  auto result = EstimateAcceptanceParallel(
+      factory, Distribution::UniformOver(4), 4, 1, 4);
+  EXPECT_FALSE(result.ok());
+}
+
+TEST(DefaultBenchThreadsTest, Sane) {
+  EXPECT_GE(DefaultBenchThreads(), 1);
+  EXPECT_LE(DefaultBenchThreads(), 8);
+}
+
+}  // namespace
+}  // namespace histest

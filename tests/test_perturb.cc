@@ -1,0 +1,97 @@
+#include "dist/perturb.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "dist/distance.h"
+#include "dist/generators.h"
+#include "histogram/distance_to_hk.h"
+
+namespace histest {
+namespace {
+
+TEST(PerturbTest, ZeroDeltaIsNoop) {
+  Rng rng(3);
+  const auto base = MakeStaircase(64, 4).value();
+  auto inst = MakePairedPerturbation(base, 4, 0.0, rng);
+  ASSERT_TRUE(inst.ok());
+  EXPECT_DOUBLE_EQ(inst.value().certified_tv_lower_bound, 0.0);
+  EXPECT_NEAR(TotalVariation(inst.value().dist,
+                             base.ToDistribution().value()),
+              0.0, 1e-12);
+}
+
+TEST(PerturbTest, MassIsPreserved) {
+  Rng rng(5);
+  const auto base = MakeStaircase(100, 5).value();
+  auto inst = MakePairedPerturbation(base, 5, 0.7, rng);
+  ASSERT_TRUE(inst.ok());  // Create() validates the mass internally
+}
+
+TEST(PerturbTest, InvalidArguments) {
+  Rng rng(7);
+  const auto base = MakeStaircase(64, 4).value();
+  EXPECT_FALSE(MakePairedPerturbation(base, 0, 0.5, rng).ok());
+  EXPECT_FALSE(MakePairedPerturbation(base, 4, 1.5, rng).ok());
+  EXPECT_FALSE(MakePairedPerturbation(base, 4, -0.1, rng).ok());
+  EXPECT_FALSE(MakeFarFromHk(base, 4, 0.0, rng).ok());
+}
+
+TEST(PerturbTest, CertificateNeverExceedsTrueDistance) {
+  // Property test: the analytic certificate must lower-bound the exact DP
+  // distance to H_k.
+  Rng rng(11);
+  for (const size_t k : {size_t{2}, size_t{4}, size_t{8}}) {
+    for (const double delta : {0.3, 0.6, 1.0}) {
+      const auto base = MakeStaircase(128, k).value();
+      auto inst = MakePairedPerturbation(base, k, delta, rng);
+      ASSERT_TRUE(inst.ok());
+      auto bounds = DistanceToHk(inst.value().dist, k);
+      ASSERT_TRUE(bounds.ok());
+      EXPECT_LE(inst.value().certified_tv_lower_bound,
+                bounds.value().upper + 1e-9)
+          << "k=" << k << " delta=" << delta;
+    }
+  }
+}
+
+TEST(PerturbTest, MakeFarFromHkMeetsTarget) {
+  Rng rng(13);
+  const double eps = 0.2;
+  const auto base = MakeStaircase(256, 6).value();
+  auto inst = MakeFarFromHk(base, 6, eps, rng);
+  ASSERT_TRUE(inst.ok());
+  EXPECT_GE(inst.value().certified_tv_lower_bound, eps * (1 - 1e-9));
+  // Confirm with the exact DP: the distribution really is far.
+  auto bounds = DistanceToHk(inst.value().dist, 6);
+  ASSERT_TRUE(bounds.ok());
+  EXPECT_GE(bounds.value().upper, eps * (1 - 1e-9));
+}
+
+TEST(PerturbTest, ImpossibleTargetsFailCleanly) {
+  Rng rng(17);
+  // A 2-element domain base with k = 4: no pairs survive the adversary's
+  // k-1 = 3 exclusions.
+  const auto base = PiecewiseConstant::Flat(2, 0.5);
+  EXPECT_FALSE(MakeFarFromHk(base, 4, 0.5, rng).ok());
+  EXPECT_DOUBLE_EQ(MaxCertifiableFarness(base, 4), 0.0);
+}
+
+TEST(PerturbTest, MaxCertifiableFarnessUniform) {
+  // Uniform over n: n/2 pairs of weight 1/n each; adversary removes k-1.
+  const auto base = PiecewiseConstant::Flat(100, 0.01);
+  EXPECT_NEAR(MaxCertifiableFarness(base, 1), 0.5, 1e-12);
+  EXPECT_NEAR(MaxCertifiableFarness(base, 11), 0.4, 1e-12);
+}
+
+TEST(PerturbTest, OddPiecesLeaveTailUnpaired) {
+  Rng rng(19);
+  // Single piece of odd length 5: two pairs, final element untouched.
+  const auto base = PiecewiseConstant::Flat(5, 0.2);
+  auto inst = MakePairedPerturbation(base, 1, 1.0, rng);
+  ASSERT_TRUE(inst.ok());
+  EXPECT_DOUBLE_EQ(inst.value().dist[4], 0.2);
+}
+
+}  // namespace
+}  // namespace histest

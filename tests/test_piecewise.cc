@@ -1,0 +1,113 @@
+#include "dist/piecewise.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "dist/generators.h"
+
+namespace histest {
+namespace {
+
+using Piece = PiecewiseConstant::Piece;
+
+PiecewiseConstant MakeSimple() {
+  // Values 0.1 on [0,4), 0.05 on [4,8): mass 0.4 + 0.2 = 0.6.
+  return PiecewiseConstant::Create(
+             8, {Piece{{0, 4}, 0.1}, Piece{{4, 8}, 0.05}})
+      .value();
+}
+
+TEST(PiecewiseTest, CreateValidates) {
+  EXPECT_TRUE(PiecewiseConstant::Create(4, {Piece{{0, 4}, 0.25}}).ok());
+  // Gap between pieces.
+  EXPECT_FALSE(
+      PiecewiseConstant::Create(4, {Piece{{0, 1}, 0.1}, Piece{{2, 4}, 0.1}})
+          .ok());
+  // Doesn't cover domain.
+  EXPECT_FALSE(PiecewiseConstant::Create(4, {Piece{{0, 3}, 0.1}}).ok());
+  // Negative value.
+  EXPECT_FALSE(PiecewiseConstant::Create(4, {Piece{{0, 4}, -0.1}}).ok());
+  // Empty piece.
+  EXPECT_FALSE(
+      PiecewiseConstant::Create(4, {Piece{{0, 0}, 0.1}, Piece{{0, 4}, 0.1}})
+          .ok());
+}
+
+TEST(PiecewiseTest, ValueAtBinarySearch) {
+  const PiecewiseConstant p = MakeSimple();
+  for (size_t i = 0; i < 4; ++i) EXPECT_DOUBLE_EQ(p.ValueAt(i), 0.1);
+  for (size_t i = 4; i < 8; ++i) EXPECT_DOUBLE_EQ(p.ValueAt(i), 0.05);
+}
+
+TEST(PiecewiseTest, MassOfStraddlingInterval) {
+  const PiecewiseConstant p = MakeSimple();
+  EXPECT_NEAR(p.MassOf({2, 6}), 2 * 0.1 + 2 * 0.05, 1e-12);
+  EXPECT_DOUBLE_EQ(p.MassOf({3, 3}), 0.0);
+  EXPECT_NEAR(p.TotalMass(), 0.6, 1e-12);
+}
+
+TEST(PiecewiseTest, FromPartitionMasses) {
+  const Partition part = Partition::EquiWidth(10, 2);
+  const PiecewiseConstant p =
+      PiecewiseConstant::FromPartitionMasses(part, {0.4, 0.6});
+  EXPECT_DOUBLE_EQ(p.ValueAt(0), 0.4 / 5);
+  EXPECT_DOUBLE_EQ(p.ValueAt(9), 0.6 / 5);
+  EXPECT_NEAR(p.TotalMass(), 1.0, 1e-12);
+}
+
+TEST(PiecewiseTest, SimplifiedMergesEqualNeighbors) {
+  const PiecewiseConstant p =
+      PiecewiseConstant::Create(6, {Piece{{0, 2}, 0.2}, Piece{{2, 4}, 0.2},
+                                    Piece{{4, 6}, 0.1}})
+          .value();
+  const PiecewiseConstant s = p.Simplified();
+  ASSERT_EQ(s.NumPieces(), 2u);
+  EXPECT_EQ(s.pieces()[0].interval, (Interval{0, 4}));
+  EXPECT_TRUE(p.IsKHistogram(2));
+  EXPECT_FALSE(p.IsKHistogram(1));
+}
+
+TEST(PiecewiseTest, NormalizedScalesToUnitMass) {
+  auto normalized = MakeSimple().Normalized();
+  ASSERT_TRUE(normalized.ok());
+  EXPECT_NEAR(normalized.value().TotalMass(), 1.0, 1e-12);
+  EXPECT_DOUBLE_EQ(normalized.value().ValueAt(0), 0.1 / 0.6);
+  auto zero = PiecewiseConstant::Flat(4, 0.0).Normalized();
+  EXPECT_FALSE(zero.ok());
+}
+
+TEST(PiecewiseTest, ToDistributionRequiresUnitMass) {
+  EXPECT_FALSE(MakeSimple().ToDistribution().ok());
+  auto d = MakeSimple().Normalized().value().ToDistribution();
+  ASSERT_TRUE(d.ok());
+  EXPECT_EQ(d.value().size(), 8u);
+}
+
+TEST(PiecewiseTest, FromDistributionRoundTrip) {
+  Rng rng(7);
+  auto hist = MakeRandomKHistogram(64, 5, rng).value();
+  auto dist = hist.ToDistribution().value();
+  const PiecewiseConstant back = PiecewiseConstant::FromDistribution(dist);
+  // The reconstruction is the minimal representation: at most 5 pieces, and
+  // identical as a function.
+  EXPECT_LE(back.NumPieces(), 5u);
+  for (size_t i = 0; i < 64; ++i) {
+    EXPECT_DOUBLE_EQ(back.ValueAt(i), dist[i]);
+  }
+}
+
+TEST(PiecewiseTest, ToDenseMatchesValueAt) {
+  const PiecewiseConstant p = MakeSimple();
+  const std::vector<double> dense = p.ToDense();
+  ASSERT_EQ(dense.size(), 8u);
+  for (size_t i = 0; i < 8; ++i) EXPECT_DOUBLE_EQ(dense[i], p.ValueAt(i));
+}
+
+TEST(PiecewiseTest, FlatHelper) {
+  const PiecewiseConstant f = PiecewiseConstant::Flat(10, 0.1);
+  EXPECT_EQ(f.NumPieces(), 1u);
+  EXPECT_NEAR(f.TotalMass(), 1.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace histest

@@ -1,0 +1,54 @@
+#include "stats/poissonization.h"
+
+#include <gtest/gtest.h>
+
+namespace histest {
+namespace {
+
+TEST(PoissonizationTest, SampleCountMeanMatches) {
+  Rng rng(3);
+  const double m = 500.0;
+  double avg = 0.0;
+  const int reps = 5000;
+  for (int r = 0; r < reps; ++r) {
+    const int64_t c = PoissonizedSampleCount(m, rng);
+    EXPECT_GE(c, 0);
+    avg += static_cast<double>(c);
+  }
+  EXPECT_NEAR(avg / reps, m, 2.0);
+}
+
+TEST(PoissonizationTest, ZeroBudget) {
+  Rng rng(5);
+  EXPECT_EQ(PoissonizedSampleCount(0.0, rng), 0);
+}
+
+TEST(PoissonTailBoundTest, BoundsAreValidProbabilities) {
+  EXPECT_LE(PoissonTailBound(100.0, 1.0), 1.0);
+  EXPECT_GE(PoissonTailBound(100.0, 1.0), 0.0);
+  EXPECT_DOUBLE_EQ(PoissonTailBound(0.0, 1.0), 0.0);
+}
+
+TEST(PoissonTailBoundTest, DecreasesInDeviation) {
+  const double b1 = PoissonTailBound(100.0, 10.0);
+  const double b2 = PoissonTailBound(100.0, 40.0);
+  EXPECT_GT(b1, b2);
+  // 4 sigma-ish deviation should already be small.
+  EXPECT_LT(b2, 0.01);
+}
+
+TEST(PoissonTailBoundTest, EmpiricallyValid) {
+  Rng rng(7);
+  const double mean = 200.0, dev = 45.0;
+  int outside = 0;
+  const int trials = 20000;
+  for (int t = 0; t < trials; ++t) {
+    const double x = static_cast<double>(rng.Poisson(mean));
+    if (x >= mean + dev || x <= mean - dev) ++outside;
+  }
+  const double empirical = static_cast<double>(outside) / trials;
+  EXPECT_LE(empirical, PoissonTailBound(mean, dev) + 0.005);
+}
+
+}  // namespace
+}  // namespace histest

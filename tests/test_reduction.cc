@@ -1,0 +1,105 @@
+#include "lowerbound/reduction.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "common/rng.h"
+#include "core/histogram_tester.h"
+#include "lowerbound/support_size_family.h"
+#include "stats/support_size.h"
+
+namespace histest {
+namespace {
+
+TEST(SupportSizeFamilyTest, InstanceShapes) {
+  Rng rng(3);
+  auto small = MakeSupportSizeInstance(24, true, rng).value();
+  EXPECT_EQ(small.support_size, 8u);
+  EXPECT_EQ(small.dist.SupportSize(), 8u);
+  EXPECT_TRUE(small.is_small);
+  auto large = MakeSupportSizeInstance(24, false, rng).value();
+  EXPECT_EQ(large.support_size, 21u);
+  EXPECT_FALSE(large.is_small);
+  // The promise: every non-zero weight at least 1/m.
+  for (size_t i = 0; i < 24; ++i) {
+    if (large.dist[i] > 0.0) EXPECT_GE(large.dist[i], 1.0 / 24 - 1e-12);
+  }
+  EXPECT_FALSE(MakeSupportSizeInstance(4, true, rng).ok());
+}
+
+TEST(SupportSizeFamilyTest, EmbeddingZeroPads) {
+  Rng rng(5);
+  auto inst = MakeSupportSizeInstance(16, true, rng).value();
+  auto embedded = EmbedInLargerDomain(inst.dist, 64);
+  ASSERT_TRUE(embedded.ok());
+  EXPECT_EQ(embedded.value().size(), 64u);
+  EXPECT_EQ(embedded.value().SupportSize(), inst.support_size);
+  for (size_t i = 16; i < 64; ++i) EXPECT_DOUBLE_EQ(embedded.value()[i], 0.0);
+  EXPECT_FALSE(EmbedInLargerDomain(inst.dist, 8).ok());
+}
+
+TEST(SupportSizeFamilyTest, SmallSideIsAlwaysAFewPieceHistogram) {
+  // After any permutation, support s implies cover <= s, hence at most
+  // 2s + 1 pieces.
+  Rng rng(7);
+  auto inst = MakeSupportSizeInstance(30, true, rng).value();
+  const size_t cover = SupportCover(inst.dist);
+  EXPECT_LE(cover, inst.support_size);
+}
+
+TEST(SupportSizeDeciderTest, ComputesMFromK) {
+  auto factory = [](size_t, double, uint64_t) {
+    return std::unique_ptr<DistributionTester>();
+  };
+  SupportSizeDecider decider(2100, 5, factory, ReductionOptions{}, 1);
+  EXPECT_EQ(decider.m(), 6u);  // ceil(3*(5-1)/2)
+}
+
+TEST(SupportSizeDeciderTest, RequiresLargeEnoughN) {
+  auto factory = [](size_t k, double eps, uint64_t seed) {
+    return std::unique_ptr<DistributionTester>(
+        new HistogramTester(k, eps, HistogramTesterOptions{}, seed));
+  };
+  SupportSizeDecider decider(100, 5, factory, ReductionOptions{}, 1);
+  Rng rng(3);
+  auto inst = MakeSupportSizeInstance(decider.m() + 2, true, rng);
+  // Wrong-size instance rejected structurally.
+  EXPECT_FALSE(decider.Decide(inst.value().dist).ok());
+  auto right = MakeSupportSizeInstance(decider.m(), true, rng);
+  if (right.ok()) {
+    // n = 100 < 70 m: precondition failure.
+    EXPECT_FALSE(decider.Decide(right.value().dist).ok());
+  }
+}
+
+TEST(SupportSizeDeciderTest, EndToEndWithAlgorithmOne) {
+  // k = 7 -> m = 9, n = 70 * 9 = 630. Small side: support 3 -> a
+  // 7-histogram after permutation (2*3+1 = 7 pieces). Large side: support
+  // 8 of 9, sprinkled -> far from H_7 by ~0.5. The paper's eps_1 = 1/24 is
+  // the worst-case guarantee; the actual instances are ~0.5-far, so
+  // eps_1 = 0.25 keeps the tester budget laptop-sized.
+  const size_t k = 7;
+  auto factory = [](size_t kk, double eps, uint64_t seed) {
+    return std::unique_ptr<DistributionTester>(
+        new HistogramTester(kk, eps, HistogramTesterOptions{}, seed));
+  };
+  ReductionOptions options;
+  options.repetitions = 3;
+  options.eps1 = 0.25;
+  SupportSizeDecider decider(630, k, factory, options, 17);
+  Rng rng(19);
+  auto small = MakeSupportSizeInstance(decider.m(), true, rng).value();
+  auto verdict_small = decider.Decide(small.dist);
+  ASSERT_TRUE(verdict_small.ok()) << verdict_small.status().ToString();
+  EXPECT_TRUE(verdict_small.value());
+  EXPECT_GT(decider.samples_used(), 0);
+
+  auto large = MakeSupportSizeInstance(decider.m(), false, rng).value();
+  auto verdict_large = decider.Decide(large.dist);
+  ASSERT_TRUE(verdict_large.ok()) << verdict_large.status().ToString();
+  EXPECT_FALSE(verdict_large.value());
+}
+
+}  // namespace
+}  // namespace histest

@@ -1,0 +1,85 @@
+#include "app/reservoir.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace histest {
+namespace {
+
+TEST(ReservoirSamplerTest, KeepsEverythingUnderCapacity) {
+  ReservoirSampler reservoir(10, 3);
+  for (size_t v = 0; v < 5; ++v) reservoir.Add(v);
+  EXPECT_EQ(reservoir.sample().size(), 5u);
+  EXPECT_EQ(reservoir.items_seen(), 5);
+}
+
+TEST(ReservoirSamplerTest, CapsAtCapacity) {
+  ReservoirSampler reservoir(16, 5);
+  for (size_t v = 0; v < 1000; ++v) reservoir.Add(v % 7);
+  EXPECT_EQ(reservoir.sample().size(), 16u);
+  EXPECT_EQ(reservoir.items_seen(), 1000);
+}
+
+TEST(ReservoirSamplerTest, UniformInclusionProbability) {
+  // Each stream position must survive with probability capacity/N.
+  const size_t capacity = 32, stream = 256;
+  const int trials = 3000;
+  std::vector<int> kept(stream, 0);
+  Rng seeds(7);
+  for (int t = 0; t < trials; ++t) {
+    ReservoirSampler reservoir(capacity, seeds.Next());
+    for (size_t v = 0; v < stream; ++v) reservoir.Add(v);
+    for (size_t v : reservoir.sample()) ++kept[v];
+  }
+  const double expected = static_cast<double>(capacity) / stream;
+  // Check a spread of positions (start, middle, end).
+  for (const size_t pos : {size_t{0}, size_t{128}, size_t{255}}) {
+    EXPECT_NEAR(static_cast<double>(kept[pos]) / trials, expected,
+                0.03) << "position " << pos;
+  }
+}
+
+TEST(ReservoirOracleTest, DrawsFromReservoirSupport) {
+  ReservoirSampler reservoir(8, 11);
+  for (int i = 0; i < 100; ++i) reservoir.Add(3);
+  ReservoirOracle oracle(reservoir, 10, 13);
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(oracle.Draw(), 3u);
+  EXPECT_EQ(oracle.SamplesDrawn(), 50);
+  EXPECT_EQ(oracle.DomainSize(), 10u);
+  // Capacity 8, 50 draws: wrapped at least 5 times.
+  EXPECT_GE(oracle.wraps(), 5);
+}
+
+TEST(ReservoirOracleTest, WithoutReplacementWithinOnePass) {
+  // Within the first pass (no wrap), every reservoir element appears
+  // exactly once.
+  ReservoirSampler reservoir(16, 21);
+  for (size_t v = 0; v < 16; ++v) reservoir.Add(v);
+  ReservoirOracle oracle(reservoir, 16, 23);
+  std::vector<bool> seen(16, false);
+  for (int i = 0; i < 16; ++i) {
+    const size_t v = oracle.Draw();
+    EXPECT_FALSE(seen[v]);
+    seen[v] = true;
+  }
+  EXPECT_EQ(oracle.wraps(), 0);
+}
+
+TEST(ReservoirOracleTest, ApproximatesStreamFrequencies) {
+  // Stream: 75% zeros, 25% ones. A large reservoir + with-replacement
+  // draws should reproduce the frequencies.
+  ReservoirSampler reservoir(4096, 17);
+  Rng stream_rng(19);
+  for (int i = 0; i < 100000; ++i) {
+    reservoir.Add(stream_rng.Bernoulli(0.25) ? 1 : 0);
+  }
+  ReservoirOracle oracle(reservoir, 2, 23);
+  int ones = 0;
+  const int draws = 20000;
+  for (int i = 0; i < draws; ++i) ones += oracle.Draw() == 1 ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(ones) / draws, 0.25, 0.03);
+}
+
+}  // namespace
+}  // namespace histest

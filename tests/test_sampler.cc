@@ -1,0 +1,125 @@
+#include "dist/sampler.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "dist/empirical.h"
+#include "dist/generators.h"
+
+namespace histest {
+namespace {
+
+/// Chi-square goodness-of-fit of sample counts against a pmf; returns the
+/// statistic (dof = support size - 1).
+double ChiSquareGof(const std::vector<int64_t>& counts,
+                    const std::vector<double>& pmf, int64_t m) {
+  double chi2 = 0.0;
+  for (size_t i = 0; i < pmf.size(); ++i) {
+    const double expected = static_cast<double>(m) * pmf[i];
+    if (expected < 1e-12) {
+      EXPECT_EQ(counts[i], 0);
+      continue;
+    }
+    const double d = static_cast<double>(counts[i]) - expected;
+    chi2 += d * d / expected;
+  }
+  return chi2;
+}
+
+TEST(AliasSamplerTest, MatchesDistributionChiSquare) {
+  const auto dist = Distribution::Create({0.1, 0.2, 0.3, 0.25, 0.15}).value();
+  AliasSampler sampler(dist);
+  Rng rng(3);
+  const int64_t m = 200000;
+  std::vector<int64_t> counts(5, 0);
+  for (int64_t s = 0; s < m; ++s) ++counts[sampler.Sample(rng)];
+  // 4 dof; 0.999 quantile ~18.5.
+  EXPECT_LT(ChiSquareGof(counts, dist.pmf(), m), 18.5);
+}
+
+TEST(AliasSamplerTest, PointMassAlwaysSamplesSupport) {
+  AliasSampler sampler(Distribution::PointMass(10, 7));
+  Rng rng(5);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(sampler.Sample(rng), 7u);
+}
+
+TEST(AliasSamplerTest, ZeroWeightElementsNeverSampled) {
+  const auto dist = Distribution::Create({0.5, 0.0, 0.5}).value();
+  AliasSampler sampler(dist);
+  Rng rng(7);
+  for (int i = 0; i < 5000; ++i) EXPECT_NE(sampler.Sample(rng), 1u);
+}
+
+TEST(AliasSamplerTest, FromRawWeights) {
+  AliasSampler sampler(std::vector<double>{1.0, 3.0});
+  Rng rng(9);
+  int ones = 0;
+  const int m = 100000;
+  for (int i = 0; i < m; ++i) ones += sampler.Sample(rng) == 1 ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(ones) / m, 0.75, 0.01);
+}
+
+TEST(AliasSamplerTest, SampleMany) {
+  AliasSampler sampler(Distribution::UniformOver(4));
+  Rng rng(11);
+  const auto samples = sampler.SampleMany(rng, 100);
+  EXPECT_EQ(samples.size(), 100u);
+  for (size_t s : samples) EXPECT_LT(s, 4u);
+}
+
+TEST(PiecewiseSamplerTest, MatchesPiecewiseDistribution) {
+  Rng gen(13);
+  const auto pwc = MakeRandomKHistogram(64, 4, gen).value();
+  PiecewiseSampler sampler(pwc);
+  Rng rng(15);
+  const int64_t m = 200000;
+  std::vector<int64_t> counts(64, 0);
+  for (int64_t s = 0; s < m; ++s) ++counts[sampler.Sample(rng)];
+  const auto dense = pwc.ToDistribution().value();
+  // 63 dof; 0.9999 quantile ~ 118.
+  EXPECT_LT(ChiSquareGof(counts, dense.pmf(), m), 118.0);
+}
+
+TEST(PiecewiseSamplerTest, SubProbabilityFunctionsSampleConditional) {
+  // Mass 0.6 function: sampling normalizes.
+  const auto pwc =
+      PiecewiseConstant::Create(
+          4, {PiecewiseConstant::Piece{{0, 2}, 0.2},
+              PiecewiseConstant::Piece{{2, 4}, 0.1}})
+          .value();
+  PiecewiseSampler sampler(pwc);
+  Rng rng(17);
+  int low = 0;
+  const int m = 100000;
+  for (int i = 0; i < m; ++i) low += sampler.Sample(rng) < 2 ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(low) / m, 0.4 / 0.6, 0.01);
+}
+
+TEST(PoissonizedCountsTest, MeansMatch) {
+  const auto dist = Distribution::Create({0.5, 0.3, 0.2}).value();
+  Rng rng(19);
+  const double m = 1000.0;
+  std::vector<double> avg(3, 0.0);
+  const int reps = 2000;
+  for (int r = 0; r < reps; ++r) {
+    const auto counts = PoissonizedCounts(dist, m, rng);
+    for (size_t i = 0; i < 3; ++i) avg[i] += static_cast<double>(counts[i]);
+  }
+  for (size_t i = 0; i < 3; ++i) {
+    EXPECT_NEAR(avg[i] / reps, m * dist[i], 0.03 * m * dist[i] + 1.0);
+  }
+}
+
+TEST(MultinomialCountsTest, TotalsAreExact) {
+  AliasSampler sampler(Distribution::UniformOver(8));
+  Rng rng(21);
+  const auto counts = MultinomialCounts(sampler, 1234, rng);
+  int64_t total = 0;
+  for (int64_t c : counts) total += c;
+  EXPECT_EQ(total, 1234);
+}
+
+}  // namespace
+}  // namespace histest

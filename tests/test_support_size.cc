@@ -1,0 +1,70 @@
+#include "stats/support_size.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace histest {
+namespace {
+
+TEST(CoverNumberTest, BasicCases) {
+  EXPECT_EQ(CoverNumber({}), 0u);
+  EXPECT_EQ(CoverNumber({5}), 1u);
+  EXPECT_EQ(CoverNumber({1, 2, 3}), 1u);
+  EXPECT_EQ(CoverNumber({1, 3, 5}), 3u);
+  EXPECT_EQ(CoverNumber({1, 2, 4, 5, 9}), 3u);
+}
+
+TEST(CoverNumberTest, UnsortedAndDuplicateInput) {
+  EXPECT_EQ(CoverNumber({5, 1, 2, 2, 4}), 2u);  // {1,2} {4,5}
+}
+
+TEST(SupportCoverTest, CountsRunsOfSupport) {
+  const auto d =
+      Distribution::Create({0.25, 0.25, 0.0, 0.25, 0.25, 0.0}).value();
+  EXPECT_EQ(SupportCover(d), 2u);
+  EXPECT_EQ(SupportCover(Distribution::UniformOver(8)), 1u);
+  EXPECT_EQ(SupportCover(Distribution::PointMass(8, 3)), 1u);
+}
+
+TEST(PlugInSupportSizeTest, CountsDistinct) {
+  const CountVector cv = CountVector::FromCounts({2, 0, 1, 0, 5});
+  EXPECT_EQ(PlugInSupportSize(cv), 3u);
+}
+
+TEST(CoverLemmaTest, RandomPermutationKeepsSupportSprinkled) {
+  // Lemma 4.4: for |S| = l <= n/70, Pr[cover(sigma(S)) <= 6l/7] <= 7l/n.
+  // Empirical check at n = 2100, l = 30: failure probability <= 0.1.
+  Rng rng(13);
+  const size_t n = 2100, l = 30;
+  int bad = 0;
+  const int trials = 400;
+  for (int t = 0; t < trials; ++t) {
+    const std::vector<size_t> perm = rng.Permutation(n);
+    std::vector<size_t> image(l);
+    for (size_t i = 0; i < l; ++i) image[i] = perm[i];
+    if (CoverNumber(image) <= 6 * l / 7) ++bad;
+  }
+  // Allow generous slack over the 10% bound (binomial noise).
+  EXPECT_LT(bad, trials / 5);
+}
+
+TEST(CoverLemmaTest, ExpectedCoverMatchesFormula) {
+  // E[cover] ~= l (1 - l/n) for a random l-subset of [n].
+  Rng rng(17);
+  const size_t n = 1000, l = 100;
+  double avg = 0.0;
+  const int trials = 300;
+  for (int t = 0; t < trials; ++t) {
+    const std::vector<size_t> perm = rng.Permutation(n);
+    std::vector<size_t> image(l);
+    for (size_t i = 0; i < l; ++i) image[i] = perm[i];
+    avg += static_cast<double>(CoverNumber(image));
+  }
+  const double expected =
+      static_cast<double>(l) * (1.0 - static_cast<double>(l) / n);
+  EXPECT_NEAR(avg / trials, expected, 0.05 * expected);
+}
+
+}  // namespace
+}  // namespace histest

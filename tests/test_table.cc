@@ -1,0 +1,43 @@
+#include "common/table.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace histest {
+namespace {
+
+TEST(TableTest, TextAlignsColumns) {
+  Table t({"name", "value"});
+  t.AddRow({"a", "1"});
+  t.AddRow({"longer", "22"});
+  const std::string text = t.ToText();
+  EXPECT_NE(text.find("| name   | value |"), std::string::npos);
+  EXPECT_NE(text.find("| longer | 22    |"), std::string::npos);
+  EXPECT_EQ(t.NumRows(), 2u);
+}
+
+TEST(TableTest, CsvBasic) {
+  Table t({"a", "b"});
+  t.AddRow({"1", "2"});
+  EXPECT_EQ(t.ToCsv(), "a,b\n1,2\n");
+}
+
+TEST(TableTest, CsvEscapesSpecials) {
+  Table t({"x"});
+  t.AddRow({"has,comma"});
+  t.AddRow({"has\"quote"});
+  const std::string csv = t.ToCsv();
+  EXPECT_NE(csv.find("\"has,comma\""), std::string::npos);
+  EXPECT_NE(csv.find("\"has\"\"quote\""), std::string::npos);
+}
+
+TEST(TableTest, Formatters) {
+  EXPECT_EQ(Table::FmtInt(12345), "12345");
+  EXPECT_EQ(Table::FmtInt(-7), "-7");
+  EXPECT_EQ(Table::FmtProb(0.6666), "0.667");
+  EXPECT_EQ(Table::FmtDouble(3.14159, 3), "3.14");
+}
+
+}  // namespace
+}  // namespace histest

@@ -1,0 +1,62 @@
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "dist/generators.h"
+#include "dist/perturb.h"
+#include "testing/distance_estimator.h"
+#include "testing/oracle.h"
+
+namespace histest {
+namespace {
+
+bool MajorityAccepts(const Distribution& dist, size_t k, double eps1,
+                     double eps2, int reps) {
+  Rng rng(777111);
+  int accepts = 0;
+  for (int r = 0; r < reps; ++r) {
+    DistributionOracle oracle(dist, rng.Next());
+    TolerantHistogramTester tester(k, eps1, eps2);
+    auto outcome = tester.Test(oracle);
+    EXPECT_TRUE(outcome.ok()) << outcome.status().ToString();
+    if (outcome.ok() && outcome.value().verdict == Verdict::kAccept) {
+      ++accepts;
+    }
+  }
+  return accepts * 2 > reps;
+}
+
+TEST(TolerantTesterTest, AcceptsMildlyPerturbedHistograms) {
+  // A distribution 0.05-far from H_4: the plain tester must reject it
+  // eventually, but the tolerant tester with eps1 = 0.1 must accept.
+  Rng rng(3);
+  const auto base = MakeStaircase(256, 4).value();
+  auto near = MakePairedPerturbation(base, 4, 0.1, rng).value();
+  // Certified distance ~0.05 (delta * certifiable mass).
+  ASSERT_LT(near.certified_tv_lower_bound, 0.1);
+  EXPECT_TRUE(MajorityAccepts(near.dist, 4, 0.12, 0.3, 5));
+}
+
+TEST(TolerantTesterTest, RejectsGenuinelyFarDistributions) {
+  Rng rng(5);
+  const auto base = MakeStaircase(256, 4).value();
+  auto far = MakeFarFromHk(base, 4, 0.4, rng).value();
+  EXPECT_FALSE(MajorityAccepts(far.dist, 4, 0.1, 0.25, 5));
+}
+
+TEST(TolerantTesterTest, AcceptsExactMembers) {
+  Rng rng(7);
+  const auto h = MakeRandomKHistogram(256, 4, rng).value();
+  EXPECT_TRUE(MajorityAccepts(h.ToDistribution().value(), 4, 0.05, 0.2, 5));
+}
+
+TEST(TolerantTesterTest, ReportsEstimateInDetail) {
+  DistributionOracle oracle(Distribution::UniformOver(64), 9);
+  TolerantHistogramTester tester(2, 0.05, 0.2);
+  auto outcome = tester.Test(oracle);
+  ASSERT_TRUE(outcome.ok());
+  EXPECT_NE(outcome.value().detail.find("tolerant:"), std::string::npos);
+  EXPECT_GT(outcome.value().samples_used, 0);
+}
+
+}  // namespace
+}  // namespace histest

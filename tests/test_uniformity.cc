@@ -1,0 +1,99 @@
+#include "testing/uniformity.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "lowerbound/paninski_family.h"
+#include "testing/oracle.h"
+
+namespace histest {
+namespace {
+
+/// Majority verdict over `reps` independent tester runs.
+template <typename MakeTester>
+bool MajorityAccepts(const Distribution& dist, MakeTester make, int reps) {
+  Rng rng(4242);
+  int accepts = 0;
+  for (int r = 0; r < reps; ++r) {
+    DistributionOracle oracle(dist, rng.Next());
+    auto tester = make(rng.Next());
+    auto outcome = tester.Test(oracle);
+    EXPECT_TRUE(outcome.ok()) << outcome.status().ToString();
+    if (outcome.ok() && outcome.value().verdict == Verdict::kAccept) {
+      ++accepts;
+    }
+  }
+  return accepts * 2 > reps;
+}
+
+TEST(PaninskiUniformityTest, AcceptsUniform) {
+  const auto uniform = Distribution::UniformOver(1024);
+  EXPECT_TRUE(MajorityAccepts(
+      uniform,
+      [](uint64_t s) {
+        return PaninskiUniformityTester(0.3, PaninskiOptions{}, s);
+      },
+      7));
+}
+
+TEST(PaninskiUniformityTest, RejectsFarInstance) {
+  Rng rng(7);
+  auto far = MakePaninskiInstance(1024, 0.3, 2.5, 1, rng).value();
+  ASSERT_GE(far.tv_to_uniform, 0.3);
+  EXPECT_FALSE(MajorityAccepts(
+      far.dist,
+      [](uint64_t s) {
+        return PaninskiUniformityTester(0.3, PaninskiOptions{}, s);
+      },
+      7));
+}
+
+TEST(PaninskiUniformityTest, RejectsPointMass) {
+  EXPECT_FALSE(MajorityAccepts(
+      Distribution::PointMass(256, 0),
+      [](uint64_t s) {
+        return PaninskiUniformityTester(0.5, PaninskiOptions{}, s);
+      },
+      5));
+}
+
+TEST(PaninskiUniformityTest, ReportsSampleCount) {
+  DistributionOracle oracle(Distribution::UniformOver(256), 3);
+  PaninskiUniformityTester tester(0.25, PaninskiOptions{}, 5);
+  auto outcome = tester.Test(oracle);
+  ASSERT_TRUE(outcome.ok());
+  EXPECT_EQ(outcome.value().samples_used, oracle.SamplesDrawn());
+  EXPECT_GT(outcome.value().samples_used, 0);
+  EXPECT_NE(outcome.value().detail.find("collision="), std::string::npos);
+}
+
+TEST(ChiSquareUniformityTest, AcceptsUniformRejectsFar) {
+  const auto uniform = Distribution::UniformOver(512);
+  EXPECT_TRUE(MajorityAccepts(
+      uniform,
+      [](uint64_t s) {
+        return ChiSquareUniformityTester(0.3, AdkOptions{}, s);
+      },
+      5));
+  Rng rng(11);
+  auto far = MakePaninskiInstance(512, 0.3, 2.5, 1, rng).value();
+  EXPECT_FALSE(MajorityAccepts(
+      far.dist,
+      [](uint64_t s) {
+        return ChiSquareUniformityTester(0.3, AdkOptions{}, s);
+      },
+      5));
+}
+
+TEST(UniformityTest, SurvivesAdversarialOracle) {
+  // A constant (non-iid) oracle must produce a verdict, not a crash; a
+  // point-mass-looking stream should be rejected.
+  ConstantOracle oracle(256, 17);
+  PaninskiUniformityTester tester(0.25, PaninskiOptions{}, 7);
+  auto outcome = tester.Test(oracle);
+  ASSERT_TRUE(outcome.ok());
+  EXPECT_EQ(outcome.value().verdict, Verdict::kReject);
+}
+
+}  // namespace
+}  // namespace histest

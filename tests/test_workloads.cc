@@ -1,0 +1,88 @@
+#include "benchutil/workloads.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/rng.h"
+#include "histogram/breakpoints.h"
+#include "histogram/distance_to_hk.h"
+
+namespace histest {
+namespace {
+
+TEST(WorkloadsTest, ValidatesParameters) {
+  Rng rng(3);
+  EXPECT_FALSE(MakeWorkloadGrid(7, 1, 0.25, rng).ok());    // odd n
+  EXPECT_FALSE(MakeWorkloadGrid(4, 1, 0.25, rng).ok());    // n too small
+  EXPECT_FALSE(MakeWorkloadGrid(64, 0, 0.25, rng).ok());   // k = 0
+  EXPECT_FALSE(MakeWorkloadGrid(64, 32, 0.25, rng).ok());  // k > n/4
+  EXPECT_FALSE(MakeWorkloadGrid(64, 4, 0.6, rng).ok());    // eps too big
+}
+
+TEST(WorkloadsTest, GridHasBothSides) {
+  Rng rng(5);
+  auto grid = MakeWorkloadGrid(512, 4, 0.25, rng);
+  ASSERT_TRUE(grid.ok());
+  size_t in_class = 0, far = 0;
+  for (const auto& inst : grid.value()) {
+    (inst.side == InstanceSide::kInClass ? in_class : far) += 1;
+  }
+  EXPECT_GE(in_class, 4u);
+  EXPECT_GE(far, 2u);
+}
+
+TEST(WorkloadsTest, InClassInstancesReallyAreKHistograms) {
+  Rng rng(7);
+  const size_t k = 5;
+  auto grid = MakeWorkloadGrid(512, k, 0.25, rng);
+  ASSERT_TRUE(grid.ok());
+  for (const auto& inst : grid.value()) {
+    if (inst.side != InstanceSide::kInClass) continue;
+    EXPECT_TRUE(IsKHistogramDense(inst.dist.pmf(), k)) << inst.name;
+    EXPECT_DOUBLE_EQ(inst.certified_distance, 0.0) << inst.name;
+  }
+}
+
+TEST(WorkloadsTest, FarInstancesCarryValidCertificates) {
+  Rng rng(9);
+  const size_t k = 4;
+  const double eps = 0.25;
+  auto grid = MakeWorkloadGrid(512, k, eps, rng);
+  ASSERT_TRUE(grid.ok());
+  for (const auto& inst : grid.value()) {
+    if (inst.side != InstanceSide::kFar) continue;
+    EXPECT_GE(inst.certified_distance, eps * (1 - 1e-9)) << inst.name;
+    // The certificate must be consistent with the exact DP bracket.
+    auto bounds = DistanceToHk(inst.dist, k);
+    ASSERT_TRUE(bounds.ok());
+    EXPECT_GE(bounds.value().upper + 1e-9, inst.certified_distance)
+        << inst.name;
+  }
+}
+
+TEST(WorkloadsTest, NamesAreUnique) {
+  Rng rng(11);
+  auto grid = MakeWorkloadGrid(256, 3, 0.3, rng);
+  ASSERT_TRUE(grid.ok());
+  std::set<std::string> names;
+  for (const auto& inst : grid.value()) {
+    EXPECT_TRUE(names.insert(inst.name).second)
+        << "duplicate name " << inst.name;
+  }
+}
+
+TEST(WorkloadsTest, DeterministicGivenRngState) {
+  Rng a(13), b(13);
+  auto ga = MakeWorkloadGrid(256, 3, 0.3, a);
+  auto gb = MakeWorkloadGrid(256, 3, 0.3, b);
+  ASSERT_TRUE(ga.ok());
+  ASSERT_TRUE(gb.ok());
+  ASSERT_EQ(ga.value().size(), gb.value().size());
+  for (size_t i = 0; i < ga.value().size(); ++i) {
+    EXPECT_EQ(ga.value()[i].dist.pmf(), gb.value()[i].dist.pmf());
+  }
+}
+
+}  // namespace
+}  // namespace histest

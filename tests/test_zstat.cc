@@ -1,0 +1,127 @@
+#include "stats/zstat.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "dist/distance.h"
+#include "dist/generators.h"
+#include "dist/sampler.h"
+
+namespace histest {
+namespace {
+
+TEST(ZStatTest, ValidatesInput) {
+  const CountVector counts(4);
+  const Partition p = Partition::Trivial(4);
+  const std::vector<double> dstar(4, 0.25);
+  EXPECT_FALSE(ComputeZStatistics(counts, 0.0, dstar, p, 0.5).ok());
+  EXPECT_FALSE(ComputeZStatistics(counts, 10.0, dstar, p, 0.0).ok());
+  EXPECT_FALSE(
+      ComputeZStatistics(CountVector(5), 10.0, dstar, p, 0.5).ok());
+  const std::vector<bool> bad_active(2, true);
+  EXPECT_FALSE(
+      ComputeZStatistics(counts, 10.0, dstar, p, 0.5, {}, &bad_active).ok());
+}
+
+TEST(ZStatTest, ZeroCountsGiveZeroStatisticMinusNothing) {
+  // With all counts zero, each term is (0 - m d)^2 / (m d) = m d, so
+  // Z = m * sum(d) over A_eps.
+  const CountVector counts(4);
+  const Partition p = Partition::Trivial(4);
+  const std::vector<double> dstar(4, 0.25);
+  auto z = ComputeZStatistics(counts, 100.0, dstar, p, 0.5);
+  ASSERT_TRUE(z.ok());
+  EXPECT_NEAR(z.value().total, 100.0, 1e-9);
+}
+
+TEST(ZStatTest, ExactCountsGiveNegativeOfCounts) {
+  // N_i = m d_i exactly: term = (0 - N_i)/(m d_i) = -1 per element.
+  const CountVector counts = CountVector::FromCounts({25, 25, 25, 25});
+  const Partition p = Partition::Trivial(4);
+  const std::vector<double> dstar(4, 0.25);
+  auto z = ComputeZStatistics(counts, 100.0, dstar, p, 0.5);
+  ASSERT_TRUE(z.ok());
+  EXPECT_NEAR(z.value().total, -4.0, 1e-9);
+}
+
+TEST(ZStatTest, AepsFilterSkipsLightElements) {
+  // dstar = (heavy, tiny): with eps = 0.5 and factor 1/50, the cutoff is
+  // 0.5/(50*2) = 0.005; the second element (0.001) is skipped.
+  const CountVector counts = CountVector::FromCounts({0, 1000});
+  const Partition p = Partition::Trivial(2);
+  const std::vector<double> dstar = {0.999, 0.001};
+  auto z = ComputeZStatistics(counts, 10.0, dstar, p, 0.5);
+  ASSERT_TRUE(z.ok());
+  // Only the first element contributes: (0 - 9.99)^2 / 9.99 = 9.99.
+  EXPECT_NEAR(z.value().total, 9.99, 1e-9);
+}
+
+TEST(ZStatTest, ActiveIntervalMaskZeroesInactive) {
+  const CountVector counts = CountVector::FromCounts({50, 0, 0, 50});
+  const Partition p = Partition::EquiWidth(4, 2);
+  const std::vector<double> dstar(4, 0.25);
+  const std::vector<bool> active = {true, false};
+  auto z = ComputeZStatistics(counts, 100.0, dstar, p, 0.5, {}, &active);
+  ASSERT_TRUE(z.ok());
+  EXPECT_DOUBLE_EQ(z.value().z[1], 0.0);
+  EXPECT_DOUBLE_EQ(z.value().total, z.value().z[0]);
+}
+
+TEST(ZStatTest, UnbiasedUnderTheNull) {
+  // Sampling from dstar itself: E[Z_j] = 0. Average over many Poissonized
+  // draws and check each interval's mean is near zero.
+  Rng rng(5);
+  const auto dist = MakeZipf(32, 0.5).value();
+  const Partition p = Partition::EquiWidth(32, 4);
+  const double m = 500.0;
+  std::vector<double> avg(4, 0.0);
+  const int reps = 3000;
+  for (int r = 0; r < reps; ++r) {
+    const CountVector counts =
+        CountVector::FromCounts(PoissonizedCounts(dist, m, rng));
+    auto z = ComputeZStatistics(counts, m, dist.pmf(), p, 0.3);
+    ASSERT_TRUE(z.ok());
+    for (size_t j = 0; j < 4; ++j) avg[j] += z.value().z[j];
+  }
+  for (size_t j = 0; j < 4; ++j) {
+    EXPECT_NEAR(avg[j] / reps, 0.0, 0.3) << "interval " << j;
+  }
+}
+
+TEST(ZStatTest, MeanMatchesExpectedZUnderAlternative) {
+  // Sampling from d != dstar: E[Z_j] = m * chi^2_j (on A_eps).
+  Rng rng(7);
+  const auto dstar = Distribution::UniformOver(16);
+  const auto d = MakeZipf(16, 0.7).value();
+  const Partition p = Partition::EquiWidth(16, 2);
+  const double m = 400.0;
+  const double eps = 0.3;
+  std::vector<double> avg(2, 0.0);
+  const int reps = 4000;
+  for (int r = 0; r < reps; ++r) {
+    const CountVector counts =
+        CountVector::FromCounts(PoissonizedCounts(d, m, rng));
+    auto z = ComputeZStatistics(counts, m, dstar.pmf(), p, eps);
+    ASSERT_TRUE(z.ok());
+    for (size_t j = 0; j < 2; ++j) avg[j] += z.value().z[j];
+  }
+  for (size_t j = 0; j < 2; ++j) {
+    const double expected =
+        ExpectedZ(d.pmf(), dstar.pmf(), p.interval(j), m, eps);
+    EXPECT_NEAR(avg[j] / reps, expected, 0.1 * expected + 0.5)
+        << "interval " << j;
+  }
+}
+
+TEST(ExpectedZTest, MatchesChiSquareTimesM) {
+  const std::vector<double> d = {0.5, 0.5};
+  const std::vector<double> dstar = {0.25, 0.75};
+  const double expected = 100.0 * ChiSquareDistance(d, dstar);
+  EXPECT_NEAR(ExpectedZ(d, dstar, Interval{0, 2}, 100.0, 1.0), expected,
+              1e-9);
+}
+
+}  // namespace
+}  // namespace histest
