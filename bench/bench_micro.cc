@@ -6,6 +6,7 @@
 #include <cmath>
 #include <memory>
 
+#include "benchutil/parallel.h"
 #include "common/rng.h"
 #include "core/approx_part.h"
 #include "core/histogram_tester.h"
@@ -21,6 +22,25 @@
 
 namespace histest {
 namespace {
+
+/// Replays the pre-batching ("seed") oracle behaviour — per-sample virtual
+/// dispatch into a dense count vector — for before/after comparisons.
+class SeedStyleOracle : public SampleOracle {
+ public:
+  SeedStyleOracle(const Distribution& dist, uint64_t seed)
+      : inner_(dist, seed) {}
+  size_t DomainSize() const override { return inner_.DomainSize(); }
+  size_t Draw() override { return inner_.Draw(); }
+  int64_t SamplesDrawn() const override { return inner_.SamplesDrawn(); }
+  CountVector DrawCounts(int64_t count) override {
+    CountVector cv(DomainSize());
+    for (int64_t i = 0; i < count; ++i) cv.Add(Draw());
+    return cv;
+  }
+
+ private:
+  DistributionOracle inner_;
+};
 
 void BM_AliasSample(benchmark::State& state) {
   const size_t n = static_cast<size_t>(state.range(0));
@@ -46,6 +66,94 @@ void BM_PiecewiseSample(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_PiecewiseSample)->Arg(1 << 14)->Arg(1 << 20);
+
+void BM_OracleDrawScalar(benchmark::State& state) {
+  // draws/sec through the per-sample virtual Draw() path.
+  const size_t n = static_cast<size_t>(state.range(0));
+  const auto dist = MakeZipf(n, 1.0).value();
+  DistributionOracle oracle(dist, 43);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(oracle.Draw());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_OracleDrawScalar)->Arg(10000)->Arg(1000000);
+
+void BM_OracleDrawBatch(benchmark::State& state) {
+  // draws/sec through DrawBatch (one virtual call per 4096 samples).
+  const size_t n = static_cast<size_t>(state.range(0));
+  const auto dist = MakeZipf(n, 1.0).value();
+  DistributionOracle oracle(dist, 43);
+  std::vector<size_t> buffer(4096);
+  for (auto _ : state) {
+    oracle.DrawBatch(buffer.data(), static_cast<int64_t>(buffer.size()));
+    benchmark::DoNotOptimize(buffer.data());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(buffer.size()));
+}
+BENCHMARK(BM_OracleDrawBatch)->Arg(10000)->Arg(1000000);
+
+/// The E1 workload at tester scale: k=5 in-class random histograms, the
+/// acceptance harness run for a fixed trial count. `rebuilt` replays the
+/// seed behaviour (per-trial O(n) alias construction, scalar draws, dense
+/// counts, per-call thread spawning is approximated by the pool); `shared`
+/// is the current pipeline. Reported counter: trials per second.
+void RunTrialsBenchmark(benchmark::State& state, bool seed_style) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  Rng gen(29);
+  const auto dist =
+      MakeRandomKHistogram(n, 5, gen).value().ToDistribution().value();
+  const int trials = 8;
+  const int threads = DefaultBenchThreads();
+  const SeededTesterFactory factory = [](uint64_t seed) {
+    return std::make_unique<HistogramTester>(
+        5, 0.25, HistogramTesterOptions{}, seed);
+  };
+  int64_t done = 0;
+  for (auto _ : state) {
+    if (seed_style) {
+      // Seed behaviour: every trial rebuilds the O(n) table and funnels
+      // all draws through the scalar/dense path.
+      Rng rng(4242);
+      std::vector<std::pair<uint64_t, uint64_t>> seeds(trials);
+      for (auto& s : seeds) s = {rng.Next(), rng.Next()};
+      std::vector<int> accepted(trials, 0);
+      ParallelFor(trials, threads, [&](int64_t t) {
+        SeedStyleOracle oracle(dist, seeds[t].first);
+        auto tester = factory(seeds[t].second);
+        auto outcome = tester->Test(oracle);
+        accepted[t] =
+            outcome.ok() && outcome.value().verdict == Verdict::kAccept;
+      });
+      benchmark::DoNotOptimize(accepted.data());
+    } else {
+      auto stats = EstimateAcceptanceParallel(factory, dist, trials, 4242,
+                                              threads);
+      benchmark::DoNotOptimize(stats);
+    }
+    done += trials;
+  }
+  state.SetItemsProcessed(done);
+  state.counters["trials_per_sec"] = benchmark::Counter(
+      static_cast<double>(done), benchmark::Counter::kIsRate);
+}
+
+void BM_TrialsSeedStyle(benchmark::State& state) {
+  RunTrialsBenchmark(state, /*seed_style=*/true);
+}
+BENCHMARK(BM_TrialsSeedStyle)
+    ->Arg(10000)
+    ->Arg(1000000)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_TrialsBatchedShared(benchmark::State& state) {
+  RunTrialsBenchmark(state, /*seed_style=*/false);
+}
+BENCHMARK(BM_TrialsBatchedShared)
+    ->Arg(10000)
+    ->Arg(1000000)
+    ->Unit(benchmark::kMillisecond);
 
 void BM_PoissonizedCounts(benchmark::State& state) {
   const size_t n = static_cast<size_t>(state.range(0));

@@ -1,14 +1,122 @@
 #include "benchutil/parallel.h"
 
+#include <algorithm>
 #include <atomic>
-#include <thread>
-#include <vector>
+#include <cstdlib>
 
 #include "common/check.h"
 #include "common/rng.h"
+#include "dist/sampler.h"
 #include "testing/oracle.h"
 
 namespace histest {
+
+/// One parallel region. Chunks are handed out through an atomic cursor;
+/// completion is tracked per chunk under the pool mutex so the submitting
+/// thread can sleep until the last in-flight chunk retires.
+struct ThreadPool::Task {
+  int64_t count = 0;
+  int64_t chunk = 1;
+  int64_t chunks_total = 0;
+  const std::function<void(int64_t)>* job = nullptr;
+  std::atomic<int64_t> next{0};
+  int64_t chunks_done = 0;   // guarded by ThreadPool::mu_
+  int workers_allowed = 0;   // remaining pool-worker slots, guarded by mu_
+  std::condition_variable done;
+
+  bool HasWork() const { return next.load(std::memory_order_relaxed) < count; }
+};
+
+ThreadPool::ThreadPool(int threads) {
+  const int n = std::max(1, threads);
+  workers_.reserve(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    workers_.emplace_back([this]() { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::WorkerLoop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  while (true) {
+    std::shared_ptr<Task> task;
+    for (auto& t : queue_) {
+      if (t->workers_allowed > 0 && t->HasWork()) {
+        task = t;
+        break;
+      }
+    }
+    if (task == nullptr) {
+      if (stop_) return;
+      work_cv_.wait(lock);
+      continue;
+    }
+    --task->workers_allowed;
+    lock.unlock();
+    RunChunks(*task);
+    lock.lock();
+  }
+}
+
+void ThreadPool::RunChunks(Task& task) {
+  int64_t finished = 0;
+  while (true) {
+    const int64_t start =
+        task.next.fetch_add(task.chunk, std::memory_order_relaxed);
+    if (start >= task.count) break;
+    const int64_t end = std::min(start + task.chunk, task.count);
+    for (int64_t i = start; i < end; ++i) (*task.job)(i);
+    ++finished;
+  }
+  if (finished == 0) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  task.chunks_done += finished;
+  if (task.chunks_done == task.chunks_total) task.done.notify_all();
+}
+
+void ThreadPool::Run(int64_t count, int max_workers,
+                     const std::function<void(int64_t)>& job) {
+  HISTEST_CHECK_GE(count, 0);
+  if (count == 0) return;
+  auto task = std::make_shared<Task>();
+  task->count = count;
+  task->job = &job;
+  const int helpers = std::max(
+      0, std::min(max_workers, static_cast<int>(workers_.size())));
+  task->workers_allowed = helpers;
+  // ~4 chunks per executor balances scheduling overhead against stragglers.
+  task->chunk = std::max<int64_t>(1, count / ((helpers + 1) * 4));
+  task->chunks_total = (count + task->chunk - 1) / task->chunk;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    queue_.push_back(task);
+  }
+  if (helpers > 0) work_cv_.notify_all();
+  RunChunks(*task);
+  std::unique_lock<std::mutex> lock(mu_);
+  task->done.wait(lock,
+                  [&]() { return task->chunks_done == task->chunks_total; });
+  queue_.erase(std::find(queue_.begin(), queue_.end(), task));
+}
+
+ThreadPool& ThreadPool::Shared() {
+  static ThreadPool pool([]() {
+    const int hw =
+        std::max(1, static_cast<int>(std::thread::hardware_concurrency()));
+    // Workers + the calling thread should cover the largest sensible
+    // request, including an oversized HISTEST_THREADS override.
+    return std::max(1, std::max(hw, DefaultBenchThreads()) - 1);
+  }());
+  return pool;
+}
 
 void ParallelFor(int64_t count, int threads,
                  const std::function<void(int64_t)>& job) {
@@ -18,24 +126,18 @@ void ParallelFor(int64_t count, int threads,
     for (int64_t i = 0; i < count; ++i) job(i);
     return;
   }
-  const int workers =
-      static_cast<int>(std::min<int64_t>(threads, count));
-  std::atomic<int64_t> next{0};
-  std::vector<std::thread> pool;
-  pool.reserve(static_cast<size_t>(workers));
-  for (int w = 0; w < workers; ++w) {
-    pool.emplace_back([&]() {
-      while (true) {
-        const int64_t i = next.fetch_add(1, std::memory_order_relaxed);
-        if (i >= count) return;
-        job(i);
-      }
-    });
-  }
-  for (auto& t : pool) t.join();
+  ThreadPool::Shared().Run(count, threads - 1, job);
 }
 
 int DefaultBenchThreads() {
+  const char* env = std::getenv("HISTEST_THREADS");
+  if (env != nullptr && *env != '\0') {
+    char* end = nullptr;
+    const long parsed = std::strtol(env, &end, 10);
+    if (end != nullptr && *end == '\0' && parsed >= 1 && parsed <= 1 << 16) {
+      return static_cast<int>(parsed);  // explicit override: no cap
+    }
+  }
   const unsigned hw = std::thread::hardware_concurrency();
   if (hw == 0) return 1;
   return static_cast<int>(std::min(8u, hw));
@@ -53,19 +155,25 @@ Result<TrialStats> EstimateAcceptanceParallel(
     s.first = rng.Next();
     s.second = rng.Next();
   }
+  // All trials share one immutable alias table; per-trial state is just the
+  // seeded Rng stream inside each oracle.
+  const auto sampler = std::make_shared<const AliasSampler>(dist);
   std::vector<int> accepted(static_cast<size_t>(trials), 0);
   std::vector<double> samples(static_cast<size_t>(trials), 0.0);
+  std::vector<Status> statuses(static_cast<size_t>(trials), Status::Ok());
   std::atomic<bool> failed{false};
   ParallelFor(trials, threads, [&](int64_t t) {
     if (failed.load(std::memory_order_relaxed)) return;
-    DistributionOracle oracle(dist, seeds[t].first);
+    DistributionOracle oracle(sampler, seeds[t].first);
     auto tester = factory(seeds[t].second);
     if (tester == nullptr) {
+      statuses[t] = Status::InvalidArgument("factory returned a null tester");
       failed.store(true, std::memory_order_relaxed);
       return;
     }
     auto outcome = tester->Test(oracle);
     if (!outcome.ok()) {
+      statuses[t] = outcome.status();
       failed.store(true, std::memory_order_relaxed);
       return;
     }
@@ -73,8 +181,10 @@ Result<TrialStats> EstimateAcceptanceParallel(
     samples[t] = static_cast<double>(outcome.value().samples_used);
   });
   if (failed.load()) {
-    return Status::Internal("a parallel trial failed; rerun serially via "
-                            "EstimateAcceptance for the exact status");
+    for (const Status& s : statuses) {
+      if (!s.ok()) return s;  // lowest-index trial failure
+    }
+    return Status::Internal("a parallel trial failed without a status");
   }
   TrialStats stats;
   stats.trials = trials;

@@ -1,10 +1,12 @@
 #include "benchutil/sweep.h"
 
 #include <cmath>
+#include <memory>
 
 #include "benchutil/parallel.h"
 #include "common/check.h"
 #include "common/rng.h"
+#include "dist/sampler.h"
 #include "testing/oracle.h"
 
 namespace histest {
@@ -14,10 +16,13 @@ Result<TrialStats> EstimateAcceptance(const SeededTesterFactory& factory,
                                       uint64_t seed) {
   if (trials < 1) return Status::InvalidArgument("trials must be >= 1");
   Rng rng(seed);
+  // One immutable alias table serves every trial (bit-identical streams to
+  // per-trial construction, without the per-trial O(n) build).
+  const auto sampler = std::make_shared<const AliasSampler>(dist);
   int accepts = 0;
   double total_samples = 0.0;
   for (int t = 0; t < trials; ++t) {
-    DistributionOracle oracle(dist, rng.Next());
+    DistributionOracle oracle(sampler, rng.Next());
     auto tester = factory(rng.Next());
     HISTEST_CHECK(tester != nullptr);
     auto outcome = tester->Test(oracle);

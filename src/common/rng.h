@@ -6,6 +6,8 @@
 #include <utility>
 #include <vector>
 
+#include "common/check.h"
+
 namespace histest {
 
 /// Deterministic pseudo-random number generator used by every randomized
@@ -28,7 +30,17 @@ class Rng {
   explicit Rng(uint64_t seed);
 
   /// Returns the next 64 uniformly random bits.
-  uint64_t Next();
+  uint64_t Next() {
+    const uint64_t result = Rotl(state_[0] + state_[3], 23) + state_[0];
+    const uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = Rotl(state_[3], 45);
+    return result;
+  }
 
   /// UniformRandomBitGenerator interface.
   uint64_t operator()() { return Next(); }
@@ -44,6 +56,13 @@ class Rng {
   /// Returns a uniform integer in [0, bound). Requires bound > 0.
   /// Unbiased (Lemire's multiply-shift rejection method).
   uint64_t UniformInt(uint64_t bound);
+
+  /// Fills ints[i] = UniformInt(bound) and doubles[i] = UniformDouble() for
+  /// i in [0, count), consuming the stream exactly as `count` interleaved
+  /// scalar calls would. Defined inline so batch samplers pay no per-draw
+  /// call overhead; this is the generator's hot path.
+  void FillPairs(uint64_t bound, uint64_t* ints, double* doubles,
+                 int64_t count);
 
   /// Returns true with probability p (p clamped to [0, 1]).
   bool Bernoulli(double p);
@@ -98,10 +117,37 @@ class Rng {
   Rng Fork();
 
  private:
+  static uint64_t Rotl(uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
   uint64_t state_[4];
   double cached_normal_ = 0.0;
   bool has_cached_normal_ = false;
 };
+
+inline void Rng::FillPairs(uint64_t bound, uint64_t* ints, double* doubles,
+                           int64_t count) {
+  HISTEST_CHECK_GT(bound, 0u);
+  for (int64_t i = 0; i < count; ++i) {
+    // Same arithmetic as UniformInt(bound): Lemire multiply-shift with the
+    // (astronomically rare for large bounds) rejection loop.
+    uint64_t x = Next();
+    __uint128_t m = static_cast<__uint128_t>(x) * bound;
+    uint64_t low = static_cast<uint64_t>(m);
+    if (low < bound) {
+      const uint64_t threshold = (0 - bound) % bound;
+      while (low < threshold) {
+        x = Next();
+        m = static_cast<__uint128_t>(x) * bound;
+        low = static_cast<uint64_t>(m);
+      }
+    }
+    ints[i] = static_cast<uint64_t>(m >> 64);
+    // Same arithmetic as UniformDouble().
+    doubles[i] = static_cast<double>(Next() >> 11) * 0x1.0p-53;
+  }
+}
 
 }  // namespace histest
 

@@ -13,10 +13,28 @@ namespace histest {
 /// A vector of per-element sample counts over [0, n), with interval
 /// aggregation helpers. This is the common currency between oracles and the
 /// statistics layer.
+///
+/// Two storage modes with identical observable behaviour:
+///  - dense:  an n-slot array (the classic representation);
+///  - sparse: a sorted (index, count) list whose footprint is O(#distinct
+///            observed elements), so a stage that draws m << n samples never
+///            allocates an O(n) buffer.
+/// `ShapedFor(n, m)` picks the mode for a planned draw of m samples; every
+/// query works on both modes and returns bit-identical results.
 class CountVector {
  public:
-  /// Zero counts over a size-n domain.
-  explicit CountVector(size_t n) : counts_(n, 0), total_(0) {}
+  /// Zero counts over a size-n domain (dense mode).
+  explicit CountVector(size_t n) : n_(n), dense_(n, 0) {}
+
+  /// Zero counts over a size-n domain in sparse mode: storage stays
+  /// proportional to the number of distinct observed elements.
+  static CountVector Sparse(size_t n);
+
+  /// Picks the representation for a planned draw of `expected_samples`:
+  /// sparse when expected_samples < n / kSparseDomainFraction, dense
+  /// otherwise. Oracles route DrawCounts through this so the whole pipeline
+  /// agrees on one policy.
+  static CountVector ShapedFor(size_t n, int64_t expected_samples);
 
   /// Builds counts from raw samples; every sample must be < n.
   static CountVector FromSamples(size_t n, const std::vector<size_t>& samples);
@@ -24,13 +42,23 @@ class CountVector {
   /// Adopts a precomputed count vector (e.g., from PoissonizedCounts).
   static CountVector FromCounts(std::vector<int64_t> counts);
 
-  size_t size() const { return counts_.size(); }
+  /// Sparse stays cheaper than dense until m reaches n / this fraction.
+  static constexpr int64_t kSparseDomainFraction = 8;
+
+  size_t size() const { return n_; }
   int64_t total() const { return total_; }
-  int64_t operator[](size_t i) const { return counts_[i]; }
-  const std::vector<int64_t>& counts() const { return counts_; }
+  bool is_sparse() const { return sparse_; }
+  int64_t operator[](size_t i) const;
+
+  /// Dense-mode raw storage. Check is_sparse() first; sparse vectors have no
+  /// dense array to expose (that is their whole point).
+  const std::vector<int64_t>& counts() const;
 
   /// Adds one observation of element i.
   void Add(size_t i);
+
+  /// Adds `count` observations in bulk (the oracle batch path).
+  void AddSamples(const size_t* samples, int64_t count);
 
   /// Total count falling in `interval`.
   int64_t IntervalCount(const Interval& interval) const;
@@ -38,7 +66,8 @@ class CountVector {
   /// Per-interval totals for a whole partition.
   std::vector<int64_t> IntervalCounts(const Partition& partition) const;
 
-  /// The empirical (plug-in) distribution. Requires total() > 0.
+  /// The empirical (plug-in) distribution. Requires total() > 0. Note: the
+  /// result is a dense Distribution, so this is inherently O(n).
   Result<Distribution> ToEmpirical() const;
 
   /// Number of elements observed at least once.
@@ -48,11 +77,51 @@ class CountVector {
   /// coincidence statistic's numerator).
   int64_t CollisionPairs() const;
 
+  /// Visits every element with a non-zero count in ascending index order as
+  /// fn(index, count). O(n) dense, O(#distinct) sparse.
+  template <typename Fn>
+  void ForEachNonZero(Fn&& fn) const {
+    if (!sparse_) {
+      for (size_t i = 0; i < dense_.size(); ++i) {
+        if (dense_[i] != 0) fn(i, dense_[i]);
+      }
+      return;
+    }
+    Compact();
+    for (size_t p = 0; p < idx_.size(); ++p) fn(idx_[p], cnt_[p]);
+  }
+
+  /// Amortized-O(1) reader for monotone scans (the Z-statistic walks the
+  /// whole domain in index order). At(i) requires nondecreasing i across
+  /// calls; dense mode tolerates any order.
+  class Cursor {
+   public:
+    explicit Cursor(const CountVector& cv);
+    int64_t At(size_t i);
+
+   private:
+    const CountVector& cv_;
+    size_t pos_ = 0;
+  };
+
  private:
   explicit CountVector(std::vector<int64_t> counts);
 
-  std::vector<int64_t> counts_;
-  int64_t total_;
+  /// Folds pending sparse additions into the sorted (idx_, cnt_) arrays.
+  void Compact() const;
+  int64_t SparseRangeSum(size_t begin, size_t end) const;
+
+  size_t n_ = 0;
+  bool sparse_ = false;
+  int64_t total_ = 0;
+  std::vector<int64_t> dense_;  // engaged iff !sparse_
+  // Sparse storage: sorted unique indices with positive counts, plus a
+  // buffer of not-yet-merged raw samples. Mutable so const queries can fold
+  // the buffer in lazily; like all of CountVector, not safe for concurrent
+  // use of one instance.
+  mutable std::vector<size_t> idx_;
+  mutable std::vector<int64_t> cnt_;
+  mutable std::vector<size_t> pending_;
 };
 
 }  // namespace histest

@@ -1,5 +1,6 @@
 #include "dist/sampler.h"
 
+#include <algorithm>
 #include <cmath>
 
 #include "common/check.h"
@@ -62,9 +63,41 @@ size_t AliasSampler::Sample(Rng& rng) const {
   return rng.UniformDouble() < prob_[column] ? column : alias_[column];
 }
 
+void AliasSampler::SampleBatch(Rng& rng, size_t* out, int64_t count) const {
+  // Identical arithmetic to Sample(), restructured into two passes per
+  // chunk: first the pure-RNG pass (inline xoshiro, no memory traffic),
+  // then the table-resolution pass with the (column, alias) cache lines
+  // prefetched a few iterations ahead. For domains whose tables exceed the
+  // L2 cache the second pass is latency-bound, so the prefetch distance is
+  // what buys most of the batch speedup.
+  const double* prob = prob_.data();
+  const size_t* alias = alias_.data();
+  const uint64_t n = prob_.size();
+  constexpr int64_t kChunk = 1024;
+  constexpr int64_t kAhead = 16;
+  uint64_t cols[kChunk];
+  double us[kChunk];
+  int64_t done = 0;
+  while (done < count) {
+    const int64_t c = std::min(count - done, kChunk);
+    rng.FillPairs(n, cols, us, c);
+    size_t* dst = out + done;
+    for (int64_t i = 0; i < c; ++i) {
+      if (i + kAhead < c) {
+        const uint64_t ahead = cols[i + kAhead];
+        __builtin_prefetch(prob + ahead, 0, 1);
+        __builtin_prefetch(alias + ahead, 0, 1);
+      }
+      const size_t column = static_cast<size_t>(cols[i]);
+      dst[i] = us[i] < prob[column] ? column : alias[column];
+    }
+    done += c;
+  }
+}
+
 std::vector<size_t> AliasSampler::SampleMany(Rng& rng, size_t count) const {
   std::vector<size_t> out(count);
-  for (size_t i = 0; i < count; ++i) out[i] = Sample(rng);
+  SampleBatch(rng, out.data(), static_cast<int64_t>(count));
   return out;
 }
 
@@ -91,6 +124,11 @@ PiecewiseSampler::PiecewiseSampler(const PiecewiseConstant& pwc)
 size_t PiecewiseSampler::Sample(Rng& rng) const {
   const Interval& iv = piece_intervals_[piece_sampler_.Sample(rng)];
   return iv.begin + static_cast<size_t>(rng.UniformInt(iv.size()));
+}
+
+void PiecewiseSampler::SampleBatch(Rng& rng, size_t* out,
+                                   int64_t count) const {
+  for (int64_t i = 0; i < count; ++i) out[i] = Sample(rng);
 }
 
 std::vector<int64_t> PoissonizedCounts(const Distribution& dist, double m,

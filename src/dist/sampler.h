@@ -27,6 +27,10 @@ class AliasSampler {
   /// Draws one sample.
   size_t Sample(Rng& rng) const;
 
+  /// Draws `count` samples into `out` with one tight loop (no per-sample
+  /// call overhead). Stream-identical to `count` repeated Sample() calls.
+  void SampleBatch(Rng& rng, size_t* out, int64_t count) const;
+
   /// Draws `count` samples.
   std::vector<size_t> SampleMany(Rng& rng, size_t count) const;
 
@@ -49,6 +53,9 @@ class PiecewiseSampler {
   size_t domain_size() const { return domain_size_; }
 
   size_t Sample(Rng& rng) const;
+
+  /// Batched draws, stream-identical to repeated Sample() calls.
+  void SampleBatch(Rng& rng, size_t* out, int64_t count) const;
 
  private:
   size_t domain_size_;

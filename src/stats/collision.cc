@@ -19,11 +19,13 @@ double RestrictedCollisionStatistic(const CountVector& counts,
   HISTEST_CHECK_LE(interval.end, counts.size());
   int64_t m = 0;
   int64_t pairs = 0;
-  for (size_t i = interval.begin; i < interval.end; ++i) {
-    const int64_t c = counts[i];
+  // Zero counts contribute nothing, so only non-zero entries matter; this
+  // keeps the scan O(#distinct) on sparse count vectors.
+  counts.ForEachNonZero([&](size_t i, int64_t c) {
+    if (i < interval.begin || i >= interval.end) return;
     m += c;
     pairs += c * (c - 1) / 2;
-  }
+  });
   if (m < 2) return -1.0;
   const double all_pairs =
       0.5 * static_cast<double>(m) * static_cast<double>(m - 1);

@@ -27,6 +27,9 @@ Result<ZStatResult> ComputeZStatistics(const CountVector& counts, double m,
   ZStatResult result;
   result.z.assign(partition.NumIntervals(), 0.0);
   KahanSum total;
+  // Partition intervals ascend, so one forward cursor reads the counts in
+  // O(1) amortized per element for both dense and sparse vectors.
+  CountVector::Cursor reader(counts);
   for (size_t j = 0; j < partition.NumIntervals(); ++j) {
     if (active_intervals != nullptr && !(*active_intervals)[j]) continue;
     const Interval& iv = partition.interval(j);
@@ -34,7 +37,7 @@ Result<ZStatResult> ComputeZStatistics(const CountVector& counts, double m,
     for (size_t i = iv.begin; i < iv.end; ++i) {
       if (dstar[i] < aeps_cut) continue;
       const double expected = m * dstar[i];
-      const double ni = static_cast<double>(counts[i]);
+      const double ni = static_cast<double>(reader.At(i));
       const double dev = ni - expected;
       zj.Add((dev * dev - ni) / expected);
     }

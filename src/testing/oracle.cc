@@ -1,24 +1,72 @@
 #include "testing/oracle.h"
 
+#include <algorithm>
+
 #include "common/check.h"
 
 namespace histest {
 
 DistributionOracle::DistributionOracle(const Distribution& dist, uint64_t seed)
-    : domain_size_(dist.size()), rng_(seed) {
-  alias_.emplace_back(dist);
-}
+    : domain_size_(dist.size()),
+      alias_(std::make_shared<const AliasSampler>(dist)),
+      rng_(seed) {}
 
 DistributionOracle::DistributionOracle(const PiecewiseConstant& pwc,
                                        uint64_t seed)
-    : domain_size_(pwc.domain_size()), rng_(seed) {
-  piecewise_.emplace_back(pwc);
+    : domain_size_(pwc.domain_size()),
+      piecewise_(std::make_shared<const PiecewiseSampler>(pwc)),
+      rng_(seed) {}
+
+DistributionOracle::DistributionOracle(
+    std::shared_ptr<const AliasSampler> sampler, uint64_t seed)
+    : domain_size_(0), alias_(std::move(sampler)), rng_(seed) {
+  HISTEST_CHECK(alias_ != nullptr);
+  domain_size_ = alias_->size();
+}
+
+DistributionOracle::DistributionOracle(
+    std::shared_ptr<const PiecewiseSampler> sampler, uint64_t seed)
+    : domain_size_(0), piecewise_(std::move(sampler)), rng_(seed) {
+  HISTEST_CHECK(piecewise_ != nullptr);
+  domain_size_ = piecewise_->domain_size();
 }
 
 size_t DistributionOracle::Draw() {
   ++drawn_;
-  if (!alias_.empty()) return alias_.front().Sample(rng_);
-  return piecewise_.front().Sample(rng_);
+  if (alias_ != nullptr) return alias_->Sample(rng_);
+  return piecewise_->Sample(rng_);
+}
+
+void DistributionOracle::DrawBatch(size_t* out, int64_t count) {
+  HISTEST_CHECK_GE(count, 0);
+  if (alias_ != nullptr) {
+    alias_->SampleBatch(rng_, out, count);
+  } else {
+    piecewise_->SampleBatch(rng_, out, count);
+  }
+  drawn_ += count;
+}
+
+CountVector DistributionOracle::DrawCounts(int64_t count) {
+  HISTEST_CHECK_GE(count, 0);
+  CountVector cv = CountVector::ShapedFor(domain_size_, count);
+  // Sample in cache-resident chunks straight off the shared tables; the
+  // stream (and hence the counts) is identical to `count` Draw() calls.
+  constexpr int64_t kChunk = 4096;
+  size_t buffer[kChunk];
+  int64_t left = count;
+  while (left > 0) {
+    const int64_t c = std::min(left, kChunk);
+    if (alias_ != nullptr) {
+      alias_->SampleBatch(rng_, buffer, c);
+    } else {
+      piecewise_->SampleBatch(rng_, buffer, c);
+    }
+    cv.AddSamples(buffer, c);
+    left -= c;
+  }
+  drawn_ += count;
+  return cv;
 }
 
 FixedSampleOracle::FixedSampleOracle(size_t domain_size,

@@ -2,6 +2,7 @@
 #define HISTEST_TESTING_ORACLE_H_
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "common/rng.h"
@@ -13,6 +14,11 @@
 namespace histest {
 
 /// Oracle backed by an explicit distribution (alias-method sampling).
+///
+/// The sampler tables are immutable and held by shared_ptr, so many oracles
+/// (e.g. the parallel trials of EstimateAcceptanceParallel) can share one
+/// O(n) table instead of each rebuilding it; only the Rng stream is
+/// per-oracle state.
 class DistributionOracle : public SampleOracle {
  public:
   DistributionOracle(const Distribution& dist, uint64_t seed);
@@ -21,15 +27,24 @@ class DistributionOracle : public SampleOracle {
   /// densifying (the piecewise function is normalized internally).
   DistributionOracle(const PiecewiseConstant& pwc, uint64_t seed);
 
+  /// Shares a prebuilt sampler (no O(n) construction). The sample stream
+  /// for a given seed is identical to the table-owning constructors'.
+  DistributionOracle(std::shared_ptr<const AliasSampler> sampler,
+                     uint64_t seed);
+  DistributionOracle(std::shared_ptr<const PiecewiseSampler> sampler,
+                     uint64_t seed);
+
   size_t DomainSize() const override { return domain_size_; }
   size_t Draw() override;
+  void DrawBatch(size_t* out, int64_t count) override;
+  CountVector DrawCounts(int64_t count) override;
   int64_t SamplesDrawn() const override { return drawn_; }
 
  private:
   size_t domain_size_;
   // Exactly one of the two samplers is engaged.
-  std::vector<AliasSampler> alias_;        // size 0 or 1
-  std::vector<PiecewiseSampler> piecewise_;  // size 0 or 1
+  std::shared_ptr<const AliasSampler> alias_;
+  std::shared_ptr<const PiecewiseSampler> piecewise_;
   Rng rng_;
   int64_t drawn_ = 0;
 };

@@ -14,18 +14,23 @@ const char* VerdictToString(Verdict v) {
   return "unknown";
 }
 
-std::vector<size_t> SampleOracle::DrawMany(int64_t count) {
+void SampleOracle::DrawBatch(size_t* out, int64_t count) {
   HISTEST_CHECK_GE(count, 0);
-  std::vector<size_t> samples(static_cast<size_t>(count));
-  for (auto& s : samples) s = Draw();
-  return samples;
+  for (int64_t i = 0; i < count; ++i) out[i] = Draw();
 }
 
 CountVector SampleOracle::DrawCounts(int64_t count) {
   HISTEST_CHECK_GE(count, 0);
-  CountVector cv(DomainSize());
+  CountVector cv = CountVector::ShapedFor(DomainSize(), count);
   for (int64_t i = 0; i < count; ++i) cv.Add(Draw());
   return cv;
+}
+
+std::vector<size_t> SampleOracle::DrawMany(int64_t count) {
+  HISTEST_CHECK_GE(count, 0);
+  std::vector<size_t> samples(static_cast<size_t>(count));
+  DrawBatch(samples.data(), count);
+  return samples;
 }
 
 }  // namespace histest

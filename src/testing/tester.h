@@ -35,11 +35,20 @@ class SampleOracle {
   /// Total number of samples drawn so far.
   virtual int64_t SamplesDrawn() const = 0;
 
+  /// Draws `count` samples into `out`. Defined to be stream-identical to
+  /// `count` repeated Draw() calls; backends override it to sample in a
+  /// tight loop with no per-sample virtual dispatch.
+  virtual void DrawBatch(size_t* out, int64_t count);
+
+  /// Draws `count` samples and returns their count vector. The
+  /// representation is chosen by CountVector::ShapedFor (sparse when count
+  /// is far below the domain size), and the observed counts are defined to
+  /// be identical to `count` repeated Draw() calls. Backends override this
+  /// to fill the counts straight from batched draws.
+  virtual CountVector DrawCounts(int64_t count);
+
   /// Draws `count` samples.
   std::vector<size_t> DrawMany(int64_t count);
-
-  /// Draws `count` samples and returns their count vector.
-  CountVector DrawCounts(int64_t count);
 };
 
 /// A tester's verdict together with its measured cost and a human-readable

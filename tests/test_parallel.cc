@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <cstdlib>
 #include <memory>
 #include <vector>
 
@@ -62,11 +63,100 @@ TEST(EstimateAcceptanceParallelTest, SurfacesTrialFailures) {
   auto result = EstimateAcceptanceParallel(
       factory, Distribution::UniformOver(4), 4, 1, 4);
   EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+}
+
+/// Tester whose Test() always fails with a distinctive status.
+class FailingTester : public DistributionTester {
+ public:
+  std::string Name() const override { return "failing"; }
+  Result<TestOutcome> Test(SampleOracle&) override {
+    return Status::FailedPrecondition("injected trial failure");
+  }
+};
+
+TEST(EstimateAcceptanceParallelTest, PropagatesFirstTrialStatus) {
+  const SeededTesterFactory factory = [](uint64_t) {
+    return std::make_unique<FailingTester>();
+  };
+  auto result = EstimateAcceptanceParallel(
+      factory, Distribution::UniformOver(8), 6, 3, 4);
+  ASSERT_FALSE(result.ok());
+  // The actual trial status comes through, not a generic internal error.
+  EXPECT_EQ(result.status().code(), StatusCode::kFailedPrecondition);
+  EXPECT_EQ(result.status().message(), "injected trial failure");
+}
+
+TEST(EstimateAcceptanceParallelTest, ThreadCountInvariant) {
+  // Same TrialStats for 1, 2, and 8 threads: seeds are precomputed, so
+  // scheduling cannot leak into the results.
+  const auto dist = Distribution::UniformOver(512);
+  const SeededTesterFactory factory = [](uint64_t seed) {
+    return std::make_unique<PaninskiUniformityTester>(
+        0.25, PaninskiOptions{}, seed);
+  };
+  auto one = EstimateAcceptanceParallel(factory, dist, 10, 77, 1);
+  auto two = EstimateAcceptanceParallel(factory, dist, 10, 77, 2);
+  auto eight = EstimateAcceptanceParallel(factory, dist, 10, 77, 8);
+  ASSERT_TRUE(one.ok());
+  ASSERT_TRUE(two.ok());
+  ASSERT_TRUE(eight.ok());
+  EXPECT_EQ(one.value().accept_rate, eight.value().accept_rate);
+  EXPECT_EQ(one.value().avg_samples, eight.value().avg_samples);
+  EXPECT_EQ(two.value().accept_rate, eight.value().accept_rate);
+  EXPECT_EQ(two.value().avg_samples, eight.value().avg_samples);
+}
+
+TEST(ThreadPoolTest, ReusableAcrossManyRuns) {
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.size(), 4);
+  for (int round = 0; round < 50; ++round) {
+    std::vector<std::atomic<int>> hits(37);
+    pool.Run(37, 4, [&](int64_t i) { hits[i].fetch_add(1); });
+    for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+  }
+}
+
+TEST(ThreadPoolTest, LargeCountChunked) {
+  ThreadPool pool(3);
+  std::atomic<int64_t> sum{0};
+  pool.Run(100000, 3, [&](int64_t i) { sum.fetch_add(i); });
+  EXPECT_EQ(sum.load(), int64_t{100000} * 99999 / 2);
+}
+
+TEST(ThreadPoolTest, NestedRunDoesNotDeadlock) {
+  ThreadPool pool(2);
+  std::atomic<int> inner_total{0};
+  pool.Run(4, 2, [&](int64_t) {
+    pool.Run(8, 2, [&](int64_t) { inner_total.fetch_add(1); });
+  });
+  EXPECT_EQ(inner_total.load(), 32);
 }
 
 TEST(DefaultBenchThreadsTest, Sane) {
+  unsetenv("HISTEST_THREADS");
   EXPECT_GE(DefaultBenchThreads(), 1);
   EXPECT_LE(DefaultBenchThreads(), 8);
+}
+
+TEST(DefaultBenchThreadsTest, HonorsEnvOverride) {
+  setenv("HISTEST_THREADS", "13", 1);
+  EXPECT_EQ(DefaultBenchThreads(), 13);  // uncapped: override wins over 8
+  setenv("HISTEST_THREADS", "1", 1);
+  EXPECT_EQ(DefaultBenchThreads(), 1);
+  unsetenv("HISTEST_THREADS");
+}
+
+TEST(DefaultBenchThreadsTest, RejectsInvalidOverride) {
+  const int fallback = [] {
+    unsetenv("HISTEST_THREADS");
+    return DefaultBenchThreads();
+  }();
+  for (const char* bad : {"0", "-3", "abc", "4x", ""}) {
+    setenv("HISTEST_THREADS", bad, 1);
+    EXPECT_EQ(DefaultBenchThreads(), fallback) << "override='" << bad << "'";
+  }
+  unsetenv("HISTEST_THREADS");
 }
 
 }  // namespace
