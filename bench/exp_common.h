@@ -39,7 +39,7 @@ inline GridStats RunGrid(const std::vector<WorkloadInstance>& grid,
   for (const auto& inst : grid) {
     auto trial_stats = EstimateAcceptanceParallel(
         factory, inst.dist, trials, rng.Next(), DefaultBenchThreads());
-    HISTEST_CHECK(trial_stats.ok());
+    HISTEST_CHECK_OK(trial_stats);
     total_samples += trial_stats.value().avg_samples;
     if (inst.side == InstanceSide::kInClass) {
       stats.min_accept_rate_in =

@@ -37,7 +37,7 @@ int Run(int argc, const char* const* argv) {
   for (const size_t n : {size_t{256}, size_t{512}, size_t{1024},
                          size_t{2048}, size_t{4096}, size_t{8192}}) {
     auto grid = MakeWorkloadGrid(n, k, eps, rng);
-    HISTEST_CHECK(grid.ok());
+    HISTEST_CHECK_OK(grid);
     const GridStats stats = RunGrid(
         grid.value(),
         [&](uint64_t seed) {
@@ -66,7 +66,7 @@ int Run(int argc, const char* const* argv) {
       options.threads = DefaultBenchThreads();
       auto minimal = FindMinimalBudget(OursScaledFactory(k, eps), yes, no,
                                        options, rng.Next());
-      HISTEST_CHECK(minimal.ok());
+      HISTEST_CHECK_OK(minimal);
       row.push_back(minimal.value().found
                         ? Table::FmtInt(static_cast<int64_t>(
                               minimal.value().avg_samples))

@@ -32,7 +32,7 @@ int Run(int argc, const char* const* argv) {
   for (const size_t k : {size_t{1}, size_t{2}, size_t{4}, size_t{8},
                          size_t{16}, size_t{32}}) {
     auto grid = MakeWorkloadGrid(n, k, eps, rng);
-    HISTEST_CHECK(grid.ok());
+    HISTEST_CHECK_OK(grid);
     // Correctness over the grid.
     const GridStats stats = RunGrid(
         grid.value(),
@@ -45,7 +45,7 @@ int Run(int argc, const char* const* argv) {
     DistributionOracle oracle(Distribution::UniformOver(n), rng.Next());
     HistogramTester tester(k, eps, HistogramTesterOptions{}, rng.Next());
     auto report = tester.TestWithReport(oracle);
-    HISTEST_CHECK(report.ok());
+    HISTEST_CHECK_OK(report);
     int64_t learn_part = 0, sieve_final = 0;
     for (const auto& stage : report.value().stages) {
       if (stage.stage == "approx_part" || stage.stage == "learner") {

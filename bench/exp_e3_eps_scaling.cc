@@ -28,7 +28,7 @@ int Run(int argc, const char* const* argv) {
   double norm = 0.0;
   for (const double eps : {0.40, 0.30, 0.25, 0.20, 0.15}) {
     auto grid = MakeWorkloadGrid(n, k, eps, rng);
-    HISTEST_CHECK(grid.ok());
+    HISTEST_CHECK_OK(grid);
     const GridStats stats = RunGrid(
         grid.value(),
         [&](uint64_t seed) {

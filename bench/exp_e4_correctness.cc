@@ -33,7 +33,7 @@ int Run(int argc, const char* const* argv) {
   int violations = 0;
   for (const Config& cfg : configs) {
     auto grid = MakeWorkloadGrid(cfg.n, cfg.k, cfg.eps, rng);
-    HISTEST_CHECK(grid.ok());
+    HISTEST_CHECK_OK(grid);
     for (const auto& inst : grid.value()) {
       auto stats = EstimateAcceptance(
           [&](uint64_t seed) {
@@ -41,7 +41,7 @@ int Run(int argc, const char* const* argv) {
                 cfg.k, cfg.eps, HistogramTesterOptions{}, seed);
           },
           inst.dist, trials, rng.Next());
-      HISTEST_CHECK(stats.ok());
+      HISTEST_CHECK_OK(stats);
       const bool in_class = inst.side == InstanceSide::kInClass;
       const double rate = stats.value().accept_rate;
       const bool ok = in_class ? rate >= 2.0 / 3.0 : rate <= 1.0 / 3.0;

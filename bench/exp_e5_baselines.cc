@@ -47,7 +47,7 @@ int Run(int argc, const char* const* argv) {
 
   for (const Config& cfg : configs) {
     auto grid = MakeWorkloadGrid(cfg.n, cfg.k, cfg.eps, rng);
-    HISTEST_CHECK(grid.ok());
+    HISTEST_CHECK_OK(grid);
     std::vector<Distribution> yes, no;
     for (const auto& inst : grid.value()) {
       (inst.side == InstanceSide::kInClass ? yes : no).push_back(inst.dist);
@@ -101,7 +101,7 @@ int Run(int argc, const char* const* argv) {
       options.threads = DefaultBenchThreads();
       auto floor =
           FindMinimalBudget(entry.factory, yes, no, options, rng.Next());
-      HISTEST_CHECK(floor.ok());
+      HISTEST_CHECK_OK(floor);
       table.AddRow(
           {Table::FmtInt(static_cast<int64_t>(cfg.n)),
            Table::FmtInt(static_cast<int64_t>(cfg.k)),

@@ -46,17 +46,17 @@ int Run(int argc, const char* const* argv) {
           DistributionOracle oracle(uniform, rng.Next());
           PaninskiUniformityTester tester(eps, options, rng.Next());
           auto outcome = tester.Test(oracle);
-          HISTEST_CHECK(outcome.ok());
+          HISTEST_CHECK_OK(outcome);
           if (outcome.value().verdict != Verdict::kAccept) ++err_uniform;
         }
         // Q_eps side: a fresh random member each trial; must reject.
         {
           auto inst = MakePaninskiInstance(n, eps, 2.0, 1, rng);
-          HISTEST_CHECK(inst.ok());
+          HISTEST_CHECK_OK(inst);
           DistributionOracle oracle(inst.value().dist, rng.Next());
           PaninskiUniformityTester tester(eps, options, rng.Next());
           auto outcome = tester.Test(oracle);
-          HISTEST_CHECK(outcome.ok());
+          HISTEST_CHECK_OK(outcome);
           if (outcome.value().verdict != Verdict::kReject) ++err_far;
         }
       }

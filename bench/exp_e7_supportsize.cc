@@ -81,9 +81,9 @@ int Run(int argc, const char* const* argv) {
     int64_t samples_before = decider.samples_used();
     for (int t = 0; t < reduction_trials; ++t) {
       auto inst = MakeSupportSizeInstance(decider.m(), small_side, rng);
-      HISTEST_CHECK(inst.ok());
+      HISTEST_CHECK_OK(inst);
       auto verdict = decider.Decide(inst.value().dist);
-      HISTEST_CHECK(verdict.ok());
+      HISTEST_CHECK_OK(verdict);
       if (verdict.value() == small_side) ++correct;
     }
     const double avg_samples =

@@ -72,11 +72,11 @@ int Run(int argc, const char* const* argv) {
   for (const auto& ds : datasets) {
     const auto values = SampleColumn(ds.dist, rows, rng);
     auto sketch = ColumnSketch::Build(values, n);
-    HISTEST_CHECK(sketch.ok());
+    HISTEST_CHECK_OK(sketch);
     SummaryOptions options;
     options.eps = eps;
     auto summary = SummarizeColumn(sketch.value(), options, rng.Next());
-    HISTEST_CHECK(summary.ok());
+    HISTEST_CHECK_OK(summary);
     const double tv = TotalVariation(
         summary.value().histogram.ToDistribution().value(),
         sketch.value().distribution());

@@ -73,7 +73,7 @@ int Run(int argc, const char* const* argv) {
   const std::vector<Config> configs = {{2048, 5, 0.25}, {4096, 8, 0.2}};
   for (const Config& cfg : configs) {
     auto grid = MakeWorkloadGrid(cfg.n, cfg.k, cfg.eps, rng);
-    HISTEST_CHECK(grid.ok());
+    HISTEST_CHECK_OK(grid);
     for (const Variant& variant : variants) {
       const GridStats stats = RunGrid(
           grid.value(),

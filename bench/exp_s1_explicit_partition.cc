@@ -45,7 +45,7 @@ int Run(int argc, const char* const* argv) {
         DistributionOracle oracle(dist, rng.Next());
         auto tester = make_tester(rng.Next());
         auto outcome = tester->Test(oracle);
-        HISTEST_CHECK(outcome.ok());
+        HISTEST_CHECK_OK(outcome);
         const bool accepted =
             outcome.value().verdict == Verdict::kAccept;
         if (accepted == expect_accept) ++correct;

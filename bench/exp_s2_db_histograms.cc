@@ -54,7 +54,7 @@ int Run(int argc, const char* const* argv) {
     std::vector<size_t> values(rows);
     for (auto& v : values) v = sampler.Sample(rng);
     auto sketch = ColumnSketch::Build(values, n);
-    HISTEST_CHECK(sketch.ok());
+    HISTEST_CHECK_OK(sketch);
     const Distribution& column = sketch.value().distribution();
 
     auto add_row = [&](const std::string& name, const PiecewiseConstant& h,
@@ -75,7 +75,7 @@ int Run(int argc, const char* const* argv) {
     SummaryOptions options;
     options.eps = eps;
     auto summary = SummarizeColumn(sketch.value(), options, rng.Next());
-    HISTEST_CHECK(summary.ok());
+    HISTEST_CHECK_OK(summary);
     add_row("tested+learned", summary.value().histogram,
             summary.value().samples_used);
   }

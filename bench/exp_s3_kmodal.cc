@@ -62,7 +62,7 @@ int Run(int argc, const char* const* argv) {
                                                 KModalTesterOptions{}, seed);
         },
         c.dist, trials, rng.Next(), DefaultBenchThreads());
-    HISTEST_CHECK(stats.ok());
+    HISTEST_CHECK_OK(stats);
     const double rate = stats.value().accept_rate;
     const bool ok =
         c.expect_accept ? rate >= 2.0 / 3.0 : rate <= 1.0 / 3.0;

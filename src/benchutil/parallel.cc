@@ -2,7 +2,11 @@
 
 #include <algorithm>
 #include <atomic>
+#include <cerrno>
+#include <cstdio>
 #include <cstdlib>
+#include <mutex>
+#include <string>
 
 #include "common/check.h"
 #include "common/rng.h"
@@ -79,6 +83,7 @@ void ThreadPool::RunChunks(Task& task) {
   if (finished == 0) return;
   std::lock_guard<std::mutex> lock(mu_);
   task.chunks_done += finished;
+  HISTEST_DCHECK_LE(task.chunks_done, task.chunks_total);
   if (task.chunks_done == task.chunks_total) task.done.notify_all();
 }
 
@@ -95,6 +100,7 @@ void ThreadPool::Run(int64_t count, int max_workers,
   // ~4 chunks per executor balances scheduling overhead against stragglers.
   task->chunk = std::max<int64_t>(1, count / ((helpers + 1) * 4));
   task->chunks_total = (count + task->chunk - 1) / task->chunk;
+  HISTEST_DCHECK_GE(task->chunks_total, 1);
   {
     std::lock_guard<std::mutex> lock(mu_);
     queue_.push_back(task);
@@ -129,13 +135,47 @@ void ParallelFor(int64_t count, int threads,
   ThreadPool::Shared().Run(count, threads - 1, job);
 }
 
+namespace {
+
+/// Parses a HISTEST_THREADS override. Returns -1 (with a reason in
+/// `*error`) for anything other than a clean, in-range integer: trailing
+/// garbage ("4x"), overflow (errno == ERANGE), empty strings, and values
+/// outside [1, 65536] are all rejected rather than clamped.
+int ParseThreadsOverride(const char* env, std::string* error) {
+  char* end = nullptr;
+  errno = 0;
+  const long parsed = std::strtol(env, &end, 10);
+  if (end == env || *end != '\0') {
+    *error = "not an integer";
+    return -1;
+  }
+  if (errno == ERANGE || parsed < 1 || parsed > 1 << 16) {
+    *error = "out of range (expected 1..65536)";
+    return -1;
+  }
+  return static_cast<int>(parsed);
+}
+
+}  // namespace
+
 int DefaultBenchThreads() {
   const char* env = std::getenv("HISTEST_THREADS");
   if (env != nullptr && *env != '\0') {
-    char* end = nullptr;
-    const long parsed = std::strtol(env, &end, 10);
-    if (end != nullptr && *end == '\0' && parsed >= 1 && parsed <= 1 << 16) {
-      return static_cast<int>(parsed);  // explicit override: no cap
+    std::string error;
+    const int parsed = ParseThreadsOverride(env, &error);
+    if (parsed > 0) return parsed;  // explicit override: no cap
+    // Warn once per distinct bad value, not once per call: the harness
+    // calls this in loops, but a changed-yet-still-bad setting (common in
+    // CI matrix edits) should also be surfaced.
+    static std::mutex warn_mu;
+    static std::string warned_value;
+    std::lock_guard<std::mutex> lock(warn_mu);
+    if (warned_value != env) {
+      warned_value = env;
+      std::fprintf(stderr,
+                   "histest: ignoring HISTEST_THREADS='%s' (%s); "
+                   "falling back to min(8, hardware_concurrency)\n",
+                   env, error.c_str());
     }
   }
   const unsigned hw = std::thread::hardware_concurrency();

@@ -18,6 +18,18 @@ std::string BinaryFailureMessage(const char* expr, const A& a, const B& b) {
   return oss.str();
 }
 
+/// Failure message for HISTEST_CHECK_OK. Accepts both Status (has
+/// ToString()) and Result<T> (reaches through status()) without this header
+/// needing to include status.h (status.h includes us).
+template <typename S>
+std::string StatusFailureMessage(const char* expr, const S& s) {
+  if constexpr (requires { s.ToString(); }) {
+    return std::string(expr) + " is not OK: " + s.ToString();
+  } else {
+    return std::string(expr) + " is not OK: " + s.status().ToString();
+  }
+}
+
 }  // namespace internal_check
 }  // namespace histest
 
@@ -48,13 +60,50 @@ std::string BinaryFailureMessage(const char* expr, const A& a, const B& b) {
 #define HISTEST_CHECK_GT(a, b) HISTEST_CHECK_OP(>, a, b)
 #define HISTEST_CHECK_GE(a, b) HISTEST_CHECK_OP(>=, a, b)
 
-/// Debug-only assertion for hot paths.
+/// Fatal assertion that a Status (or Result<T>) is OK. The failure message
+/// carries the status's code and text, e.g.
+/// "oracle.Fill(...) is not OK: InvalidArgument: count must be >= 0".
+#define HISTEST_CHECK_OK(expr)                                              \
+  do {                                                                      \
+    const auto& _histest_check_ok_s = (expr);                               \
+    if (!_histest_check_ok_s.ok()) {                                        \
+      ::histest::internal_check::CheckFailed(                               \
+          __FILE__, __LINE__,                                               \
+          ::histest::internal_check::StatusFailureMessage(                  \
+              #expr, _histest_check_ok_s));                                 \
+    }                                                                       \
+  } while (false)
+
+/// Debug-only assertions for hot paths. In release builds the condition is
+/// type-checked (inside an unevaluated sizeof) but never executed, so a
+/// DCHECK-only expression cannot bitrot and operands are never evaluated.
 #ifdef NDEBUG
-#define HISTEST_DCHECK(cond) \
-  do {                       \
+#define HISTEST_DCHECK(cond)     \
+  do {                           \
+    (void)sizeof((cond) ? 1 : 0); \
+  } while (false)
+#define HISTEST_DCHECK_OP(op, a, b)  \
+  do {                               \
+    (void)sizeof((a)op(b) ? 1 : 0);  \
+  } while (false)
+#define HISTEST_DCHECK_OK(expr)       \
+  do {                                \
+    (void)sizeof((expr).ok() ? 1 : 0); \
   } while (false)
 #else
 #define HISTEST_DCHECK(cond) HISTEST_CHECK(cond)
+#define HISTEST_DCHECK_OP(op, a, b) HISTEST_CHECK_OP(op, a, b)
+#define HISTEST_DCHECK_OK(expr) HISTEST_CHECK_OK(expr)
 #endif
+
+/// Debug-only binary comparisons: full operand values in the failure
+/// message (HISTEST_DCHECK(a == b) would only print the expression text),
+/// zero cost in release builds.
+#define HISTEST_DCHECK_EQ(a, b) HISTEST_DCHECK_OP(==, a, b)
+#define HISTEST_DCHECK_NE(a, b) HISTEST_DCHECK_OP(!=, a, b)
+#define HISTEST_DCHECK_LT(a, b) HISTEST_DCHECK_OP(<, a, b)
+#define HISTEST_DCHECK_LE(a, b) HISTEST_DCHECK_OP(<=, a, b)
+#define HISTEST_DCHECK_GT(a, b) HISTEST_DCHECK_OP(>, a, b)
+#define HISTEST_DCHECK_GE(a, b) HISTEST_DCHECK_OP(>=, a, b)
 
 #endif  // HISTEST_COMMON_CHECK_H_

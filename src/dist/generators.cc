@@ -65,7 +65,7 @@ Result<PiecewiseConstant> MakeRandomKHistogram(size_t n, size_t k, Rng& rng,
   std::sort(ends.begin(), ends.end());
   ends.push_back(n);
   auto partition = Partition::FromEndpoints(n, std::move(ends));
-  HISTEST_CHECK(partition.ok());
+  HISTEST_CHECK_OK(partition);
   const std::vector<double> masses = rng.DirichletSymmetric(k, mass_alpha);
   return PiecewiseConstant::FromPartitionMasses(partition.value(), masses);
 }

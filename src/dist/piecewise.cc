@@ -44,13 +44,13 @@ PiecewiseConstant PiecewiseConstant::FromPartitionMasses(
         Piece{iv, interval_masses[j] / static_cast<double>(iv.size())});
   }
   auto result = Create(partition.domain_size(), std::move(pieces));
-  HISTEST_CHECK(result.ok());
+  HISTEST_CHECK_OK(result);
   return std::move(result).value();
 }
 
 PiecewiseConstant PiecewiseConstant::Flat(size_t n, double value) {
   auto result = Create(n, {Piece{Interval{0, n}, value}});
-  HISTEST_CHECK(result.ok());
+  HISTEST_CHECK_OK(result);
   return std::move(result).value();
 }
 
@@ -64,7 +64,7 @@ PiecewiseConstant PiecewiseConstant::FromDistribution(const Distribution& dist) 
     }
   }
   auto result = Create(dist.size(), std::move(pieces));
-  HISTEST_CHECK(result.ok());
+  HISTEST_CHECK_OK(result);
   return std::move(result).value();
 }
 

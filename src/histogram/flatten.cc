@@ -25,7 +25,7 @@ Distribution FlattenOutside(const Distribution& d, const Partition& partition,
     }
   }
   auto result = Distribution::Create(std::move(pmf));
-  HISTEST_CHECK(result.ok());
+  HISTEST_CHECK_OK(result);
   return std::move(result).value();
 }
 

@@ -29,7 +29,7 @@ Distribution PermuteDistribution(const Distribution& d,
   std::vector<double> pmf(d.size());
   for (size_t i = 0; i < d.size(); ++i) pmf[perm[i]] = d[i];
   auto dist = Distribution::Create(std::move(pmf));
-  HISTEST_CHECK(dist.ok());
+  HISTEST_CHECK_OK(dist);
   return std::move(dist).value();
 }
 

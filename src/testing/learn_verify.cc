@@ -35,7 +35,7 @@ Partition RefinePieces(const PiecewiseConstant& dhat, double target_mass) {
     }
   }
   auto partition = Partition::FromEndpoints(dhat.domain_size(), std::move(ends));
-  HISTEST_CHECK(partition.ok());
+  HISTEST_CHECK_OK(partition);
   return std::move(partition).value();
 }
 

@@ -39,6 +39,7 @@ size_t DistributionOracle::Draw() {
 
 void DistributionOracle::DrawBatch(size_t* out, int64_t count) {
   HISTEST_CHECK_GE(count, 0);
+  HISTEST_DCHECK(out != nullptr || count == 0);
   if (alias_ != nullptr) {
     alias_->SampleBatch(rng_, out, count);
   } else {

@@ -152,10 +152,19 @@ TEST(DefaultBenchThreadsTest, RejectsInvalidOverride) {
     unsetenv("HISTEST_THREADS");
     return DefaultBenchThreads();
   }();
-  for (const char* bad : {"0", "-3", "abc", "4x", ""}) {
+  // Trailing garbage, non-numeric, out-of-range, and strtol-overflow
+  // (errno == ERANGE) values must all fall back, never clamp.
+  for (const char* bad : {"0", "-3", "abc", "4x", "", "8 ", "70000",
+                          "99999999999999999999999999"}) {
     setenv("HISTEST_THREADS", bad, 1);
     EXPECT_EQ(DefaultBenchThreads(), fallback) << "override='" << bad << "'";
   }
+  unsetenv("HISTEST_THREADS");
+}
+
+TEST(DefaultBenchThreadsTest, BoundaryOverridesAccepted) {
+  setenv("HISTEST_THREADS", "65536", 1);
+  EXPECT_EQ(DefaultBenchThreads(), 65536);
   unsetenv("HISTEST_THREADS");
 }
 
