@@ -7,6 +7,7 @@
 #include <memory>
 
 #include "benchutil/parallel.h"
+#include "common/kernels.h"
 #include "common/rng.h"
 #include "core/approx_part.h"
 #include "core/histogram_tester.h"
@@ -218,6 +219,82 @@ void BM_FitAtomsL1(benchmark::State& state) {
 }
 BENCHMARK(BM_FitAtomsL1)->Arg(64)->Arg(256)->Arg(1024);
 
+/// Head-to-head for the PR-3 DP rewrite: the pruned fast DP versus the
+/// exhaustive O(m^2) segment-cost-table reference, both at the acceptance
+/// workload m=4096, k=64 (plus a smaller size for the scaling picture).
+///
+/// The input mirrors what FitAtomsL1 actually receives from the library's
+/// callers (flatten / fit_merge / distance_to_hk): AtomsFromDense output
+/// for an empirical k-histogram pmf. Empirical frequencies are rationals
+/// on a 1/n grid, so the atoms are 64 plateaus with a few grid steps of
+/// per-atom sampling noise — piecewise structure that the pruned DP's
+/// cost bound exploits (scans stop after about one optimal piece length)
+/// and a small distinct-value set that keeps the rank tree shallow.
+/// BM_FitAtomsL1FastAdversarial covers the opposite extreme — iid real
+/// values with no piece structure and m distinct ranks, where every prune
+/// bound is a near-tie and the scans run long — so both ends of the
+/// pruning behavior stay measured.
+std::vector<WeightedAtom> MakeDpBenchAtoms(size_t m) {
+  Rng rng(23);
+  constexpr size_t kPieces = 64;
+  constexpr double kGrid = 1.0 / 65536.0;  // n = 64k samples
+  std::vector<WeightedAtom> atoms(m);
+  double level = 0.0;
+  for (size_t i = 0; i < m; ++i) {
+    if (i % (m / kPieces) == 0) {
+      level = static_cast<double>(rng.UniformInt(256)) * kGrid;
+    }
+    atoms[i] = {level + static_cast<double>(rng.UniformInt(8)) * kGrid, 1.0,
+                1.0};
+  }
+  return atoms;
+}
+
+std::vector<WeightedAtom> MakeDpBenchAtomsAdversarial(size_t m) {
+  Rng rng(19);
+  std::vector<WeightedAtom> atoms(m);
+  for (auto& a : atoms) {
+    a = {rng.UniformDouble(), 1.0 + rng.UniformDouble(), 1.0};
+  }
+  return atoms;
+}
+
+void BM_FitAtomsL1Fast(benchmark::State& state) {
+  const auto atoms = MakeDpBenchAtoms(static_cast<size_t>(state.range(0)));
+  const size_t k = static_cast<size_t>(state.range(1));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(FitAtomsL1(atoms, k, FitDpMode::kFast));
+  }
+}
+BENCHMARK(BM_FitAtomsL1Fast)
+    ->Args({1024, 64})
+    ->Args({4096, 64})
+    ->Unit(benchmark::kMillisecond);
+
+void BM_FitAtomsL1Reference(benchmark::State& state) {
+  const auto atoms = MakeDpBenchAtoms(static_cast<size_t>(state.range(0)));
+  const size_t k = static_cast<size_t>(state.range(1));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(FitAtomsL1(atoms, k, FitDpMode::kReference));
+  }
+}
+BENCHMARK(BM_FitAtomsL1Reference)
+    ->Args({1024, 64})
+    ->Args({4096, 64})
+    ->Unit(benchmark::kMillisecond);
+
+void BM_FitAtomsL1FastAdversarial(benchmark::State& state) {
+  const auto atoms =
+      MakeDpBenchAtomsAdversarial(static_cast<size_t>(state.range(0)));
+  const size_t k = static_cast<size_t>(state.range(1));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(FitAtomsL1(atoms, k, FitDpMode::kFast));
+  }
+}
+BENCHMARK(BM_FitAtomsL1FastAdversarial)
+    ->Args({4096, 64})
+    ->Unit(benchmark::kMillisecond);
+
 void BM_GreedyMerge(benchmark::State& state) {
   const size_t m = static_cast<size_t>(state.range(0));
   Rng rng(23);
@@ -237,6 +314,82 @@ void BM_DistanceToHk(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_DistanceToHk)->Arg(1 << 10)->Arg(1 << 13);
+
+/// Candidate-evaluation rewrite: piecewise spans + prefix-mass index
+/// (kFast) versus dense O(n) candidate expansion (kReference), on a pmf
+/// large enough that the dense vectors dominate.
+void RunDistanceToHkModeBenchmark(benchmark::State& state, FitDpMode mode) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  const auto zipf = MakeZipf(n, 1.0).value();
+  HkDistanceOptions options;
+  options.mode = mode;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(DistanceToHk(zipf, 8, options));
+  }
+}
+
+void BM_DistanceToHkFast(benchmark::State& state) {
+  RunDistanceToHkModeBenchmark(state, FitDpMode::kFast);
+}
+BENCHMARK(BM_DistanceToHkFast)
+    ->Arg(1 << 13)
+    ->Arg(1 << 16)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_DistanceToHkReference(benchmark::State& state) {
+  RunDistanceToHkModeBenchmark(state, FitDpMode::kReference);
+}
+BENCHMARK(BM_DistanceToHkReference)
+    ->Arg(1 << 13)
+    ->Arg(1 << 16)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_L1DistanceKernel(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  Rng rng(47);
+  std::vector<double> a(n), b(n);
+  for (size_t i = 0; i < n; ++i) {
+    a[i] = rng.UniformDouble();
+    b[i] = rng.UniformDouble();
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(L1DistanceKernel(a.data(), b.data(), n));
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(n));
+}
+BENCHMARK(BM_L1DistanceKernel)->Arg(1 << 12)->Arg(1 << 18);
+
+void BM_ChiSquareKernel(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  Rng rng(53);
+  std::vector<double> p(n), q(n);
+  for (size_t i = 0; i < n; ++i) {
+    p[i] = rng.UniformDouble();
+    q[i] = 0.5 + rng.UniformDouble();
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ChiSquareKernel(p.data(), q.data(), n));
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(n));
+}
+BENCHMARK(BM_ChiSquareKernel)->Arg(1 << 12)->Arg(1 << 18);
+
+void BM_ZAccumulateKernel(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  Rng rng(59);
+  std::vector<double> dstar(n), counts(n);
+  for (size_t i = 0; i < n; ++i) {
+    dstar[i] = rng.UniformDouble() / static_cast<double>(n);
+    counts[i] = std::floor(rng.UniformDouble() * 8.0);
+  }
+  const double cut = 0.1 / static_cast<double>(n);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        ZAccumulateKernel(dstar.data(), counts.data(), n, 1e4, cut));
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(n));
+}
+BENCHMARK(BM_ZAccumulateKernel)->Arg(1 << 12)->Arg(1 << 18);
 
 void BM_RestrictedDistanceToHk(benchmark::State& state) {
   // The Step-10 offline check on a large learned hypothesis (the witness

@@ -1,0 +1,91 @@
+#include "common/kernels.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/math_util.h"
+
+namespace histest {
+namespace {
+
+/// Shared reduction skeleton: four independent accumulator lanes inside a
+/// block (unit-stride, branch-free terms vectorize), pairwise lane combine,
+/// Kahan-Neumaier compensation across blocks. The order is a pure function
+/// of n, never of the data, so every kernel is deterministic.
+template <typename TermFn>
+double BlockedReduce(size_t n, const TermFn& term) {
+  KahanSum total;
+  size_t base = 0;
+  while (base < n) {
+    const size_t len = std::min(kKernelBlock, n - base);
+    double lane0 = 0.0, lane1 = 0.0, lane2 = 0.0, lane3 = 0.0;
+    size_t i = base;
+    const size_t end4 = base + (len & ~size_t{3});
+    for (; i < end4; i += 4) {
+      lane0 += term(i);
+      lane1 += term(i + 1);
+      lane2 += term(i + 2);
+      lane3 += term(i + 3);
+    }
+    for (; i < base + len; ++i) lane0 += term(i);
+    total.Add((lane0 + lane1) + (lane2 + lane3));
+    base += len;
+  }
+  return total.Total();
+}
+
+}  // namespace
+
+double L1DistanceKernel(const double* a, const double* b, size_t n) {
+  return BlockedReduce(n, [&](size_t i) { return std::fabs(a[i] - b[i]); });
+}
+
+double L2DistanceSquaredKernel(const double* a, const double* b, size_t n) {
+  return BlockedReduce(n, [&](size_t i) {
+    const double d = a[i] - b[i];
+    return d * d;
+  });
+}
+
+double SumKernel(const double* a, size_t n) {
+  return BlockedReduce(n, [&](size_t i) { return a[i]; });
+}
+
+double SumSquaresKernel(const double* a, size_t n) {
+  return BlockedReduce(n, [&](size_t i) { return a[i] * a[i]; });
+}
+
+double HellingerAccumulateKernel(const double* a, const double* b, size_t n) {
+  return BlockedReduce(n, [&](size_t i) {
+    const double d = std::sqrt(a[i]) - std::sqrt(b[i]);
+    return d * d;
+  });
+}
+
+double ChiSquareKernel(const double* p, const double* q, size_t n) {
+  // The zero-denominator sentinel is tracked out-of-band: feeding +inf
+  // through the compensated accumulator would produce inf - inf = NaN.
+  bool infinite = false;
+  const double sum = BlockedReduce(n, [&](size_t i) {
+    if (q[i] <= 0.0) {
+      if (p[i] > 0.0) infinite = true;
+      return 0.0;
+    }
+    const double d = p[i] - q[i];
+    return d * d / q[i];
+  });
+  return infinite ? std::numeric_limits<double>::infinity() : sum;
+}
+
+double ZAccumulateKernel(const double* dstar, const double* counts, size_t n,
+                         double m, double aeps_cut) {
+  return BlockedReduce(n, [&](size_t i) {
+    if (dstar[i] < aeps_cut) return 0.0;
+    const double expected = m * dstar[i];
+    const double dev = counts[i] - expected;
+    return (dev * dev - counts[i]) / expected;
+  });
+}
+
+}  // namespace histest

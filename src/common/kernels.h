@@ -1,0 +1,60 @@
+#ifndef HISTEST_COMMON_KERNELS_H_
+#define HISTEST_COMMON_KERNELS_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace histest {
+
+/// Hot-loop accumulation kernels shared by the distance and statistics
+/// layers.
+///
+/// Each kernel sums in a fixed, input-independent order — blocks of
+/// kKernelBlock elements reduced in four independent lanes, lane partials
+/// combined pairwise, block partials combined with Kahan-Neumaier
+/// compensation — so results are deterministic across thread schedules and
+/// platforms (same order every call) while the branch-free four-lane inner
+/// loops stay auto-vectorization-friendly. Accuracy matches the previous
+/// per-element KahanSum loops to a few ulps: within a block at most
+/// kKernelBlock/4 uncompensated adds per lane, across blocks fully
+/// compensated.
+///
+/// All pointer arguments may be null iff n == 0.
+
+/// Elements per compensated block. Small enough that in-block rounding is
+/// negligible, large enough that the Kahan carry is off the critical path.
+inline constexpr size_t kKernelBlock = 1024;
+
+/// sum_i |a[i] - b[i]|.
+double L1DistanceKernel(const double* a, const double* b, size_t n);
+
+/// sum_i (a[i] - b[i])^2.
+double L2DistanceSquaredKernel(const double* a, const double* b, size_t n);
+
+/// sum_i a[i].
+double SumKernel(const double* a, size_t n);
+
+/// sum_i a[i]^2.
+double SumSquaresKernel(const double* a, size_t n);
+
+/// sum_i (sqrt(a[i]) - sqrt(b[i]))^2 (Hellinger numerator).
+double HellingerAccumulateKernel(const double* a, const double* b, size_t n);
+
+/// Chi-square accumulation sum_i (p[i] - q[i])^2 / q[i] with the repo
+/// convention: a term with q[i] <= 0 contributes 0 when p[i] <= 0 and makes
+/// the whole sum +infinity otherwise.
+double ChiSquareKernel(const double* p, const double* q, size_t n);
+
+/// One block of the [ADK15] chi-square Z statistic:
+///   sum_i [dstar[i] >= aeps_cut] * ((c[i] - m*dstar[i])^2 - c[i]) /
+///         (m*dstar[i]),
+/// where c[i] are sample counts materialized as doubles. Callers stream
+/// counts (dense or sparse) through a fixed-size block buffer so both
+/// storage modes take the identical summation order (the bit-identical
+/// dense/sparse contract of CountVector).
+double ZAccumulateKernel(const double* dstar, const double* counts, size_t n,
+                         double m, double aeps_cut);
+
+}  // namespace histest
+
+#endif  // HISTEST_COMMON_KERNELS_H_

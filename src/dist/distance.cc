@@ -5,15 +5,14 @@
 #include <limits>
 
 #include "common/check.h"
+#include "common/kernels.h"
 #include "common/math_util.h"
 
 namespace histest {
 
 double L1Distance(const std::vector<double>& a, const std::vector<double>& b) {
   HISTEST_CHECK_EQ(a.size(), b.size());
-  KahanSum acc;
-  for (size_t i = 0; i < a.size(); ++i) acc.Add(std::fabs(a[i] - b[i]));
-  return acc.Total();
+  return L1DistanceKernel(a.data(), b.data(), a.size());
 }
 
 double TotalVariation(const Distribution& a, const Distribution& b) {
@@ -41,37 +40,19 @@ double TotalVariation(const PiecewiseConstant& a, const PiecewiseConstant& b) {
 double L2DistanceSquared(const std::vector<double>& a,
                          const std::vector<double>& b) {
   HISTEST_CHECK_EQ(a.size(), b.size());
-  KahanSum acc;
-  for (size_t i = 0; i < a.size(); ++i) {
-    const double d = a[i] - b[i];
-    acc.Add(d * d);
-  }
-  return acc.Total();
+  return L2DistanceSquaredKernel(a.data(), b.data(), a.size());
 }
 
 double ChiSquareDistance(const std::vector<double>& p,
                          const std::vector<double>& q) {
   HISTEST_CHECK_EQ(p.size(), q.size());
-  KahanSum acc;
-  for (size_t i = 0; i < p.size(); ++i) {
-    if (q[i] <= 0.0) {
-      if (p[i] > 0.0) return std::numeric_limits<double>::infinity();
-      continue;
-    }
-    const double d = p[i] - q[i];
-    acc.Add(d * d / q[i]);
-  }
-  return acc.Total();
+  return ChiSquareKernel(p.data(), q.data(), p.size());
 }
 
 double HellingerSquared(const Distribution& a, const Distribution& b) {
   HISTEST_CHECK_EQ(a.size(), b.size());
-  KahanSum acc;
-  for (size_t i = 0; i < a.size(); ++i) {
-    const double d = std::sqrt(a[i]) - std::sqrt(b[i]);
-    acc.Add(d * d);
-  }
-  return 0.5 * acc.Total();
+  return 0.5 * HellingerAccumulateKernel(a.pmf().data(), b.pmf().data(),
+                                         a.size());
 }
 
 double KolmogorovSmirnov(const Distribution& a, const Distribution& b) {
@@ -92,9 +73,8 @@ double RestrictedL1(const std::vector<double>& a, const std::vector<double>& b,
   KahanSum acc;
   for (const Interval& iv : g) {
     HISTEST_CHECK_LE(iv.end, a.size());
-    for (size_t i = iv.begin; i < iv.end; ++i) {
-      acc.Add(std::fabs(a[i] - b[i]));
-    }
+    acc.Add(L1DistanceKernel(a.data() + iv.begin, b.data() + iv.begin,
+                             iv.size()));
   }
   return acc.Total();
 }
@@ -111,14 +91,10 @@ double RestrictedChiSquare(const std::vector<double>& p,
   KahanSum acc;
   for (const Interval& iv : g) {
     HISTEST_CHECK_LE(iv.end, p.size());
-    for (size_t i = iv.begin; i < iv.end; ++i) {
-      if (q[i] <= 0.0) {
-        if (p[i] > 0.0) return std::numeric_limits<double>::infinity();
-        continue;
-      }
-      const double d = p[i] - q[i];
-      acc.Add(d * d / q[i]);
-    }
+    const double part = ChiSquareKernel(p.data() + iv.begin,
+                                        q.data() + iv.begin, iv.size());
+    if (std::isinf(part)) return part;
+    acc.Add(part);
   }
   return acc.Total();
 }

@@ -8,6 +8,48 @@
 
 namespace histest {
 
+Distribution::Distribution(const Distribution& other) : pmf_(other.pmf_) {}
+
+Distribution& Distribution::operator=(const Distribution& other) {
+  if (this == &other) return *this;
+  pmf_ = other.pmf_;
+  delete prefix_index_.exchange(nullptr, std::memory_order_acq_rel);
+  return *this;
+}
+
+Distribution::Distribution(Distribution&& other) noexcept
+    : pmf_(std::move(other.pmf_)),
+      prefix_index_(
+          other.prefix_index_.exchange(nullptr, std::memory_order_acq_rel)) {}
+
+Distribution& Distribution::operator=(Distribution&& other) noexcept {
+  if (this == &other) return *this;
+  pmf_ = std::move(other.pmf_);
+  delete prefix_index_.exchange(
+      other.prefix_index_.exchange(nullptr, std::memory_order_acq_rel),
+      std::memory_order_acq_rel);
+  return *this;
+}
+
+Distribution::~Distribution() {
+  delete prefix_index_.load(std::memory_order_acquire);
+}
+
+const PrefixMassIndex& Distribution::PrefixIndex() const {
+  const PrefixMassIndex* existing =
+      prefix_index_.load(std::memory_order_acquire);
+  if (existing != nullptr) return *existing;
+  const auto* built = new PrefixMassIndex(pmf_);
+  const PrefixMassIndex* expected = nullptr;
+  if (!prefix_index_.compare_exchange_strong(expected, built,
+                                             std::memory_order_acq_rel,
+                                             std::memory_order_acquire)) {
+    delete built;  // another thread published first; contents are identical
+    return *expected;
+  }
+  return *built;
+}
+
 Result<Distribution> Distribution::Create(std::vector<double> pmf) {
   if (pmf.empty()) {
     return Status::InvalidArgument("pmf must be non-empty");
@@ -64,7 +106,12 @@ double Distribution::MassOf(const Interval& interval) const {
 }
 
 std::vector<double> Distribution::Cdf() const {
-  std::vector<double> cdf = PrefixSums(pmf_);
+  // The prefix index stores exactly the inclusive prefix sums shifted by
+  // one (same compensated order as the previous PrefixSums call), so this
+  // both reuses and warms the shared index.
+  const PrefixMassIndex& index = PrefixIndex();
+  std::vector<double> cdf(pmf_.size());
+  for (size_t i = 0; i < pmf_.size(); ++i) cdf[i] = index.Prefix(i + 1);
   if (!cdf.empty()) cdf.back() = 1.0;
   return cdf;
 }

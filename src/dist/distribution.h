@@ -1,11 +1,13 @@
 #ifndef HISTEST_DIST_DISTRIBUTION_H_
 #define HISTEST_DIST_DISTRIBUTION_H_
 
+#include <atomic>
 #include <cstddef>
 #include <vector>
 
 #include "common/status.h"
 #include "dist/interval.h"
+#include "dist/prefix_mass.h"
 
 namespace histest {
 
@@ -34,6 +36,12 @@ class Distribution {
   /// Tolerance on |sum(pmf) - 1| accepted by Create().
   static constexpr double kMassTolerance = 1e-6;
 
+  Distribution(const Distribution& other);
+  Distribution& operator=(const Distribution& other);
+  Distribution(Distribution&& other) noexcept;
+  Distribution& operator=(Distribution&& other) noexcept;
+  ~Distribution();
+
   /// Domain size n.
   size_t size() const { return pmf_.size(); }
 
@@ -42,8 +50,24 @@ class Distribution {
 
   const std::vector<double>& pmf() const { return pmf_; }
 
-  /// Probability mass of the interval (O(|interval|)).
+  /// Probability mass of the interval (O(|interval|)). Deliberately does
+  /// NOT consult the lazy prefix index: whether the index exists at call
+  /// time can depend on thread interleaving on a shared instance, and a
+  /// result that changes (by ulps) with the schedule would break the
+  /// bit-identical reproducibility contract. Hot paths that want O(1)
+  /// interval masses call PrefixIndex().MassOf(...) explicitly.
   double MassOf(const Interval& interval) const;
+
+  /// The lazily built, immutable prefix-mass index over this pmf: O(n)
+  /// one-shot construction, O(1) interval-mass queries thereafter.
+  ///
+  /// Thread-safety: safe to call from any number of threads concurrently
+  /// (the PR-1 pipeline shares one Distribution across all trial workers).
+  /// The first callers may race to build; publication is a single
+  /// compare-exchange, losers discard their copy, and every caller observes
+  /// the same immutable index. Both racers build identical content, so
+  /// results are schedule-independent.
+  const PrefixMassIndex& PrefixIndex() const;
 
   /// Inclusive CDF: out[i] = P[X <= i]; out.back() == 1 exactly.
   std::vector<double> Cdf() const;
@@ -62,6 +86,10 @@ class Distribution {
   explicit Distribution(std::vector<double> pmf) : pmf_(std::move(pmf)) {}
 
   std::vector<double> pmf_;
+  /// Lazily published by PrefixIndex(); owned. Copies start empty (the
+  /// index is a pure function of pmf_ and rebuilds identically on demand);
+  /// moves steal it.
+  mutable std::atomic<const PrefixMassIndex*> prefix_index_{nullptr};
 };
 
 }  // namespace histest

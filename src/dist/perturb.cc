@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "common/check.h"
+#include "common/kernels.h"
 #include "common/math_util.h"
 
 namespace histest {
@@ -27,9 +28,7 @@ double CertifiedBound(std::vector<double> weights, size_t k, double delta) {
   if (weights.empty()) return 0.0;
   std::sort(weights.begin(), weights.end(), std::greater<double>());
   const size_t skip = std::min(weights.size(), k > 0 ? k - 1 : size_t{0});
-  KahanSum acc;
-  for (size_t i = skip; i < weights.size(); ++i) acc.Add(weights[i]);
-  return delta * acc.Total();
+  return delta * SumKernel(weights.data() + skip, weights.size() - skip);
 }
 
 }  // namespace

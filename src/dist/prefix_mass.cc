@@ -1,0 +1,17 @@
+#include "dist/prefix_mass.h"
+
+#include "common/math_util.h"
+
+namespace histest {
+
+PrefixMassIndex::PrefixMassIndex(const std::vector<double>& pmf) {
+  prefix_.resize(pmf.size() + 1);
+  prefix_[0] = 0.0;
+  KahanSum acc;
+  for (size_t i = 0; i < pmf.size(); ++i) {
+    acc.Add(pmf[i]);
+    prefix_[i + 1] = acc.Total();
+  }
+}
+
+}  // namespace histest

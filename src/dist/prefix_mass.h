@@ -1,0 +1,48 @@
+#ifndef HISTEST_DIST_PREFIX_MASS_H_
+#define HISTEST_DIST_PREFIX_MASS_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "dist/interval.h"
+
+namespace histest {
+
+/// Immutable cumulative-mass index over a dense pmf: prefix_[i] is the
+/// compensated (Kahan-Neumaier) sum of pmf[0..i-1], so any interval mass is
+/// one subtraction. Built once in O(n), then every MassOf query is O(1) —
+/// this replaces the raw per-interval summation loops that used to run in
+/// flatten, distance-to-H_k candidate evaluation, and the learners.
+///
+/// Thread-safety contract: instances are immutable after construction;
+/// any number of threads may query one concurrently. Lazy one-shot
+/// construction on a shared object is the owner's problem — see
+/// Distribution::PrefixIndex(), which publishes a single index with an
+/// atomic compare-exchange so concurrent first callers race benignly
+/// (both build identical content; one copy survives).
+class PrefixMassIndex {
+ public:
+  explicit PrefixMassIndex(const std::vector<double>& pmf);
+
+  size_t domain_size() const { return prefix_.size() - 1; }
+
+  /// Compensated sum of pmf[0..i-1]; i in [0, domain_size()].
+  double Prefix(size_t i) const { return prefix_[i]; }
+
+  /// Mass of [interval.begin, interval.end) as a prefix difference. The
+  /// result can differ from a fresh per-interval Kahan loop by a few ulps
+  /// of the *total* mass (cancellation of two compensated prefixes), which
+  /// is why construction is compensated: the error does not grow with n.
+  double MassOf(const Interval& interval) const {
+    return prefix_[interval.end] - prefix_[interval.begin];
+  }
+
+  double Total() const { return prefix_.back(); }
+
+ private:
+  std::vector<double> prefix_;  // length domain_size() + 1
+};
+
+}  // namespace histest
+
+#endif  // HISTEST_DIST_PREFIX_MASS_H_

@@ -22,10 +22,27 @@ Result<CoarsenResult> MaybeCoarsen(std::vector<WeightedAtom> atoms,
   return GreedyMergeAtoms(atoms, limit);
 }
 
-/// Expands an AtomFit into a dense value vector over the original domain.
+/// Element offset of each atom (offsets[i] = first domain element of atom i;
+/// one trailing entry equal to the domain size).
+std::vector<size_t> AtomOffsets(const std::vector<WeightedAtom>& atoms) {
+  std::vector<size_t> offsets(atoms.size() + 1, 0);
+  for (size_t i = 0; i < atoms.size(); ++i) {
+    offsets[i + 1] =
+        offsets[i] + static_cast<size_t>(std::llround(atoms[i].length));
+  }
+  return offsets;
+}
+
+/// Expands an AtomFit into a dense value vector over the original domain
+/// (reference-mode candidate evaluation only).
 std::vector<double> FitToDense(const std::vector<WeightedAtom>& atoms,
                                const AtomFit& fit) {
   std::vector<double> out;
+  size_t total = 0;
+  for (const WeightedAtom& a : atoms) {
+    total += static_cast<size_t>(std::llround(a.length));
+  }
+  out.reserve(total);
   size_t atom_idx = 0;
   for (size_t p = 0; p < fit.piece_values.size(); ++p) {
     for (; atom_idx < fit.piece_starts[p + 1]; ++atom_idx) {
@@ -35,6 +52,32 @@ std::vector<double> FitToDense(const std::vector<WeightedAtom>& atoms,
     }
   }
   return out;
+}
+
+/// L1 distance between a run-length-compressed target (atoms `orig` with
+/// element offsets `orig_offsets`) and a piecewise-constant candidate given
+/// by element boundaries `piece_bounds` (size P+1) and values
+/// `piece_values` (size P). Both partitions cover the same domain. A single
+/// merged two-pointer sweep: O(|orig| + P) instead of O(n), with a fixed
+/// left-to-right summation order.
+double PiecewiseCandidateL1(const std::vector<WeightedAtom>& orig,
+                            const std::vector<size_t>& orig_offsets,
+                            const std::vector<size_t>& piece_bounds,
+                            const std::vector<double>& piece_values) {
+  KahanSum sum;
+  size_t t = 0;    // original-atom cursor
+  size_t pos = 0;  // domain element cursor
+  for (size_t p = 0; p < piece_values.size(); ++p) {
+    const size_t end = piece_bounds[p + 1];
+    while (pos < end) {
+      while (orig_offsets[t + 1] <= pos) ++t;
+      const size_t next = std::min(end, orig_offsets[t + 1]);
+      sum.Add(static_cast<double>(next - pos) *
+              std::fabs(orig[t].value - piece_values[p]));
+      pos = next;
+    }
+  }
+  return sum.Total();
 }
 
 /// Per-piece average values of `d` over the fit's piece spans — a
@@ -61,22 +104,30 @@ std::vector<double> AverageValuedCandidate(const Distribution& d,
 }
 
 /// Weighted-median L1 cost of atoms [begin, end) — the "oscillation" a
-/// breakpoint-free piece must pay on that range.
+/// breakpoint-free piece must pay on that range. `scratch` is caller-owned
+/// storage reused across groups (the witness scan calls this once per
+/// group); atom values arriving already non-decreasing (common for
+/// monotone-ish hypotheses) skip the sort entirely.
 double GroupOscillation(const std::vector<WeightedAtom>& atoms, size_t begin,
-                        size_t end) {
-  std::vector<std::pair<double, double>> vw;
+                        size_t end,
+                        std::vector<std::pair<double, double>>& scratch) {
+  scratch.clear();
   double total_w = 0.0;
+  bool presorted = true;
   for (size_t t = begin; t < end; ++t) {
     if (atoms[t].cost_weight > 0.0) {
-      vw.emplace_back(atoms[t].value, atoms[t].cost_weight);
+      if (!scratch.empty() && atoms[t].value < scratch.back().first) {
+        presorted = false;
+      }
+      scratch.emplace_back(atoms[t].value, atoms[t].cost_weight);
       total_w += atoms[t].cost_weight;
     }
   }
-  if (vw.empty()) return 0.0;
-  std::sort(vw.begin(), vw.end());
+  if (scratch.empty()) return 0.0;
+  if (!presorted) std::sort(scratch.begin(), scratch.end());
   double acc = 0.0;
-  double med = vw.back().first;
-  for (const auto& [v, w] : vw) {
+  double med = scratch.back().first;
+  for (const auto& [v, w] : scratch) {
     acc += w;
     if (acc >= 0.5 * total_w) {
       med = v;
@@ -84,7 +135,7 @@ double GroupOscillation(const std::vector<WeightedAtom>& atoms, size_t begin,
     }
   }
   KahanSum cost;
-  for (const auto& [v, w] : vw) cost.Add(w * std::fabs(v - med));
+  for (const auto& [v, w] : scratch) cost.Add(w * std::fabs(v - med));
   return cost.Total();
 }
 
@@ -96,11 +147,15 @@ double GroupOscillation(const std::vector<WeightedAtom>& atoms, size_t begin,
 /// few group widths.
 double WitnessLowerBoundTv(const std::vector<WeightedAtom>& atoms, size_t k) {
   double best = 0.0;
+  std::vector<std::pair<double, double>> scratch;
+  std::vector<double> oscillations;
   for (const size_t width : {size_t{2}, size_t{4}, size_t{8}}) {
     if (atoms.size() < width) continue;
-    std::vector<double> oscillations;
+    scratch.reserve(width);
+    oscillations.clear();
     for (size_t start = 0; start + width <= atoms.size(); start += width) {
-      oscillations.push_back(GroupOscillation(atoms, start, start + width));
+      oscillations.push_back(
+          GroupOscillation(atoms, start, start + width, scratch));
     }
     std::sort(oscillations.begin(), oscillations.end(),
               std::greater<double>());
@@ -119,17 +174,25 @@ double WitnessLowerBoundTv(const std::vector<WeightedAtom>& atoms, size_t k) {
 Result<DistanceBounds> DistanceToHk(const Distribution& d, size_t k,
                                     const HkDistanceOptions& options) {
   if (k == 0) return Status::InvalidArgument("k must be >= 1");
-  std::vector<WeightedAtom> atoms = AtomsFromDense(d.pmf());
+  const std::vector<WeightedAtom> orig_atoms = AtomsFromDense(d.pmf());
   // The witness bound is computed on the uncoarsened sequence: it stays
   // informative even when the coarsening error drowns the DP-based bound
   // (fine alternating patterns).
-  const double witness = WitnessLowerBoundTv(atoms, k);
-  auto coarse = MaybeCoarsen(std::move(atoms), options.dp_atom_limit);
-  HISTEST_RETURN_IF_ERROR(coarse.status());
-  const std::vector<WeightedAtom>& dp_atoms = coarse.value().atoms;
-  const double slack = coarse.value().coarsening_error;
+  const double witness = WitnessLowerBoundTv(orig_atoms, k);
+  // Coarsen in place only when needed; the fast path keeps the original
+  // sequence alive for the piecewise candidate evaluation below.
+  CoarsenResult coarse_storage;
+  const std::vector<WeightedAtom>* dp_atoms = &orig_atoms;
+  double slack = 0.0;
+  if (orig_atoms.size() > options.dp_atom_limit) {
+    auto coarse = GreedyMergeAtoms(orig_atoms, options.dp_atom_limit);
+    HISTEST_RETURN_IF_ERROR(coarse.status());
+    coarse_storage = std::move(coarse).value();
+    dp_atoms = &coarse_storage.atoms;
+    slack = coarse_storage.coarsening_error;
+  }
 
-  auto fit = FitAtomsL1(dp_atoms, k);
+  auto fit = FitAtomsL1(*dp_atoms, k, options.mode);
   HISTEST_RETURN_IF_ERROR(fit.status());
 
   // Lower bound: any D* in H_k is a non-negative k-piece function, so its L1
@@ -143,15 +206,54 @@ Result<DistanceBounds> DistanceToHk(const Distribution& d, size_t k,
   // mass-preserving averages over the fitted piece spans (always a valid
   // distribution). Candidate (b): the median-valued fit, renormalized, when
   // it has positive mass.
-  const std::vector<double> avg_candidate =
-      AverageValuedCandidate(d, dp_atoms, fit.value());
-  double upper = 0.5 * L1Distance(d.pmf(), avg_candidate);
-
-  std::vector<double> med_candidate = FitToDense(dp_atoms, fit.value());
-  const double med_mass = SumOf(med_candidate);
-  if (med_mass > 0.0) {
-    for (double& v : med_candidate) v /= med_mass;
-    upper = std::min(upper, 0.5 * L1Distance(d.pmf(), med_candidate));
+  double upper;
+  if (options.mode == FitDpMode::kReference) {
+    // Dense evaluation over the full domain.
+    const std::vector<double> avg_candidate =
+        AverageValuedCandidate(d, *dp_atoms, fit.value());
+    upper = 0.5 * L1Distance(d.pmf(), avg_candidate);
+    std::vector<double> med_candidate = FitToDense(*dp_atoms, fit.value());
+    const double med_mass = SumOf(med_candidate);
+    if (med_mass > 0.0) {
+      for (double& v : med_candidate) v /= med_mass;
+      upper = std::min(upper, 0.5 * L1Distance(d.pmf(), med_candidate));
+    }
+  } else {
+    // Piecewise evaluation: piece spans in element coordinates come from
+    // the DP-atom offsets; piece masses are O(1) via the shared prefix
+    // index; each candidate's L1 to d is one two-pointer sweep over the
+    // run-length-compressed target. No O(n) candidate vectors.
+    const AtomFit& f = fit.value();
+    const std::vector<size_t> orig_offsets = AtomOffsets(orig_atoms);
+    const std::vector<size_t> dp_offsets = AtomOffsets(*dp_atoms);
+    const size_t num_pieces = f.piece_values.size();
+    std::vector<size_t> bounds(num_pieces + 1);
+    for (size_t p = 0; p <= num_pieces; ++p) {
+      bounds[p] = dp_offsets[f.piece_starts[p]];
+    }
+    const PrefixMassIndex& index = d.PrefixIndex();
+    std::vector<double> avg_values(num_pieces);
+    for (size_t p = 0; p < num_pieces; ++p) {
+      avg_values[p] = index.MassOf(Interval{bounds[p], bounds[p + 1]}) /
+                      static_cast<double>(bounds[p + 1] - bounds[p]);
+    }
+    upper = 0.5 * PiecewiseCandidateL1(orig_atoms, orig_offsets, bounds,
+                                       avg_values);
+    KahanSum med_mass_acc;
+    for (size_t p = 0; p < num_pieces; ++p) {
+      med_mass_acc.Add(static_cast<double>(bounds[p + 1] - bounds[p]) *
+                       f.piece_values[p]);
+    }
+    const double med_mass = med_mass_acc.Total();
+    if (med_mass > 0.0) {
+      std::vector<double> med_values(num_pieces);
+      for (size_t p = 0; p < num_pieces; ++p) {
+        med_values[p] = f.piece_values[p] / med_mass;
+      }
+      upper = std::min(upper, 0.5 * PiecewiseCandidateL1(
+                                        orig_atoms, orig_offsets, bounds,
+                                        med_values));
+    }
   }
   HISTEST_CHECK_GE(upper + 1e-12, lower);
   return DistanceBounds{lower, upper};
@@ -222,7 +324,7 @@ Result<DistanceBounds> RestrictedDistanceToHkPieces(
   auto coarse = MaybeCoarsen(std::move(atoms), options.dp_atom_limit);
   HISTEST_RETURN_IF_ERROR(coarse.status());
   const double slack = coarse.value().coarsening_error;
-  auto fit = FitAtomsL1(coarse.value().atoms, k);
+  auto fit = FitAtomsL1(coarse.value().atoms, k, options.mode);
   HISTEST_RETURN_IF_ERROR(fit.status());
   const double dist = 0.5 * fit.value().l1_error;
   return DistanceBounds{std::max(witness, dist - slack), dist + slack};

@@ -22,10 +22,17 @@ struct DistanceBounds {
 };
 
 struct HkDistanceOptions {
-  /// Maximum atom-sequence length handed to the exact O(M^2 k) DP; longer
+  /// Maximum atom-sequence length handed to the exact k-piece DP; longer
   /// sequences are first coarsened by greedy merging (the Lipschitz sandwich
   /// then widens the returned bounds by the coarsening error).
   size_t dp_atom_limit = 1024;
+  /// Engine selection. kFast (default) uses the pruned DP and evaluates
+  /// the candidate distances piecewise over atom spans -- no O(n)
+  /// dense candidate vectors are materialized. kReference uses the
+  /// exhaustive DP and dense candidate expansion; it is kept as the oracle
+  /// for equivalence tests (values agree to ~1e-12; summation orders
+  /// differ).
+  FitDpMode mode = FitDpMode::kFast;
 };
 
 /// Bounds on d_TV(d, H_k): the distance from an explicit distribution to the

@@ -34,6 +34,35 @@ struct AtomFit {
   double l1_error = 0.0;
 };
 
+/// DP engine selection for the k-piece fitting routines.
+enum class FitDpMode {
+  /// Cost-bounded pruned DP over a persistent (path-copied) weighted rank
+  /// tree: any segment cost is one stateless O(log V) version-difference
+  /// descent (V = distinct values), with no O(M^2) table, and the scan
+  /// fetches four probes at a time through interleaved descents to overlap
+  /// their memory latency. Each DP cell scans candidate piece starts
+  /// backward and stops as soon as cur[s-1] + Cost(s, e) exceeds the best
+  /// candidate — a valid bound for every remaining start because segment
+  /// costs are superadditive over concatenation (note they are NOT Monge
+  /// on domain-ordered values, so SMAWK-style argmin restriction would be
+  /// incorrect). Scans stop after roughly one optimal piece length:
+  /// ~O(k M L log V) for typical piece length L; the worst case degrades
+  /// toward the exhaustive scan but never builds the quadratic table.
+  /// Memory O(M log V) for the tree pool plus min(k, M) * M parent
+  /// entries. Produces the same cost and, under exact arithmetic, the same
+  /// piece boundaries as kReference (identical leftmost/strict-improvement
+  /// tie-breaking).
+  kFast,
+  /// Exhaustive DP over the precomputed O(M^2) SegmentCostTable:
+  /// O(M^2 (log M + k)) time, O(M^2) memory. Kept as the equivalence
+  /// oracle for property tests and as the baseline in bench_micro.
+  kReference,
+};
+
+/// Atom-count cap for FitDpMode::kFast (memory is the binding constraint:
+/// the parent table is min(k, M) * M 32-bit entries).
+inline constexpr size_t kFitDpFastMaxAtoms = size_t{1} << 18;
+
 /// Precomputed L1 segment costs over an atom sequence:
 /// Cost(s, e) = min_c sum_{t in [s, e]} cost_weight_t * |value_t - c|,
 /// i.e., the weighted-median fitting cost. Construction is
@@ -41,7 +70,7 @@ struct AtomFit {
 /// coarsen long sequences first (see fit_merge).
 class SegmentCostTable {
  public:
-  static constexpr size_t kMaxAtoms = 2048;
+  static constexpr size_t kMaxAtoms = 4096;
 
   explicit SegmentCostTable(const std::vector<WeightedAtom>& atoms);
 
@@ -62,16 +91,23 @@ class SegmentCostTable {
   const std::vector<WeightedAtom>* atoms_;  // not owned; outlives the table
 };
 
-/// Exact best k-piece L1 fit over an atom sequence via dynamic programming:
-/// O(M^2 (log M + k)) time. Returns the optimal fit; errors if the atom
-/// sequence is empty, k == 0, or M exceeds SegmentCostTable::kMaxAtoms.
-Result<AtomFit> FitAtomsL1(const std::vector<WeightedAtom>& atoms, size_t k);
+/// Exact best k-piece L1 fit over an atom sequence via dynamic programming.
+/// The default kFast mode uses the pruned DP (near-linear levels on
+/// realistic inputs); kReference is the exhaustive O(M^2 (log M + k)) DP.
+/// Both return the optimal fit; errors if
+/// the atom sequence is empty, k == 0, or M exceeds the mode's atom cap
+/// (SegmentCostTable::kMaxAtoms for kReference, kFitDpFastMaxAtoms for
+/// kFast).
+Result<AtomFit> FitAtomsL1(const std::vector<WeightedAtom>& atoms, size_t k,
+                           FitDpMode mode = FitDpMode::kFast);
 
 /// Exact best k-piece L2 fit over an atom sequence (piece value = weighted
-/// mean; O(M^2 k) with O(1) segment costs from prefix sums). Same
-/// preconditions as FitAtomsL1. `l1_error` in the result holds the *L2
-/// squared* error for this variant.
-Result<AtomFit> FitAtomsL2(const std::vector<WeightedAtom>& atoms, size_t k);
+/// mean; segment costs are O(1) from prefix sums in both modes, so the
+/// kFast pruned scans cost O(1) per probe). Same preconditions as
+/// FitAtomsL1.
+/// `l1_error` in the result holds the *L2 squared* error for this variant.
+Result<AtomFit> FitAtomsL2(const std::vector<WeightedAtom>& atoms, size_t k,
+                           FitDpMode mode = FitDpMode::kFast);
 
 /// Converts a dense target vector into unit atoms (run-length compressing
 /// equal adjacent values first).

@@ -160,6 +160,7 @@ Result<PiecewiseConstant> LearnMergedHistogram(const CountVector& counts,
   auto empirical = counts.ToEmpirical();
   HISTEST_RETURN_IF_ERROR(empirical.status());
   const std::vector<double>& pmf = empirical.value().pmf();
+  const PrefixMassIndex& index = empirical.value().PrefixIndex();
   std::vector<WeightedAtom> atoms = AtomsFromDense(pmf);
   auto coarse = GreedyMergeAtoms(atoms, t);
   HISTEST_RETURN_IF_ERROR(coarse.status());
@@ -173,10 +174,9 @@ Result<PiecewiseConstant> LearnMergedHistogram(const CountVector& counts,
     const Interval iv{cursor, cursor + len};
     double value = a.value;  // kMedian: the merged run's weighted median
     if (rule == PieceValueRule::kAverage) {
-      // Piece average of the empirical distribution (mass-preserving).
-      KahanSum mass;
-      for (size_t i = iv.begin; i < iv.end; ++i) mass.Add(pmf[i]);
-      value = mass.Total() / static_cast<double>(len);
+      // Piece average of the empirical distribution (mass-preserving);
+      // O(1) per piece from the prefix index.
+      value = index.MassOf(iv) / static_cast<double>(len);
     }
     pieces.push_back(PiecewiseConstant::Piece{iv, value});
     cursor += len;

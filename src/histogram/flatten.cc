@@ -14,13 +14,17 @@ Distribution FlattenOutside(const Distribution& d, const Partition& partition,
     HISTEST_CHECK_LT(j, partition.NumIntervals());
     keep[j] = true;
   }
+  // O(1) interval masses from the shared prefix index (built once per
+  // distribution, reused across trials) instead of a raw summation loop
+  // per interval.
+  const PrefixMassIndex& index = d.PrefixIndex();
   std::vector<double> pmf(d.size());
   for (size_t j = 0; j < partition.NumIntervals(); ++j) {
     const Interval& iv = partition.interval(j);
     if (keep[j]) {
       for (size_t i = iv.begin; i < iv.end; ++i) pmf[i] = d[i];
     } else {
-      const double avg = d.MassOf(iv) / static_cast<double>(iv.size());
+      const double avg = index.MassOf(iv) / static_cast<double>(iv.size());
       for (size_t i = iv.begin; i < iv.end; ++i) pmf[i] = avg;
     }
   }
@@ -32,10 +36,11 @@ Distribution FlattenOutside(const Distribution& d, const Partition& partition,
 PiecewiseConstant FlattenAll(const Distribution& d,
                              const Partition& partition) {
   HISTEST_CHECK_EQ(d.size(), partition.domain_size());
+  const PrefixMassIndex& index = d.PrefixIndex();
   std::vector<double> masses;
   masses.reserve(partition.NumIntervals());
   for (const Interval& iv : partition.intervals()) {
-    masses.push_back(d.MassOf(iv));
+    masses.push_back(index.MassOf(iv));
   }
   return PiecewiseConstant::FromPartitionMasses(partition, masses);
 }

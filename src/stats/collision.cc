@@ -1,6 +1,7 @@
 #include "stats/collision.h"
 
 #include "common/check.h"
+#include "common/kernels.h"
 #include "common/math_util.h"
 
 namespace histest {
@@ -33,9 +34,7 @@ double RestrictedCollisionStatistic(const CountVector& counts,
 }
 
 double ExpectedCollisionStatistic(const std::vector<double>& d) {
-  KahanSum acc;
-  for (double p : d) acc.Add(p * p);
-  return acc.Total();
+  return SumSquaresKernel(d.data(), d.size());
 }
 
 }  // namespace histest

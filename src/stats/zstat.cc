@@ -1,6 +1,10 @@
 #include "stats/zstat.h"
 
+#include <algorithm>
+#include <array>
+
 #include "common/check.h"
+#include "common/kernels.h"
 #include "common/math_util.h"
 
 namespace histest {
@@ -28,18 +32,23 @@ Result<ZStatResult> ComputeZStatistics(const CountVector& counts, double m,
   result.z.assign(partition.NumIntervals(), 0.0);
   KahanSum total;
   // Partition intervals ascend, so one forward cursor reads the counts in
-  // O(1) amortized per element for both dense and sparse vectors.
+  // O(1) amortized per element for both dense and sparse vectors. Counts are
+  // staged through a fixed-size block buffer and reduced by the shared
+  // accumulation kernel: both storage modes take the identical summation
+  // order, preserving the bit-identical dense/sparse contract.
   CountVector::Cursor reader(counts);
+  std::array<double, kKernelBlock> block;
   for (size_t j = 0; j < partition.NumIntervals(); ++j) {
     if (active_intervals != nullptr && !(*active_intervals)[j]) continue;
     const Interval& iv = partition.interval(j);
     KahanSum zj;
-    for (size_t i = iv.begin; i < iv.end; ++i) {
-      if (dstar[i] < aeps_cut) continue;
-      const double expected = m * dstar[i];
-      const double ni = static_cast<double>(reader.At(i));
-      const double dev = ni - expected;
-      zj.Add((dev * dev - ni) / expected);
+    for (size_t base = iv.begin; base < iv.end; base += kKernelBlock) {
+      const size_t len = std::min(kKernelBlock, iv.end - base);
+      for (size_t i = 0; i < len; ++i) {
+        block[i] = static_cast<double>(reader.At(base + i));
+      }
+      zj.Add(ZAccumulateKernel(dstar.data() + base, block.data(), len, m,
+                               aeps_cut));
     }
     result.z[j] = zj.Total();
     total.Add(result.z[j]);

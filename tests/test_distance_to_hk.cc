@@ -2,9 +2,13 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+
 #include "common/rng.h"
+#include "dist/distance.h"
 #include "dist/generators.h"
 #include "dist/perturb.h"
+#include "histogram/fit_merge.h"
 
 namespace histest {
 namespace {
@@ -157,6 +161,109 @@ TEST(DistanceToHkTest, WitnessBoundOnDenseAlternatingInstance) {
   auto bounds = DistanceToHk(d, 32, options);
   ASSERT_TRUE(bounds.ok());
   EXPECT_GE(bounds.value().lower, 0.15);
+}
+
+/// Dense-expansion oracle for the fast upper bound: reruns the fast-mode
+/// fit, expands both candidates (per-piece averages of d, and the
+/// normalized median fit) into full O(n) vectors, and evaluates each TV
+/// with L1Distance — exactly what reference mode does, but on the *same*
+/// fit the fast path used, so the comparison isolates the piecewise
+/// candidate evaluation from DP tie-breaking.
+double DenseUpperBoundOracle(const Distribution& d, size_t k,
+                             size_t dp_atom_limit) {
+  std::vector<WeightedAtom> atoms = AtomsFromDense(d.pmf());
+  if (atoms.size() > dp_atom_limit) {
+    atoms = GreedyMergeAtoms(atoms, dp_atom_limit).value().atoms;
+  }
+  const AtomFit fit = FitAtomsL1(atoms, k, FitDpMode::kFast).value();
+  std::vector<size_t> offsets(atoms.size() + 1, 0);
+  for (size_t i = 0; i < atoms.size(); ++i) {
+    offsets[i + 1] =
+        offsets[i] + static_cast<size_t>(std::llround(atoms[i].length));
+  }
+  const size_t num_pieces = fit.piece_values.size();
+  std::vector<double> avg(d.size()), med(d.size());
+  double med_mass = 0.0;
+  for (size_t p = 0; p < num_pieces; ++p) {
+    const size_t begin = offsets[fit.piece_starts[p]];
+    const size_t end = offsets[fit.piece_starts[p + 1]];
+    double mass = 0.0;
+    for (size_t i = begin; i < end; ++i) mass += d[i];
+    for (size_t i = begin; i < end; ++i) {
+      avg[i] = mass / static_cast<double>(end - begin);
+      med[i] = fit.piece_values[p];
+    }
+    med_mass += static_cast<double>(end - begin) * fit.piece_values[p];
+  }
+  double upper = 0.5 * L1Distance(d.pmf(), avg);
+  if (med_mass > 0.0) {
+    for (double& v : med) v /= med_mass;
+    upper = std::min(upper, 0.5 * L1Distance(d.pmf(), med));
+  }
+  return upper;
+}
+
+/// Regression for the PR-3 rewrite on seed-grid-style workloads. The fast
+/// and reference DPs always agree on the optimal cost (=> `lower` matches
+/// to 1e-12), and the piecewise candidate evaluation must reproduce the
+/// dense expansion of the same fit to 1e-12. Cross-mode `upper` equality
+/// additionally holds whenever the optimum is unique; the tie-heavy
+/// far-perturbed instance is excluded from that check because the two
+/// engines may legitimately pick different equal-cost piece boundaries
+/// (different candidates, both optimal).
+TEST(DistanceToHkTest, FastMatchesReferenceOnSeedWorkloads) {
+  Rng rng(42);
+  struct Workload {
+    const char* name;
+    Distribution dist;
+    bool tie_free;
+  };
+  std::vector<Workload> workloads;
+  workloads.push_back({"uniform", Distribution::UniformOver(512), true});
+  workloads.push_back({"zipf", MakeZipf(512, 1.0).value(), true});
+  workloads.push_back(
+      {"staircase", MakeStaircase(512, 8).value().ToDistribution().value(),
+       true});
+  workloads.push_back(
+      {"random-khist",
+       MakeRandomKHistogram(512, 8, rng).value().ToDistribution().value(),
+       true});
+  workloads.push_back(
+      {"staircase-far",
+       MakeFarFromHk(MakeStaircase(512, 8).value(), 8, 0.2, rng).value().dist,
+       false});
+  workloads.push_back({"point-mass", Distribution::PointMass(512, 100), true});
+  HkDistanceOptions reference;
+  reference.mode = FitDpMode::kReference;
+  for (const auto& w : workloads) {
+    for (const size_t k : {size_t{1}, size_t{4}, size_t{8}}) {
+      auto fast = DistanceToHk(w.dist, k);
+      auto ref = DistanceToHk(w.dist, k, reference);
+      ASSERT_TRUE(fast.ok() && ref.ok()) << w.name;
+      EXPECT_NEAR(fast.value().lower, ref.value().lower, 1e-12)
+          << w.name << " k=" << k;
+      EXPECT_NEAR(fast.value().upper,
+                  DenseUpperBoundOracle(w.dist, k, HkDistanceOptions{}.dp_atom_limit),
+                  1e-12)
+          << w.name << " k=" << k;
+      if (w.tie_free) {
+        EXPECT_NEAR(fast.value().upper, ref.value().upper, 1e-12)
+            << w.name << " k=" << k;
+      }
+    }
+  }
+  // Also through the coarsening path (dp_atom_limit below the atom count).
+  HkDistanceOptions coarse_fast, coarse_ref;
+  coarse_fast.dp_atom_limit = 64;
+  coarse_ref.dp_atom_limit = 64;
+  coarse_ref.mode = FitDpMode::kReference;
+  const Distribution& zipf = workloads[1].dist;
+  auto fast = DistanceToHk(zipf, 4, coarse_fast);
+  auto ref = DistanceToHk(zipf, 4, coarse_ref);
+  ASSERT_TRUE(fast.ok() && ref.ok());
+  EXPECT_NEAR(fast.value().lower, ref.value().lower, 1e-12);
+  EXPECT_NEAR(fast.value().upper, ref.value().upper, 1e-12);
+  EXPECT_NEAR(fast.value().upper, DenseUpperBoundOracle(zipf, 4, 64), 1e-12);
 }
 
 TEST(RestrictedDistanceTest, DiscardingEverythingCostsNothing) {

@@ -3,6 +3,8 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <thread>
+#include <vector>
 
 namespace histest {
 namespace {
@@ -67,6 +69,49 @@ TEST(DistributionTest, MaxProbabilityAndSupport) {
   auto d = Distribution::Create({0.0, 0.7, 0.3, 0.0}).value();
   EXPECT_DOUBLE_EQ(d.MaxProbability(), 0.7);
   EXPECT_EQ(d.SupportSize(), 2u);
+}
+
+TEST(DistributionTest, PrefixIndexMatchesMassOf) {
+  auto d = Distribution::Create({0.1, 0.0, 0.2, 0.3, 0.4}).value();
+  const PrefixMassIndex& index = d.PrefixIndex();
+  EXPECT_EQ(index.domain_size(), d.size());
+  for (size_t b = 0; b <= d.size(); ++b) {
+    for (size_t e = b; e <= d.size(); ++e) {
+      EXPECT_NEAR(index.MassOf({b, e}), d.MassOf({b, e}), 1e-14);
+    }
+  }
+  // Repeated calls return the same published index.
+  EXPECT_EQ(&d.PrefixIndex(), &index);
+}
+
+TEST(DistributionTest, PrefixIndexConcurrentFirstCallers) {
+  // Many threads race to trigger the one-shot lazy build; all must observe
+  // the same published index and identical query results.
+  std::vector<double> pmf(4096);
+  for (size_t i = 0; i < pmf.size(); ++i) {
+    pmf[i] = static_cast<double>(i + 1);
+  }
+  const auto d = Distribution::FromWeights(std::move(pmf)).value();
+  constexpr size_t kThreads = 8;
+  std::vector<const PrefixMassIndex*> seen(kThreads, nullptr);
+  std::vector<double> mass(kThreads, -1.0);
+  {
+    std::vector<std::thread> threads;
+    threads.reserve(kThreads);
+    for (size_t t = 0; t < kThreads; ++t) {
+      threads.emplace_back([&d, &seen, &mass, t] {
+        const PrefixMassIndex& index = d.PrefixIndex();
+        seen[t] = &index;
+        mass[t] = index.MassOf({100, 2048});
+      });
+    }
+    for (auto& th : threads) th.join();
+  }
+  for (size_t t = 1; t < kThreads; ++t) {
+    EXPECT_EQ(seen[t], seen[0]);
+    EXPECT_EQ(mass[t], mass[0]);  // bit-identical, not merely close
+  }
+  EXPECT_NEAR(mass[0], d.MassOf({100, 2048}), 1e-12);
 }
 
 TEST(DistributionTest, ConditionedOnIntervals) {

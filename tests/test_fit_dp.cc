@@ -78,9 +78,11 @@ TEST(FitAtomsL1Test, ValidatesInput) {
   EXPECT_FALSE(FitAtomsL1({{1.0, 1.0, 1.0}}, 0).ok());
   EXPECT_FALSE(FitAtomsL1({{1.0, 0.5, 1.0}}, 1).ok());   // length < 1
   EXPECT_FALSE(FitAtomsL1({{1.0, 1.0, -1.0}}, 1).ok());  // negative weight
-  std::vector<WeightedAtom> too_long(SegmentCostTable::kMaxAtoms + 1,
-                                     {1.0, 1.0, 1.0});
-  EXPECT_FALSE(FitAtomsL1(too_long, 2).ok());
+  // Each engine enforces its own atom cap.
+  std::vector<WeightedAtom> too_long_for_table(SegmentCostTable::kMaxAtoms + 1,
+                                               {1.0, 1.0, 1.0});
+  EXPECT_FALSE(FitAtomsL1(too_long_for_table, 2, FitDpMode::kReference).ok());
+  EXPECT_TRUE(FitAtomsL1(too_long_for_table, 2, FitDpMode::kFast).ok());
 }
 
 TEST(FitAtomsL1Test, PerfectFitWhenPiecesSuffice) {
@@ -133,6 +135,86 @@ TEST(FitAtomsL1Test, MonotoneInK) {
     ASSERT_TRUE(fit.ok());
     EXPECT_LE(fit.value().l1_error, prev + 1e-12);
     prev = fit.value().l1_error;
+  }
+}
+
+/// Property test for the tentpole engine swap: the pruned DP must agree
+/// with the exhaustive reference DP. On small-integer grids every sum is
+/// exact in double, so costs AND piece boundaries (identical tie-breaking)
+/// must match exactly, including instances dense with ties and zero-weight
+/// gap atoms.
+TEST(FitDpEquivalenceTest, ExactOnIntegerGrids) {
+  Rng rng(2024);
+  for (int trial = 0; trial < 300; ++trial) {
+    const size_t m = 2 + static_cast<size_t>(rng.UniformInt(120));
+    // A small value range forces many exact cost ties; ~20% gap atoms and
+    // integer weights 1..4 exercise the weighted median paths.
+    const double value_range = 1.0 + std::floor(rng.UniformDouble() * 6.0);
+    std::vector<WeightedAtom> atoms(m);
+    for (auto& a : atoms) {
+      const bool gap = rng.UniformDouble() < 0.2;
+      a.value = std::floor(rng.UniformDouble() * value_range);
+      a.length = 1.0 + std::floor(rng.UniformDouble() * 3.0);
+      a.cost_weight = gap ? 0.0 : 1.0 + std::floor(rng.UniformDouble() * 4.0);
+    }
+    for (const size_t k : {size_t{1}, size_t{2}, size_t{3}, size_t{5},
+                           size_t{8}, m}) {
+      auto fast = FitAtomsL1(atoms, k, FitDpMode::kFast);
+      auto ref = FitAtomsL1(atoms, k, FitDpMode::kReference);
+      ASSERT_TRUE(fast.ok() && ref.ok());
+      EXPECT_EQ(fast.value().l1_error, ref.value().l1_error)
+          << "trial " << trial << " m " << m << " k " << k;
+      EXPECT_EQ(fast.value().piece_starts, ref.value().piece_starts)
+          << "trial " << trial << " m " << m << " k " << k;
+      EXPECT_EQ(fast.value().piece_values, ref.value().piece_values)
+          << "trial " << trial << " m " << m << " k " << k;
+
+      auto fast2 = FitAtomsL2(atoms, k, FitDpMode::kFast);
+      auto ref2 = FitAtomsL2(atoms, k, FitDpMode::kReference);
+      ASSERT_TRUE(fast2.ok() && ref2.ok());
+      EXPECT_EQ(fast2.value().l1_error, ref2.value().l1_error)
+          << "L2 trial " << trial << " m " << m << " k " << k;
+      EXPECT_EQ(fast2.value().piece_starts, ref2.value().piece_starts)
+          << "L2 trial " << trial << " m " << m << " k " << k;
+    }
+  }
+}
+
+/// On arbitrary real values the two engines sum in different orders, so
+/// costs agree to rounding only.
+TEST(FitDpEquivalenceTest, CostsAgreeOnRandomReals) {
+  Rng rng(2025);
+  for (int trial = 0; trial < 100; ++trial) {
+    const size_t m = 2 + static_cast<size_t>(rng.UniformInt(80));
+    std::vector<WeightedAtom> atoms(m);
+    for (auto& a : atoms) {
+      a.value = rng.UniformDouble();
+      a.length = 1.0;
+      a.cost_weight = rng.UniformDouble() < 0.1 ? 0.0 : rng.UniformDouble();
+    }
+    for (const size_t k : {size_t{1}, size_t{3}, size_t{7}}) {
+      auto fast = FitAtomsL1(atoms, k, FitDpMode::kFast);
+      auto ref = FitAtomsL1(atoms, k, FitDpMode::kReference);
+      ASSERT_TRUE(fast.ok() && ref.ok());
+      EXPECT_NEAR(fast.value().l1_error, ref.value().l1_error, 1e-9)
+          << "trial " << trial << " m " << m << " k " << k;
+    }
+  }
+}
+
+/// All-gap and constant sequences hit the prune's degenerate branches
+/// (zero-cost windows everywhere).
+TEST(FitDpEquivalenceTest, DegenerateSequences) {
+  const std::vector<WeightedAtom> all_gaps(10, {3.0, 2.0, 0.0});
+  const std::vector<WeightedAtom> constant(50, {0.25, 1.0, 1.0});
+  for (const auto* atoms : {&all_gaps, &constant}) {
+    for (const size_t k : {size_t{1}, size_t{4}}) {
+      auto fast = FitAtomsL1(*atoms, k, FitDpMode::kFast);
+      auto ref = FitAtomsL1(*atoms, k, FitDpMode::kReference);
+      ASSERT_TRUE(fast.ok() && ref.ok());
+      EXPECT_EQ(fast.value().l1_error, ref.value().l1_error);
+      EXPECT_EQ(fast.value().piece_starts, ref.value().piece_starts);
+    }
   }
 }
 

@@ -1,0 +1,143 @@
+#include "common/kernels.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "common/math_util.h"
+#include "common/rng.h"
+
+namespace histest {
+namespace {
+
+std::vector<double> RandomVector(Rng& rng, size_t n, double scale) {
+  std::vector<double> v(n);
+  for (double& x : v) x = scale * rng.UniformDouble();
+  return v;
+}
+
+/// Sizes probing the block/lane edges: empty, sub-lane, lane remainder,
+/// exactly one block, one block plus a tail, several blocks.
+const size_t kEdgeSizes[] = {0,    1,    3,    4,    5,
+                             1023, 1024, 1025, 4099, 3 * 1024};
+
+TEST(KernelsTest, SumMatchesKahanReference) {
+  Rng rng(991);
+  for (const size_t n : kEdgeSizes) {
+    const std::vector<double> a = RandomVector(rng, n, 1.0);
+    KahanSum ref;
+    for (double x : a) ref.Add(x);
+    EXPECT_NEAR(SumKernel(a.data(), n), ref.Total(),
+                1e-12 * static_cast<double>(n + 1))
+        << "n=" << n;
+  }
+}
+
+TEST(KernelsTest, ExactOnIntegerInputs) {
+  // Integer-valued doubles sum exactly in every order, so the kernel must
+  // agree bit-for-bit with a plain loop.
+  Rng rng(992);
+  for (const size_t n : kEdgeSizes) {
+    std::vector<double> a(n), b(n);
+    for (size_t i = 0; i < n; ++i) {
+      a[i] = std::floor(rng.UniformDouble() * 64.0);
+      b[i] = std::floor(rng.UniformDouble() * 64.0);
+    }
+    double sum = 0.0, l1 = 0.0, l2 = 0.0, sq = 0.0;
+    for (size_t i = 0; i < n; ++i) {
+      sum += a[i];
+      l1 += std::fabs(a[i] - b[i]);
+      l2 += (a[i] - b[i]) * (a[i] - b[i]);
+      sq += a[i] * a[i];
+    }
+    EXPECT_EQ(SumKernel(a.data(), n), sum) << "n=" << n;
+    EXPECT_EQ(L1DistanceKernel(a.data(), b.data(), n), l1) << "n=" << n;
+    EXPECT_EQ(L2DistanceSquaredKernel(a.data(), b.data(), n), l2)
+        << "n=" << n;
+    EXPECT_EQ(SumSquaresKernel(a.data(), n), sq) << "n=" << n;
+  }
+}
+
+TEST(KernelsTest, DistanceKernelsMatchNaive) {
+  Rng rng(993);
+  for (const size_t n : kEdgeSizes) {
+    const std::vector<double> a = RandomVector(rng, n, 1.0);
+    const std::vector<double> b = RandomVector(rng, n, 1.0);
+    double l1 = 0.0, l2 = 0.0, hell = 0.0;
+    for (size_t i = 0; i < n; ++i) {
+      l1 += std::fabs(a[i] - b[i]);
+      l2 += (a[i] - b[i]) * (a[i] - b[i]);
+      const double d = std::sqrt(a[i]) - std::sqrt(b[i]);
+      hell += d * d;
+    }
+    EXPECT_NEAR(L1DistanceKernel(a.data(), b.data(), n), l1, 1e-10);
+    EXPECT_NEAR(L2DistanceSquaredKernel(a.data(), b.data(), n), l2, 1e-10);
+    EXPECT_NEAR(HellingerAccumulateKernel(a.data(), b.data(), n), hell,
+                1e-10);
+  }
+}
+
+TEST(KernelsTest, Deterministic) {
+  Rng rng(994);
+  const std::vector<double> a = RandomVector(rng, 4099, 1.0);
+  const std::vector<double> b = RandomVector(rng, 4099, 1.0);
+  // Bit-identical across calls: the summation order is a pure function of n.
+  EXPECT_EQ(L1DistanceKernel(a.data(), b.data(), a.size()),
+            L1DistanceKernel(a.data(), b.data(), a.size()));
+  EXPECT_EQ(SumKernel(a.data(), a.size()), SumKernel(a.data(), a.size()));
+}
+
+TEST(KernelsTest, ChiSquareMatchesNaiveAndHandlesInfinity) {
+  Rng rng(995);
+  const size_t n = 2000;
+  std::vector<double> p = RandomVector(rng, n, 1.0);
+  std::vector<double> q = RandomVector(rng, n, 1.0);
+  double ref = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    ref += (p[i] - q[i]) * (p[i] - q[i]) / q[i];
+  }
+  EXPECT_NEAR(ChiSquareKernel(p.data(), q.data(), n), ref, 1e-8);
+
+  // q == 0 with p == 0 contributes nothing...
+  q[7] = 0.0;
+  p[7] = 0.0;
+  EXPECT_TRUE(std::isfinite(ChiSquareKernel(p.data(), q.data(), n)));
+  // ...but q == 0 with p > 0 makes the whole sum infinite (and must not
+  // produce NaN through the compensated accumulator).
+  p[7] = 0.5;
+  EXPECT_TRUE(std::isinf(ChiSquareKernel(p.data(), q.data(), n)));
+}
+
+TEST(KernelsTest, ZAccumulateMatchesNaive) {
+  Rng rng(996);
+  const size_t n = 1500;
+  const double m = 1e4;
+  std::vector<double> dstar = RandomVector(rng, n, 2.0 / static_cast<double>(n));
+  std::vector<double> counts(n);
+  for (double& c : counts) c = std::floor(rng.UniformDouble() * 20.0);
+  const double aeps_cut = 0.5 / static_cast<double>(n);
+  double ref = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    if (dstar[i] < aeps_cut) continue;
+    const double expected = m * dstar[i];
+    const double dev = counts[i] - expected;
+    ref += (dev * dev - counts[i]) / expected;
+  }
+  EXPECT_NEAR(ZAccumulateKernel(dstar.data(), counts.data(), n, m, aeps_cut),
+              ref, 1e-7 * std::fabs(ref) + 1e-9);
+  // Zero counts still contribute (term == expected), so a cut below every
+  // dstar keeps all terms.
+  EXPECT_NE(ZAccumulateKernel(dstar.data(), counts.data(), n, m, 0.0), 0.0);
+}
+
+TEST(KernelsTest, EmptyInputsReturnZero) {
+  EXPECT_EQ(SumKernel(nullptr, 0), 0.0);
+  EXPECT_EQ(L1DistanceKernel(nullptr, nullptr, 0), 0.0);
+  EXPECT_EQ(ChiSquareKernel(nullptr, nullptr, 0), 0.0);
+  EXPECT_EQ(ZAccumulateKernel(nullptr, nullptr, 0, 1.0, 0.0), 0.0);
+}
+
+}  // namespace
+}  // namespace histest

@@ -17,9 +17,11 @@ it. This lint bans source patterns that silently break that contract:
                   src/stats: hidden cross-trial state makes trial results
                   order- and schedule-dependent.
   raw-accumulate  std::accumulate / std::reduce over floats in statistics
-                  code (src/stats, src/core, src/histogram): naive summation
-                  drifts with length and evaluation order; use KahanSum /
-                  SumOf / PrefixSums from common/math_util.h.
+                  and kernel code (src/stats, src/core, src/histogram,
+                  src/common, src/dist): naive summation drifts with length
+                  and evaluation order; use KahanSum / SumOf / PrefixSums
+                  (common/math_util.h) or the blocked kernels
+                  (common/kernels.h).
 
 Suppressions (both forms are deliberate and reviewable):
   * inline: append a comment  // lint-determinism: allow(<rule>) <why>
@@ -111,7 +113,8 @@ RULES = [
         "use KahanSum/SumOf/PrefixSums (common/math_util.h) for floating-"
         "point sums in statistics code, not std::accumulate/std::reduce",
         r"\bstd::(?:accumulate|reduce)\b",
-        applies_to=("src/stats/", "src/core/", "src/histogram/"),
+        applies_to=("src/stats/", "src/core/", "src/histogram/",
+                    "src/common/", "src/dist/"),
     ),
 ]
 
