@@ -9,6 +9,7 @@
 /// the minimal-budget bisection (slower, higher fidelity).
 #include <memory>
 
+#include "common/math_util.h"
 #include "exp_common.h"
 #include "stats/bounds.h"
 
@@ -47,7 +48,7 @@ int Run(int argc, const char* const* argv) {
         trials, rng.Next());
     const double theory = static_cast<double>(
         OursSampleComplexity(n, k, eps));
-    if (norm == 0.0) norm = stats.avg_samples / theory;
+    if (ExactlyEqual(norm, 0.0)) norm = stats.avg_samples / theory;
     std::vector<std::string> row = {
         Table::FmtInt(static_cast<int64_t>(n)),
         Table::FmtInt(static_cast<int64_t>(stats.avg_samples)),

@@ -7,6 +7,7 @@
 /// near-linearly in k while the sieve+final column grows only ~log k.
 #include <memory>
 
+#include "common/math_util.h"
 #include "exp_common.h"
 #include "stats/bounds.h"
 #include "testing/oracle.h"
@@ -56,7 +57,7 @@ int Run(int argc, const char* const* argv) {
     }
     const double theory = static_cast<double>(
         OursSampleComplexity(n, k, eps));
-    if (norm == 0.0) norm = stats.avg_samples / theory;
+    if (ExactlyEqual(norm, 0.0)) norm = stats.avg_samples / theory;
     table.AddRow({Table::FmtInt(static_cast<int64_t>(k)),
                   Table::FmtInt(static_cast<int64_t>(stats.avg_samples)),
                   Table::FmtInt(learn_part), Table::FmtInt(sieve_final),

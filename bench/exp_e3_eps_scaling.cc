@@ -5,6 +5,7 @@
 /// interpolate between the two exponents and track the theory column.
 #include <memory>
 
+#include "common/math_util.h"
 #include "exp_common.h"
 #include "stats/bounds.h"
 
@@ -38,7 +39,7 @@ int Run(int argc, const char* const* argv) {
         trials, rng.Next());
     const double theory = static_cast<double>(
         OursSampleComplexity(n, k, eps));
-    if (norm == 0.0) norm = stats.avg_samples / theory;
+    if (ExactlyEqual(norm, 0.0)) norm = stats.avg_samples / theory;
     table.AddRow({Table::FmtDouble(eps, 3),
                   Table::FmtInt(static_cast<int64_t>(stats.avg_samples)),
                   Table::FmtInt(static_cast<int64_t>(theory * norm)),

@@ -37,6 +37,14 @@ double SumOf(const std::vector<double>& values);
 /// True iff |a - b| <= tol (absolute tolerance).
 bool NearlyEqual(double a, double b, double tol);
 
+/// Bit-for-bit floating-point equality, spelled out. Use this instead of a
+/// raw `==`/`!=` when exactness *is* the contract — sentinel values
+/// (`p == 0.0`), DP tie-breaking that must match the reference
+/// implementation, rejection-sampling guards — so the intent is explicit
+/// and the float-compare analyzer check stays quiet. For tolerant
+/// comparison use NearlyEqual.
+constexpr inline bool ExactlyEqual(double a, double b) { return a == b; }
+
 /// Clamps `v` into [lo, hi].
 double Clamp(double v, double lo, double hi);
 

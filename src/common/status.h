@@ -27,7 +27,14 @@ const char* StatusCodeToString(StatusCode code);
 /// A lightweight status value used instead of exceptions for all recoverable
 /// errors crossing public API boundaries (RocksDB idiom). `Status::Ok()` is
 /// cheap (no allocation); error statuses carry a message.
-class Status {
+///
+/// The class is `[[nodiscard]]`: any function returning a Status by value
+/// warns (and, under -Werror, fails to compile) if the caller drops the
+/// result. Consume every Status — check it, propagate it with
+/// HISTEST_RETURN_IF_ERROR, or discard it explicitly with a `(void)` cast
+/// and a comment saying why. The histest-analyzer status-discipline checker
+/// enforces the same contract at the AST level (tools/analyzer/).
+class [[nodiscard]] Status {
  public:
   /// Constructs an OK status.
   Status() : code_(StatusCode::kOk) {}
@@ -38,28 +45,28 @@ class Status {
   Status& operator=(Status&&) = default;
 
   /// Factory helpers, one per error code.
-  static Status Ok() { return Status(); }
-  static Status InvalidArgument(std::string msg) {
+  [[nodiscard]] static Status Ok() { return Status(); }
+  [[nodiscard]] static Status InvalidArgument(std::string msg) {
     return Status(StatusCode::kInvalidArgument, std::move(msg));
   }
-  static Status FailedPrecondition(std::string msg) {
+  [[nodiscard]] static Status FailedPrecondition(std::string msg) {
     return Status(StatusCode::kFailedPrecondition, std::move(msg));
   }
-  static Status OutOfRange(std::string msg) {
+  [[nodiscard]] static Status OutOfRange(std::string msg) {
     return Status(StatusCode::kOutOfRange, std::move(msg));
   }
-  static Status NotFound(std::string msg) {
+  [[nodiscard]] static Status NotFound(std::string msg) {
     return Status(StatusCode::kNotFound, std::move(msg));
   }
-  static Status Internal(std::string msg) {
+  [[nodiscard]] static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
   }
-  static Status Unimplemented(std::string msg) {
+  [[nodiscard]] static Status Unimplemented(std::string msg) {
     return Status(StatusCode::kUnimplemented, std::move(msg));
   }
 
   /// True iff this status represents success.
-  bool ok() const { return code_ == StatusCode::kOk; }
+  [[nodiscard]] bool ok() const { return code_ == StatusCode::kOk; }
 
   StatusCode code() const { return code_; }
 
@@ -84,9 +91,11 @@ class Status {
 /// Either a value of type T or an error Status (a minimal StatusOr).
 ///
 /// Accessing `value()` on an error Result is a checked fatal error, so call
-/// sites either test `ok()` first or deliberately assert success.
+/// sites either test `ok()` first or deliberately assert success. Like
+/// Status, the class is `[[nodiscard]]`: dropping a returned Result drops an
+/// error silently, so the compiler rejects it.
 template <typename T>
-class Result {
+class [[nodiscard]] Result {
  public:
   /// Constructs a successful result holding `value`.
   Result(T value)  // NOLINT(google-explicit-constructor)
@@ -98,9 +107,9 @@ class Result {
     HISTEST_CHECK(!status_.ok());
   }
 
-  bool ok() const { return value_.has_value(); }
+  [[nodiscard]] bool ok() const { return value_.has_value(); }
 
-  const Status& status() const { return status_; }
+  [[nodiscard]] const Status& status() const { return status_; }
 
   /// Returns the contained value. Fatal if `!ok()`.
   const T& value() const& {

@@ -130,6 +130,9 @@ Result<SieveResult> SieveIntervals(SampleOracle& oracle,
       if (remaining <= target || removed_this_round >= k) break;
       if (z.value().z[j] <= 0.0) break;  // nothing damning left to remove
       result.active[j] = false;
+      // analyzer-allow(raw-accumulate): greedy removal loop; the early-exit
+      // condition reads the running value after every step, so the
+      // sequential order is the algorithm, not a reduction.
       remaining -= z.value().z[j];
       ++removed_this_round;
       ++result.removed_iterative;

@@ -36,11 +36,10 @@ Result<PiecewiseConstant> MakeStaircase(size_t n, size_t k) {
   if (k == 0 || k > n) return Status::InvalidArgument("need 1 <= k <= n");
   const Partition partition = Partition::EquiWidth(n, k);
   std::vector<double> masses(k);
-  double total = 0.0;
   for (size_t j = 0; j < k; ++j) {
     masses[j] = static_cast<double>(k - j);
-    total += masses[j];
   }
+  const double total = SumOf(masses);
   for (double& m : masses) m /= total;
   return PiecewiseConstant::FromPartitionMasses(partition, masses);
 }

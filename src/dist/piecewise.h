@@ -4,6 +4,7 @@
 #include <cstddef>
 #include <vector>
 
+#include "common/math_util.h"
 #include "common/status.h"
 #include "dist/distribution.h"
 #include "dist/interval.h"
@@ -26,7 +27,7 @@ class PiecewiseConstant {
     double value = 0.0;
 
     friend bool operator==(const Piece& a, const Piece& b) {
-      return a.interval == b.interval && a.value == b.value;
+      return a.interval == b.interval && ExactlyEqual(a.value, b.value);
     }
   };
 

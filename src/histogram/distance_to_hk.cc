@@ -120,6 +120,9 @@ double GroupOscillation(const std::vector<WeightedAtom>& atoms, size_t begin,
         presorted = false;
       }
       scratch.emplace_back(atoms[t].value, atoms[t].cost_weight);
+      // analyzer-allow(raw-accumulate): running total alongside the filtered
+      // copy; must accumulate in the same order as the reference DP so the
+      // fast==reference bit-exactness tests keep holding.
       total_w += atoms[t].cost_weight;
     }
   }
@@ -128,6 +131,8 @@ double GroupOscillation(const std::vector<WeightedAtom>& atoms, size_t begin,
   double acc = 0.0;
   double med = scratch.back().first;
   for (const auto& [v, w] : scratch) {
+    // analyzer-allow(raw-accumulate): weighted-median prefix scan with an
+    // early exit at half mass; a blocked reduction has no prefix to test.
     acc += w;
     if (acc >= 0.5 * total_w) {
       med = v;
@@ -280,7 +285,7 @@ Result<std::vector<WeightedAtom>> BuildSubdomainAtoms(
     if (len == 0) return;
     const double length = static_cast<double>(len);
     const double weight = is_kept ? length : 0.0;
-    if (!atoms.empty() && atoms.back().value == value &&
+    if (!atoms.empty() && ExactlyEqual(atoms.back().value, value) &&
         (atoms.back().cost_weight > 0.0) == is_kept) {
       atoms.back().length += length;
       atoms.back().cost_weight += weight;

@@ -41,6 +41,8 @@ class Fenwick {
       const size_t next = pos + pw;
       if (next < tree_.size() && acc + tree_[next] < target) {
         pos = next;
+        // analyzer-allow(raw-accumulate): Fenwick rank descent; log(n)
+        // additions along a root-to-leaf path, not a loop reduction.
         acc += tree_[next];
       }
     }
@@ -316,6 +318,8 @@ double SegmentCostTable::OptimalValue(size_t s, size_t e) const {
     const WeightedAtom& a = (*atoms_)[t];
     if (a.cost_weight > 0.0) {
       vw.emplace_back(a.value, a.cost_weight);
+      // analyzer-allow(raw-accumulate): running total over the filtered
+      // atoms, kept in scan order to match the in-DP median computation.
       total_w += a.cost_weight;
     }
   }
@@ -323,6 +327,8 @@ double SegmentCostTable::OptimalValue(size_t s, size_t e) const {
   std::sort(vw.begin(), vw.end());
   double acc = 0.0;
   for (const auto& [v, w] : vw) {
+    // analyzer-allow(raw-accumulate): weighted-median prefix scan with an
+    // early exit at half mass; a blocked reduction has no prefix to test.
     acc += w;
     if (acc >= 0.5 * total_w) return v;
   }
@@ -449,7 +455,8 @@ void RunPrunedLevel(size_t m, const std::vector<double>& prev,
         if (candidate < best) {
           best = candidate;
           best_s = static_cast<uint32_t>(si);
-        } else if (candidate == best && best_s != kNoNewPiece) {
+        } else if (ExactlyEqual(candidate, best) &&
+                   best_s != kNoNewPiece) {
           best_s = static_cast<uint32_t>(si);  // leftmost among equal starts
         }
         // Remaining starts are bounded below by cur[si-1] + window; once
@@ -458,7 +465,8 @@ void RunPrunedLevel(size_t m, const std::vector<double>& prev,
         // merely equal to prev[e] is never recorded; a recorded one must
         // yield to equal candidates further left).
         const double bound = cur[si - 1] + window;
-        if (bound > best || (bound == best && best_s == kNoNewPiece)) {
+        if (bound > best ||
+            (ExactlyEqual(bound, best) && best_s == kNoNewPiece)) {
           stop = true;
           break;
         }

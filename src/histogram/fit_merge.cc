@@ -34,6 +34,8 @@ double MedianCost(const std::vector<std::pair<double, double>>& vw,
   double acc = 0.0;
   size_t med_idx = vw.size() - 1;
   for (size_t i = 0; i < vw.size(); ++i) {
+    // analyzer-allow(raw-accumulate): weighted-median prefix scan with an
+    // early exit at half mass; a blocked reduction has no prefix to test.
     acc += vw[i].second;
     if (acc >= 0.5 * total_weight) {
       med_idx = i;

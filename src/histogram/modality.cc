@@ -24,6 +24,8 @@ void Recompute(Block& block) {
   double acc = 0.0;
   block.median = block.sorted_vw.back().first;
   for (const auto& [v, w] : block.sorted_vw) {
+    // analyzer-allow(raw-accumulate): weighted-median prefix scan with an
+    // early exit at half mass; a blocked reduction has no prefix to test.
     acc += w;
     if (acc >= 0.5 * block.weight) {
       block.median = v;
@@ -55,6 +57,8 @@ class PavaStack {
       Block top = std::move(stack_.back());
       stack_.pop_back();
       Block& below = stack_.back();
+      // analyzer-allow(raw-accumulate): incremental PAVA cost maintenance;
+      // merged block costs are swapped in and out as the stack collapses.
       total_ -= top.cost + below.cost;
       std::vector<std::pair<double, double>> merged;
       merged.reserve(below.sorted_vw.size() + top.sorted_vw.size());
@@ -64,6 +68,8 @@ class PavaStack {
       below.sorted_vw = std::move(merged);
       below.weight += top.weight;
       Recompute(below);
+      // analyzer-allow(raw-accumulate): incremental PAVA cost maintenance;
+      // merged block costs are swapped in and out as the stack collapses.
       total_ += below.cost;
     }
   }
@@ -201,7 +207,7 @@ size_t DirectionChanges(const std::vector<double>& values) {
   int direction = 0;  // 0 = undetermined, +1 = rising, -1 = falling
   for (size_t i = 1; i < values.size(); ++i) {
     const double step = values[i] - values[i - 1];
-    if (step == 0.0) continue;
+    if (ExactlyEqual(step, 0.0)) continue;
     const int d = step > 0.0 ? 1 : -1;
     if (direction != 0 && d != direction) ++changes;
     direction = d;

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/check.h"
+#include "common/math_util.h"
 
 namespace histest {
 
@@ -15,7 +16,7 @@ int64_t PoissonizedSampleCount(double m, Rng& rng) {
 double PoissonTailBound(double mean, double dev) {
   HISTEST_CHECK_GT(dev, 0.0);
   HISTEST_CHECK_GE(mean, 0.0);
-  if (mean == 0.0) return 0.0;
+  if (ExactlyEqual(mean, 0.0)) return 0.0;
   // Two-sided Bennett bound: exp(-mean * h(dev/mean)) each side, with
   // h(u) = (1+u) log(1+u) - u; the lower tail is never worse.
   const double u = dev / mean;

@@ -1,0 +1,17 @@
+// Fixture: raw ==/!= on floating-point expressions (three findings).
+namespace histest {
+
+bool BadEquality(double a, double b) {
+  return a == b;  // finding: both operands double
+}
+
+bool BadSentinel(double x) {
+  if (x != 0.0) return true;  // finding: float literal operand
+  return false;
+}
+
+bool BadMixed(double x, int n) {
+  return x == n;  // finding: left operand double
+}
+
+}  // namespace histest

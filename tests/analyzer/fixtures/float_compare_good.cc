@@ -1,0 +1,22 @@
+// Fixture: approved comparison forms — zero findings.
+#include "common/math_util.h"
+
+namespace histest {
+
+bool GoodTolerant(double a, double b) {
+  return NearlyEqual(a, b, 1e-12);
+}
+
+bool GoodExact(double a, double b) {
+  return ExactlyEqual(a, b);
+}
+
+bool GoodIntegers(int a, int b) {
+  return a == b;  // integer equality is fine
+}
+
+bool GoodBoolGroup(double x, bool keep) {
+  return (x > 0.0) == keep;  // bool == bool, not a float compare
+}
+
+}  // namespace histest

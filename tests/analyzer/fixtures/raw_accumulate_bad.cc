@@ -1,0 +1,29 @@
+// Fixture: naive float accumulation in loops (three findings).
+#include <numeric>
+#include <vector>
+
+namespace histest {
+
+double BadLoopSum(const std::vector<double>& v) {
+  double total = 0.0;
+  for (size_t i = 0; i < v.size(); ++i) {
+    total += v[i];  // finding: float += inside a loop
+  }
+  return total;
+}
+
+double BadArraySum(const double* v, int n) {
+  double acc = 0.0;
+  int i = 0;
+  while (i < n) {
+    acc -= v[i];  // finding: float -= inside a loop
+    ++i;
+  }
+  return acc;
+}
+
+double BadStdAccumulate(const std::vector<double>& v) {
+  return std::accumulate(v.begin(), v.end(), 0.0);  // finding
+}
+
+}  // namespace histest

@@ -1,0 +1,26 @@
+// Fixture: approved reductions — zero findings.
+#include <vector>
+
+#include "common/math_util.h"
+
+namespace histest {
+
+double GoodSumOf(const std::vector<double>& v) {
+  return SumOf(v);  // compensated library sum
+}
+
+double GoodKahan(const std::vector<double>& v) {
+  KahanSum sum;
+  for (double x : v) sum.Add(x);
+  return sum.Total();
+}
+
+long GoodIntegerSum(const std::vector<long>& v) {
+  long total = 0;
+  for (size_t i = 0; i < v.size(); ++i) {
+    total += v[i];  // integer accumulation is exact
+  }
+  return total;
+}
+
+}  // namespace histest

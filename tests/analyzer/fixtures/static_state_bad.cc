@@ -1,0 +1,15 @@
+// Fixture: mutable function-local/global static state (two findings).
+namespace histest {
+
+int BadCallCounter() {
+  static int calls = 0;  // finding: mutable static
+  return ++calls;
+}
+
+double BadCache(double x) {
+  thread_local double last = 0.0;  // finding: mutable thread_local
+  last += x;
+  return last;
+}
+
+}  // namespace histest

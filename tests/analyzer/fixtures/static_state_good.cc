@@ -1,0 +1,15 @@
+// Fixture: immutable statics and plain locals — zero findings.
+namespace histest {
+
+int GoodConstTable(int i) {
+  static const int kTable[4] = {1, 2, 4, 8};  // immutable: fine
+  static constexpr double kScale = 0.5;       // constexpr: fine
+  return static_cast<int>(kTable[i & 3] * kScale);
+}
+
+int GoodLocal() {
+  int calls = 0;  // plain local, no retained state
+  return ++calls;
+}
+
+}  // namespace histest

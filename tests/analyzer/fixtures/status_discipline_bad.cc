@@ -1,0 +1,14 @@
+// Fixture: discarded Status/Result calls (one finding per call site).
+#include "common/status.h"
+
+namespace histest {
+
+Status DoWork();
+Result<int> Compute();
+
+void Caller() {
+  DoWork();             // finding: bare expression statement
+  fixture::Compute();   // finding: qualified call, Result<T> discarded
+}
+
+}  // namespace histest

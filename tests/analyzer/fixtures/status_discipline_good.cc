@@ -1,0 +1,19 @@
+// Fixture: every Status/Result call is consumed — zero findings.
+#include "common/status.h"
+
+namespace histest {
+
+Status DoWork();
+Result<int> Compute();
+
+Status Caller() {
+  HISTEST_RETURN_IF_ERROR(DoWork());  // propagated through the macro
+  Status s = DoWork();                // bound to a local
+  if (!s.ok()) return s;
+  auto r = Compute();                 // Result bound and checked
+  if (!r.ok()) return r.status();
+  (void)DoWork();                     // deliberate discard, cast to void
+  return Status::OK();
+}
+
+}  // namespace histest

@@ -1,0 +1,15 @@
+// Fixture: a suppression without a reason is itself a finding
+// (bad-suppression), and does not silence the underlying violation.
+#include <vector>
+
+namespace histest {
+
+double Unreasoned(const std::vector<double>& v) {
+  double total = 0.0;
+  for (size_t i = 0; i < v.size(); ++i) {
+    total += v[i];  // analyzer-allow(raw-accumulate)
+  }
+  return total;
+}
+
+}  // namespace histest

@@ -1,0 +1,26 @@
+// Fixture: a violation silenced by a reasoned inline suppression, in both
+// the same-line and preceding-line (with continuation) forms — zero
+// findings.
+#include <vector>
+
+namespace histest {
+
+double SuppressedSameLine(const std::vector<double>& v) {
+  double total = 0.0;
+  for (size_t i = 0; i < v.size(); ++i) {
+    total += v[i];  // analyzer-allow(raw-accumulate): fixture — exercised
+  }
+  return total;
+}
+
+double SuppressedPrecedingLine(const std::vector<double>& v) {
+  double total = 0.0;
+  for (size_t i = 0; i < v.size(); ++i) {
+    // analyzer-allow(raw-accumulate): fixture — the suppression comment
+    // stands alone and spans two lines before the flagged statement.
+    total += v[i];
+  }
+  return total;
+}
+
+}  // namespace histest

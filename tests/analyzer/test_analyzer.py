@@ -1,0 +1,254 @@
+#!/usr/bin/env python3
+"""Fixture tests for histest-analyzer, run by ctest.
+
+Each checker gets a bad fixture (known findings at known lines) and a good
+fixture (zero findings); suppression handling and the CLI's JSON/SARIF
+output and exit codes are asserted on top. Fixtures are copied into a
+temporary repo-shaped tree because checker scopes are path-based.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import shutil
+import subprocess
+import sys
+import tempfile
+import unittest
+
+HERE = pathlib.Path(__file__).resolve().parent
+REPO_ROOT = HERE.parents[1]
+FIXTURES = HERE / "fixtures"
+ANALYZER_DIR = REPO_ROOT / "tools" / "analyzer"
+ANALYZER_BIN = ANALYZER_DIR / "histest-analyzer"
+
+sys.path.insert(0, str(ANALYZER_DIR))
+
+from histest_analyzer import engine  # noqa: E402
+
+# Destination of each fixture inside the synthetic tree; placement matters
+# because checker scopes are path prefixes.
+DEST = {
+    "status_discipline_bad.cc": "src/app/status_discipline_bad.cc",
+    "status_discipline_good.cc": "src/app/status_discipline_good.cc",
+    "float_compare_bad.cc": "src/core/float_compare_bad.cc",
+    "float_compare_good.cc": "src/core/float_compare_good.cc",
+    "raw_accumulate_bad.cc": "src/core/raw_accumulate_bad.cc",
+    "raw_accumulate_good.cc": "src/core/raw_accumulate_good.cc",
+    "rng_stream_bad.cc": "src/core/rng_stream_bad.cc",
+    "rng_stream_good.cc": "src/core/rng_stream_good.cc",
+    "static_state_bad.cc": "src/core/static_state_bad.cc",
+    "static_state_good.cc": "src/core/static_state_good.cc",
+    "suppression_ok.cc": "src/core/suppression_ok.cc",
+    "suppression_missing_reason.cc": "src/core/suppression_missing_reason.cc",
+}
+
+
+def make_tree(names, allowlist=None):
+    """Copies fixtures into a fresh temp tree; returns its root."""
+    root = pathlib.Path(tempfile.mkdtemp(prefix="histest-analyzer-test-"))
+    for name in names:
+        dest = root / DEST[name]
+        dest.parent.mkdir(parents=True, exist_ok=True)
+        shutil.copyfile(FIXTURES / name, dest)
+    if allowlist is not None:
+        cfg = root / "tools" / "analyzer"
+        cfg.mkdir(parents=True)
+        (cfg / "allowlist.txt").write_text(allowlist)
+    return root
+
+
+def scan(names, checkers=None, allowlist=None):
+    root = make_tree(names, allowlist)
+    try:
+        return engine.run_scan(root, checker_names=checkers,
+                               backend="internal")
+    finally:
+        shutil.rmtree(root, ignore_errors=True)
+
+
+def run_cli(args, cwd=None):
+    return subprocess.run(
+        [sys.executable, str(ANALYZER_BIN), *args],
+        capture_output=True, text=True, cwd=cwd or REPO_ROOT)
+
+
+class CheckerFixtureTest(unittest.TestCase):
+    """Bad fixture -> expected findings; good fixture -> clean."""
+
+    def assert_findings(self, result, checker, lines):
+        got = sorted((f.checker, f.line) for f in result.findings)
+        want = sorted((checker, line) for line in lines)
+        self.assertEqual(got, want,
+                         "\n".join(f.format_text() for f in result.findings))
+
+    def test_status_discipline_bad(self):
+        res = scan(["status_discipline_bad.cc"],
+                   checkers=["status-discipline"])
+        self.assert_findings(res, "status-discipline", [10, 11])
+
+    def test_status_discipline_good(self):
+        res = scan(["status_discipline_good.cc"])
+        self.assertEqual(res.findings, [])
+
+    def test_float_compare_bad(self):
+        res = scan(["float_compare_bad.cc"], checkers=["float-compare"])
+        self.assert_findings(res, "float-compare", [5, 9, 14])
+
+    def test_float_compare_good(self):
+        res = scan(["float_compare_good.cc"])
+        self.assertEqual(res.findings, [])
+
+    def test_raw_accumulate_bad(self):
+        res = scan(["raw_accumulate_bad.cc"], checkers=["raw-accumulate"])
+        self.assert_findings(res, "raw-accumulate", [10, 19, 26])
+
+    def test_raw_accumulate_good(self):
+        res = scan(["raw_accumulate_good.cc"])
+        self.assertEqual(res.findings, [])
+
+    def test_rng_stream_bad(self):
+        res = scan(["rng_stream_bad.cc"], checkers=["rng-stream"])
+        self.assert_findings(res, "rng-stream", [2, 10, 15, 20, 28])
+
+    def test_rng_stream_good(self):
+        res = scan(["rng_stream_good.cc"])
+        self.assertEqual(res.findings, [])
+
+    def test_static_state_bad(self):
+        res = scan(["static_state_bad.cc"], checkers=["static-state"])
+        self.assert_findings(res, "static-state", [5, 10])
+
+    def test_static_state_good(self):
+        res = scan(["static_state_good.cc"])
+        self.assertEqual(res.findings, [])
+
+
+class SuppressionTest(unittest.TestCase):
+    def test_reasoned_inline_suppression_honored(self):
+        res = scan(["suppression_ok.cc"])
+        self.assertEqual(res.findings, [])
+
+    def test_missing_reason_is_a_finding_and_does_not_suppress(self):
+        res = scan(["suppression_missing_reason.cc"])
+        checkers = sorted(f.checker for f in res.findings)
+        self.assertEqual(checkers, ["bad-suppression", "raw-accumulate"])
+
+    def test_legacy_lint_determinism_comment_maps_to_checker(self):
+        root = make_tree([])
+        try:
+            f = root / "src" / "core" / "legacy.cc"
+            f.parent.mkdir(parents=True, exist_ok=True)
+            f.write_text(
+                "double S(const double* v, int n) {\n"
+                "  double t = 0.0;\n"
+                "  for (int i = 0; i < n; ++i) {\n"
+                "    t += v[i];  // lint-determinism: allow(raw-accumulate)\n"
+                "  }\n"
+                "  return t;\n"
+                "}\n")
+            res = engine.run_scan(root, backend="internal")
+            self.assertEqual(res.findings, [])
+        finally:
+            shutil.rmtree(root, ignore_errors=True)
+
+    def test_allowlist_suppresses_whole_file(self):
+        res = scan(["raw_accumulate_bad.cc"],
+                   checkers=["raw-accumulate"],
+                   allowlist="raw-accumulate src/core/raw_accumulate_bad.cc"
+                             " -- fixture exemption\n")
+        self.assertEqual(res.findings, [])
+
+    def test_allowlist_entry_without_reason_is_rejected(self):
+        with self.assertRaises(ValueError):
+            scan(["raw_accumulate_bad.cc"],
+                 allowlist="raw-accumulate src/core/raw_accumulate_bad.cc\n")
+
+
+class CliOutputTest(unittest.TestCase):
+    def test_json_schema_and_exit_code(self):
+        root = make_tree(["raw_accumulate_bad.cc", "float_compare_bad.cc"])
+        try:
+            proc = run_cli(["--root", str(root), "--backend", "internal",
+                            "--format", "json"])
+            self.assertEqual(proc.returncode, 1, proc.stderr)
+            doc = json.loads(proc.stdout)
+        finally:
+            shutil.rmtree(root, ignore_errors=True)
+        self.assertEqual(doc["tool"], "histest-analyzer")
+        self.assertEqual(doc["backend"], "internal")
+        self.assertIsInstance(doc["version"], str)
+        self.assertIsInstance(doc["files_scanned"], int)
+        self.assertIsInstance(doc["checkers"], list)
+        self.assertGreater(len(doc["findings"]), 0)
+        for f in doc["findings"]:
+            self.assertEqual(
+                sorted(f), ["checker", "col", "line", "message", "path",
+                            "severity", "snippet"])
+        self.assertEqual(sum(doc["counts"].values()), len(doc["findings"]))
+
+    def test_sarif_structure(self):
+        root = make_tree(["raw_accumulate_bad.cc"])
+        try:
+            proc = run_cli(["--root", str(root), "--backend", "internal",
+                            "--format", "sarif"])
+            self.assertEqual(proc.returncode, 1, proc.stderr)
+            doc = json.loads(proc.stdout)
+        finally:
+            shutil.rmtree(root, ignore_errors=True)
+        self.assertEqual(doc["version"], "2.1.0")
+        run = doc["runs"][0]
+        self.assertEqual(run["tool"]["driver"]["name"], "histest-analyzer")
+        self.assertGreater(len(run["results"]), 0)
+        loc = run["results"][0]["locations"][0]["physicalLocation"]
+        self.assertTrue(loc["artifactLocation"]["uri"].endswith(".cc"))
+
+    def test_clean_tree_exits_zero(self):
+        root = make_tree(["raw_accumulate_good.cc", "float_compare_good.cc"])
+        try:
+            proc = run_cli(["--root", str(root), "--backend", "internal"])
+            self.assertEqual(proc.returncode, 0,
+                             proc.stdout + proc.stderr)
+        finally:
+            shutil.rmtree(root, ignore_errors=True)
+
+    def test_unknown_checker_exits_two(self):
+        proc = run_cli(["--backend", "internal", "--checkers", "nope"])
+        self.assertEqual(proc.returncode, 2)
+
+    def test_seeded_violation_fails_scan(self):
+        # The CI smoke test's contract: a seeded violation must flip the
+        # analyzer to exit 1 (the job would fail).
+        proc = run_cli(["--backend", "internal", "--all-scopes",
+                        str(FIXTURES / "raw_accumulate_bad.cc")])
+        self.assertEqual(proc.returncode, 1, proc.stdout + proc.stderr)
+
+
+class RepoCleanTest(unittest.TestCase):
+    def test_repository_scan_is_clean(self):
+        proc = run_cli(["--root", str(REPO_ROOT), "--backend", "internal"])
+        self.assertEqual(proc.returncode, 0, proc.stdout + proc.stderr)
+
+
+class WrapperTest(unittest.TestCase):
+    def test_lint_determinism_wrapper_clean_on_repo(self):
+        proc = subprocess.run(
+            [sys.executable, str(REPO_ROOT / "tools" / "lint_determinism.py"),
+             "--root", str(REPO_ROOT)],
+            capture_output=True, text=True)
+        self.assertEqual(proc.returncode, 0, proc.stdout + proc.stderr)
+
+    def test_lint_determinism_wrapper_list_rules(self):
+        proc = subprocess.run(
+            [sys.executable, str(REPO_ROOT / "tools" / "lint_determinism.py"),
+             "--list-rules"],
+            capture_output=True, text=True)
+        self.assertEqual(proc.returncode, 0, proc.stderr)
+        for rule in ("raw-rng", "time-seed", "static-state",
+                     "raw-accumulate"):
+            self.assertIn(rule, proc.stdout)
+
+
+if __name__ == "__main__":
+    unittest.main(verbosity=2)

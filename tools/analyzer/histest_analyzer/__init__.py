@@ -1,0 +1,22 @@
+"""histest-analyzer: AST-based contract checker for the histest codebase.
+
+The analyzer enforces the repository's correctness contracts — Status
+discipline, numerical safety, and RNG-stream determinism — at a semantic
+level that regex lints cannot reach. It is organized as:
+
+  engine.py    Finding/Checker model, registry, suppression handling.
+  lexer.py     C++ tokenizer (comments, strings, raw strings, pp lines).
+  model.py     Lightweight syntax model built from tokens (functions,
+               declarations, statements, loops, lambdas, calls).
+  index.py     Cross-file symbol index (return-type classification).
+  backends.py  Backend selection: `internal` (always available) and
+               `libclang` (clang.cindex, gated on availability).
+  output.py    text / JSON / SARIF 2.1.0 writers.
+  checkers/    One module per checker; importing the package registers all.
+
+Run via tools/analyzer/histest-analyzer or `python3 -m histest_analyzer`.
+"""
+
+__version__ = "1.0.0"
+
+TOOL_NAME = "histest-analyzer"

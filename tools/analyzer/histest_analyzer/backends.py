@@ -1,0 +1,108 @@
+"""Backend selection and context construction.
+
+Two backends build `FileContext`s for the checkers:
+
+  internal   Pure-Python tokenizer + syntax model (lexer.py / model.py).
+             Always available; tuned to this codebase's style.
+  libclang   clang.cindex translation units; exact types and parents.
+             Gated on the Python bindings *and* a working libclang.so —
+             absent either, selection falls back (under --backend=auto)
+             or errors out (under --backend=libclang).
+
+Both backends attach the same internal model (suppressions, statements,
+token stream); libclang additionally attaches `ctx.clang_facts`, which
+checkers prefer over their heuristic paths when present.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+from .engine import FileContext
+from .index import SymbolIndex
+from .lexer import lex
+from .model import Model
+
+
+def libclang_available() -> bool:
+    try:
+        from clang import cindex  # noqa: F401
+    except Exception:
+        return False
+    try:
+        from clang.cindex import Index
+        Index.create()
+        return True
+    except Exception:
+        return False
+
+
+class InternalBackend:
+    name = "internal"
+
+    def build_contexts(self, root: pathlib.Path, files):
+        contexts = []
+        index = SymbolIndex()
+        models = []
+        for path in files:
+            try:
+                text = path.read_text(errors="replace")
+            except OSError:
+                continue
+            lexed = lex(text)
+            model = Model(lexed)
+            models.append((path, text, lexed, model))
+            index.add_model(model)
+        # Also index declarations from headers outside the requested file
+        # set (explicit-path scans still need repo-wide return types).
+        scanned = {p.resolve() for p, *_ in models}
+        src = root / "src"
+        if src.is_dir():
+            for hdr in sorted(src.rglob("*.h")):
+                if hdr.resolve() in scanned:
+                    continue
+                try:
+                    index.add_model(Model(lex(hdr.read_text(
+                        errors="replace"))))
+                except OSError:
+                    continue
+        for path, text, lexed, model in models:
+            ctx = FileContext(root, path, text, lexed, model, index)
+            ctx.clang_facts = None
+            contexts.append(ctx)
+        return contexts
+
+
+class LibclangBackend(InternalBackend):
+    """Enriches internal contexts with clang.cindex facts."""
+
+    name = "libclang"
+
+    def build_contexts(self, root: pathlib.Path, files):
+        from . import libclang_backend
+        contexts = super().build_contexts(root, files)
+        for ctx in contexts:
+            try:
+                ctx.clang_facts = libclang_backend.collect_facts(root,
+                                                                 ctx.path)
+            except Exception as err:  # pragma: no cover - env specific
+                # A TU that fails to parse falls back to the internal
+                # model rather than killing the scan.
+                ctx.clang_facts = None
+                ctx.clang_error = str(err)
+        return contexts
+
+
+def select(name: str):
+    if name == "internal":
+        return InternalBackend()
+    if name == "libclang":
+        if not libclang_available():
+            raise RuntimeError(
+                "libclang backend requested but clang.cindex (python3-clang"
+                " + libclang.so) is not available; use --backend=internal")
+        return LibclangBackend()
+    if name == "auto":
+        return LibclangBackend() if libclang_available() \
+            else InternalBackend()
+    raise ValueError(f"unknown backend {name!r}")

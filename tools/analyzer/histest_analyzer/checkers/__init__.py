@@ -1,0 +1,7 @@
+"""Checker modules. Importing this package registers every checker."""
+
+from . import float_compare     # noqa: F401
+from . import raw_accumulate    # noqa: F401
+from . import rng_stream        # noqa: F401
+from . import static_state      # noqa: F401
+from . import status_discipline  # noqa: F401

@@ -1,0 +1,63 @@
+"""float-compare: no raw ==/!= on floating-point expressions.
+
+Exact floating-point equality is almost always a latent bug in statistics
+code — a value that is equal on one platform or optimization level differs
+by an ulp on another, and the Section 3.2.1 sieve thresholds turn that ulp
+into a flipped verdict. Compare through the approved helpers in
+src/common/math_util.h: NearlyEqual(a, b, tol) for tolerant comparison and
+ExactlyEqual(a, b) where bit-exactness *is* the contract (sentinels,
+cached-value invalidation), or suppress with a reason.
+"""
+
+from __future__ import annotations
+
+from ..engine import Checker, Finding, register
+from ._shared import classify_span, operand_span, statement_spans
+
+
+@register
+class FloatCompareChecker(Checker):
+    name = "float-compare"
+    description = ("raw ==/!= on floating-point expressions; use "
+                   "NearlyEqual/ExactlyEqual (common/math_util.h)")
+    # Tests assert exact expected values deliberately (and through gtest
+    # macros, which this checker cannot see into anyway); scope to the
+    # shipped code.
+    scopes = ("src/", "bench/", "examples/")
+    # The comparator helpers themselves are the one sanctioned home of a
+    # raw float compare.
+    exempt = ("src/common/math_util.h", "src/common/math_util.cc")
+
+    def check(self, ctx):
+        if getattr(ctx, "clang_facts", None) is not None and \
+                ctx.clang_facts.parsed:
+            return [self._finding(ctx, line, col)
+                    for line, col in ctx.clang_facts.float_compares]
+        return self._internal(ctx)
+
+    def _internal(self, ctx):
+        toks = ctx.model.tokens
+        out = []
+        seen = set()
+        for fn, st in statement_spans(ctx):
+            for i in range(st.start, st.end):
+                t = toks[i]
+                if not (t.kind == "punct" and t.text in ("==", "!=")):
+                    continue
+                if (t.line, t.col) in seen:
+                    continue
+                llo, lhi = operand_span(toks, i, st.start, st.end, -1)
+                rlo, rhi = operand_span(toks, i, st.start, st.end, +1)
+                if classify_span(ctx, fn, llo, lhi) == "float" or \
+                        classify_span(ctx, fn, rlo, rhi) == "float":
+                    seen.add((t.line, t.col))
+                    out.append(self._finding(ctx, t.line, t.col))
+        return out
+
+    def _finding(self, ctx, line, col):
+        return Finding(
+            self.name, ctx.rel_path, line, col,
+            "raw floating-point ==/!=; use NearlyEqual(a, b, tol) for "
+            "tolerant comparison or ExactlyEqual(a, b) to document a "
+            "deliberate bit-exact check (common/math_util.h)",
+            ctx.line_text(line))

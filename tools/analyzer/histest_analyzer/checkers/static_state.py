@@ -1,0 +1,76 @@
+"""static-state: no mutable static/global/thread_local state in the trial
+kernels (src/core, src/stats).
+
+Hidden cross-trial state makes trial results order- and schedule-dependent,
+which breaks the serial-equivalence contract of the parallel harness.
+Immutable constants (`static const`, `static constexpr`) and static member
+*functions* are fine; mutable statics are not. Token-based successor of the
+regex static-state rule.
+"""
+
+from __future__ import annotations
+
+from ..engine import Checker, Finding, register
+
+_IMMUTABLE = frozenset({"const", "constexpr"})
+
+
+@register
+class StaticStateChecker(Checker):
+    name = "static-state"
+    description = ("no mutable static/global/thread_local state in "
+                   "src/core or src/stats")
+    scopes = ("src/core/", "src/stats/")
+
+    def check(self, ctx):
+        toks = ctx.model.tokens
+        out = []
+        for i, t in enumerate(toks):
+            if not (t.kind == "kw" and t.text in ("static",
+                                                  "thread_local")):
+                continue
+            prev = toks[i - 1] if i > 0 else None
+            # Must start a declaration (not `int static x` middle forms,
+            # which this codebase never uses).
+            if prev is not None and not (
+                    prev.kind == "punct" and prev.text in (";", "{", "}")):
+                continue
+            if self._is_immutable_or_function(ctx, toks, i):
+                continue
+            out.append(Finding(
+                self.name, ctx.rel_path, t.line, t.col,
+                "mutable static/thread_local state in trial-kernel code: "
+                "hidden cross-trial state makes results order- and "
+                "schedule-dependent; pass state explicitly",
+                ctx.line_text(t.line)))
+        return out
+
+    def _is_immutable_or_function(self, ctx, toks, i) -> bool:
+        # Skip `inline` then look for const/constexpr.
+        j = i + 1
+        while j < len(toks) and toks[j].kind == "kw" and \
+                toks[j].text == "inline":
+            j += 1
+        if j < len(toks) and toks[j].kind == "kw" and \
+                toks[j].text in _IMMUTABLE:
+            return True
+        # Function declaration/definition: a '(' preceded by an identifier
+        # before the statement terminator.
+        depth = 0
+        k = j
+        while k < len(toks):
+            t = toks[k]
+            if t.kind == "punct":
+                if t.text == "(":
+                    prev = toks[k - 1]
+                    if depth == 0 and prev.kind == "id":
+                        return True
+                    depth += 1
+                elif t.text == ")":
+                    depth -= 1
+                elif t.text in (";", "{", "}") and depth == 0:
+                    return False
+                elif t.text == "=" and depth == 0:
+                    return False  # initialized variable
+            k += 1
+        return False

@@ -1,0 +1,114 @@
+"""status-discipline: every Status/Result-returning call must be consumed.
+
+A call whose result is a `Status` or `Result<T>` and whose value is
+discarded (a bare expression statement) silently swallows an error. The
+contract — mirrored by `[[nodiscard]]` on both classes in
+src/common/status.h — is: check it, propagate it (HISTEST_RETURN_IF_ERROR),
+or cast it to void deliberately. The analyzer is the compiler-independent
+second net: it works on un-compiled trees and on macro-heavy code where
+-Wunused-result can be silenced by accident.
+"""
+
+from __future__ import annotations
+
+from ..engine import Checker, Finding, register
+from ._shared import statement_spans
+
+# Token texts permitted at depth 0 of a pure call-chain statement
+# (`a.b(x).c();`, `ns::Fn(y);`).
+_CHAIN_PUNCT = frozenset({"::", ".", "->", "(", ")", "<", ">", ","})
+
+
+@register
+class StatusDisciplineChecker(Checker):
+    name = "status-discipline"
+    description = ("calls returning Status/Result must be checked, "
+                   "propagated, or explicitly (void)-cast")
+    scopes = None  # all scanned sources
+
+    def check(self, ctx):
+        if getattr(ctx, "clang_facts", None) is not None and \
+                ctx.clang_facts.parsed:
+            return self._from_clang(ctx)
+        return self._internal(ctx)
+
+    def _from_clang(self, ctx):
+        out = []
+        for line, col, callee in ctx.clang_facts.discarded_status:
+            out.append(self._finding(ctx, line, col, callee))
+        return out
+
+    def _internal(self, ctx):
+        toks = ctx.model.tokens
+        index = ctx.index
+        out = []
+        for fn, st in statement_spans(ctx):
+            if st.end - st.start < 2:
+                continue
+            last = toks[st.end - 1]
+            if not (last.kind == "punct" and last.text == ")"):
+                continue
+            first = toks[st.start]
+            # `(void) Foo();` is deliberate consumption.
+            if first.kind == "punct" and first.text == "(" and \
+                    st.start + 1 < st.end and \
+                    toks[st.start + 1].text == "void":
+                continue
+            if not self._pure_call_chain(toks, st.start, st.end):
+                continue
+            callee_idx = self._final_callee(ctx, st.start, st.end)
+            if callee_idx is None:
+                continue
+            callee = toks[callee_idx]
+            if index is not None and index.returns_status(callee.text):
+                out.append(self._finding(ctx, callee.line, callee.col,
+                                         callee.text))
+        return out
+
+    def _pure_call_chain(self, toks, lo, hi) -> bool:
+        depth = 0
+        for i in range(lo, hi):
+            t = toks[i]
+            if t.kind == "punct":
+                if t.text in ("(", "["):
+                    depth += 1
+                elif t.text in (")", "]"):
+                    depth -= 1
+                elif depth == 0 and t.text not in _CHAIN_PUNCT:
+                    return False
+            elif depth == 0 and t.kind == "kw":
+                return False
+            # Arguments (depth > 0) may contain anything.
+        return True
+
+    def _final_callee(self, ctx, lo, hi):
+        """Index of the identifier called by the statement's last ')'."""
+        match = ctx.model.match
+        open_p = match.get(hi - 1)
+        if open_p is None or open_p <= lo:
+            return None
+        j = open_p - 1
+        if ctx.model.tokens[j].kind == "punct" and \
+                ctx.model.tokens[j].text == ">":
+            # Skip explicit template arguments: Fn<T>(...).
+            depth = 0
+            while j > lo:
+                t = ctx.model.tokens[j]
+                if t.text == ">":
+                    depth += 1
+                elif t.text == "<":
+                    depth -= 1
+                    if depth == 0:
+                        j -= 1
+                        break
+                j -= 1
+        t = ctx.model.tokens[j]
+        return j if t.kind == "id" else None
+
+    def _finding(self, ctx, line, col, callee):
+        return Finding(
+            self.name, ctx.rel_path, line, col,
+            f"result of '{callee}' (returns Status/Result) is discarded; "
+            f"check .ok(), propagate with HISTEST_RETURN_IF_ERROR, or "
+            f"'(void)' it with a comment",
+            ctx.line_text(line))

@@ -1,0 +1,94 @@
+"""Command-line interface for histest-analyzer.
+
+Exit status: 0 clean, 1 unsuppressed findings, 2 usage/configuration error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import sys
+
+from . import TOOL_NAME, __version__
+from . import backends, engine, output
+
+
+def _default_root() -> pathlib.Path:
+    # tools/analyzer/histest_analyzer/cli.py -> repo root is three up.
+    return pathlib.Path(__file__).resolve().parents[3]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    p = argparse.ArgumentParser(
+        prog=TOOL_NAME,
+        description="AST-based contract checker for the histest codebase "
+                    "(Status discipline, numerical safety, RNG-stream "
+                    "determinism).")
+    p.add_argument("paths", nargs="*",
+                   help="files or directories to scan (default: src, "
+                        "bench, tests, examples under --root)")
+    p.add_argument("--root", default=None,
+                   help="repository root (default: auto-detected)")
+    p.add_argument("--checkers", default=None, metavar="A,B,...",
+                   help="comma-separated subset of checkers to run")
+    p.add_argument("--backend", default="auto",
+                   choices=("auto", "internal", "libclang"),
+                   help="analysis backend (auto prefers libclang when "
+                        "clang.cindex is importable)")
+    p.add_argument("--format", default="text",
+                   choices=("text", "json", "sarif"), dest="fmt")
+    p.add_argument("--output", default=None, metavar="FILE",
+                   help="write the report to FILE instead of stdout")
+    p.add_argument("--all-scopes", action="store_true",
+                   help="apply every checker to every scanned file, "
+                        "ignoring per-checker path scopes (fixture tests)")
+    p.add_argument("--list-checkers", action="store_true")
+    p.add_argument("--version", action="version",
+                   version=f"{TOOL_NAME} {__version__}")
+    return p
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+
+    if args.list_checkers:
+        for name, checker in sorted(engine.registry().items()):
+            scope = ", ".join(checker.scopes) if checker.scopes else "all"
+            print(f"{name:20s} [{scope}] {checker.description}")
+        return 0
+
+    root = pathlib.Path(args.root).resolve() if args.root \
+        else _default_root()
+    if not root.is_dir():
+        print(f"{TOOL_NAME}: --root {root} is not a directory",
+              file=sys.stderr)
+        return 2
+
+    checker_names = None
+    if args.checkers:
+        checker_names = [c.strip() for c in args.checkers.split(",")
+                         if c.strip()]
+
+    try:
+        result = engine.run_scan(root, checker_names=checker_names,
+                                 paths=args.paths or None,
+                                 all_scopes=args.all_scopes,
+                                 backend=args.backend)
+    except (ValueError, RuntimeError) as err:
+        print(f"{TOOL_NAME}: {err}", file=sys.stderr)
+        return 2
+
+    report = output.render(result, args.fmt)
+    if args.output:
+        pathlib.Path(args.output).write_text(report)
+        print(engine.summary_line(result), file=sys.stderr)
+    else:
+        sys.stdout.write(report)
+        if args.fmt != "text":
+            print(engine.summary_line(result), file=sys.stderr)
+
+    return 1 if result.findings else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,131 @@
+"""Report writers: text, JSON, SARIF 2.1.0.
+
+The JSON schema is stable and asserted by tests/analyzer:
+
+  {
+    "tool": "histest-analyzer",
+    "version": "<semver>",
+    "backend": "internal" | "libclang",
+    "files_scanned": <int>,
+    "checkers": ["status-discipline", ...],
+    "findings": [
+      {"checker": str, "path": str, "line": int, "col": int,
+       "message": str, "snippet": str, "severity": "error"|"warning"}
+    ],
+    "counts": {"<checker>": <int>, ...}
+  }
+"""
+
+from __future__ import annotations
+
+import json
+
+from . import TOOL_NAME, __version__
+
+_SARIF_LEVEL = {"error": "error", "warning": "warning"}
+
+
+def to_text(result) -> str:
+    from .engine import summary_line
+    parts = [f.format_text() for f in result.findings]
+    parts.append(summary_line(result))
+    return "\n".join(parts) + "\n"
+
+
+def to_json(result) -> str:
+    counts: dict[str, int] = {}
+    for f in result.findings:
+        counts[f.checker] = counts.get(f.checker, 0) + 1
+    doc = {
+        "tool": TOOL_NAME,
+        "version": __version__,
+        "backend": result.backend,
+        "files_scanned": result.files_scanned,
+        "checkers": list(result.checkers_run),
+        "findings": [
+            {
+                "checker": f.checker,
+                "path": f.path,
+                "line": f.line,
+                "col": f.col,
+                "message": f.message,
+                "snippet": f.snippet.strip(),
+                "severity": f.severity,
+            }
+            for f in result.findings
+        ],
+        "counts": counts,
+    }
+    return json.dumps(doc, indent=2, sort_keys=False) + "\n"
+
+
+def to_sarif(result) -> str:
+    from .engine import registry
+    rules = []
+    seen = set()
+    for name, checker in sorted(registry().items()):
+        rules.append({
+            "id": name,
+            "shortDescription": {"text": checker.description or name},
+        })
+        seen.add(name)
+    # Engine-level findings (bad-suppression) have no Checker object.
+    for f in result.findings:
+        if f.checker not in seen:
+            rules.append({"id": f.checker,
+                          "shortDescription": {"text": f.checker}})
+            seen.add(f.checker)
+
+    results = [
+        {
+            "ruleId": f.checker,
+            "level": _SARIF_LEVEL.get(f.severity, "error"),
+            "message": {"text": f.message},
+            "locations": [
+                {
+                    "physicalLocation": {
+                        "artifactLocation": {
+                            "uri": f.path,
+                            "uriBaseId": "SRCROOT",
+                        },
+                        "region": {
+                            "startLine": f.line,
+                            "startColumn": max(1, f.col),
+                        },
+                    }
+                }
+            ],
+        }
+        for f in result.findings
+    ]
+    doc = {
+        "$schema": "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/"
+                   "master/Schemata/sarif-schema-2.1.0.json",
+        "version": "2.1.0",
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": TOOL_NAME,
+                        "version": __version__,
+                        "informationUri":
+                            "https://github.com/histest/histest",
+                        "rules": rules,
+                    }
+                },
+                "originalUriBaseIds": {"SRCROOT": {"uri": "file:///"}},
+                "results": results,
+            }
+        ],
+    }
+    return json.dumps(doc, indent=2) + "\n"
+
+
+def render(result, fmt: str) -> str:
+    if fmt == "text":
+        return to_text(result)
+    if fmt == "json":
+        return to_json(result)
+    if fmt == "sarif":
+        return to_sarif(result)
+    raise ValueError(f"unknown format {fmt!r}")

@@ -1,0 +1,115 @@
+#!/usr/bin/env python3
+"""Gate CI on clang static analyzer (scan-build) results.
+
+scan-build has no suppression mechanism of its own, so CI runs it with
+plist output and this script decides pass/fail: it parses every .plist
+under --results, drops diagnostics matched by an entry in the suppression
+file, prints the rest, and exits 1 if any remain (2 on usage/config
+errors, mirroring histest-analyzer).
+
+Suppression file format (tools/analyzer/scan-build-suppressions.txt):
+
+    <checker-or-*> <path-glob> -- <reason>
+
+one entry per line; the reason is mandatory. `checker` is the clang
+analyzer checker name (e.g. core.NullDereference) or `*`.
+"""
+
+from __future__ import annotations
+
+import argparse
+import fnmatch
+import pathlib
+import plistlib
+import sys
+
+
+def load_suppressions(path: pathlib.Path):
+    entries = []
+    if not path.exists():
+        return entries
+    for lineno, raw in enumerate(path.read_text().splitlines(), 1):
+        line = raw.strip()
+        if not line or line.startswith("#"):
+            continue
+        if "--" in line:
+            spec, reason = line.split("--", 1)
+            reason = reason.strip()
+        else:
+            spec, reason = line, ""
+        parts = spec.split()
+        if len(parts) != 2 or not reason:
+            raise ValueError(
+                f"{path}:{lineno}: malformed suppression (want "
+                f"'<checker-or-*> <path-glob> -- <reason>'): {raw!r}")
+        entries.append((parts[0], parts[1], reason))
+    return entries
+
+
+def iter_diagnostics(results_dir: pathlib.Path):
+    """Yields (checker, rel_file, line, description) from scan-build
+    plists."""
+    for plist_path in sorted(results_dir.rglob("*.plist")):
+        try:
+            with open(plist_path, "rb") as fh:
+                doc = plistlib.load(fh)
+        except Exception as err:
+            print(f"scan_build_gate: unreadable plist {plist_path}: {err}",
+                  file=sys.stderr)
+            continue
+        files = doc.get("files", [])
+        for diag in doc.get("diagnostics", []):
+            loc = diag.get("location", {})
+            idx = loc.get("file", -1)
+            fname = files[idx] if 0 <= idx < len(files) else "<unknown>"
+            yield (diag.get("check_name", diag.get("type", "<unknown>")),
+                   fname, loc.get("line", 0),
+                   diag.get("description", ""))
+
+
+def suppressed(entries, checker: str, path: str) -> bool:
+    return any((c == "*" or c == checker) and
+               (fnmatch.fnmatch(path, g) or
+                fnmatch.fnmatch(path, "*/" + g))
+               for c, g, _ in entries)
+
+
+def main(argv=None) -> int:
+    p = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    p.add_argument("--results", required=True,
+                   help="scan-build output directory (-o target)")
+    p.add_argument("--suppressions", default=None,
+                   help="suppression file (default: next to this script)")
+    args = p.parse_args(argv)
+
+    results_dir = pathlib.Path(args.results)
+    if not results_dir.is_dir():
+        print(f"scan_build_gate: --results {results_dir} is not a "
+              f"directory", file=sys.stderr)
+        return 2
+    sup_path = pathlib.Path(args.suppressions) if args.suppressions else \
+        pathlib.Path(__file__).resolve().parent / \
+        "scan-build-suppressions.txt"
+    try:
+        entries = load_suppressions(sup_path)
+    except ValueError as err:
+        print(f"scan_build_gate: {err}", file=sys.stderr)
+        return 2
+
+    remaining = []
+    total = 0
+    for checker, fname, line, desc in iter_diagnostics(results_dir):
+        total += 1
+        if suppressed(entries, checker, fname):
+            continue
+        remaining.append((fname, line, checker, desc))
+
+    for fname, line, checker, desc in sorted(remaining):
+        print(f"{fname}:{line}: [{checker}] {desc}")
+    print(f"scan_build_gate: {len(remaining)} unsuppressed of {total} "
+          f"diagnostic(s)", file=sys.stderr)
+    return 1 if remaining else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

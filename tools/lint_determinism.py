@@ -1,190 +1,48 @@
 #!/usr/bin/env python3
-"""Determinism / reproducibility-contract lint for histest.
+"""Determinism / reproducibility-contract lint for histest (wrapper).
 
-Every randomized component in this repository must draw its randomness from
-histest::Rng (src/common/rng.*), whose xoshiro256++ stream is bit-identical
-across platforms and thread schedules. The experiment harness's validity —
-and the parallel trial pipeline's serial-equivalence contract — depend on
-it. This lint bans source patterns that silently break that contract:
+The regex lint that used to live here has been subsumed by the AST-based
+analyzer in tools/analyzer/ (see DESIGN.md, "Static analysis"). This
+wrapper keeps the old entry point and exit-code contract working —
+`tools/lint_determinism.py [--root R] [--list-rules]`, exit 0 clean /
+1 violations / 2 usage error — and runs the analyzer checkers that cover
+the four historical rules:
 
-  raw-rng         <random> engines/adaptors, rand()/srand()/random_shuffle
-                  anywhere outside src/common/rng.* (implementation-defined
-                  streams; not reproducible across standard libraries).
-  time-seed       wall-clock entropy (time(...), clock(), chrono ...::now())
-                  in library code: a seed that differs per run is a seed
-                  that cannot reproduce a failure.
-  static-state    mutable static/global/thread_local state in src/core and
-                  src/stats: hidden cross-trial state makes trial results
-                  order- and schedule-dependent.
-  raw-accumulate  std::accumulate / std::reduce over floats in statistics
-                  and kernel code (src/stats, src/core, src/histogram,
-                  src/common, src/dist): naive summation drifts with length
-                  and evaluation order; use KahanSum / SumOf / PrefixSums
-                  (common/math_util.h) or the blocked kernels
-                  (common/kernels.h).
+  raw-rng, time-seed  ->  rng-stream
+  static-state        ->  static-state
+  raw-accumulate      ->  raw-accumulate
 
-Suppressions (both forms are deliberate and reviewable):
-  * inline: append a comment  // lint-determinism: allow(<rule>) <why>
-  * file-level: an entry  "<rule> <path-glob>"  in tools/lint_allowlist.txt
-
-Usage:
-  tools/lint_determinism.py [--root REPO_ROOT] [--list-rules]
-
-Exit status: 0 if clean, 1 if any violation, 2 on usage error.
+Legacy inline suppressions (`// lint-determinism: allow(<rule>)`) are still
+honored by the analyzer; new code should prefer the reasoned form
+`// analyzer-allow(<checker>): <why>`.
 """
 
 from __future__ import annotations
 
 import argparse
-import fnmatch
 import pathlib
-import re
 import sys
 
-# Directories scanned relative to the repo root. Generated/build trees and
-# third-party content are excluded by construction (we list what we scan).
-SCAN_DIRS = ("src", "bench", "tests", "examples", "tools")
-SOURCE_SUFFIXES = (".cc", ".h")
+_ANALYZER_DIR = pathlib.Path(__file__).resolve().parent / "analyzer"
+sys.path.insert(0, str(_ANALYZER_DIR))
 
-ALLOW_COMMENT = re.compile(r"//\s*lint-determinism:\s*allow\(([a-z-]+)\)")
+from histest_analyzer import engine, output  # noqa: E402
 
-# A line comment or the interior of a block comment; stripped before
-# matching so prose about e.g. "std::mt19937" does not trip the lint.
-LINE_COMMENT = re.compile(r"//.*$")
-
-
-class Rule:
-    def __init__(self, rule_id, description, pattern, applies_to,
-                 exempt=()):
-        self.rule_id = rule_id
-        self.description = description
-        self.pattern = re.compile(pattern)
-        # Path prefixes (repo-relative, '/'-separated) the rule applies to.
-        self.applies_to = applies_to
-        # Path globs exempt even without an allowlist entry.
-        self.exempt = exempt
-
-    def applies(self, rel_path: str) -> bool:
-        if any(fnmatch.fnmatch(rel_path, g) for g in self.exempt):
-            return False
-        return any(rel_path.startswith(p) for p in self.applies_to)
-
-
-# `static` introducing state, as opposed to the benign uses. The negative
-# lookaheads drop: static_cast/static_assert, `static const(expr)` (values,
-# fine), and — per repo convention — static *member function* declarations,
-# whose identifiers are CamelCase while variables are snake_case.
-STATIC_STATE_PATTERN = (
-    r"^\s*(?:static|thread_local)\b"
-    r"(?!_cast|_assert)"
-    r"(?!\s+(?:const|constexpr|inline\s+const|inline\s+constexpr)\b)"
-    r"(?!\s+[\w:<>,\s*&]+?\b[A-Z]\w*\s*\()"
+# Historical rule ids and where each one went. Kept for --list-rules and
+# for mapping to the checkers the wrapper runs.
+LEGACY_RULES = (
+    ("raw-rng", "rng-stream",
+     "<random>/rand()/srand(): implementation-defined streams"),
+    ("time-seed", "rng-stream",
+     "wall-clock or process entropy as seed material in library code"),
+    ("static-state", "static-state",
+     "mutable static/thread_local state in src/core and src/stats"),
+    ("raw-accumulate", "raw-accumulate",
+     "naive float accumulation in the statistics/kernel paths"),
 )
 
-RULES = [
-    Rule(
-        "raw-rng",
-        "use histest::Rng (common/rng.h), not <random> engines or libc rand",
-        r"\bstd::(?:mt19937(?:_64)?|minstd_rand0?|default_random_engine|"
-        r"random_device|ranlux\d+|knuth_b|"
-        r"(?:uniform_int|uniform_real|normal|bernoulli|binomial|poisson|"
-        r"exponential|gamma|discrete)_distribution|random_shuffle)\b"
-        r"|(?<![\w:.])s?rand\s*\(",
-        applies_to=("src/", "bench/", "tests/", "examples/"),
-        exempt=("src/common/rng.h", "src/common/rng.cc"),
-    ),
-    Rule(
-        "time-seed",
-        "no wall-clock entropy in library code; seeds must be explicit",
-        r"\bstd::chrono::[\w:]*clock\b[\w:]*::now\s*\(|"
-        r"(?<![\w:.])time\s*\(\s*(?:NULL|nullptr|0)\s*\)|"
-        r"(?<![\w:.])clock\s*\(\s*\)|\bgetpid\s*\(\s*\)",
-        applies_to=("src/",),
-    ),
-    Rule(
-        "static-state",
-        "no mutable static/global/thread_local state in src/core or "
-        "src/stats (breaks cross-trial independence)",
-        STATIC_STATE_PATTERN,
-        applies_to=("src/core/", "src/stats/"),
-    ),
-    Rule(
-        "raw-accumulate",
-        "use KahanSum/SumOf/PrefixSums (common/math_util.h) for floating-"
-        "point sums in statistics code, not std::accumulate/std::reduce",
-        r"\bstd::(?:accumulate|reduce)\b",
-        applies_to=("src/stats/", "src/core/", "src/histogram/",
-                    "src/common/", "src/dist/"),
-    ),
-]
 
-
-def load_allowlist(path: pathlib.Path):
-    entries = []
-    if not path.exists():
-        return entries
-    for lineno, raw in enumerate(path.read_text().splitlines(), 1):
-        line = raw.strip()
-        if not line or line.startswith("#"):
-            continue
-        parts = line.split(None, 1)
-        if len(parts) != 2:
-            print(f"{path}:{lineno}: malformed allowlist entry: {raw!r}",
-                  file=sys.stderr)
-            sys.exit(2)
-        rule_id, glob = parts
-        if rule_id not in {r.rule_id for r in RULES}:
-            print(f"{path}:{lineno}: unknown rule id {rule_id!r}",
-                  file=sys.stderr)
-            sys.exit(2)
-        entries.append((rule_id, glob))
-    return entries
-
-
-def allowed(entries, rule_id: str, rel_path: str) -> bool:
-    return any(r == rule_id and fnmatch.fnmatch(rel_path, g)
-               for r, g in entries)
-
-
-def iter_sources(root: pathlib.Path):
-    for d in SCAN_DIRS:
-        base = root / d
-        if not base.is_dir():
-            continue
-        for p in sorted(base.rglob("*")):
-            if p.suffix in SOURCE_SUFFIXES and p.is_file():
-                yield p
-
-
-def strip_comments_tracking_block(line: str, in_block: bool):
-    """Removes comment text from `line`; returns (code, still_in_block)."""
-    out = []
-    i = 0
-    n = len(line)
-    while i < n:
-        if in_block:
-            end = line.find("*/", i)
-            if end < 0:
-                return "".join(out), True
-            i = end + 2
-            in_block = False
-        else:
-            lc = line.find("//", i)
-            bc = line.find("/*", i)
-            if lc >= 0 and (bc < 0 or lc < bc):
-                out.append(line[i:lc])
-                return "".join(out), False
-            if bc >= 0:
-                out.append(line[i:bc])
-                i = bc + 2
-                in_block = True
-            else:
-                out.append(line[i:])
-                return "".join(out), False
-    return "".join(out), in_block
-
-
-def main(argv) -> int:
+def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--root", default=None,
                         help="repo root (default: parent of this script)")
@@ -192,48 +50,33 @@ def main(argv) -> int:
     args = parser.parse_args(argv)
 
     if args.list_rules:
-        for rule in RULES:
-            scope = ", ".join(rule.applies_to)
-            print(f"{rule.rule_id:15s} [{scope}] {rule.description}")
+        for rule_id, checker, description in LEGACY_RULES:
+            print(f"{rule_id:15s} [-> {checker}] {description}")
         return 0
 
     root = pathlib.Path(args.root).resolve() if args.root else \
         pathlib.Path(__file__).resolve().parent.parent
-    allowlist = load_allowlist(root / "tools" / "lint_allowlist.txt")
-
-    violations = 0
-    for path in iter_sources(root):
-        rel = path.relative_to(root).as_posix()
-        active = [r for r in RULES if r.applies(rel)]
-        if not active:
-            continue
-        in_block = False
-        for lineno, line in enumerate(
-                path.read_text(errors="replace").splitlines(), 1):
-            inline_allows = set(ALLOW_COMMENT.findall(line))
-            code, in_block = strip_comments_tracking_block(line, in_block)
-            if not code.strip():
-                continue
-            for rule in active:
-                if not rule.pattern.search(code):
-                    continue
-                if rule.rule_id in inline_allows:
-                    continue
-                if allowed(allowlist, rule.rule_id, rel):
-                    continue
-                violations += 1
-                print(f"{rel}:{lineno}: [{rule.rule_id}] "
-                      f"{rule.description}\n    {line.strip()}")
-
-    if violations:
-        print(f"\nlint_determinism: {violations} violation(s). "
-              f"Fix, or suppress with '// lint-determinism: allow(<rule>)' "
-              f"plus a justification, or a tools/lint_allowlist.txt entry.",
+    if not root.is_dir():
+        print(f"lint_determinism: --root {root} is not a directory",
               file=sys.stderr)
+        return 2
+
+    checkers = sorted({checker for _, checker, _ in LEGACY_RULES})
+    try:
+        result = engine.run_scan(root, checker_names=checkers,
+                                 backend="internal")
+    except (ValueError, RuntimeError) as err:
+        print(f"lint_determinism: {err}", file=sys.stderr)
+        return 2
+
+    sys.stdout.write(output.render(result, "text"))
+    if result.findings:
+        print(f"\nlint_determinism: {len(result.findings)} violation(s); "
+              f"see tools/analyzer/ (suppress with "
+              f"'// analyzer-allow(<checker>): <reason>').")
         return 1
-    print("lint_determinism: clean")
     return 0
 
 
 if __name__ == "__main__":
-    sys.exit(main(sys.argv[1:]))
+    sys.exit(main())
