@@ -18,6 +18,7 @@
 #include "histogram/fit_dp.h"
 #include "histogram/fit_merge.h"
 #include "histogram/modality.h"
+#include "obs/obs.h"
 #include "stats/zstat.h"
 #include "testing/oracle.h"
 
@@ -435,6 +436,47 @@ BENCHMARK(BM_HistogramTesterEndToEnd)
     ->Arg(1 << 12)
     ->Arg(1 << 14)
     ->Unit(benchmark::kMillisecond);
+
+// --- Observability layer overhead. The disabled-mode numbers are what the
+// CI trace gate holds against the kernel benchmarks: a recording entry
+// point must cost one relaxed load and a branch when tracing is off.
+
+void BM_ObsCounterAddDisabled(benchmark::State& state) {
+  obs::SetEnabled(false);
+  for (auto _ : state) {
+    obs::AddCount("histest.bench.disabled_counter", 1);
+  }
+}
+BENCHMARK(BM_ObsCounterAddDisabled);
+
+void BM_ObsCounterAddEnabled(benchmark::State& state) {
+  obs::SetEnabled(true);
+  obs::Counter& counter = obs::MetricsRegistry::Global().GetCounter(
+      "histest.bench.enabled_counter");
+  for (auto _ : state) {
+    counter.Add(1);
+  }
+  obs::SetEnabled(false);
+}
+BENCHMARK(BM_ObsCounterAddEnabled);
+
+void BM_ObsTraceSpanDisabled(benchmark::State& state) {
+  obs::SetEnabled(false);
+  for (auto _ : state) {
+    obs::TraceSpan span("bench.disabled_span");
+    benchmark::DoNotOptimize(span.active());
+  }
+}
+BENCHMARK(BM_ObsTraceSpanDisabled);
+
+void BM_ObsScopedTimerDisabled(benchmark::State& state) {
+  obs::SetEnabled(false);
+  for (auto _ : state) {
+    obs::ScopedTimer timer("histest.bench.disabled_timer");
+    benchmark::DoNotOptimize(&timer);
+  }
+}
+BENCHMARK(BM_ObsScopedTimerDisabled);
 
 }  // namespace
 }  // namespace histest

@@ -1,6 +1,7 @@
 #ifndef HISTEST_BENCH_EXP_COMMON_H_
 #define HISTEST_BENCH_EXP_COMMON_H_
 
+#include <cctype>
 #include <memory>
 #include <string>
 #include <vector>
@@ -14,9 +15,24 @@
 #include "common/rng.h"
 #include "common/table.h"
 #include "core/histogram_tester.h"
+#include "obs/obs.h"
 
 namespace histest {
 namespace bench {
+
+/// Builds the run-scoped trace guard every experiment binary shares:
+/// --trace switches tracing on, --trace-out overrides the JSONL path
+/// (default trace_<id>.jsonl), and HISTEST_TRACE=1 works without any flag.
+inline std::unique_ptr<TraceRunGuard> MakeTraceGuard(const ArgParser& args,
+                                                     const std::string& id) {
+  std::string file_id = id;
+  for (char& c : file_id) {
+    c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  }
+  return std::make_unique<TraceRunGuard>(
+      id, args.GetBool("trace", false),
+      args.GetString("trace-out", "trace_" + file_id + ".jsonl"));
+}
 
 /// Correctness + cost of a tester over a full workload grid: the minimum
 /// per-instance correctness rate on each side, and the mean samples drawn.
@@ -33,6 +49,12 @@ struct GridStats {
 inline GridStats RunGrid(const std::vector<WorkloadInstance>& grid,
                          const SeededTesterFactory& factory, int trials,
                          uint64_t seed) {
+  // Shared timing/span scaffolding for every experiment's grid sweep; all
+  // inert unless tracing is on.
+  obs::ScopedTimer grid_timer("histest.bench.grid_seconds");
+  obs::TraceSpan grid_span("run_grid");
+  grid_span.AnnotateInt("instances", static_cast<int64_t>(grid.size()));
+  grid_span.AnnotateInt("trials_per_instance", trials);
   GridStats stats;
   Rng rng(seed);
   double total_samples = 0.0;

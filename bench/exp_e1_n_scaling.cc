@@ -19,6 +19,7 @@ namespace {
 
 int Run(int argc, const char* const* argv) {
   const ArgParser args(argc, argv);
+  const auto trace_guard = MakeTraceGuard(args, "E1");
   const size_t k = static_cast<size_t>(args.GetInt("k", 5));
   const double eps = args.GetDouble("eps", 0.25);
   const int trials = static_cast<int>(ScaledTrials(args.GetInt("trials", 6)));

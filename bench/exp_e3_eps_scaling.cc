@@ -15,6 +15,7 @@ namespace {
 
 int Run(int argc, const char* const* argv) {
   const ArgParser args(argc, argv);
+  const auto trace_guard = MakeTraceGuard(args, "E3");
   const size_t n = static_cast<size_t>(args.GetInt("n", 2048));
   const size_t k = static_cast<size_t>(args.GetInt("k", 5));
   const int trials = static_cast<int>(ScaledTrials(args.GetInt("trials", 6)));

@@ -14,6 +14,7 @@ namespace {
 
 int Run(int argc, const char* const* argv) {
   const ArgParser args(argc, argv);
+  const auto trace_guard = MakeTraceGuard(args, "E4");
   const int trials =
       static_cast<int>(ScaledTrials(args.GetInt("trials", 10)));
 

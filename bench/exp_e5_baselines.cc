@@ -33,6 +33,7 @@ struct Config {
 
 int Run(int argc, const char* const* argv) {
   const ArgParser args(argc, argv);
+  const auto trace_guard = MakeTraceGuard(args, "E5");
   const int trials = static_cast<int>(ScaledTrials(args.GetInt("trials", 4)));
 
   PrintExperimentHeader(

@@ -21,6 +21,7 @@ namespace {
 
 int Run(int argc, const char* const* argv) {
   const ArgParser args(argc, argv);
+  const auto trace_guard = MakeTraceGuard(args, "E6");
   const double eps = args.GetDouble("eps", 0.25);
   const int trials =
       static_cast<int>(ScaledTrials(args.GetInt("trials", 60)));

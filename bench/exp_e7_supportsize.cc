@@ -20,6 +20,7 @@ namespace {
 
 int Run(int argc, const char* const* argv) {
   const ArgParser args(argc, argv);
+  const auto trace_guard = MakeTraceGuard(args, "E7");
   const int cover_trials =
       static_cast<int>(ScaledTrials(args.GetInt("cover_trials", 400)));
   const int reduction_trials =

@@ -29,6 +29,7 @@ std::vector<size_t> SampleColumn(const Distribution& d, size_t rows,
 
 int Run(int argc, const char* const* argv) {
   const ArgParser args(argc, argv);
+  const auto trace_guard = MakeTraceGuard(args, "E8");
   const size_t n = static_cast<size_t>(args.GetInt("n", 1024));
   // Rows must comfortably exceed n / (tester chi^2 resolution ~1e-3):
   // below that, the *column's own sampling noise* makes it genuinely not a

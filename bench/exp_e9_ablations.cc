@@ -29,6 +29,7 @@ struct Config {
 
 int Run(int argc, const char* const* argv) {
   const ArgParser args(argc, argv);
+  const auto trace_guard = MakeTraceGuard(args, "E9");
   const int trials = static_cast<int>(ScaledTrials(args.GetInt("trials", 6)));
 
   PrintExperimentHeader(

@@ -18,6 +18,7 @@ namespace {
 
 int Run(int argc, const char* const* argv) {
   const ArgParser args(argc, argv);
+  const auto trace_guard = MakeTraceGuard(args, "S1");
   const size_t n = static_cast<size_t>(args.GetInt("n", 4096));
   const double eps = args.GetDouble("eps", 0.25);
   const int trials = static_cast<int>(ScaledTrials(args.GetInt("trials", 8)));

@@ -25,6 +25,7 @@ namespace {
 
 int Run(int argc, const char* const* argv) {
   const ArgParser args(argc, argv);
+  const auto trace_guard = MakeTraceGuard(args, "S2");
   const size_t n = static_cast<size_t>(args.GetInt("n", 1024));
   const size_t rows =
       static_cast<size_t>(ScaledTrials(args.GetInt("rows", 300000)));

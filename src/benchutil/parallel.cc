@@ -11,6 +11,7 @@
 #include "common/check.h"
 #include "common/rng.h"
 #include "dist/sampler.h"
+#include "obs/obs.h"
 #include "testing/oracle.h"
 
 namespace histest {
@@ -91,6 +92,9 @@ void ThreadPool::Run(int64_t count, int max_workers,
                      const std::function<void(int64_t)>& job) {
   HISTEST_CHECK_GE(count, 0);
   if (count == 0) return;
+  obs::ScopedTimer run_timer("histest.pool.run_seconds");
+  obs::AddCount("histest.pool.runs", 1);
+  obs::AddCount("histest.pool.jobs", count);
   auto task = std::make_shared<Task>();
   task->count = count;
   task->job = &job;
@@ -104,6 +108,8 @@ void ThreadPool::Run(int64_t count, int max_workers,
   {
     std::lock_guard<std::mutex> lock(mu_);
     queue_.push_back(task);
+    obs::SetGauge("histest.pool.queue_depth",
+                  static_cast<int64_t>(queue_.size()));
   }
   if (helpers > 0) work_cv_.notify_all();
   RunChunks(*task);
@@ -111,6 +117,8 @@ void ThreadPool::Run(int64_t count, int max_workers,
   task->done.wait(lock,
                   [&]() { return task->chunks_done == task->chunks_total; });
   queue_.erase(std::find(queue_.begin(), queue_.end(), task));
+  obs::SetGauge("histest.pool.queue_depth",
+                static_cast<int64_t>(queue_.size()));
 }
 
 ThreadPool& ThreadPool::Shared() {
@@ -121,6 +129,16 @@ ThreadPool& ThreadPool::Shared() {
     // request, including an oversized HISTEST_THREADS override.
     return std::max(1, std::max(hw, DefaultBenchThreads()) - 1);
   }());
+  // Announce the resolved size once (stderr, so experiment stdout stays
+  // byte-identical) and keep the gauge current for metrics snapshots taken
+  // after tracing is switched on.
+  static std::once_flag logged;
+  std::call_once(logged, []() {
+    std::fprintf(stderr,
+                 "histest: shared thread pool: %d workers (+1 caller)\n",
+                 pool.size());
+  });
+  obs::SetGauge("histest.pool.workers", pool.size());
   return pool;
 }
 
@@ -204,6 +222,11 @@ Result<TrialStats> EstimateAcceptanceParallel(
   std::atomic<bool> failed{false};
   ParallelFor(trials, threads, [&](int64_t t) {
     if (failed.load(std::memory_order_relaxed)) return;
+    // Each trial is a span of its own: spans nest per thread, so a worker's
+    // histogram_test subtree hangs under its trial regardless of which pool
+    // thread ran it.
+    obs::TraceSpan trial_span("trial");
+    trial_span.AnnotateInt("index", t);
     DistributionOracle oracle(sampler, seeds[t].first);
     auto tester = factory(seeds[t].second);
     if (tester == nullptr) {
@@ -219,6 +242,10 @@ Result<TrialStats> EstimateAcceptanceParallel(
     }
     accepted[t] = outcome.value().verdict == Verdict::kAccept ? 1 : 0;
     samples[t] = static_cast<double>(outcome.value().samples_used);
+    trial_span.AnnotateString(
+        "verdict", VerdictToString(outcome.value().verdict));
+    trial_span.AnnotateInt("samples_used", outcome.value().samples_used);
+    obs::AddCount("histest.trials.run", 1);
   });
   if (failed.load()) {
     for (const Status& s : statuses) {

@@ -22,4 +22,32 @@ void PrintNote(const std::string& note) {
   std::fflush(stdout);
 }
 
+TraceRunGuard::TraceRunGuard(const std::string& id, bool enable,
+                             const std::string& out_path)
+    : out_path_(out_path), was_enabled_(obs::Enabled()) {
+  const bool env_enable = obs::InitFromEnv();
+  if (!enable && !env_enable && !was_enabled_) return;
+  obs::SetEnabled(true);
+  session_ = std::make_unique<obs::TraceSession>(
+      id, obs::MonotonicClock::Get());
+  activation_ =
+      std::make_unique<obs::ScopedTraceActivation>(session_.get());
+}
+
+TraceRunGuard::~TraceRunGuard() {
+  if (session_ == nullptr) return;
+  activation_.reset();  // deactivate before the session is torn down
+  const obs::MetricsSnapshot metrics =
+      obs::MetricsRegistry::Global().Snapshot();
+  const Status status = session_->WriteJsonlFile(out_path_, &metrics);
+  if (status.ok()) {
+    std::fprintf(stderr, "histest: trace: wrote %zu spans to %s\n",
+                 session_->NumSpans(), out_path_.c_str());
+  } else {
+    std::fprintf(stderr, "histest: trace: %s\n",
+                 status.ToString().c_str());
+  }
+  obs::SetEnabled(was_enabled_);
+}
+
 }  // namespace histest

@@ -5,6 +5,7 @@
 #include <limits>
 
 #include "common/math_util.h"
+#include "obs/obs.h"
 
 namespace histest {
 namespace {
@@ -38,10 +39,12 @@ double BlockedReduce(size_t n, const TermFn& term) {
 }  // namespace
 
 double L1DistanceKernel(const double* a, const double* b, size_t n) {
+  obs::AddCount("histest.kernel.l1_distance.calls", 1);
   return BlockedReduce(n, [&](size_t i) { return std::fabs(a[i] - b[i]); });
 }
 
 double L2DistanceSquaredKernel(const double* a, const double* b, size_t n) {
+  obs::AddCount("histest.kernel.l2_distance_sq.calls", 1);
   return BlockedReduce(n, [&](size_t i) {
     const double d = a[i] - b[i];
     return d * d;
@@ -49,14 +52,17 @@ double L2DistanceSquaredKernel(const double* a, const double* b, size_t n) {
 }
 
 double SumKernel(const double* a, size_t n) {
+  obs::AddCount("histest.kernel.sum.calls", 1);
   return BlockedReduce(n, [&](size_t i) { return a[i]; });
 }
 
 double SumSquaresKernel(const double* a, size_t n) {
+  obs::AddCount("histest.kernel.sum_squares.calls", 1);
   return BlockedReduce(n, [&](size_t i) { return a[i] * a[i]; });
 }
 
 double HellingerAccumulateKernel(const double* a, const double* b, size_t n) {
+  obs::AddCount("histest.kernel.hellinger.calls", 1);
   return BlockedReduce(n, [&](size_t i) {
     const double d = std::sqrt(a[i]) - std::sqrt(b[i]);
     return d * d;
@@ -64,6 +70,7 @@ double HellingerAccumulateKernel(const double* a, const double* b, size_t n) {
 }
 
 double ChiSquareKernel(const double* p, const double* q, size_t n) {
+  obs::AddCount("histest.kernel.chi_square.calls", 1);
   // The zero-denominator sentinel is tracked out-of-band: feeding +inf
   // through the compensated accumulator would produce inf - inf = NaN.
   bool infinite = false;
@@ -80,6 +87,7 @@ double ChiSquareKernel(const double* p, const double* q, size_t n) {
 
 double ZAccumulateKernel(const double* dstar, const double* counts, size_t n,
                          double m, double aeps_cut) {
+  obs::AddCount("histest.kernel.z_accumulate.calls", 1);
   return BlockedReduce(n, [&](size_t i) {
     if (dstar[i] < aeps_cut) return 0.0;
     const double expected = m * dstar[i];

@@ -2,10 +2,12 @@
 
 #include <algorithm>
 #include <cmath>
+#include <optional>
 #include <sstream>
 
 #include "common/check.h"
 #include "common/math_util.h"
+#include "obs/obs.h"
 
 namespace histest {
 
@@ -55,11 +57,25 @@ Result<HistogramTestReport> HistogramTester::TestWithReport(
   HistogramTestReport report;
   const int64_t drawn_start = oracle.SamplesDrawn();
 
+  // Root span for the whole run; stage spans nest under it. Inert (and the
+  // helpers below are one load + branch each) unless tracing is enabled.
+  obs::TraceSpan test_span("histogram_test");
+  test_span.AnnotateInt("n", static_cast<int64_t>(n));
+  test_span.AnnotateInt("k", static_cast<int64_t>(k_));
+  test_span.AnnotateDouble("eps", eps_);
+  const auto finish = [&](const HistogramTestReport& r) {
+    test_span.AnnotateString("verdict", VerdictToString(r.verdict));
+    test_span.AnnotateString("decided_by", r.decided_by);
+    test_span.AnnotateInt("samples_total", r.samples_total);
+    obs::AddCount("histest.tester.runs", 1);
+  };
+
   // Trivial regime: every distribution over [0, n) is an n-histogram.
   if (k_ >= n) {
     report.verdict = Verdict::kAccept;
     report.decided_by = "trivial";
     report.stages.push_back(StageReport{"trivial", 0, "k >= n"});
+    finish(report);
     return report;
   }
 
@@ -75,7 +91,15 @@ Result<HistogramTestReport> HistogramTester::TestWithReport(
   double b = opts.partition_b_constant * kd * std::log2(kd + 1.0) / eps_;
   b = std::max(1.0, std::min(b, static_cast<double>(n)));
   int64_t stage_start = oracle.SamplesDrawn();
+  std::optional<obs::TraceSpan> stage_span;
+  stage_span.emplace("stage.approx_part");
   auto partition = ApproxPartition(oracle, b, opts.approx_part);
+  {
+    const int64_t drawn = oracle.SamplesDrawn() - stage_start;
+    stage_span->AnnotateInt("samples_drawn", drawn);
+    stage_span.reset();
+    obs::AddCount("histest.stage.approx_part.samples_drawn", drawn);
+  }
   HISTEST_RETURN_IF_ERROR(partition.status());
   report.partition_size = partition.value().NumIntervals();
   {
@@ -88,8 +112,15 @@ Result<HistogramTestReport> HistogramTester::TestWithReport(
   // --- Step 4: chi-square learner. ---
   stage_start = oracle.SamplesDrawn();
   const double eps_learn = opts.learner_eps_fraction * eps_;
+  stage_span.emplace("stage.learner");
   auto dhat = LearnHistogramChiSquare(oracle, partition.value(), eps_learn,
                                       opts.learner);
+  {
+    const int64_t drawn = oracle.SamplesDrawn() - stage_start;
+    stage_span->AnnotateInt("samples_drawn", drawn);
+    stage_span.reset();
+    obs::AddCount("histest.stage.learner.samples_drawn", drawn);
+  }
   HISTEST_RETURN_IF_ERROR(dhat.status());
   report.stages.push_back(StageReport{
       "learner", oracle.SamplesDrawn() - stage_start,
@@ -98,8 +129,15 @@ Result<HistogramTestReport> HistogramTester::TestWithReport(
 
   // --- Steps 6-8: sieving. ---
   stage_start = oracle.SamplesDrawn();
+  stage_span.emplace("stage.sieve");
   auto sieve = SieveIntervals(oracle, dstar, partition.value(), k_, eps_,
                               opts.sieve, rng_);
+  {
+    const int64_t drawn = oracle.SamplesDrawn() - stage_start;
+    stage_span->AnnotateInt("samples_drawn", drawn);
+    stage_span.reset();
+    obs::AddCount("histest.stage.sieve.samples_drawn", drawn);
+  }
   HISTEST_RETURN_IF_ERROR(sieve.status());
   report.removed_intervals =
       sieve.value().removed_heavy + sieve.value().removed_iterative;
@@ -110,13 +148,17 @@ Result<HistogramTestReport> HistogramTester::TestWithReport(
     report.verdict = Verdict::kReject;
     report.decided_by = "sieve";
     report.samples_total = oracle.SamplesDrawn() - drawn_start;
+    finish(report);
     return report;
   }
 
   // --- Step 10: offline closeness check on the kept subdomain. ---
+  stage_span.emplace("stage.check");
   auto check = CheckCloseToHkOnSubdomain(dhat.value(), partition.value(),
                                          sieve.value().active, k_, eps_,
                                          opts.check);
+  stage_span->AnnotateInt("samples_drawn", 0);
+  stage_span.reset();
   HISTEST_RETURN_IF_ERROR(check.status());
   {
     std::ostringstream info;
@@ -129,6 +171,7 @@ Result<HistogramTestReport> HistogramTester::TestWithReport(
     report.verdict = Verdict::kReject;
     report.decided_by = "check";
     report.samples_total = oracle.SamplesDrawn() - drawn_start;
+    finish(report);
     return report;
   }
 
@@ -138,9 +181,16 @@ Result<HistogramTestReport> HistogramTester::TestWithReport(
   const double m_final = opts.final_test.sample_constant *
                          std::sqrt(static_cast<double>(n)) /
                          (eps_final * eps_final);
+  stage_span.emplace("stage.final");
   auto final_outcome = AdkRestrictedIdentityTest(
       oracle, dstar, partition.value(), sieve.value().active, eps_final,
       m_final, opts.final_test, rng_);
+  {
+    const int64_t drawn = oracle.SamplesDrawn() - stage_start;
+    stage_span->AnnotateInt("samples_drawn", drawn);
+    stage_span.reset();
+    obs::AddCount("histest.stage.final.samples_drawn", drawn);
+  }
   HISTEST_RETURN_IF_ERROR(final_outcome.status());
   report.stages.push_back(StageReport{"final",
                                       oracle.SamplesDrawn() - stage_start,
@@ -148,6 +198,7 @@ Result<HistogramTestReport> HistogramTester::TestWithReport(
   report.verdict = final_outcome.value().verdict;
   report.decided_by = "final";
   report.samples_total = oracle.SamplesDrawn() - drawn_start;
+  finish(report);
   return report;
 }
 

@@ -6,6 +6,7 @@
 
 #include "common/check.h"
 #include "common/math_util.h"
+#include "obs/obs.h"
 #include "stats/poissonization.h"
 
 namespace histest {
@@ -62,6 +63,23 @@ Result<SieveResult> SieveIntervals(SampleOracle& oracle,
   result.active.assign(big_k, true);
   const int64_t drawn_before = oracle.SamplesDrawn();
 
+  // Candidate / survivor accounting, recorded at both exit paths.
+  const auto record_counts = [&]() {
+    if (!obs::Enabled()) return;
+    int64_t survivors = 0;
+    for (size_t j = 0; j < big_k; ++j) {
+      if (result.active[j]) ++survivors;
+    }
+    obs::AddCount("histest.sieve.candidates", static_cast<int64_t>(big_k));
+    obs::AddCount("histest.sieve.survivors", survivors);
+    obs::AddCount("histest.sieve.removed_heavy",
+                  static_cast<int64_t>(result.removed_heavy));
+    obs::AddCount("histest.sieve.removed_iterative",
+                  static_cast<int64_t>(result.removed_iterative));
+    obs::AddCount("histest.sieve.rounds",
+                  static_cast<int64_t>(result.rounds_used));
+  };
+
   // The A_eps truncation must match the downstream test's (which runs at
   // eps'): otherwise light breakpoint intervals that the final statistic
   // scores would be invisible to the sieve.
@@ -97,6 +115,7 @@ Result<SieveResult> SieveIntervals(SampleOracle& oracle,
     detail << "sieve: " << result.removed_heavy
            << " individually heavy intervals (> k = " << k << ")";
     result.detail = detail.str();
+    record_counts();
     return result;
   }
 
@@ -150,6 +169,7 @@ Result<SieveResult> SieveIntervals(SampleOracle& oracle,
          << " rounds=" << result.rounds_used << " T=" << big_t
          << (result.rejected ? " -> reject (removal budget exhausted)" : "");
   result.detail = detail.str();
+  record_counts();
   return result;
 }
 

@@ -7,6 +7,7 @@
 
 #include "common/check.h"
 #include "common/math_util.h"
+#include "obs/obs.h"
 
 namespace histest {
 namespace {
@@ -530,19 +531,54 @@ size_t ModeAtomCap(FitDpMode mode) {
 Result<AtomFit> FitAtomsL1(const std::vector<WeightedAtom>& atoms, size_t k,
                            FitDpMode mode) {
   HISTEST_RETURN_IF_ERROR(ValidateFitInput(atoms, k, ModeAtomCap(mode)));
+  // When tracing is on, the DP runs with probe-counting cost oracles so the
+  // fast engine's pruning can be compared against the reference's exhaustive
+  // scan. The plain-lambda paths below stay untouched in disabled mode, so
+  // the hot inner loops carry no counter increments.
   if (mode == FitDpMode::kReference) {
     const SegmentCostTable table(atoms);
-    return RunPieceDp(
-        atoms.size(), k, [&](size_t s, size_t e) { return table.Cost(s, e); },
+    if (!obs::Enabled()) {
+      return RunPieceDp(
+          atoms.size(), k,
+          [&](size_t s, size_t e) { return table.Cost(s, e); },
+          [&](size_t s, size_t e) { return table.OptimalValue(s, e); });
+    }
+    int64_t probes = 0;
+    AtomFit fit = RunPieceDp(
+        atoms.size(), k,
+        [&](size_t s, size_t e) {
+          ++probes;
+          return table.Cost(s, e);
+        },
         [&](size_t s, size_t e) { return table.OptimalValue(s, e); });
+    obs::AddCount("histest.fit_dp.l1.reference.cost_probes", probes);
+    obs::AddCount("histest.fit_dp.l1.reference.calls", 1);
+    return fit;
   }
   const PersistentRankTree tree(atoms);
-  return RunPieceDpFast(
-      atoms.size(), k, [&](size_t s, size_t e) { return tree.Cost(s, e); },
+  if (!obs::Enabled()) {
+    return RunPieceDpFast(
+        atoms.size(), k, [&](size_t s, size_t e) { return tree.Cost(s, e); },
+        [&](size_t s, size_t blk, size_t e, double* out) {
+          tree.CostBlock(s, blk, e, out);
+        },
+        [&](size_t s, size_t e) { return tree.MedianValue(s, e); });
+  }
+  int64_t probes = 0;
+  AtomFit fit = RunPieceDpFast(
+      atoms.size(), k,
+      [&](size_t s, size_t e) {
+        ++probes;
+        return tree.Cost(s, e);
+      },
       [&](size_t s, size_t blk, size_t e, double* out) {
+        probes += static_cast<int64_t>(blk);
         tree.CostBlock(s, blk, e, out);
       },
       [&](size_t s, size_t e) { return tree.MedianValue(s, e); });
+  obs::AddCount("histest.fit_dp.l1.fast.cost_probes", probes);
+  obs::AddCount("histest.fit_dp.l1.fast.calls", 1);
+  return fit;
 }
 
 Result<AtomFit> FitAtomsL2(const std::vector<WeightedAtom>& atoms, size_t k,

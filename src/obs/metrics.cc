@@ -1,0 +1,299 @@
+#include "obs/metrics.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <mutex>
+#include <sstream>
+
+namespace histest {
+namespace obs {
+namespace {
+
+std::atomic<bool> g_enabled{false};
+
+/// Round-robin shard assignment: each thread gets a stable shard index on
+/// its first metric write. Distinct threads land on distinct cache lines
+/// until more than kMetricShards threads exist, after which shards are
+/// shared (still correct, just contended).
+size_t ThisThreadShard() {
+  static std::atomic<size_t> next{0};
+  thread_local const size_t shard =
+      next.fetch_add(1, std::memory_order_relaxed) % kMetricShards;
+  return shard;
+}
+
+/// Bucket index for a histogram observation.
+size_t BucketFor(double value) {
+  size_t b = 0;
+  double bound = kHistogramMinBound;
+  while (b + 1 < kHistogramBuckets && value > bound) {
+    bound *= 2.0;
+    ++b;
+  }
+  return b;
+}
+
+void AppendJsonDouble(std::string& out, double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  out += buf;
+}
+
+}  // namespace
+
+bool Enabled() { return g_enabled.load(std::memory_order_relaxed); }
+
+void SetEnabled(bool on) { g_enabled.store(on, std::memory_order_relaxed); }
+
+bool InitFromEnv() {
+  const char* env = std::getenv("HISTEST_TRACE");
+  if (env != nullptr && *env != '\0' && std::strcmp(env, "0") != 0) {
+    SetEnabled(true);
+  }
+  return Enabled();
+}
+
+// ---------------------------------------------------------------- Counter
+
+void Counter::AddUngated(int64_t delta) {
+  shards_[ThisThreadShard()].value.fetch_add(delta,
+                                             std::memory_order_relaxed);
+}
+
+int64_t Counter::Value() const {
+  int64_t total = 0;
+  for (const Shard& s : shards_) {
+    total += s.value.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+void Counter::Reset() {
+  for (Shard& s : shards_) s.value.store(0, std::memory_order_relaxed);
+}
+
+// ------------------------------------------------------- HistogramMetric
+
+double HistogramBucketBound(size_t b) {
+  double bound = kHistogramMinBound;
+  for (size_t i = 0; i < b; ++i) bound *= 2.0;
+  return bound;
+}
+
+void HistogramMetric::Observe(double value) {
+  if (!Enabled()) return;
+  Shard& s = shards_[ThisThreadShard()];
+  s.buckets[BucketFor(value)].fetch_add(1, std::memory_order_relaxed);
+  s.count.fetch_add(1, std::memory_order_relaxed);
+  double cur = s.sum.load(std::memory_order_relaxed);
+  while (!s.sum.compare_exchange_weak(cur, cur + value,
+                                      std::memory_order_relaxed)) {
+  }
+}
+
+int64_t HistogramMetric::Count() const {
+  int64_t total = 0;
+  for (const Shard& s : shards_) {
+    total += s.count.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+double HistogramMetric::Sum() const {
+  // Fixed shard order, so the merged sum is deterministic for a given set
+  // of per-shard values.
+  double total = 0.0;
+  for (const Shard& s : shards_) {
+    total += s.sum.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+std::vector<int64_t> HistogramMetric::Buckets() const {
+  std::vector<int64_t> out(kHistogramBuckets, 0);
+  for (const Shard& s : shards_) {
+    for (size_t b = 0; b < kHistogramBuckets; ++b) {
+      out[b] += s.buckets[b].load(std::memory_order_relaxed);
+    }
+  }
+  return out;
+}
+
+void HistogramMetric::Reset() {
+  for (Shard& s : shards_) {
+    for (auto& b : s.buckets) b.store(0, std::memory_order_relaxed);
+    s.count.store(0, std::memory_order_relaxed);
+    s.sum.store(0.0, std::memory_order_relaxed);
+  }
+}
+
+// ------------------------------------------------------- MetricsRegistry
+
+MetricsRegistry& MetricsRegistry::Global() {
+  static MetricsRegistry* registry = new MetricsRegistry();
+  return *registry;
+}
+
+Counter& MetricsRegistry::GetCounter(std::string_view name) {
+  {
+    std::shared_lock<std::shared_mutex> lock(mu_);
+    auto it = counters_.find(name);
+    if (it != counters_.end()) return *it->second;
+  }
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  auto [it, inserted] = counters_.try_emplace(
+      std::string(name), nullptr);
+  if (inserted) {
+    it->second = std::unique_ptr<Counter>(new Counter(std::string(name)));
+  }
+  return *it->second;
+}
+
+Gauge& MetricsRegistry::GetGauge(std::string_view name) {
+  {
+    std::shared_lock<std::shared_mutex> lock(mu_);
+    auto it = gauges_.find(name);
+    if (it != gauges_.end()) return *it->second;
+  }
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  auto [it, inserted] = gauges_.try_emplace(std::string(name), nullptr);
+  if (inserted) {
+    it->second = std::unique_ptr<Gauge>(new Gauge(std::string(name)));
+  }
+  return *it->second;
+}
+
+HistogramMetric& MetricsRegistry::GetHistogram(std::string_view name) {
+  {
+    std::shared_lock<std::shared_mutex> lock(mu_);
+    auto it = histograms_.find(name);
+    if (it != histograms_.end()) return *it->second;
+  }
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  auto [it, inserted] = histograms_.try_emplace(std::string(name), nullptr);
+  if (inserted) {
+    it->second = std::unique_ptr<HistogramMetric>(
+        new HistogramMetric(std::string(name)));
+  }
+  return *it->second;
+}
+
+MetricsSnapshot MetricsRegistry::Snapshot() const {
+  MetricsSnapshot snap;
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  for (const auto& [name, c] : counters_) {
+    snap.counters.emplace_back(name, c->Value());
+  }
+  for (const auto& [name, g] : gauges_) {
+    snap.gauges.emplace_back(name, g->Value());
+  }
+  for (const auto& [name, h] : histograms_) {
+    HistogramSnapshot hs;
+    hs.name = name;
+    hs.count = h->Count();
+    hs.sum = h->Sum();
+    hs.buckets = h->Buckets();
+    snap.histograms.push_back(std::move(hs));
+  }
+  return snap;
+}
+
+void MetricsRegistry::ResetForTest() {
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  for (auto& [name, c] : counters_) c->Reset();
+  for (auto& [name, g] : gauges_) g->Reset();
+  for (auto& [name, h] : histograms_) h->Reset();
+}
+
+std::string MetricsSnapshot::ToJson() const {
+  // Built with append() calls, not operator+ chains: GCC 12's -O3
+  // -Wrestrict misfires on the temporaries those chains create.
+  std::string out = "{\"counters\":{";
+  bool first = true;
+  for (const auto& [name, value] : counters) {
+    if (!first) out += ",";
+    first = false;
+    out += '"';
+    out += JsonEscape(name);
+    out += "\":";
+    out += std::to_string(value);
+  }
+  out += "},\"gauges\":{";
+  first = true;
+  for (const auto& [name, value] : gauges) {
+    if (!first) out += ",";
+    first = false;
+    out += '"';
+    out += JsonEscape(name);
+    out += "\":";
+    out += std::to_string(value);
+  }
+  out += "},\"histograms\":{";
+  first = true;
+  for (const HistogramSnapshot& h : histograms) {
+    if (!first) out += ",";
+    first = false;
+    out += '"';
+    out += JsonEscape(h.name);
+    out += "\":{\"count\":";
+    out += std::to_string(h.count);
+    out += ",\"sum\":";
+    AppendJsonDouble(out, h.sum);
+    if (h.count > 0) {
+      out += ",\"buckets\":[";
+      for (size_t b = 0; b < h.buckets.size(); ++b) {
+        if (b > 0) out += ",";
+        out += std::to_string(h.buckets[b]);
+      }
+      out += "]";
+    }
+    out += "}";
+  }
+  out += "}}";
+  return out;
+}
+
+// ----------------------------------------------------- name-keyed helpers
+
+void AddCount(std::string_view name, int64_t delta) {
+  if (!Enabled()) return;
+  MetricsRegistry::Global().GetCounter(name).Add(delta);
+}
+
+void SetGauge(std::string_view name, int64_t value) {
+  if (!Enabled()) return;
+  MetricsRegistry::Global().GetGauge(name).Set(value);
+}
+
+void ObserveHistogram(std::string_view name, double value) {
+  if (!Enabled()) return;
+  MetricsRegistry::Global().GetHistogram(name).Observe(value);
+}
+
+std::string JsonEscape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+        break;
+    }
+  }
+  return out;
+}
+
+}  // namespace obs
+}  // namespace histest

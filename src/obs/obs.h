@@ -1,0 +1,25 @@
+#ifndef HISTEST_OBS_OBS_H_
+#define HISTEST_OBS_OBS_H_
+
+/// Umbrella header for the observability layer.
+///
+/// The layer has three parts:
+///   * metrics.h — MetricsRegistry: named counters / gauges / histograms
+///     with lock-free per-thread shards, merged on snapshot;
+///   * trace.h   — TraceSession: hierarchical spans with explicit clock
+///     injection, exported as JSONL for tools/histest-trace;
+///   * clock.h   — the injected Clock interface (Monotonic / Null / Fake)
+///     and ScopedTimer, the codebase's only sanctioned timing primitives
+///     (enforced by the clock-discipline analyzer checker).
+///
+/// Everything is gated on obs::Enabled() (HISTEST_TRACE env or --trace):
+/// disabled, every entry point is one relaxed load and a branch, no clock
+/// is read, and experiment output is byte-identical to an uninstrumented
+/// build. Nothing in a verdict path may ever read a metric, span, or clock
+/// back — the layer is strictly write-only from the pipeline's side.
+
+#include "obs/clock.h"    // IWYU pragma: export
+#include "obs/metrics.h"  // IWYU pragma: export
+#include "obs/trace.h"    // IWYU pragma: export
+
+#endif  // HISTEST_OBS_OBS_H_

@@ -1,0 +1,181 @@
+#include "obs/trace.h"
+
+#include <atomic>
+#include <cstdio>
+#include <fstream>
+
+#include "common/check.h"
+
+namespace histest {
+namespace obs {
+namespace {
+
+std::atomic<TraceSession*> g_active{nullptr};
+
+/// Innermost open span on this thread; children attach under it.
+thread_local SpanId tls_parent = 0;
+
+std::string JsonNumber(double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+}  // namespace
+
+TraceSession::TraceSession(std::string name, const Clock* clock)
+    : name_(std::move(name)), clock_(clock) {
+  HISTEST_CHECK(clock_ != nullptr);
+}
+
+TraceSession::~TraceSession() {
+  // A session must never outlive its activation scope; if it somehow does,
+  // fail closed rather than leave a dangling active pointer.
+  TraceSession* expected = this;
+  g_active.compare_exchange_strong(expected, nullptr,
+                                   std::memory_order_acq_rel);
+}
+
+SpanId TraceSession::Begin(std::string_view span_name, SpanId parent) {
+  const int64_t now = clock_->NowNanos();
+  std::lock_guard<std::mutex> lock(mu_);
+  SpanRecord rec;
+  rec.id = next_id_++;
+  rec.parent = parent;
+  rec.name = std::string(span_name);
+  rec.start_ns = now;
+  rec.end_ns = now;
+  spans_.push_back(std::move(rec));
+  return spans_.back().id;
+}
+
+void TraceSession::End(SpanId id) {
+  const int64_t now = clock_->NowNanos();
+  std::lock_guard<std::mutex> lock(mu_);
+  if (id >= 1 && static_cast<size_t>(id) <= spans_.size()) {
+    spans_[static_cast<size_t>(id) - 1].end_ns = now;
+  }
+}
+
+void TraceSession::Annotate(SpanId id, std::string_view key, int64_t value) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (id >= 1 && static_cast<size_t>(id) <= spans_.size()) {
+    spans_[static_cast<size_t>(id) - 1].annotations.push_back(
+        {std::string(key), std::to_string(value)});
+  }
+}
+
+void TraceSession::Annotate(SpanId id, std::string_view key, double value) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (id >= 1 && static_cast<size_t>(id) <= spans_.size()) {
+    spans_[static_cast<size_t>(id) - 1].annotations.push_back(
+        {std::string(key), JsonNumber(value)});
+  }
+}
+
+void TraceSession::Annotate(SpanId id, std::string_view key,
+                            std::string_view value) {
+  // append() rather than an operator+ chain: GCC 12's -O3 -Wrestrict
+  // misfires on the concatenation temporaries.
+  std::string quoted = "\"";
+  quoted += JsonEscape(value);
+  quoted += '"';
+  std::lock_guard<std::mutex> lock(mu_);
+  if (id >= 1 && static_cast<size_t>(id) <= spans_.size()) {
+    spans_[static_cast<size_t>(id) - 1].annotations.push_back(
+        {std::string(key), std::move(quoted)});
+  }
+}
+
+size_t TraceSession::NumSpans() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return spans_.size();
+}
+
+std::vector<SpanRecord> TraceSession::Spans() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return spans_;
+}
+
+Status TraceSession::WriteJsonl(std::ostream& os,
+                                const MetricsSnapshot* metrics) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  os << "{\"type\":\"header\",\"schema_version\":" << kSchemaVersion
+     << ",\"tool\":\"histest\",\"session\":\"" << JsonEscape(name_)
+     << "\"}\n";
+  for (const SpanRecord& s : spans_) {
+    os << "{\"type\":\"span\",\"id\":" << s.id << ",\"parent\":" << s.parent
+       << ",\"name\":\"" << JsonEscape(s.name) << "\",\"start_ns\":"
+       << s.start_ns << ",\"end_ns\":" << s.end_ns;
+    if (!s.annotations.empty()) {
+      os << ",\"ann\":{";
+      for (size_t i = 0; i < s.annotations.size(); ++i) {
+        if (i > 0) os << ",";
+        os << "\"" << JsonEscape(s.annotations[i].key)
+           << "\":" << s.annotations[i].json_value;
+      }
+      os << "}";
+    }
+    os << "}\n";
+  }
+  if (metrics != nullptr) {
+    os << "{\"type\":\"metrics\",\"metrics\":" << metrics->ToJson() << "}\n";
+  }
+  if (!os.good()) return Status::Internal("trace stream write failed");
+  return Status::Ok();
+}
+
+Status TraceSession::WriteJsonlFile(const std::string& path,
+                                    const MetricsSnapshot* metrics) const {
+  std::ofstream os(path);
+  if (!os.is_open()) {
+    return Status::InvalidArgument("cannot open trace output path: " + path);
+  }
+  HISTEST_RETURN_IF_ERROR(WriteJsonl(os, metrics));
+  os.close();
+  if (!os.good()) return Status::Internal("trace file write failed: " + path);
+  return Status::Ok();
+}
+
+TraceSession* ActiveTrace() {
+  return g_active.load(std::memory_order_acquire);
+}
+
+void SetActiveTrace(TraceSession* session) {
+  g_active.store(session, std::memory_order_release);
+}
+
+ScopedTraceActivation::ScopedTraceActivation(TraceSession* session)
+    : previous_(ActiveTrace()) {
+  SetActiveTrace(session);
+}
+
+ScopedTraceActivation::~ScopedTraceActivation() { SetActiveTrace(previous_); }
+
+TraceSpan::TraceSpan(std::string_view name) : session_(ActiveTrace()) {
+  if (session_ == nullptr) return;
+  saved_parent_ = tls_parent;
+  id_ = session_->Begin(name, saved_parent_);
+  tls_parent = id_;
+}
+
+TraceSpan::~TraceSpan() {
+  if (session_ == nullptr) return;
+  tls_parent = saved_parent_;
+  session_->End(id_);
+}
+
+void TraceSpan::AnnotateInt(std::string_view key, int64_t value) {
+  if (session_ != nullptr) session_->Annotate(id_, key, value);
+}
+
+void TraceSpan::AnnotateDouble(std::string_view key, double value) {
+  if (session_ != nullptr) session_->Annotate(id_, key, value);
+}
+
+void TraceSpan::AnnotateString(std::string_view key, std::string_view value) {
+  if (session_ != nullptr) session_->Annotate(id_, key, value);
+}
+
+}  // namespace obs
+}  // namespace histest

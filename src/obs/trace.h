@@ -1,0 +1,142 @@
+#ifndef HISTEST_OBS_TRACE_H_
+#define HISTEST_OBS_TRACE_H_
+
+#include <cstdint>
+#include <mutex>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+#include "obs/clock.h"
+#include "obs/metrics.h"
+
+namespace histest {
+namespace obs {
+
+/// Span identifier within one TraceSession; 0 means "no span".
+using SpanId = int64_t;
+
+/// One typed span annotation, pre-rendered to its JSON value text.
+struct SpanAnnotation {
+  std::string key;
+  std::string json_value;  // already valid JSON (number or quoted string)
+};
+
+/// One closed or open span.
+struct SpanRecord {
+  SpanId id = 0;
+  SpanId parent = 0;  // 0 = root
+  std::string name;
+  int64_t start_ns = 0;
+  int64_t end_ns = 0;
+  std::vector<SpanAnnotation> annotations;
+};
+
+/// A hierarchical span collector with an injected clock.
+///
+/// The session never installs itself: instrumented code sees it only
+/// through the process-wide active-session pointer (SetActiveTrace /
+/// ScopedTraceActivation), and span parentage is tracked per thread, so
+/// pool workers each build their own subtree under whatever span was open
+/// when their task began on that thread (the trial harness opens one
+/// "trial" span per task). All member functions are thread-safe; recording
+/// is mutex-serialized, which is fine at stage granularity.
+///
+/// Determinism contract: the clock is injected (NullClock gives structure
+/// without timing; FakeClock gives reproducible timing), span data is
+/// write-only from the pipeline's perspective, and nothing in a verdict
+/// path ever reads a span back — so enabling tracing cannot change any
+/// experiment result, only describe it.
+class TraceSession {
+ public:
+  /// Trace JSONL schema version; bump on any breaking record change.
+  /// tools/histest-trace refuses files whose header disagrees.
+  static constexpr int kSchemaVersion = 1;
+
+  TraceSession(std::string name, const Clock* clock);
+  ~TraceSession();
+
+  TraceSession(const TraceSession&) = delete;
+  TraceSession& operator=(const TraceSession&) = delete;
+
+  const std::string& name() const { return name_; }
+
+  /// Opens a span; returns its id.
+  SpanId Begin(std::string_view span_name, SpanId parent);
+
+  /// Closes the span (records its end time).
+  void End(SpanId id);
+
+  void Annotate(SpanId id, std::string_view key, int64_t value);
+  void Annotate(SpanId id, std::string_view key, double value);
+  void Annotate(SpanId id, std::string_view key, std::string_view value);
+
+  size_t NumSpans() const;
+
+  /// Copy of the recorded spans (tests and in-process summaries).
+  std::vector<SpanRecord> Spans() const;
+
+  /// Writes the session as JSON Lines: one header record carrying
+  /// kSchemaVersion, one record per span, and — when `metrics` is non-null
+  /// — one trailing metrics record. This is the wire format
+  /// tools/histest-trace consumes.
+  Status WriteJsonl(std::ostream& os, const MetricsSnapshot* metrics) const;
+  Status WriteJsonlFile(const std::string& path,
+                        const MetricsSnapshot* metrics) const;
+
+ private:
+  mutable std::mutex mu_;
+  std::string name_;
+  const Clock* clock_;
+  std::vector<SpanRecord> spans_;
+  SpanId next_id_ = 1;
+};
+
+/// The process-wide active session (nullptr when tracing is off). The
+/// single relaxed-atomic read every TraceSpan starts with.
+TraceSession* ActiveTrace();
+void SetActiveTrace(TraceSession* session);
+
+/// RAII: installs `session` as the active trace for its scope, restoring
+/// the previous session (usually nullptr) on destruction.
+class ScopedTraceActivation {
+ public:
+  explicit ScopedTraceActivation(TraceSession* session);
+  ~ScopedTraceActivation();
+
+  ScopedTraceActivation(const ScopedTraceActivation&) = delete;
+  ScopedTraceActivation& operator=(const ScopedTraceActivation&) = delete;
+
+ private:
+  TraceSession* previous_;
+};
+
+/// RAII span on the calling thread's span stack. Inert (a null check and
+/// nothing else) when no session is active, so instrumented code costs
+/// nothing in disabled mode. The annotation methods are no-ops when inert.
+class TraceSpan {
+ public:
+  explicit TraceSpan(std::string_view name);
+  ~TraceSpan();
+
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+  bool active() const { return session_ != nullptr; }
+
+  void AnnotateInt(std::string_view key, int64_t value);
+  void AnnotateDouble(std::string_view key, double value);
+  void AnnotateString(std::string_view key, std::string_view value);
+
+ private:
+  TraceSession* session_;
+  SpanId id_ = 0;
+  SpanId saved_parent_ = 0;
+};
+
+}  // namespace obs
+}  // namespace histest
+
+#endif  // HISTEST_OBS_TRACE_H_

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/check.h"
+#include "obs/obs.h"
 
 namespace histest {
 
@@ -46,6 +47,11 @@ void DistributionOracle::DrawBatch(size_t* out, int64_t count) {
     piecewise_->SampleBatch(rng_, out, count);
   }
   drawn_ += count;
+  // Batch-level accounting only: Draw() stays uninstrumented so the scalar
+  // hot path is untouched, and drawn_ remains the ground truth the per-stage
+  // counters are checked against.
+  obs::AddCount("histest.oracle.batch_samples", count);
+  obs::AddCount("histest.oracle.batches", 1);
 }
 
 CountVector DistributionOracle::DrawCounts(int64_t count) {
@@ -67,6 +73,10 @@ CountVector DistributionOracle::DrawCounts(int64_t count) {
     left -= c;
   }
   drawn_ += count;
+  obs::AddCount("histest.oracle.counts_samples", count);
+  obs::AddCount(cv.is_sparse() ? "histest.oracle.counts_sparse"
+                               : "histest.oracle.counts_dense",
+                1);
   return cv;
 }
 

@@ -1,0 +1,27 @@
+// Fixture: raw clock reads outside the obs layer — findings as marked.
+#include <chrono>
+#include <ctime>
+
+namespace histest {
+
+long BadChronoNow() {
+  return std::chrono::steady_clock::now().time_since_epoch().count();
+}
+
+double BadLibcClock() {
+  return static_cast<double>(clock()) / CLOCKS_PER_SEC;
+}
+
+long BadClockGettime() {
+  timespec ts;
+  clock_gettime(CLOCK_MONOTONIC, &ts);
+  return ts.tv_nsec;
+}
+
+long BadGettimeofday() {
+  timeval tv;
+  gettimeofday(&tv, nullptr);
+  return tv.tv_usec;
+}
+
+}  // namespace histest

@@ -30,6 +30,11 @@ from histest_analyzer import engine  # noqa: E402
 # Destination of each fixture inside the synthetic tree; placement matters
 # because checker scopes are path prefixes.
 DEST = {
+    # clock-discipline scans every dir; bench/ placement also proves the
+    # ban reaches harness code that rng-stream's src/-only time-seed rule
+    # does not.
+    "clock_discipline_bad.cc": "bench/clock_discipline_bad.cc",
+    "clock_discipline_good.cc": "bench/clock_discipline_good.cc",
     "status_discipline_bad.cc": "src/app/status_discipline_bad.cc",
     "status_discipline_good.cc": "src/app/status_discipline_good.cc",
     "float_compare_bad.cc": "src/core/float_compare_bad.cc",
@@ -115,6 +120,29 @@ class CheckerFixtureTest(unittest.TestCase):
     def test_rng_stream_good(self):
         res = scan(["rng_stream_good.cc"])
         self.assertEqual(res.findings, [])
+
+    def test_clock_discipline_bad(self):
+        res = scan(["clock_discipline_bad.cc"],
+                   checkers=["clock-discipline"])
+        self.assert_findings(res, "clock-discipline", [8, 12, 17, 23])
+
+    def test_clock_discipline_good(self):
+        res = scan(["clock_discipline_good.cc"])
+        self.assertEqual(res.findings, [])
+
+    def test_clock_discipline_exempts_obs_layer(self):
+        # The same raw reads are the sanctioned implementation when they
+        # live in src/obs/ (and src/benchutil/): zero findings there.
+        root = make_tree([])
+        dest = root / "src" / "obs" / "clock_impl.cc"
+        dest.parent.mkdir(parents=True, exist_ok=True)
+        shutil.copyfile(FIXTURES / "clock_discipline_bad.cc", dest)
+        try:
+            res = engine.run_scan(root, checker_names=["clock-discipline"],
+                                  backend="internal")
+            self.assertEqual(res.findings, [])
+        finally:
+            shutil.rmtree(root, ignore_errors=True)
 
     def test_static_state_bad(self):
         res = scan(["static_state_bad.cc"], checkers=["static-state"])

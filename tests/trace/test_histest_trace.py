@@ -1,0 +1,119 @@
+#!/usr/bin/env python3
+"""Round-trip test for the trace pipeline, run by ctest.
+
+A C++ emitter binary (tests/trace_emit_main.cc) runs a real traced
+HistogramTester pass under a FakeClock and writes the JSONL wire format;
+this test feeds that file through tools/histest-trace and asserts the
+summary is structurally sound: schema version honored, per-stage sample
+totals consistent with the metrics counters, budget table populated, and
+a schema mismatch rejected with exit code 2.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import subprocess
+import sys
+import tempfile
+import unittest
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parents[2]
+TRACE_BIN = REPO_ROOT / "tools" / "histest-trace"
+
+EMITTER = None  # set from --emitter in __main__
+
+
+def run_trace(args):
+    return subprocess.run(
+        [sys.executable, str(TRACE_BIN), *args],
+        capture_output=True, text=True)
+
+
+class RoundTripTest(unittest.TestCase):
+    @classmethod
+    def setUpClass(cls):
+        cls.tmp = pathlib.Path(tempfile.mkdtemp(prefix="histest-trace-"))
+        cls.jsonl = cls.tmp / "trace.jsonl"
+        proc = subprocess.run([str(EMITTER), str(cls.jsonl)],
+                              capture_output=True, text=True)
+        if proc.returncode != 0:
+            raise RuntimeError(f"emitter failed: {proc.stderr}")
+
+    def test_wire_format_schema(self):
+        lines = self.jsonl.read_text().splitlines()
+        self.assertGreater(len(lines), 2)
+        header = json.loads(lines[0])
+        self.assertEqual(header["type"], "header")
+        self.assertEqual(header["schema_version"], 1)
+        self.assertEqual(header["tool"], "histest")
+        kinds = [json.loads(l)["type"] for l in lines[1:]]
+        self.assertEqual(kinds[-1], "metrics")
+        self.assertTrue(all(k == "span" for k in kinds[:-1]))
+
+    def test_text_summary_renders_stages(self):
+        proc = run_trace([str(self.jsonl)])
+        self.assertEqual(proc.returncode, 0, proc.stderr)
+        self.assertIn("per-stage breakdown:", proc.stdout)
+        self.assertIn("budget vs theory", proc.stdout)
+        for stage in ("approx_part", "learner", "sieve", "final"):
+            self.assertIn(stage, proc.stdout)
+
+    def test_json_summary_is_consistent(self):
+        proc = run_trace([str(self.jsonl), "--json"])
+        self.assertEqual(proc.returncode, 0, proc.stderr)
+        summary = json.loads(proc.stdout)
+        self.assertEqual(summary["schema_version"], 1)
+        self.assertEqual(summary["tests"], 1)
+        self.assertGreater(summary["spans"], 1)
+        # Span annotations and metrics counters are two independent
+        # accounting paths; they must agree stage by stage.
+        counters = summary["counters"]
+        for stage, entry in summary["stages"].items():
+            if stage == "check":
+                self.assertEqual(entry["samples"], 0)
+                continue
+            key = f"histest.stage.{stage}.samples_drawn"
+            self.assertEqual(entry["samples"], counters.get(key, 0), stage)
+        stage_total = sum(e["samples"] for e in summary["stages"].values())
+        oracle_total = counters.get("histest.oracle.counts_samples", 0) + \
+            counters.get("histest.oracle.batch_samples", 0)
+        self.assertEqual(stage_total, oracle_total)
+        self.assertGreater(stage_total, 0)
+        for stage, b in summary["budget"].items():
+            self.assertGreater(b["theory_shape"], 0.0, stage)
+
+    def test_deterministic_reruns_are_identical(self):
+        # FakeClock timing: a rerun of the emitter must produce a
+        # byte-identical trace file.
+        again = self.tmp / "trace_again.jsonl"
+        proc = subprocess.run([str(EMITTER), str(again)],
+                              capture_output=True, text=True)
+        self.assertEqual(proc.returncode, 0, proc.stderr)
+        self.assertEqual(again.read_bytes(), self.jsonl.read_bytes())
+
+    def test_schema_mismatch_exits_two(self):
+        bad = self.tmp / "trace_bad.jsonl"
+        proc = subprocess.run([str(EMITTER), str(bad), "--bad-version"],
+                              capture_output=True, text=True)
+        self.assertEqual(proc.returncode, 0, proc.stderr)
+        proc = run_trace([str(bad)])
+        self.assertEqual(proc.returncode, 2, proc.stdout + proc.stderr)
+        self.assertIn("schema_version", proc.stderr)
+
+    def test_missing_file_exits_one(self):
+        proc = run_trace([str(self.tmp / "nope.jsonl")])
+        self.assertEqual(proc.returncode, 1)
+
+
+if __name__ == "__main__":
+    parser = argparse.ArgumentParser()
+    parser.add_argument("--emitter", required=True,
+                        help="path to the trace_emit binary")
+    opts, remaining = parser.parse_known_args()
+    EMITTER = pathlib.Path(opts.emitter).resolve()
+    if not EMITTER.exists():
+        print(f"emitter not found: {EMITTER}", file=sys.stderr)
+        sys.exit(2)
+    unittest.main(argv=[sys.argv[0], *remaining], verbosity=2)

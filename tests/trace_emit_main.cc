@@ -1,0 +1,68 @@
+// Emits a deterministic trace JSONL file for the histest-trace round-trip
+// test: a real HistogramTester run traced under a FakeClock, written to
+// argv[1]. With --bad-version, rewrites the header to a future schema
+// version so the CLI's mismatch path can be exercised.
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+
+#include "core/histogram_tester.h"
+#include "dist/distribution.h"
+#include "obs/obs.h"
+#include "testing/oracle.h"
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr, "usage: %s <out.jsonl> [--bad-version]\n", argv[0]);
+    return 2;
+  }
+  const std::string out_path = argv[1];
+  const bool bad_version =
+      argc > 2 && std::strcmp(argv[2], "--bad-version") == 0;
+
+  using namespace histest;
+  obs::MetricsRegistry::Global().ResetForTest();
+  obs::SetEnabled(true);
+  obs::FakeClock clock(/*start_ns=*/1'000'000, /*auto_step_ns=*/250'000);
+  obs::TraceSession session("trace-emit", &clock);
+  {
+    obs::ScopedTraceActivation activation(&session);
+    DistributionOracle oracle(Distribution::UniformOver(512), 17);
+    HistogramTester tester(2, 0.25, HistogramTesterOptions{}, 19);
+    auto report = tester.TestWithReport(oracle);
+    if (!report.ok()) {
+      std::fprintf(stderr, "tester failed: %s\n",
+                   report.status().ToString().c_str());
+      return 1;
+    }
+  }
+  const obs::MetricsSnapshot metrics =
+      obs::MetricsRegistry::Global().Snapshot();
+  const Status status = session.WriteJsonlFile(out_path, &metrics);
+  if (!status.ok()) {
+    std::fprintf(stderr, "write failed: %s\n", status.ToString().c_str());
+    return 1;
+  }
+
+  if (bad_version) {
+    std::ifstream in(out_path);
+    std::string line, rest;
+    std::getline(in, line);
+    rest.assign(std::istreambuf_iterator<char>(in),
+                std::istreambuf_iterator<char>());
+    in.close();
+    const std::string needle = "\"schema_version\":";
+    const size_t pos = line.find(needle);
+    if (pos == std::string::npos) {
+      std::fprintf(stderr, "no schema_version in header\n");
+      return 1;
+    }
+    size_t end = pos + needle.size();
+    while (end < line.size() && line[end] != ',' && line[end] != '}') ++end;
+    line.replace(pos + needle.size(), end - (pos + needle.size()), "9999");
+    std::ofstream out(out_path, std::ios::trunc);
+    out << line << '\n' << rest;
+  }
+  return 0;
+}

@@ -1,5 +1,6 @@
 """Checker modules. Importing this package registers every checker."""
 
+from . import clock_discipline  # noqa: F401
 from . import float_compare     # noqa: F401
 from . import raw_accumulate    # noqa: F401
 from . import rng_stream        # noqa: F401
