@@ -5,10 +5,13 @@
 
 #include <cmath>
 #include <memory>
+#include <string>
+#include <vector>
 
 #include "benchutil/parallel.h"
 #include "common/kernels.h"
 #include "common/rng.h"
+#include "common/simd/simd.h"
 #include "core/approx_part.h"
 #include "core/histogram_tester.h"
 #include "core/learner.h"
@@ -441,6 +444,120 @@ BENCHMARK(BM_HistogramTesterEndToEnd)
 // CI trace gate holds against the kernel benchmarks: a recording entry
 // point must cost one relaxed load and a branch when tracing is off.
 
+// --- Per-variant SIMD kernel rows. The dispatched BM_*Kernel rows above
+// measure whatever variant is active in this process; these rows pin each
+// compiled-and-usable backend through its dispatch table directly, so one
+// Release run yields the scalar-vs-AVX2-vs-AVX512 picture side by side.
+// Registered dynamically from main() because availability is a runtime
+// CPUID question, not a compile-time one.
+
+void RunVariantL1Bench(benchmark::State& state, const simd::KernelTable* t) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  Rng rng(47);
+  std::vector<double> a(n), b(n);
+  for (size_t i = 0; i < n; ++i) {
+    a[i] = rng.UniformDouble();
+    b[i] = rng.UniformDouble();
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(t->l1_distance(a.data(), b.data(), n));
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(n));
+}
+
+void RunVariantL2Bench(benchmark::State& state, const simd::KernelTable* t) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  Rng rng(47);
+  std::vector<double> a(n), b(n);
+  for (size_t i = 0; i < n; ++i) {
+    a[i] = rng.UniformDouble();
+    b[i] = rng.UniformDouble();
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(t->l2_distance_squared(a.data(), b.data(), n));
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(n));
+}
+
+void RunVariantChiSquareBench(benchmark::State& state,
+                              const simd::KernelTable* t) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  Rng rng(53);
+  std::vector<double> p(n), q(n);
+  for (size_t i = 0; i < n; ++i) {
+    p[i] = rng.UniformDouble();
+    q[i] = 0.5 + rng.UniformDouble();
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(t->chi_square(p.data(), q.data(), n));
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(n));
+}
+
+void RunVariantZBench(benchmark::State& state, const simd::KernelTable* t) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  Rng rng(59);
+  std::vector<double> dstar(n), counts(n);
+  for (size_t i = 0; i < n; ++i) {
+    dstar[i] = rng.UniformDouble() / static_cast<double>(n);
+    counts[i] = std::floor(rng.UniformDouble() * 8.0);
+  }
+  const double cut = 0.1 / static_cast<double>(n);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        t->z_accumulate(dstar.data(), counts.data(), n, 1e4, cut));
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(n));
+}
+
+void RunVariantAliasResolveBench(benchmark::State& state,
+                                 const simd::KernelTable* t) {
+  // Isolates the table-resolution pass that SampleBatch dispatches: the
+  // (column, uniform) stream is pre-drawn once, so the loop measures pure
+  // alias-row lookup + select throughput on an L2-spilling Zipf table.
+  const size_t n = static_cast<size_t>(state.range(0));
+  const auto dist = MakeZipf(n, 1.0).value();
+  AliasSampler sampler(dist);
+  constexpr int64_t kBatch = 4096;
+  Rng rng(61);
+  std::vector<uint64_t> cols(kBatch);
+  std::vector<double> us(kBatch);
+  rng.FillPairs(n, cols.data(), us.data(), kBatch);
+  std::vector<size_t> out(kBatch);
+  for (auto _ : state) {
+    t->resolve_alias(sampler.prob().data(), sampler.alias().data(),
+                     cols.data(), us.data(), out.data(), kBatch);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() * kBatch);
+}
+
+void RegisterSimdVariantBenchmarks() {
+  using Runner = void (*)(benchmark::State&, const simd::KernelTable*);
+  const std::pair<const char*, Runner> kernels[] = {
+      {"BM_L1DistanceKernel", &RunVariantL1Bench},
+      {"BM_L2DistanceKernel", &RunVariantL2Bench},
+      {"BM_ChiSquareKernel", &RunVariantChiSquareBench},
+      {"BM_ZAccumulateKernel", &RunVariantZBench},
+  };
+  for (const simd::Variant v : simd::AvailableVariants()) {
+    const simd::KernelTable* t = simd::KernelTableFor(v);
+    const std::string suffix = std::string("_") + simd::VariantName(v);
+    for (const auto& [base, runner] : kernels) {
+      benchmark::RegisterBenchmark(
+          (base + suffix).c_str(),
+          [runner, t](benchmark::State& s) { runner(s, t); })
+          ->Arg(1 << 12)
+          ->Arg(1 << 20);
+    }
+    benchmark::RegisterBenchmark(
+        ("BM_AliasResolve" + suffix).c_str(),
+        [t](benchmark::State& s) { RunVariantAliasResolveBench(s, t); })
+        ->Arg(1 << 14)
+        ->Arg(1 << 18);
+  }
+}
+
 void BM_ObsCounterAddDisabled(benchmark::State& state) {
   obs::SetEnabled(false);
   for (auto _ : state) {
@@ -481,4 +598,20 @@ BENCHMARK(BM_ObsScopedTimerDisabled);
 }  // namespace
 }  // namespace histest
 
-BENCHMARK_MAIN();
+// Custom main (replacing BENCHMARK_MAIN) so every bench JSON artifact
+// records the probed CPU features and the dispatch variant in its context
+// header — per-runner trajectories stay interpretable — and so the
+// per-variant rows can be registered after the runtime CPU probe.
+int main(int argc, char** argv) {
+  benchmark::AddCustomContext("histest_cpu_features",
+                              histest::simd::DetectCpuFeatures().ToString());
+  benchmark::AddCustomContext(
+      "histest_simd_variant",
+      histest::simd::VariantName(histest::simd::ActiveVariant()));
+  histest::RegisterSimdVariantBenchmarks();
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -2,13 +2,12 @@
 
 #include <algorithm>
 #include <atomic>
-#include <cerrno>
 #include <cstdio>
-#include <cstdlib>
 #include <mutex>
 #include <string>
 
 #include "common/check.h"
+#include "common/cli.h"
 #include "common/rng.h"
 #include "dist/sampler.h"
 #include "obs/obs.h"
@@ -153,47 +152,27 @@ void ParallelFor(int64_t count, int threads,
   ThreadPool::Shared().Run(count, threads - 1, job);
 }
 
-namespace {
-
-/// Parses a HISTEST_THREADS override. Returns -1 (with a reason in
-/// `*error`) for anything other than a clean, in-range integer: trailing
-/// garbage ("4x"), overflow (errno == ERANGE), empty strings, and values
-/// outside [1, 65536] are all rejected rather than clamped.
-int ParseThreadsOverride(const char* env, std::string* error) {
-  char* end = nullptr;
-  errno = 0;
-  const long parsed = std::strtol(env, &end, 10);
-  if (end == env || *end != '\0') {
-    *error = "not an integer";
-    return -1;
-  }
-  if (errno == ERANGE || parsed < 1 || parsed > 1 << 16) {
-    *error = "out of range (expected 1..65536)";
-    return -1;
-  }
-  return static_cast<int>(parsed);
-}
-
-}  // namespace
-
 int DefaultBenchThreads() {
-  const char* env = std::getenv("HISTEST_THREADS");
-  if (env != nullptr && *env != '\0') {
-    std::string error;
-    const int parsed = ParseThreadsOverride(env, &error);
-    if (parsed > 0) return parsed;  // explicit override: no cap
+  // Anything other than a clean integer in [1, 65536] — trailing garbage
+  // ("4x"), overflow, empty strings — is rejected rather than clamped.
+  const EnvValue<int64_t> env =
+      ParseEnvInt("HISTEST_THREADS", 1, 1 << 16, -1);
+  if (env.present && env.valid) {
+    return static_cast<int>(env.value);  // explicit override: no cap
+  }
+  if (env.present && !env.raw.empty()) {
     // Warn once per distinct bad value, not once per call: the harness
     // calls this in loops, but a changed-yet-still-bad setting (common in
     // CI matrix edits) should also be surfaced.
     static std::mutex warn_mu;
     static std::string warned_value;
     std::lock_guard<std::mutex> lock(warn_mu);
-    if (warned_value != env) {
-      warned_value = env;
+    if (warned_value != env.raw) {
+      warned_value = env.raw;
       std::fprintf(stderr,
                    "histest: ignoring HISTEST_THREADS='%s' (%s); "
                    "falling back to min(8, hardware_concurrency)\n",
-                   env, error.c_str());
+                   env.raw.c_str(), env.error.c_str());
     }
   }
   const unsigned hw = std::thread::hardware_concurrency();

@@ -1,5 +1,6 @@
 #include "common/cli.h"
 
+#include <cerrno>
 #include <cmath>
 #include <cstdlib>
 
@@ -64,13 +65,79 @@ bool ArgParser::GetBool(const std::string& name, bool fallback) const {
   return fallback;
 }
 
-double BenchScale() {
-  const char* env = std::getenv("HISTEST_BENCH_SCALE");
-  if (env == nullptr) return 1.0;
+EnvValue<int64_t> ParseEnvInt(const char* name, int64_t min_value,
+                              int64_t max_value, int64_t fallback) {
+  EnvValue<int64_t> out;
+  out.value = fallback;
+  const char* env = std::getenv(name);
+  if (env == nullptr) return out;
+  out.present = true;
+  out.raw = env;
+  errno = 0;
+  char* end = nullptr;
+  const long long v = std::strtoll(env, &end, 10);
+  if (end == env || end == nullptr || *end != '\0' || errno == ERANGE) {
+    out.valid = false;
+    out.error = "not an integer";
+    return out;
+  }
+  if (v < min_value || v > max_value) {
+    out.valid = false;
+    out.error = "out of range [" + std::to_string(min_value) + ", " +
+                std::to_string(max_value) + "]";
+    return out;
+  }
+  out.value = v;
+  return out;
+}
+
+EnvValue<double> ParseEnvDouble(const char* name, double fallback) {
+  EnvValue<double> out;
+  out.value = fallback;
+  const char* env = std::getenv(name);
+  if (env == nullptr) return out;
+  out.present = true;
+  out.raw = env;
   char* end = nullptr;
   const double v = std::strtod(env, &end);
-  if (end == nullptr || *end != '\0' || !(v > 0.0)) return 1.0;
-  return v;
+  if (end == env || end == nullptr || *end != '\0') {
+    out.valid = false;
+    out.error = "not a number";
+    return out;
+  }
+  if (!(v > 0.0) || !std::isfinite(v)) {
+    out.valid = false;
+    out.error = "must be a positive finite number";
+    return out;
+  }
+  out.value = v;
+  return out;
+}
+
+EnvValue<int> ParseEnvEnum(
+    const char* name,
+    const std::vector<std::pair<std::string, int>>& options, int fallback) {
+  EnvValue<int> out;
+  out.value = fallback;
+  const char* env = std::getenv(name);
+  if (env == nullptr) return out;
+  out.present = true;
+  out.raw = env;
+  for (const auto& option : options) {
+    if (option.first == env) {
+      out.value = option.second;
+      return out;
+    }
+  }
+  out.valid = false;
+  out.error = "expected one of:";
+  for (const auto& option : options) out.error += " " + option.first;
+  return out;
+}
+
+double BenchScale() {
+  const EnvValue<double> v = ParseEnvDouble("HISTEST_BENCH_SCALE", 1.0);
+  return v.valid ? v.value : 1.0;
 }
 
 int64_t ScaledTrials(int64_t base) {

@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <map>
 #include <string>
+#include <utility>
 #include <vector>
 
 namespace histest {
@@ -33,6 +34,37 @@ class ArgParser {
   std::map<std::string, std::string> flags_;
   std::vector<std::string> positional_;
 };
+
+/// Outcome of parsing one environment variable. `present` is false when the
+/// variable is unset (value holds the caller's fallback); `valid` is false
+/// when it is set but malformed or out of range (value still holds the
+/// fallback, `error` says why, `raw` echoes the offending text so callers
+/// can warn without re-reading the environment).
+template <typename T>
+struct EnvValue {
+  bool present = false;
+  bool valid = true;
+  T value{};
+  std::string raw;
+  std::string error;
+};
+
+/// Parses an integer environment variable, requiring the whole value to be
+/// a base-10 integer in [min_value, max_value]. Shared by every
+/// HISTEST_*-style knob so range checks and diagnostics stay uniform
+/// instead of being re-implemented per call site.
+EnvValue<int64_t> ParseEnvInt(const char* name, int64_t min_value,
+                              int64_t max_value, int64_t fallback);
+
+/// Parses a strictly positive, finite double environment variable.
+EnvValue<double> ParseEnvDouble(const char* name, double fallback);
+
+/// Parses an enumerated environment variable against `options`
+/// (spelling -> value), case-sensitively. On a spelling mismatch, `error`
+/// lists the accepted spellings.
+EnvValue<int> ParseEnvEnum(
+    const char* name,
+    const std::vector<std::pair<std::string, int>>& options, int fallback);
 
 /// Global scale factor for experiment binaries, read from the environment
 /// variable HISTEST_BENCH_SCALE (default 1.0). Trial counts are multiplied

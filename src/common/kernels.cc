@@ -1,99 +1,65 @@
 #include "common/kernels.h"
 
-#include <algorithm>
-#include <cmath>
-#include <limits>
-
-#include "common/math_util.h"
+#include "common/simd/simd.h"
 #include "obs/obs.h"
 
 namespace histest {
-namespace {
 
-/// Shared reduction skeleton: four independent accumulator lanes inside a
-/// block (unit-stride, branch-free terms vectorize), pairwise lane combine,
-/// Kahan-Neumaier compensation across blocks. The order is a pure function
-/// of n, never of the data, so every kernel is deterministic.
-template <typename TermFn>
-double BlockedReduce(size_t n, const TermFn& term) {
-  KahanSum total;
-  size_t base = 0;
-  while (base < n) {
-    const size_t len = std::min(kKernelBlock, n - base);
-    double lane0 = 0.0, lane1 = 0.0, lane2 = 0.0, lane3 = 0.0;
-    size_t i = base;
-    const size_t end4 = base + (len & ~size_t{3});
-    for (; i < end4; i += 4) {
-      lane0 += term(i);
-      lane1 += term(i + 1);
-      lane2 += term(i + 2);
-      lane3 += term(i + 3);
-    }
-    for (; i < base + len; ++i) lane0 += term(i);
-    total.Add((lane0 + lane1) + (lane2 + lane3));
-    base += len;
-  }
-  return total.Total();
-}
-
-}  // namespace
+// The kernels are thin dispatch wrappers since the SIMD layer landed: the
+// blocked 4-lane reduction skeleton lives in common/simd/kernels_scalar.cc
+// (the bit-exactness oracle) with per-ISA variants beside it, and
+// simd::ActiveKernels() picks one table per process at first use. Each
+// wrapper keeps the stable histest.kernel.* counter and additionally bumps
+// the per-variant tally so traces show which ISA actually ran.
 
 double L1DistanceKernel(const double* a, const double* b, size_t n) {
   obs::AddCount("histest.kernel.l1_distance.calls", 1);
-  return BlockedReduce(n, [&](size_t i) { return std::fabs(a[i] - b[i]); });
+  const simd::KernelTable& t = simd::ActiveKernels();
+  obs::AddCount(t.tally[simd::kL1Distance], 1);
+  return t.l1_distance(a, b, n);
 }
 
 double L2DistanceSquaredKernel(const double* a, const double* b, size_t n) {
   obs::AddCount("histest.kernel.l2_distance_sq.calls", 1);
-  return BlockedReduce(n, [&](size_t i) {
-    const double d = a[i] - b[i];
-    return d * d;
-  });
+  const simd::KernelTable& t = simd::ActiveKernels();
+  obs::AddCount(t.tally[simd::kL2DistanceSquared], 1);
+  return t.l2_distance_squared(a, b, n);
 }
 
 double SumKernel(const double* a, size_t n) {
   obs::AddCount("histest.kernel.sum.calls", 1);
-  return BlockedReduce(n, [&](size_t i) { return a[i]; });
+  const simd::KernelTable& t = simd::ActiveKernels();
+  obs::AddCount(t.tally[simd::kSum], 1);
+  return t.sum(a, n);
 }
 
 double SumSquaresKernel(const double* a, size_t n) {
   obs::AddCount("histest.kernel.sum_squares.calls", 1);
-  return BlockedReduce(n, [&](size_t i) { return a[i] * a[i]; });
+  const simd::KernelTable& t = simd::ActiveKernels();
+  obs::AddCount(t.tally[simd::kSumSquares], 1);
+  return t.sum_squares(a, n);
 }
 
 double HellingerAccumulateKernel(const double* a, const double* b, size_t n) {
   obs::AddCount("histest.kernel.hellinger.calls", 1);
-  return BlockedReduce(n, [&](size_t i) {
-    const double d = std::sqrt(a[i]) - std::sqrt(b[i]);
-    return d * d;
-  });
+  const simd::KernelTable& t = simd::ActiveKernels();
+  obs::AddCount(t.tally[simd::kHellinger], 1);
+  return t.hellinger(a, b, n);
 }
 
 double ChiSquareKernel(const double* p, const double* q, size_t n) {
   obs::AddCount("histest.kernel.chi_square.calls", 1);
-  // The zero-denominator sentinel is tracked out-of-band: feeding +inf
-  // through the compensated accumulator would produce inf - inf = NaN.
-  bool infinite = false;
-  const double sum = BlockedReduce(n, [&](size_t i) {
-    if (q[i] <= 0.0) {
-      if (p[i] > 0.0) infinite = true;
-      return 0.0;
-    }
-    const double d = p[i] - q[i];
-    return d * d / q[i];
-  });
-  return infinite ? std::numeric_limits<double>::infinity() : sum;
+  const simd::KernelTable& t = simd::ActiveKernels();
+  obs::AddCount(t.tally[simd::kChiSquare], 1);
+  return t.chi_square(p, q, n);
 }
 
 double ZAccumulateKernel(const double* dstar, const double* counts, size_t n,
                          double m, double aeps_cut) {
   obs::AddCount("histest.kernel.z_accumulate.calls", 1);
-  return BlockedReduce(n, [&](size_t i) {
-    if (dstar[i] < aeps_cut) return 0.0;
-    const double expected = m * dstar[i];
-    const double dev = counts[i] - expected;
-    return (dev * dev - counts[i]) / expected;
-  });
+  const simd::KernelTable& t = simd::ActiveKernels();
+  obs::AddCount(t.tally[simd::kZAccumulate], 1);
+  return t.z_accumulate(dstar, counts, n, m, aeps_cut);
 }
 
 }  // namespace histest

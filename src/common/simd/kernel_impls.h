@@ -1,0 +1,66 @@
+#ifndef HISTEST_COMMON_SIMD_KERNEL_IMPLS_H_
+#define HISTEST_COMMON_SIMD_KERNEL_IMPLS_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace histest {
+namespace simd {
+
+/// Per-ISA kernel entry points, assembled into dispatch tables by simd.cc.
+/// Semantics are fixed by common/kernels.h (and KernelTable::resolve_alias
+/// in simd.h); the Scalar* set is the cross-platform bit-exactness oracle.
+///
+/// Declarations are unconditional — each non-scalar translation unit is
+/// only added to the build (and only referenced from simd.cc) when CMake
+/// detects toolchain support, via the HISTEST_SIMD_COMPILED_* definitions.
+
+double ScalarL1Distance(const double* a, const double* b, size_t n);
+double ScalarL2DistanceSquared(const double* a, const double* b, size_t n);
+double ScalarSum(const double* a, size_t n);
+double ScalarSumSquares(const double* a, size_t n);
+double ScalarHellinger(const double* a, const double* b, size_t n);
+double ScalarChiSquare(const double* p, const double* q, size_t n);
+double ScalarZAccumulate(const double* dstar, const double* counts, size_t n,
+                         double m, double aeps_cut);
+void ScalarResolveAlias(const double* prob, const size_t* alias,
+                        const uint64_t* cols, const double* us, size_t* out,
+                        int64_t count);
+
+double Avx2L1Distance(const double* a, const double* b, size_t n);
+double Avx2L2DistanceSquared(const double* a, const double* b, size_t n);
+double Avx2Sum(const double* a, size_t n);
+double Avx2SumSquares(const double* a, size_t n);
+double Avx2Hellinger(const double* a, const double* b, size_t n);
+double Avx2ChiSquare(const double* p, const double* q, size_t n);
+double Avx2ZAccumulate(const double* dstar, const double* counts, size_t n,
+                       double m, double aeps_cut);
+void Avx2ResolveAlias(const double* prob, const size_t* alias,
+                      const uint64_t* cols, const double* us, size_t* out,
+                      int64_t count);
+
+double Avx512L1Distance(const double* a, const double* b, size_t n);
+double Avx512L2DistanceSquared(const double* a, const double* b, size_t n);
+double Avx512Sum(const double* a, size_t n);
+double Avx512SumSquares(const double* a, size_t n);
+double Avx512Hellinger(const double* a, const double* b, size_t n);
+double Avx512ChiSquare(const double* p, const double* q, size_t n);
+double Avx512ZAccumulate(const double* dstar, const double* counts, size_t n,
+                         double m, double aeps_cut);
+void Avx512ResolveAlias(const double* prob, const size_t* alias,
+                        const uint64_t* cols, const double* us, size_t* out,
+                        int64_t count);
+
+double NeonL1Distance(const double* a, const double* b, size_t n);
+double NeonL2DistanceSquared(const double* a, const double* b, size_t n);
+double NeonSum(const double* a, size_t n);
+double NeonSumSquares(const double* a, size_t n);
+double NeonHellinger(const double* a, const double* b, size_t n);
+double NeonChiSquare(const double* p, const double* q, size_t n);
+double NeonZAccumulate(const double* dstar, const double* counts, size_t n,
+                       double m, double aeps_cut);
+
+}  // namespace simd
+}  // namespace histest
+
+#endif  // HISTEST_COMMON_SIMD_KERNEL_IMPLS_H_

@@ -1,0 +1,209 @@
+/// AVX2 kernel backend: four double lanes per vector — exactly the scalar
+/// skeleton's four accumulator lanes, so every kernel here reproduces the
+/// scalar summation order bit-for-bit (lane j sums elements base+j,
+/// base+j+4, ...; the tail folds into lane 0; lanes combine pairwise;
+/// blocks combine through the same KahanSum). No FMA contraction is used
+/// anywhere: add/sub/mul/div/sqrt are IEEE correctly rounded in both their
+/// scalar and vector encodings, which is what makes bit-equality with the
+/// portable oracle a theorem rather than a hope.
+
+#ifndef __AVX2__
+#error "kernels_avx2.cc must be compiled with -mavx2"
+#endif
+
+#include <immintrin.h>
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/kernels.h"
+#include "common/math_util.h"
+#include "common/simd/kernel_impls.h"
+
+namespace histest {
+namespace simd {
+namespace {
+
+/// Blocked 4-lane reduce. `vec_term(i)` returns the packed terms for
+/// elements i..i+3; `scalar_term(i)` the identical scalar term, used for
+/// the sub-lane tail (which the scalar oracle also folds into lane 0).
+template <typename VecTerm, typename ScalarTerm>
+double BlockedReduceAvx2(size_t n, const VecTerm& vec_term,
+                         const ScalarTerm& scalar_term) {
+  KahanSum total;
+  size_t base = 0;
+  while (base < n) {
+    const size_t len = std::min(kKernelBlock, n - base);
+    __m256d acc = _mm256_setzero_pd();
+    size_t i = base;
+    const size_t end4 = base + (len & ~size_t{3});
+    for (; i < end4; i += 4) acc = _mm256_add_pd(acc, vec_term(i));
+    alignas(32) double lanes[4];
+    _mm256_store_pd(lanes, acc);
+    for (; i < base + len; ++i) lanes[0] += scalar_term(i);
+    total.Add((lanes[0] + lanes[1]) + (lanes[2] + lanes[3]));
+    base += len;
+  }
+  return total.Total();
+}
+
+/// |x| as the sign-bit clear std::fabs performs.
+inline __m256d AbsPd(__m256d x) {
+  return _mm256_andnot_pd(_mm256_set1_pd(-0.0), x);
+}
+
+}  // namespace
+
+double Avx2L1Distance(const double* a, const double* b, size_t n) {
+  return BlockedReduceAvx2(
+      n,
+      [&](size_t i) {
+        return AbsPd(_mm256_sub_pd(_mm256_loadu_pd(a + i),
+                                   _mm256_loadu_pd(b + i)));
+      },
+      [&](size_t i) { return std::fabs(a[i] - b[i]); });
+}
+
+double Avx2L2DistanceSquared(const double* a, const double* b, size_t n) {
+  return BlockedReduceAvx2(
+      n,
+      [&](size_t i) {
+        const __m256d d =
+            _mm256_sub_pd(_mm256_loadu_pd(a + i), _mm256_loadu_pd(b + i));
+        return _mm256_mul_pd(d, d);
+      },
+      [&](size_t i) {
+        const double d = a[i] - b[i];
+        return d * d;
+      });
+}
+
+double Avx2Sum(const double* a, size_t n) {
+  return BlockedReduceAvx2(
+      n, [&](size_t i) { return _mm256_loadu_pd(a + i); },
+      [&](size_t i) { return a[i]; });
+}
+
+double Avx2SumSquares(const double* a, size_t n) {
+  return BlockedReduceAvx2(
+      n,
+      [&](size_t i) {
+        const __m256d v = _mm256_loadu_pd(a + i);
+        return _mm256_mul_pd(v, v);
+      },
+      [&](size_t i) { return a[i] * a[i]; });
+}
+
+double Avx2Hellinger(const double* a, const double* b, size_t n) {
+  return BlockedReduceAvx2(
+      n,
+      [&](size_t i) {
+        const __m256d d =
+            _mm256_sub_pd(_mm256_sqrt_pd(_mm256_loadu_pd(a + i)),
+                          _mm256_sqrt_pd(_mm256_loadu_pd(b + i)));
+        return _mm256_mul_pd(d, d);
+      },
+      [&](size_t i) {
+        const double d = std::sqrt(a[i]) - std::sqrt(b[i]);
+        return d * d;
+      });
+}
+
+double Avx2ChiSquare(const double* p, const double* q, size_t n) {
+  // Vector lanes with q <= 0 compute (p-q)^2/q anyway (possibly inf/NaN)
+  // and are zeroed by the mask afterwards — same contribution as the
+  // scalar oracle's branch. The infinity sentinel accumulates out-of-band
+  // as a mask OR, checked once at the end. NaN q compares false under
+  // _CMP_LE_OQ exactly as `q[i] <= 0.0` does, so NaN propagation matches.
+  const __m256d zero = _mm256_setzero_pd();
+  __m256d any_bad = _mm256_setzero_pd();
+  bool tail_infinite = false;
+  const double sum = BlockedReduceAvx2(
+      n,
+      [&](size_t i) {
+        const __m256d vp = _mm256_loadu_pd(p + i);
+        const __m256d vq = _mm256_loadu_pd(q + i);
+        const __m256d qle0 = _mm256_cmp_pd(vq, zero, _CMP_LE_OQ);
+        const __m256d d = _mm256_sub_pd(vp, vq);
+        const __m256d term = _mm256_div_pd(_mm256_mul_pd(d, d), vq);
+        any_bad = _mm256_or_pd(
+            any_bad,
+            _mm256_and_pd(qle0, _mm256_cmp_pd(vp, zero, _CMP_GT_OQ)));
+        return _mm256_andnot_pd(qle0, term);
+      },
+      [&](size_t i) {
+        if (q[i] <= 0.0) {
+          if (p[i] > 0.0) tail_infinite = true;
+          return 0.0;
+        }
+        const double d = p[i] - q[i];
+        return d * d / q[i];
+      });
+  const bool infinite =
+      tail_infinite || _mm256_movemask_pd(any_bad) != 0;
+  return infinite ? std::numeric_limits<double>::infinity() : sum;
+}
+
+double Avx2ZAccumulate(const double* dstar, const double* counts, size_t n,
+                       double m, double aeps_cut) {
+  // Keep-mask is NOT(dstar < cut): _CMP_NLT_UQ is true for NaN dstar, like
+  // the scalar oracle's early-out (`NaN < cut` is false, so NaN is kept
+  // and poisons the sum there too). Skipped lanes may divide by zero; the
+  // mask discards them.
+  const __m256d vm = _mm256_set1_pd(m);
+  const __m256d vcut = _mm256_set1_pd(aeps_cut);
+  return BlockedReduceAvx2(
+      n,
+      [&](size_t i) {
+        const __m256d vd = _mm256_loadu_pd(dstar + i);
+        const __m256d vc = _mm256_loadu_pd(counts + i);
+        const __m256d keep = _mm256_cmp_pd(vd, vcut, _CMP_NLT_UQ);
+        const __m256d expected = _mm256_mul_pd(vm, vd);
+        const __m256d dev = _mm256_sub_pd(vc, expected);
+        const __m256d term = _mm256_div_pd(
+            _mm256_sub_pd(_mm256_mul_pd(dev, dev), vc), expected);
+        return _mm256_and_pd(keep, term);
+      },
+      [&](size_t i) {
+        if (dstar[i] < aeps_cut) return 0.0;
+        const double expected = m * dstar[i];
+        const double dev = counts[i] - expected;
+        return (dev * dev - counts[i]) / expected;
+      });
+}
+
+void Avx2ResolveAlias(const double* prob, const size_t* alias,
+                      const uint64_t* cols, const double* us, size_t* out,
+                      int64_t count) {
+  // Four alias rows resolve per step through vpgatherqpd/vpgatherqq, which
+  // overlap their cache misses in hardware; the explicit prefetch keeps a
+  // deeper window in flight for tables that spill out of L2. The blend
+  // mask comes from the same `u < prob[col]` comparison the scalar path
+  // makes, so outputs are bit-equal streams.
+  constexpr int64_t kAhead = 16;
+  const long long* alias_rows = reinterpret_cast<const long long*>(alias);
+  int64_t i = 0;
+  for (; i + 4 <= count; i += 4) {
+    if (i + kAhead + 4 <= count) {
+      __builtin_prefetch(prob + cols[i + kAhead], 0, 1);
+      __builtin_prefetch(alias + cols[i + kAhead], 0, 1);
+    }
+    const __m256i col = _mm256_loadu_si256(
+        reinterpret_cast<const __m256i*>(cols + i));
+    const __m256d pr = _mm256_i64gather_pd(prob, col, 8);
+    const __m256i al = _mm256_i64gather_epi64(alias_rows, col, 8);
+    const __m256d u = _mm256_loadu_pd(us + i);
+    const __m256d take_col = _mm256_cmp_pd(u, pr, _CMP_LT_OQ);
+    const __m256i res =
+        _mm256_blendv_epi8(al, col, _mm256_castpd_si256(take_col));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(out + i), res);
+  }
+  for (; i < count; ++i) {
+    const size_t column = static_cast<size_t>(cols[i]);
+    out[i] = us[i] < prob[column] ? column : alias[column];
+  }
+}
+
+}  // namespace simd
+}  // namespace histest

@@ -1,0 +1,202 @@
+/// AVX-512 kernel backend: two independent eight-lane accumulators
+/// (16-element stride), which breaks the vaddpd latency chain that caps a
+/// single-accumulator reduction at one vector per ~4 cycles. Unlike the
+/// AVX2 backend this does NOT reproduce the scalar 4-lane summation order
+/// — the wider accumulator set is the whole point — so results are
+/// deterministic within the variant (order is still a pure function of n)
+/// but only ulp-close to the scalar oracle, and the dispatch table marks
+/// it `lane_order_matches_scalar = false`. Same block structure otherwise:
+/// per-block accumulators, tail folded into lane 0, in-register pairwise
+/// lane combine, KahanSum across blocks. No FMA.
+
+#ifndef __AVX512F__
+#error "kernels_avx512.cc must be compiled with -mavx512f"
+#endif
+
+#include <immintrin.h>
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/kernels.h"
+#include "common/math_util.h"
+#include "common/simd/kernel_impls.h"
+
+namespace histest {
+namespace simd {
+namespace {
+
+template <typename VecTerm, typename ScalarTerm>
+double BlockedReduceAvx512(size_t n, const VecTerm& vec_term,
+                           const ScalarTerm& scalar_term) {
+  KahanSum total;
+  size_t base = 0;
+  while (base < n) {
+    const size_t len = std::min(kKernelBlock, n - base);
+    __m512d acc0 = _mm512_setzero_pd();
+    __m512d acc1 = _mm512_setzero_pd();
+    size_t i = base;
+    const size_t end16 = base + (len & ~size_t{15});
+    for (; i < end16; i += 16) {
+      acc0 = _mm512_add_pd(acc0, vec_term(i));
+      acc1 = _mm512_add_pd(acc1, vec_term(i + 8));
+    }
+    const size_t end8 = base + (len & ~size_t{7});
+    for (; i < end8; i += 8) acc0 = _mm512_add_pd(acc0, vec_term(i));
+    alignas(64) double lanes[8];
+    _mm512_store_pd(lanes, _mm512_add_pd(acc0, acc1));
+    for (; i < base + len; ++i) lanes[0] += scalar_term(i);
+    total.Add(((lanes[0] + lanes[1]) + (lanes[2] + lanes[3])) +
+              ((lanes[4] + lanes[5]) + (lanes[6] + lanes[7])));
+    base += len;
+  }
+  return total.Total();
+}
+
+inline __m512d AbsPd(__m512d x) { return _mm512_abs_pd(x); }
+
+}  // namespace
+
+double Avx512L1Distance(const double* a, const double* b, size_t n) {
+  return BlockedReduceAvx512(
+      n,
+      [&](size_t i) {
+        return AbsPd(_mm512_sub_pd(_mm512_loadu_pd(a + i),
+                                   _mm512_loadu_pd(b + i)));
+      },
+      [&](size_t i) { return std::fabs(a[i] - b[i]); });
+}
+
+double Avx512L2DistanceSquared(const double* a, const double* b, size_t n) {
+  return BlockedReduceAvx512(
+      n,
+      [&](size_t i) {
+        const __m512d d =
+            _mm512_sub_pd(_mm512_loadu_pd(a + i), _mm512_loadu_pd(b + i));
+        return _mm512_mul_pd(d, d);
+      },
+      [&](size_t i) {
+        const double d = a[i] - b[i];
+        return d * d;
+      });
+}
+
+double Avx512Sum(const double* a, size_t n) {
+  return BlockedReduceAvx512(
+      n, [&](size_t i) { return _mm512_loadu_pd(a + i); },
+      [&](size_t i) { return a[i]; });
+}
+
+double Avx512SumSquares(const double* a, size_t n) {
+  return BlockedReduceAvx512(
+      n,
+      [&](size_t i) {
+        const __m512d v = _mm512_loadu_pd(a + i);
+        return _mm512_mul_pd(v, v);
+      },
+      [&](size_t i) { return a[i] * a[i]; });
+}
+
+double Avx512Hellinger(const double* a, const double* b, size_t n) {
+  return BlockedReduceAvx512(
+      n,
+      [&](size_t i) {
+        const __m512d d =
+            _mm512_sub_pd(_mm512_sqrt_pd(_mm512_loadu_pd(a + i)),
+                          _mm512_sqrt_pd(_mm512_loadu_pd(b + i)));
+        return _mm512_mul_pd(d, d);
+      },
+      [&](size_t i) {
+        const double d = std::sqrt(a[i]) - std::sqrt(b[i]);
+        return d * d;
+      });
+}
+
+double Avx512ChiSquare(const double* p, const double* q, size_t n) {
+  // Mirrors the AVX2 strategy with predicate masks: lanes with q <= 0 are
+  // zeroed after the unconditional divide, and the infinity sentinel
+  // (q <= 0 with p > 0 anywhere) is OR-accumulated out-of-band.
+  // _CMP_LE_OQ / _CMP_GT_OQ are false on NaN, matching the scalar branch.
+  const __m512d zero = _mm512_setzero_pd();
+  __mmask8 any_bad = 0;
+  bool tail_infinite = false;
+  const double sum = BlockedReduceAvx512(
+      n,
+      [&](size_t i) {
+        const __m512d vp = _mm512_loadu_pd(p + i);
+        const __m512d vq = _mm512_loadu_pd(q + i);
+        const __mmask8 qle0 = _mm512_cmp_pd_mask(vq, zero, _CMP_LE_OQ);
+        const __m512d d = _mm512_sub_pd(vp, vq);
+        const __m512d term = _mm512_div_pd(_mm512_mul_pd(d, d), vq);
+        any_bad = static_cast<__mmask8>(
+            any_bad | (qle0 & _mm512_cmp_pd_mask(vp, zero, _CMP_GT_OQ)));
+        return _mm512_maskz_mov_pd(static_cast<__mmask8>(~qle0), term);
+      },
+      [&](size_t i) {
+        if (q[i] <= 0.0) {
+          if (p[i] > 0.0) tail_infinite = true;
+          return 0.0;
+        }
+        const double d = p[i] - q[i];
+        return d * d / q[i];
+      });
+  return (tail_infinite || any_bad != 0)
+             ? std::numeric_limits<double>::infinity()
+             : sum;
+}
+
+double Avx512ZAccumulate(const double* dstar, const double* counts, size_t n,
+                         double m, double aeps_cut) {
+  // Keep-mask is NOT(dstar < cut) so NaN dstar lanes are kept and poison
+  // the sum exactly as in the scalar oracle: _CMP_NLT_UQ is true for NaN.
+  const __m512d vm = _mm512_set1_pd(m);
+  const __m512d vcut = _mm512_set1_pd(aeps_cut);
+  return BlockedReduceAvx512(
+      n,
+      [&](size_t i) {
+        const __m512d vd = _mm512_loadu_pd(dstar + i);
+        const __m512d vc = _mm512_loadu_pd(counts + i);
+        const __mmask8 keep = _mm512_cmp_pd_mask(vd, vcut, _CMP_NLT_UQ);
+        const __m512d expected = _mm512_mul_pd(vm, vd);
+        const __m512d dev = _mm512_sub_pd(vc, expected);
+        const __m512d term = _mm512_div_pd(
+            _mm512_sub_pd(_mm512_mul_pd(dev, dev), vc), expected);
+        return _mm512_maskz_mov_pd(keep, term);
+      },
+      [&](size_t i) {
+        if (dstar[i] < aeps_cut) return 0.0;
+        const double expected = m * dstar[i];
+        const double dev = counts[i] - expected;
+        return (dev * dev - counts[i]) / expected;
+      });
+}
+
+void Avx512ResolveAlias(const double* prob, const size_t* alias,
+                        const uint64_t* cols, const double* us, size_t* out,
+                        int64_t count) {
+  // Eight alias rows per step. Note the _mm512 gather argument order is
+  // (index, base, scale) — the reverse of the _mm256 form.
+  constexpr int64_t kAhead = 16;
+  int64_t i = 0;
+  for (; i + 8 <= count; i += 8) {
+    if (i + kAhead + 8 <= count) {
+      __builtin_prefetch(prob + cols[i + kAhead], 0, 1);
+      __builtin_prefetch(alias + cols[i + kAhead], 0, 1);
+    }
+    const __m512i col = _mm512_loadu_si512(cols + i);
+    const __m512d pr = _mm512_i64gather_pd(col, prob, 8);
+    const __m512i al = _mm512_i64gather_epi64(col, alias, 8);
+    const __m512d u = _mm512_loadu_pd(us + i);
+    const __mmask8 take_col = _mm512_cmp_pd_mask(u, pr, _CMP_LT_OQ);
+    const __m512i res = _mm512_mask_blend_epi64(take_col, al, col);
+    _mm512_storeu_si512(out + i, res);
+  }
+  for (; i < count; ++i) {
+    const size_t column = static_cast<size_t>(cols[i]);
+    out[i] = us[i] < prob[column] ? column : alias[column];
+  }
+}
+
+}  // namespace simd
+}  // namespace histest

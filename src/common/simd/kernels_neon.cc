@@ -1,0 +1,176 @@
+/// NEON (AArch64 AdvSIMD) kernel backend. NEON vectors hold two doubles,
+/// so each kernel carries TWO float64x2_t accumulators — lanes {0,1} and
+/// {2,3} of the scalar skeleton — which reproduces the scalar 4-lane
+/// summation order bit-for-bit, exactly like the AVX2 backend: tail folds
+/// into lane 0, lanes combine pairwise as (l0+l1)+(l2+l3), KahanSum across
+/// blocks. vaddq/vsubq/vmulq/vdivq/vsqrtq are correctly rounded and no FMA
+/// (vfmaq) is used, so bit-equality with the scalar oracle holds.
+///
+/// There is no NEON gather, and the alias-resolution pass is latency-bound
+/// on table lookups anyway, so NEON's dispatch table reuses
+/// ScalarResolveAlias (see simd.cc).
+
+#ifndef __aarch64__
+#error "kernels_neon.cc must be compiled for AArch64"
+#endif
+
+#include <arm_neon.h>
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/kernels.h"
+#include "common/math_util.h"
+#include "common/simd/kernel_impls.h"
+
+namespace histest {
+namespace simd {
+namespace {
+
+/// `vec_term(i)` returns the packed terms for elements {i, i+1}; it is
+/// called at i and i+2 each step so acc01/acc23 mirror scalar lanes
+/// {0,1}/{2,3}.
+template <typename VecTerm, typename ScalarTerm>
+double BlockedReduceNeon(size_t n, const VecTerm& vec_term,
+                         const ScalarTerm& scalar_term) {
+  KahanSum total;
+  size_t base = 0;
+  while (base < n) {
+    const size_t len = std::min(kKernelBlock, n - base);
+    float64x2_t acc01 = vdupq_n_f64(0.0);
+    float64x2_t acc23 = vdupq_n_f64(0.0);
+    size_t i = base;
+    const size_t end4 = base + (len & ~size_t{3});
+    for (; i < end4; i += 4) {
+      acc01 = vaddq_f64(acc01, vec_term(i));
+      acc23 = vaddq_f64(acc23, vec_term(i + 2));
+    }
+    double lane0 = vgetq_lane_f64(acc01, 0);
+    const double lane1 = vgetq_lane_f64(acc01, 1);
+    const double lane2 = vgetq_lane_f64(acc23, 0);
+    const double lane3 = vgetq_lane_f64(acc23, 1);
+    for (; i < base + len; ++i) lane0 += scalar_term(i);
+    total.Add((lane0 + lane1) + (lane2 + lane3));
+    base += len;
+  }
+  return total.Total();
+}
+
+}  // namespace
+
+double NeonL1Distance(const double* a, const double* b, size_t n) {
+  return BlockedReduceNeon(
+      n,
+      [&](size_t i) {
+        return vabsq_f64(vsubq_f64(vld1q_f64(a + i), vld1q_f64(b + i)));
+      },
+      [&](size_t i) { return std::fabs(a[i] - b[i]); });
+}
+
+double NeonL2DistanceSquared(const double* a, const double* b, size_t n) {
+  return BlockedReduceNeon(
+      n,
+      [&](size_t i) {
+        const float64x2_t d =
+            vsubq_f64(vld1q_f64(a + i), vld1q_f64(b + i));
+        return vmulq_f64(d, d);
+      },
+      [&](size_t i) {
+        const double d = a[i] - b[i];
+        return d * d;
+      });
+}
+
+double NeonSum(const double* a, size_t n) {
+  return BlockedReduceNeon(
+      n, [&](size_t i) { return vld1q_f64(a + i); },
+      [&](size_t i) { return a[i]; });
+}
+
+double NeonSumSquares(const double* a, size_t n) {
+  return BlockedReduceNeon(
+      n,
+      [&](size_t i) {
+        const float64x2_t v = vld1q_f64(a + i);
+        return vmulq_f64(v, v);
+      },
+      [&](size_t i) { return a[i] * a[i]; });
+}
+
+double NeonHellinger(const double* a, const double* b, size_t n) {
+  return BlockedReduceNeon(
+      n,
+      [&](size_t i) {
+        const float64x2_t d = vsubq_f64(vsqrtq_f64(vld1q_f64(a + i)),
+                                        vsqrtq_f64(vld1q_f64(b + i)));
+        return vmulq_f64(d, d);
+      },
+      [&](size_t i) {
+        const double d = std::sqrt(a[i]) - std::sqrt(b[i]);
+        return d * d;
+      });
+}
+
+double NeonChiSquare(const double* p, const double* q, size_t n) {
+  // Same strategy as the x86 backends: divide unconditionally, zero the
+  // q <= 0 lanes through the comparison mask (vcleq is false on NaN, like
+  // the scalar `q[i] <= 0.0`), OR-accumulate the infinity sentinel.
+  const float64x2_t zero = vdupq_n_f64(0.0);
+  uint64x2_t any_bad = vdupq_n_u64(0);
+  bool tail_infinite = false;
+  const double sum = BlockedReduceNeon(
+      n,
+      [&](size_t i) {
+        const float64x2_t vp = vld1q_f64(p + i);
+        const float64x2_t vq = vld1q_f64(q + i);
+        const uint64x2_t qle0 = vcleq_f64(vq, zero);
+        const float64x2_t d = vsubq_f64(vp, vq);
+        const float64x2_t term = vdivq_f64(vmulq_f64(d, d), vq);
+        any_bad = vorrq_u64(any_bad, vandq_u64(qle0, vcgtq_f64(vp, zero)));
+        return vreinterpretq_f64_u64(vbicq_u64(
+            vreinterpretq_u64_f64(term), qle0));
+      },
+      [&](size_t i) {
+        if (q[i] <= 0.0) {
+          if (p[i] > 0.0) tail_infinite = true;
+          return 0.0;
+        }
+        const double d = p[i] - q[i];
+        return d * d / q[i];
+      });
+  const bool infinite = tail_infinite ||
+                        (vgetq_lane_u64(any_bad, 0) |
+                         vgetq_lane_u64(any_bad, 1)) != 0;
+  return infinite ? std::numeric_limits<double>::infinity() : sum;
+}
+
+double NeonZAccumulate(const double* dstar, const double* counts, size_t n,
+                       double m, double aeps_cut) {
+  // Keep-mask is NOT(dstar < cut) so NaN dstar lanes are kept (vcltq is
+  // false on NaN) and poison the sum as in the scalar oracle.
+  const float64x2_t vm = vdupq_n_f64(m);
+  const float64x2_t vcut = vdupq_n_f64(aeps_cut);
+  return BlockedReduceNeon(
+      n,
+      [&](size_t i) {
+        const float64x2_t vd = vld1q_f64(dstar + i);
+        const float64x2_t vc = vld1q_f64(counts + i);
+        const uint64x2_t drop = vcltq_f64(vd, vcut);
+        const float64x2_t expected = vmulq_f64(vm, vd);
+        const float64x2_t dev = vsubq_f64(vc, expected);
+        const float64x2_t term =
+            vdivq_f64(vsubq_f64(vmulq_f64(dev, dev), vc), expected);
+        return vreinterpretq_f64_u64(
+            vbicq_u64(vreinterpretq_u64_f64(term), drop));
+      },
+      [&](size_t i) {
+        if (dstar[i] < aeps_cut) return 0.0;
+        const double expected = m * dstar[i];
+        const double dev = counts[i] - expected;
+        return (dev * dev - counts[i]) / expected;
+      });
+}
+
+}  // namespace simd
+}  // namespace histest

@@ -1,0 +1,119 @@
+/// Scalar kernel backend — the cross-platform bit-exactness oracle every
+/// SIMD variant is differentially tested against. This is the PR-3 blocked
+/// 4-lane skeleton, moved verbatim out of common/kernels.cc so the
+/// dispatch layer can treat it as just another table entry; it must stay
+/// compiled with the portable baseline flags (no -m<isa>) so its summation
+/// order and rounding never depend on the build host.
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/kernels.h"
+#include "common/math_util.h"
+#include "common/simd/kernel_impls.h"
+
+namespace histest {
+namespace simd {
+namespace {
+
+/// Shared reduction skeleton: four independent accumulator lanes inside a
+/// block (unit-stride, branch-free terms vectorize), pairwise lane combine,
+/// Kahan-Neumaier compensation across blocks. The order is a pure function
+/// of n, never of the data, so every kernel is deterministic.
+template <typename TermFn>
+double BlockedReduce(size_t n, const TermFn& term) {
+  KahanSum total;
+  size_t base = 0;
+  while (base < n) {
+    const size_t len = std::min(kKernelBlock, n - base);
+    double lane0 = 0.0, lane1 = 0.0, lane2 = 0.0, lane3 = 0.0;
+    size_t i = base;
+    const size_t end4 = base + (len & ~size_t{3});
+    for (; i < end4; i += 4) {
+      lane0 += term(i);
+      lane1 += term(i + 1);
+      lane2 += term(i + 2);
+      lane3 += term(i + 3);
+    }
+    for (; i < base + len; ++i) lane0 += term(i);
+    total.Add((lane0 + lane1) + (lane2 + lane3));
+    base += len;
+  }
+  return total.Total();
+}
+
+}  // namespace
+
+double ScalarL1Distance(const double* a, const double* b, size_t n) {
+  return BlockedReduce(n, [&](size_t i) { return std::fabs(a[i] - b[i]); });
+}
+
+double ScalarL2DistanceSquared(const double* a, const double* b, size_t n) {
+  return BlockedReduce(n, [&](size_t i) {
+    const double d = a[i] - b[i];
+    return d * d;
+  });
+}
+
+double ScalarSum(const double* a, size_t n) {
+  return BlockedReduce(n, [&](size_t i) { return a[i]; });
+}
+
+double ScalarSumSquares(const double* a, size_t n) {
+  return BlockedReduce(n, [&](size_t i) { return a[i] * a[i]; });
+}
+
+double ScalarHellinger(const double* a, const double* b, size_t n) {
+  return BlockedReduce(n, [&](size_t i) {
+    const double d = std::sqrt(a[i]) - std::sqrt(b[i]);
+    return d * d;
+  });
+}
+
+double ScalarChiSquare(const double* p, const double* q, size_t n) {
+  // The zero-denominator sentinel is tracked out-of-band: feeding +inf
+  // through the compensated accumulator would produce inf - inf = NaN.
+  bool infinite = false;
+  const double sum = BlockedReduce(n, [&](size_t i) {
+    if (q[i] <= 0.0) {
+      if (p[i] > 0.0) infinite = true;
+      return 0.0;
+    }
+    const double d = p[i] - q[i];
+    return d * d / q[i];
+  });
+  return infinite ? std::numeric_limits<double>::infinity() : sum;
+}
+
+double ScalarZAccumulate(const double* dstar, const double* counts, size_t n,
+                         double m, double aeps_cut) {
+  return BlockedReduce(n, [&](size_t i) {
+    if (dstar[i] < aeps_cut) return 0.0;
+    const double expected = m * dstar[i];
+    const double dev = counts[i] - expected;
+    return (dev * dev - counts[i]) / expected;
+  });
+}
+
+void ScalarResolveAlias(const double* prob, const size_t* alias,
+                        const uint64_t* cols, const double* us, size_t* out,
+                        int64_t count) {
+  // Identical arithmetic to AliasSampler::Sample(), with the (column,
+  // alias) cache lines prefetched a few iterations ahead: for domains
+  // whose tables exceed the L2 cache this pass is latency-bound, so the
+  // prefetch distance is what buys most of the batch speedup.
+  constexpr int64_t kAhead = 16;
+  for (int64_t i = 0; i < count; ++i) {
+    if (i + kAhead < count) {
+      const uint64_t ahead = cols[i + kAhead];
+      __builtin_prefetch(prob + ahead, 0, 1);
+      __builtin_prefetch(alias + ahead, 0, 1);
+    }
+    const size_t column = static_cast<size_t>(cols[i]);
+    out[i] = us[i] < prob[column] ? column : alias[column];
+  }
+}
+
+}  // namespace simd
+}  // namespace histest

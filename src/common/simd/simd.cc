@@ -1,0 +1,269 @@
+#include "common/simd/simd.h"
+
+#include <cstdio>
+#include <mutex>
+
+#include "common/cli.h"
+#include "common/simd/kernel_impls.h"
+#include "obs/metrics.h"
+
+namespace histest {
+namespace simd {
+namespace {
+
+CpuFeatures ProbeCpu() {
+  CpuFeatures f;
+#if defined(__x86_64__) || defined(__i386__)
+  f.avx2 = __builtin_cpu_supports("avx2") != 0;
+  f.avx512f = __builtin_cpu_supports("avx512f") != 0;
+#elif defined(__aarch64__)
+  // AArch64 mandates AdvSIMD; no HWCAP probe needed.
+  f.neon = true;
+#endif
+  return f;
+}
+
+constexpr KernelTable kScalarTable = {
+    Variant::kScalar,
+    /*lane_order_matches_scalar=*/true,
+    &ScalarL1Distance,
+    &ScalarL2DistanceSquared,
+    &ScalarSum,
+    &ScalarSumSquares,
+    &ScalarHellinger,
+    &ScalarChiSquare,
+    &ScalarZAccumulate,
+    &ScalarResolveAlias,
+    {
+        "histest.simd.scalar.l1_distance.calls",
+        "histest.simd.scalar.l2_distance_squared.calls",
+        "histest.simd.scalar.sum.calls",
+        "histest.simd.scalar.sum_squares.calls",
+        "histest.simd.scalar.hellinger.calls",
+        "histest.simd.scalar.chi_square.calls",
+        "histest.simd.scalar.z_accumulate.calls",
+        "histest.simd.scalar.alias_resolve.calls",
+    },
+};
+
+#ifdef HISTEST_SIMD_COMPILED_AVX2
+constexpr KernelTable kAvx2Table = {
+    Variant::kAvx2,
+    /*lane_order_matches_scalar=*/true,
+    &Avx2L1Distance,
+    &Avx2L2DistanceSquared,
+    &Avx2Sum,
+    &Avx2SumSquares,
+    &Avx2Hellinger,
+    &Avx2ChiSquare,
+    &Avx2ZAccumulate,
+    &Avx2ResolveAlias,
+    {
+        "histest.simd.avx2.l1_distance.calls",
+        "histest.simd.avx2.l2_distance_squared.calls",
+        "histest.simd.avx2.sum.calls",
+        "histest.simd.avx2.sum_squares.calls",
+        "histest.simd.avx2.hellinger.calls",
+        "histest.simd.avx2.chi_square.calls",
+        "histest.simd.avx2.z_accumulate.calls",
+        "histest.simd.avx2.alias_resolve.calls",
+    },
+};
+#endif
+
+#ifdef HISTEST_SIMD_COMPILED_AVX512
+constexpr KernelTable kAvx512Table = {
+    Variant::kAvx512,
+    // Eight accumulator lanes, not the scalar skeleton's four: results are
+    // deterministic within the variant but only ulp-close to scalar.
+    /*lane_order_matches_scalar=*/false,
+    &Avx512L1Distance,
+    &Avx512L2DistanceSquared,
+    &Avx512Sum,
+    &Avx512SumSquares,
+    &Avx512Hellinger,
+    &Avx512ChiSquare,
+    &Avx512ZAccumulate,
+    &Avx512ResolveAlias,
+    {
+        "histest.simd.avx512.l1_distance.calls",
+        "histest.simd.avx512.l2_distance_squared.calls",
+        "histest.simd.avx512.sum.calls",
+        "histest.simd.avx512.sum_squares.calls",
+        "histest.simd.avx512.hellinger.calls",
+        "histest.simd.avx512.chi_square.calls",
+        "histest.simd.avx512.z_accumulate.calls",
+        "histest.simd.avx512.alias_resolve.calls",
+    },
+};
+#endif
+
+#ifdef HISTEST_SIMD_COMPILED_NEON
+constexpr KernelTable kNeonTable = {
+    Variant::kNeon,
+    /*lane_order_matches_scalar=*/true,
+    &NeonL1Distance,
+    &NeonL2DistanceSquared,
+    &NeonSum,
+    &NeonSumSquares,
+    &NeonHellinger,
+    &NeonChiSquare,
+    &NeonZAccumulate,
+    // 128-bit NEON has no gather; the prefetched scalar pass is already
+    // latency-bound, so it serves as the NEON resolve path.
+    &ScalarResolveAlias,
+    {
+        "histest.simd.neon.l1_distance.calls",
+        "histest.simd.neon.l2_distance_squared.calls",
+        "histest.simd.neon.sum.calls",
+        "histest.simd.neon.sum_squares.calls",
+        "histest.simd.neon.hellinger.calls",
+        "histest.simd.neon.chi_square.calls",
+        "histest.simd.neon.z_accumulate.calls",
+        "histest.simd.neon.alias_resolve.calls",
+    },
+};
+#endif
+
+/// Automatic choice when HISTEST_SIMD is absent: widest usable ISA first.
+Variant BestAvailable() {
+  const CpuFeatures& cpu = DetectCpuFeatures();
+#ifdef HISTEST_SIMD_COMPILED_AVX512
+  if (cpu.avx512f) return Variant::kAvx512;
+#endif
+#ifdef HISTEST_SIMD_COMPILED_AVX2
+  if (cpu.avx2) return Variant::kAvx2;
+#endif
+#ifdef HISTEST_SIMD_COMPILED_NEON
+  if (cpu.neon) return Variant::kNeon;
+#endif
+  return Variant::kScalar;
+}
+
+const KernelTable* InstallDispatch() {
+  Variant chosen = BestAvailable();
+  const EnvValue<int> env = ParseEnvEnum("HISTEST_SIMD",
+                                         {{"scalar", 0},
+                                          {"avx2", 1},
+                                          {"avx512", 2},
+                                          {"neon", 3}},
+                                         static_cast<int>(chosen));
+  if (env.present) {
+    if (!env.valid) {
+      std::fprintf(stderr,
+                   "histest: ignoring HISTEST_SIMD=%s (%s); using %s\n",
+                   env.raw.c_str(), env.error.c_str(), VariantName(chosen));
+    } else if (KernelTableFor(static_cast<Variant>(env.value)) == nullptr) {
+      std::fprintf(
+          stderr,
+          "histest: HISTEST_SIMD=%s not usable on this build/CPU; using %s\n",
+          env.raw.c_str(), VariantName(chosen));
+    } else {
+      chosen = static_cast<Variant>(env.value);
+    }
+  }
+  return KernelTableFor(chosen);
+}
+
+}  // namespace
+
+const char* VariantName(Variant v) {
+  switch (v) {
+    case Variant::kScalar:
+      return "scalar";
+    case Variant::kAvx2:
+      return "avx2";
+    case Variant::kAvx512:
+      return "avx512";
+    case Variant::kNeon:
+      return "neon";
+  }
+  return "unknown";
+}
+
+std::string CpuFeatures::ToString() const {
+#if defined(__x86_64__) || defined(__i386__)
+  std::string out = "arch=x86-64 simd=";
+#elif defined(__aarch64__)
+  std::string out = "arch=aarch64 simd=";
+#else
+  std::string out = "arch=other simd=";
+#endif
+  // Appends via a bool flag rather than a growing separator string: GCC 12
+  // at -O3 raises a spurious -Wrestrict on the string-assign in the
+  // separator idiom (inlined char_traits memcpy with impossible bounds).
+  bool any = false;
+  if (avx2) {
+    out += "avx2";
+    any = true;
+  }
+  if (avx512f) {
+    if (any) out += ',';
+    out += "avx512f";
+    any = true;
+  }
+  if (neon) {
+    if (any) out += ',';
+    out += "neon";
+    any = true;
+  }
+  if (!any) out += "none";
+  return out;
+}
+
+const CpuFeatures& DetectCpuFeatures() {
+  static const CpuFeatures features = ProbeCpu();
+  return features;
+}
+
+const KernelTable* KernelTableFor(Variant v) {
+  const CpuFeatures& cpu = DetectCpuFeatures();
+  switch (v) {
+    case Variant::kScalar:
+      return &kScalarTable;
+    case Variant::kAvx2:
+#ifdef HISTEST_SIMD_COMPILED_AVX2
+      if (cpu.avx2) return &kAvx2Table;
+#endif
+      return nullptr;
+    case Variant::kAvx512:
+#ifdef HISTEST_SIMD_COMPILED_AVX512
+      if (cpu.avx512f) return &kAvx512Table;
+#endif
+      return nullptr;
+    case Variant::kNeon:
+#ifdef HISTEST_SIMD_COMPILED_NEON
+      if (cpu.neon) return &kNeonTable;
+#endif
+      return nullptr;
+  }
+  return nullptr;
+}
+
+std::vector<Variant> AvailableVariants() {
+  std::vector<Variant> out;
+  for (int i = 0; i < kNumVariants; ++i) {
+    const Variant v = static_cast<Variant>(i);
+    if (KernelTableFor(v) != nullptr) out.push_back(v);
+  }
+  return out;
+}
+
+const KernelTable& ActiveKernels() {
+  static const KernelTable* table = InstallDispatch();
+  // Re-published on every call (cheap: no-op unless tracing is enabled) so
+  // the gauges appear even when obs is switched on after first dispatch —
+  // the same pattern ThreadPool::Shared() uses for its thread-count gauge.
+  obs::SetGauge("histest.simd.active_variant",
+                static_cast<int64_t>(table->variant));
+  const CpuFeatures& cpu = DetectCpuFeatures();
+  obs::SetGauge("histest.simd.cpu.avx2", cpu.avx2 ? 1 : 0);
+  obs::SetGauge("histest.simd.cpu.avx512f", cpu.avx512f ? 1 : 0);
+  obs::SetGauge("histest.simd.cpu.neon", cpu.neon ? 1 : 0);
+  return *table;
+}
+
+Variant ActiveVariant() { return ActiveKernels().variant; }
+
+}  // namespace simd
+}  // namespace histest

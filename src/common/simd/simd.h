@@ -1,0 +1,130 @@
+#ifndef HISTEST_COMMON_SIMD_SIMD_H_
+#define HISTEST_COMMON_SIMD_SIMD_H_
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace histest {
+namespace simd {
+
+/// Runtime-dispatched SIMD backends for the hot accumulation kernels
+/// (common/kernels.h) and the batched alias-table resolution in
+/// AliasSampler::SampleBatch.
+///
+/// Design:
+///   * One translation unit per ISA (kernels_scalar.cc, kernels_avx2.cc,
+///     kernels_avx512.cc, kernels_neon.cc), each compiled with exactly the
+///     flags its intrinsics need — the rest of the library keeps the
+///     portable baseline, so an AVX-512 binary still runs on an SSE2 CPU.
+///   * A one-time CPUID/HWCAP probe (DetectCpuFeatures) plus the
+///     HISTEST_SIMD env override pick a variant; ActiveKernels() installs
+///     the matching function-pointer table at first use.
+///   * The scalar table is the cross-platform bit-exactness oracle. Every
+///     other variant is differentially tested against it
+///     (tests/test_simd_kernels.cc). Variants whose
+///     `lane_order_matches_scalar` flag is set reproduce the scalar
+///     skeleton's exact summation order (four stride-4 lanes per
+///     1024-element block, tail into lane 0, pairwise lane combine, Kahan
+///     block combine) and are bit-identical to scalar; the others (AVX-512's
+///     eight lanes) are deterministic within the variant and ulp-close.
+///
+/// Raw vendor intrinsics are permitted only under src/common/simd/ — the
+/// simd-discipline analyzer checker enforces this.
+
+enum class Variant : int {
+  kScalar = 0,
+  kAvx2 = 1,
+  kAvx512 = 2,
+  kNeon = 3,
+};
+inline constexpr int kNumVariants = 4;
+
+/// Stable lowercase name ("scalar", "avx2", "avx512", "neon") — the same
+/// spellings HISTEST_SIMD accepts.
+const char* VariantName(Variant v);
+
+/// Result of the one-time CPU feature probe.
+struct CpuFeatures {
+  bool avx2 = false;
+  bool avx512f = false;
+  bool neon = false;
+
+  /// Human-readable summary recorded into bench JSON artifact headers so
+  /// per-runner trajectories stay interpretable, e.g.
+  /// "arch=x86-64 simd=avx2,avx512f".
+  std::string ToString() const;
+};
+
+/// Probes CPUID (x86) / the architecture baseline (AArch64 mandates
+/// AdvSIMD) exactly once and caches the result.
+const CpuFeatures& DetectCpuFeatures();
+
+/// Index of each dispatched kernel inside KernelTable::tally.
+enum KernelId : size_t {
+  kL1Distance = 0,
+  kL2DistanceSquared,
+  kSum,
+  kSumSquares,
+  kHellinger,
+  kChiSquare,
+  kZAccumulate,
+  kAliasResolve,
+  kNumKernels,
+};
+
+/// Function-pointer table for one variant. Kernel semantics are documented
+/// in common/kernels.h; `resolve_alias` maps `count` pre-drawn
+/// (column, uniform) pairs from Rng::FillPairs through a Walker alias table
+/// (out[i] = us[i] < prob[cols[i]] ? cols[i] : alias[cols[i]]), which every
+/// variant computes with identical comparisons, so outputs are bit-equal
+/// across variants by construction.
+struct KernelTable {
+  Variant variant = Variant::kScalar;
+  /// True iff this variant reproduces the scalar 4-lane summation order
+  /// exactly (bit-identical results, not merely ulp-close).
+  bool lane_order_matches_scalar = true;
+
+  double (*l1_distance)(const double* a, const double* b, size_t n);
+  double (*l2_distance_squared)(const double* a, const double* b, size_t n);
+  double (*sum)(const double* a, size_t n);
+  double (*sum_squares)(const double* a, size_t n);
+  double (*hellinger)(const double* a, const double* b, size_t n);
+  double (*chi_square)(const double* p, const double* q, size_t n);
+  double (*z_accumulate)(const double* dstar, const double* counts, size_t n,
+                         double m, double aeps_cut);
+  void (*resolve_alias)(const double* prob, const size_t* alias,
+                        const uint64_t* cols, const double* us, size_t* out,
+                        int64_t count);
+
+  /// Per-kernel dispatch-tally counter names
+  /// ("histest.simd.<variant>.<kernel>.calls"), bumped by the dispatch
+  /// wrappers so traces show which ISA actually ran each kernel.
+  std::array<const char*, kNumKernels> tally{};
+};
+
+/// Table for a specific variant, or nullptr when that variant was not
+/// compiled into this binary or the running CPU lacks the ISA. kScalar is
+/// always available.
+const KernelTable* KernelTableFor(Variant v);
+
+/// Variants usable in this process (compiled in and supported by the CPU),
+/// kScalar first. Differential tests iterate this.
+std::vector<Variant> AvailableVariants();
+
+/// The process-wide dispatch table, installed at first use: the best
+/// available variant (avx512 > avx2 > neon > scalar), overridden by
+/// HISTEST_SIMD=scalar|avx2|avx512|neon. An unusable or malformed override
+/// warns once on stderr and falls back to the automatic choice. Publishes
+/// the histest.simd.active_variant gauge and per-ISA availability gauges.
+const KernelTable& ActiveKernels();
+
+/// Variant served by ActiveKernels().
+Variant ActiveVariant();
+
+}  // namespace simd
+}  // namespace histest
+
+#endif  // HISTEST_COMMON_SIMD_SIMD_H_

@@ -5,6 +5,8 @@
 
 #include "common/check.h"
 #include "common/math_util.h"
+#include "common/simd/simd.h"
+#include "obs/metrics.h"
 
 namespace histest {
 
@@ -66,31 +68,24 @@ size_t AliasSampler::Sample(Rng& rng) const {
 void AliasSampler::SampleBatch(Rng& rng, size_t* out, int64_t count) const {
   // Identical arithmetic to Sample(), restructured into two passes per
   // chunk: first the pure-RNG pass (inline xoshiro, no memory traffic),
-  // then the table-resolution pass with the (column, alias) cache lines
-  // prefetched a few iterations ahead. For domains whose tables exceed the
-  // L2 cache the second pass is latency-bound, so the prefetch distance is
-  // what buys most of the batch speedup.
+  // then the table-resolution pass, dispatched through the SIMD layer
+  // (gather-based on AVX2/AVX-512, prefetched scalar otherwise). Every
+  // resolve variant makes the same `u < prob[col]` comparison, so the
+  // output stream is bit-identical to repeated Sample() calls regardless
+  // of the active ISA.
+  const simd::KernelTable& t = simd::ActiveKernels();
+  obs::AddCount(t.tally[simd::kAliasResolve], 1);
   const double* prob = prob_.data();
   const size_t* alias = alias_.data();
   const uint64_t n = prob_.size();
   constexpr int64_t kChunk = 1024;
-  constexpr int64_t kAhead = 16;
   uint64_t cols[kChunk];
   double us[kChunk];
   int64_t done = 0;
   while (done < count) {
     const int64_t c = std::min(count - done, kChunk);
     rng.FillPairs(n, cols, us, c);
-    size_t* dst = out + done;
-    for (int64_t i = 0; i < c; ++i) {
-      if (i + kAhead < c) {
-        const uint64_t ahead = cols[i + kAhead];
-        __builtin_prefetch(prob + ahead, 0, 1);
-        __builtin_prefetch(alias + ahead, 0, 1);
-      }
-      const size_t column = static_cast<size_t>(cols[i]);
-      dst[i] = us[i] < prob[column] ? column : alias[column];
-    }
+    t.resolve_alias(prob, alias, cols, us, out + done, c);
     done += c;
   }
 }

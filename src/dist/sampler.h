@@ -34,6 +34,11 @@ class AliasSampler {
   /// Draws `count` samples.
   std::vector<size_t> SampleMany(Rng& rng, size_t count) const;
 
+  /// Read-only views of the alias table, for the per-variant resolve
+  /// benchmarks and the SIMD differential tests.
+  const std::vector<double>& prob() const { return prob_; }
+  const std::vector<size_t>& alias() const { return alias_; }
+
  private:
   void Build(std::vector<double> weights);
 

@@ -1,0 +1,19 @@
+// simd-discipline fixture: one banned construct per line.
+#include <immintrin.h>
+#include <arm_neon.h>
+
+double SumAvx(const double* a) {
+  __m256d acc;
+  acc = _mm256_loadu_pd(a);
+  acc = _mm256_add_pd(acc, acc);
+  double out[4];
+  _mm256_storeu_pd(out, acc);
+  return out[0];
+}
+
+float SumNeon(const float* a) {
+  float32x4_t v;
+  v = vld1q_f32(a);
+  v = vaddq_f32(v, v);
+  return vgetq_lane_f32(v, 0);
+}

@@ -1,0 +1,16 @@
+// Portable hot-path idioms stay legal everywhere: autovectorizable loops,
+// __builtin_prefetch, and SIMD-adjacent identifiers are not intrinsics.
+#include <cstddef>
+
+namespace histest {
+
+double FirstOrZero(const double* a, size_t n) {
+  const int simd_width = 4;  // naming things "simd" is fine
+  return n >= static_cast<size_t>(simd_width) ? a[0] : 0.0;
+}
+
+void WarmCache(const double* a, size_t n) {
+  if (n != 0) __builtin_prefetch(a + n - 1, 0, 1);
+}
+
+}  // namespace histest

@@ -43,6 +43,10 @@ DEST = {
     "raw_accumulate_good.cc": "src/core/raw_accumulate_good.cc",
     "rng_stream_bad.cc": "src/core/rng_stream_bad.cc",
     "rng_stream_good.cc": "src/core/rng_stream_good.cc",
+    # simd-discipline scans every dir; src/dist/ placement proves the ban
+    # reaches hot-path code outside the dispatch layer.
+    "simd_discipline_bad.cc": "src/dist/simd_discipline_bad.cc",
+    "simd_discipline_good.cc": "src/dist/simd_discipline_good.cc",
     "static_state_bad.cc": "src/core/static_state_bad.cc",
     "static_state_good.cc": "src/core/static_state_good.cc",
     "suppression_ok.cc": "src/core/suppression_ok.cc",
@@ -139,6 +143,30 @@ class CheckerFixtureTest(unittest.TestCase):
         shutil.copyfile(FIXTURES / "clock_discipline_bad.cc", dest)
         try:
             res = engine.run_scan(root, checker_names=["clock-discipline"],
+                                  backend="internal")
+            self.assertEqual(res.findings, [])
+        finally:
+            shutil.rmtree(root, ignore_errors=True)
+
+    def test_simd_discipline_bad(self):
+        res = scan(["simd_discipline_bad.cc"],
+                   checkers=["simd-discipline"])
+        self.assert_findings(res, "simd-discipline",
+                             [2, 3, 6, 7, 8, 10, 15, 16, 17, 18])
+
+    def test_simd_discipline_good(self):
+        res = scan(["simd_discipline_good.cc"])
+        self.assertEqual(res.findings, [])
+
+    def test_simd_discipline_exempts_dispatch_layer(self):
+        # The same intrinsics are the sanctioned implementation when they
+        # live in src/common/simd/: zero findings there.
+        root = make_tree([])
+        dest = root / "src" / "common" / "simd" / "kernels_avx2.cc"
+        dest.parent.mkdir(parents=True, exist_ok=True)
+        shutil.copyfile(FIXTURES / "simd_discipline_bad.cc", dest)
+        try:
+            res = engine.run_scan(root, checker_names=["simd-discipline"],
                                   backend="internal")
             self.assertEqual(res.findings, [])
         finally:

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdlib>
+
 namespace histest {
 namespace {
 
@@ -56,6 +58,116 @@ TEST(BenchScaleTest, DefaultsToOneWithoutEnv) {
   // The test environment does not set HISTEST_BENCH_SCALE.
   EXPECT_GT(BenchScale(), 0.0);
   EXPECT_GE(ScaledTrials(10), 1);
+}
+
+/// Scoped setenv/unsetenv so the parse tests cannot leak state into other
+/// tests in this binary.
+class ScopedEnv {
+ public:
+  ScopedEnv(const char* name, const char* value) : name_(name) {
+    if (value == nullptr) {
+      ::unsetenv(name);
+    } else {
+      ::setenv(name, value, 1);
+    }
+  }
+  ~ScopedEnv() { ::unsetenv(name_); }
+
+ private:
+  const char* name_;
+};
+
+TEST(ParseEnvIntTest, AbsentYieldsFallback) {
+  const ScopedEnv env("HISTEST_TEST_INT", nullptr);
+  const auto v = ParseEnvInt("HISTEST_TEST_INT", 1, 100, 42);
+  EXPECT_FALSE(v.present);
+  EXPECT_TRUE(v.valid);
+  EXPECT_EQ(v.value, 42);
+}
+
+TEST(ParseEnvIntTest, ParsesCleanInteger) {
+  const ScopedEnv env("HISTEST_TEST_INT", "64");
+  const auto v = ParseEnvInt("HISTEST_TEST_INT", 1, 100, 42);
+  EXPECT_TRUE(v.present);
+  EXPECT_TRUE(v.valid);
+  EXPECT_EQ(v.value, 64);
+  EXPECT_EQ(v.raw, "64");
+}
+
+TEST(ParseEnvIntTest, RejectsGarbageAndRange) {
+  {
+    const ScopedEnv env("HISTEST_TEST_INT", "4x");
+    const auto v = ParseEnvInt("HISTEST_TEST_INT", 1, 100, 42);
+    EXPECT_TRUE(v.present);
+    EXPECT_FALSE(v.valid);
+    EXPECT_EQ(v.value, 42);  // fallback retained
+    EXPECT_FALSE(v.error.empty());
+  }
+  {
+    const ScopedEnv env("HISTEST_TEST_INT", "101");
+    const auto v = ParseEnvInt("HISTEST_TEST_INT", 1, 100, 42);
+    EXPECT_FALSE(v.valid);
+    EXPECT_EQ(v.value, 42);
+  }
+  {
+    const ScopedEnv env("HISTEST_TEST_INT", "");
+    const auto v = ParseEnvInt("HISTEST_TEST_INT", 1, 100, 42);
+    EXPECT_TRUE(v.present);
+    EXPECT_FALSE(v.valid);
+  }
+}
+
+TEST(ParseEnvDoubleTest, ParsesAndRejects) {
+  {
+    const ScopedEnv env("HISTEST_TEST_DBL", "2.5");
+    const auto v = ParseEnvDouble("HISTEST_TEST_DBL", 1.0);
+    EXPECT_TRUE(v.present);
+    EXPECT_TRUE(v.valid);
+    EXPECT_DOUBLE_EQ(v.value, 2.5);
+  }
+  {
+    const ScopedEnv env("HISTEST_TEST_DBL", "-1.0");
+    const auto v = ParseEnvDouble("HISTEST_TEST_DBL", 1.0);
+    EXPECT_FALSE(v.valid);  // must be strictly positive
+    EXPECT_DOUBLE_EQ(v.value, 1.0);
+  }
+  {
+    const ScopedEnv env("HISTEST_TEST_DBL", "inf");
+    const auto v = ParseEnvDouble("HISTEST_TEST_DBL", 1.0);
+    EXPECT_FALSE(v.valid);  // must be finite
+  }
+  {
+    const ScopedEnv env("HISTEST_TEST_DBL", "1.5trailing");
+    const auto v = ParseEnvDouble("HISTEST_TEST_DBL", 1.0);
+    EXPECT_FALSE(v.valid);
+  }
+}
+
+TEST(ParseEnvEnumTest, MatchesSpellingsAndListsOptions) {
+  const std::vector<std::pair<std::string, int>> options = {
+      {"scalar", 0}, {"avx2", 1}, {"avx512", 2}, {"neon", 3}};
+  {
+    const ScopedEnv env("HISTEST_TEST_ENUM", "avx2");
+    const auto v = ParseEnvEnum("HISTEST_TEST_ENUM", options, 0);
+    EXPECT_TRUE(v.present);
+    EXPECT_TRUE(v.valid);
+    EXPECT_EQ(v.value, 1);
+  }
+  {
+    const ScopedEnv env("HISTEST_TEST_ENUM", "AVX2");  // case-sensitive
+    const auto v = ParseEnvEnum("HISTEST_TEST_ENUM", options, 0);
+    EXPECT_FALSE(v.valid);
+    EXPECT_EQ(v.value, 0);
+    // The diagnostic names every accepted spelling.
+    EXPECT_NE(v.error.find("scalar"), std::string::npos);
+    EXPECT_NE(v.error.find("neon"), std::string::npos);
+  }
+  {
+    const ScopedEnv env("HISTEST_TEST_ENUM", nullptr);
+    const auto v = ParseEnvEnum("HISTEST_TEST_ENUM", options, 3);
+    EXPECT_FALSE(v.present);
+    EXPECT_EQ(v.value, 3);
+  }
 }
 
 }  // namespace

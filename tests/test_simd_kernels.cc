@@ -1,0 +1,292 @@
+/// Differential tests for the SIMD dispatch layer: every variant compiled
+/// into this binary and usable on this CPU is exercised against the scalar
+/// oracle on block/lane edge sizes, unaligned bases, and adversarial
+/// floating-point inputs. Variants whose `lane_order_matches_scalar` flag
+/// is set must match bit-for-bit; the rest (AVX-512's 8-lane accumulator)
+/// must stay within a tight compensated-summation tolerance. The alias
+/// resolve path must be bit-identical everywhere — it performs no
+/// accumulation, only comparisons.
+
+#include "common/simd/simd.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdlib>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "dist/sampler.h"
+
+namespace histest {
+namespace {
+
+using simd::KernelTable;
+using simd::Variant;
+
+std::vector<double> RandomVector(Rng& rng, size_t n, double scale) {
+  std::vector<double> v(n);
+  for (double& x : v) x = scale * rng.UniformDouble();
+  return v;
+}
+
+/// Equality that treats any-NaN == any-NaN (payloads are irrelevant) and
+/// distinguishes +0.0 from everything else the usual way.
+bool NanSafeEq(double a, double b) {
+  if (std::isnan(a) || std::isnan(b)) {
+    return std::isnan(a) && std::isnan(b);
+  }
+  return a == b;
+}
+
+void ExpectClose(const KernelTable& t, double got, double ref, size_t n,
+                 const char* what) {
+  if (t.lane_order_matches_scalar) {
+    EXPECT_TRUE(NanSafeEq(got, ref))
+        << what << " variant=" << simd::VariantName(t.variant) << " n=" << n
+        << " got=" << got << " ref=" << ref << " (bit-exact required)";
+  } else if (std::isnan(ref) || std::isinf(ref)) {
+    EXPECT_TRUE(NanSafeEq(got, ref))
+        << what << " variant=" << simd::VariantName(t.variant) << " n=" << n;
+  } else {
+    EXPECT_NEAR(got, ref, 1e-12 * (std::fabs(ref) + 1.0))
+        << what << " variant=" << simd::VariantName(t.variant) << " n=" << n;
+  }
+}
+
+/// Sizes probing the vector-width and block edges for every lane count in
+/// play (4 for scalar/AVX2, 2x2 for NEON, 8 for AVX-512).
+const size_t kEdgeSizes[] = {0,    1,    3,    4,   5,    7,    8,
+                             9,    1023, 1024, 1025, 4099, 3 * 1024};
+
+const KernelTable& ScalarTable() {
+  return *simd::KernelTableFor(Variant::kScalar);
+}
+
+TEST(SimdDispatchTest, ScalarAlwaysAvailable) {
+  const std::vector<Variant> variants = simd::AvailableVariants();
+  ASSERT_FALSE(variants.empty());
+  EXPECT_EQ(variants.front(), Variant::kScalar);
+  for (const Variant v : variants) {
+    const KernelTable* t = simd::KernelTableFor(v);
+    ASSERT_NE(t, nullptr);
+    EXPECT_EQ(t->variant, v);
+  }
+}
+
+TEST(SimdDispatchTest, CompiledVariantsMatchCpuProbe) {
+  const simd::CpuFeatures& cpu = simd::DetectCpuFeatures();
+  EXPECT_FALSE(cpu.ToString().empty());
+  // A variant table must never be served on a CPU that lacks the ISA.
+  if (!cpu.avx2) EXPECT_EQ(simd::KernelTableFor(Variant::kAvx2), nullptr);
+  if (!cpu.avx512f) {
+    EXPECT_EQ(simd::KernelTableFor(Variant::kAvx512), nullptr);
+  }
+  if (!cpu.neon) EXPECT_EQ(simd::KernelTableFor(Variant::kNeon), nullptr);
+}
+
+TEST(SimdDispatchTest, HonorsEnvOverride) {
+  // When the harness pins HISTEST_SIMD (the per-variant CI lanes do), the
+  // active table must be exactly that variant — this is what makes a green
+  // per-variant ctest pass evidence that the variant actually ran.
+  const char* env = std::getenv("HISTEST_SIMD");
+  const Variant active = simd::ActiveVariant();
+  ASSERT_NE(simd::KernelTableFor(active), nullptr);
+  if (env != nullptr) {
+    const std::string want(env);
+    for (const Variant v : simd::AvailableVariants()) {
+      if (want == simd::VariantName(v)) {
+        EXPECT_EQ(active, v) << "HISTEST_SIMD=" << want << " not honored";
+      }
+    }
+  }
+}
+
+TEST(SimdKernelDifferentialTest, RandomInputsOnEdgeSizes) {
+  Rng rng(4101);
+  const KernelTable& ref = ScalarTable();
+  for (const size_t n : kEdgeSizes) {
+    const std::vector<double> a = RandomVector(rng, n, 1.0);
+    const std::vector<double> b = RandomVector(rng, n, 1.0);
+    const double m = 1e4;
+    const double cut = 0.25 / static_cast<double>(n + 1);
+    for (const Variant v : simd::AvailableVariants()) {
+      const KernelTable& t = *simd::KernelTableFor(v);
+      ExpectClose(t, t.l1_distance(a.data(), b.data(), n),
+                  ref.l1_distance(a.data(), b.data(), n), n, "l1");
+      ExpectClose(t, t.l2_distance_squared(a.data(), b.data(), n),
+                  ref.l2_distance_squared(a.data(), b.data(), n), n, "l2");
+      ExpectClose(t, t.sum(a.data(), n), ref.sum(a.data(), n), n, "sum");
+      ExpectClose(t, t.sum_squares(a.data(), n), ref.sum_squares(a.data(), n),
+                  n, "sum_squares");
+      ExpectClose(t, t.hellinger(a.data(), b.data(), n),
+                  ref.hellinger(a.data(), b.data(), n), n, "hellinger");
+      ExpectClose(t, t.chi_square(a.data(), b.data(), n),
+                  ref.chi_square(a.data(), b.data(), n), n, "chi_square");
+      ExpectClose(t, t.z_accumulate(a.data(), b.data(), n, m, cut),
+                  ref.z_accumulate(a.data(), b.data(), n, m, cut), n, "z");
+    }
+  }
+}
+
+TEST(SimdKernelDifferentialTest, UnalignedBases) {
+  // loadu everywhere: results must not depend on pointer alignment. Offsets
+  // 1..7 cover every misalignment of an 8-double AVX-512 vector.
+  Rng rng(4102);
+  const size_t n = 1029;
+  const std::vector<double> a = RandomVector(rng, n + 8, 1.0);
+  const std::vector<double> b = RandomVector(rng, n + 8, 1.0);
+  const KernelTable& ref = ScalarTable();
+  for (size_t off = 1; off < 8; ++off) {
+    const double* pa = a.data() + off;
+    const double* pb = b.data() + off;
+    for (const Variant v : simd::AvailableVariants()) {
+      const KernelTable& t = *simd::KernelTableFor(v);
+      ExpectClose(t, t.l1_distance(pa, pb, n), ref.l1_distance(pa, pb, n), n,
+                  "l1-unaligned");
+      ExpectClose(t, t.sum(pa, n), ref.sum(pa, n), n, "sum-unaligned");
+      ExpectClose(t, t.chi_square(pa, pb, n), ref.chi_square(pa, pb, n), n,
+                  "chi-unaligned");
+      ExpectClose(t, t.z_accumulate(pa, pb, n, 100.0, 1e-4),
+                  ref.z_accumulate(pa, pb, n, 100.0, 1e-4), n, "z-unaligned");
+    }
+  }
+}
+
+TEST(SimdKernelDifferentialTest, SpecialValues) {
+  const double inf = std::numeric_limits<double>::infinity();
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  const double den = std::numeric_limits<double>::denorm_min();
+  const size_t n = 1030;  // one block plus a sub-lane tail
+  Rng rng(4103);
+  std::vector<double> a = RandomVector(rng, n, 1.0);
+  std::vector<double> b = RandomVector(rng, n, 1.0);
+  // Scatter adversarial values into both vector-body and tail positions.
+  a[17] = nan;
+  b[33] = nan;
+  a[200] = inf;
+  b[201] = -inf;
+  a[300] = den;
+  b[301] = -den;
+  a[n - 1] = nan;
+  b[n - 2] = inf;
+  const KernelTable& ref = ScalarTable();
+  for (const Variant v : simd::AvailableVariants()) {
+    const KernelTable& t = *simd::KernelTableFor(v);
+    ExpectClose(t, t.l1_distance(a.data(), b.data(), n),
+                ref.l1_distance(a.data(), b.data(), n), n, "l1-special");
+    ExpectClose(t, t.sum(a.data(), n), ref.sum(a.data(), n), n,
+                "sum-special");
+    ExpectClose(t, t.sum_squares(a.data(), n), ref.sum_squares(a.data(), n),
+                n, "sumsq-special");
+    ExpectClose(t, t.z_accumulate(a.data(), b.data(), n, 50.0, 0.5),
+                ref.z_accumulate(a.data(), b.data(), n, 50.0, 0.5), n,
+                "z-special");
+  }
+}
+
+TEST(SimdKernelDifferentialTest, ChiSquareZeroDenominatorConvention) {
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  const size_t n = 1027;
+  Rng rng(4104);
+  for (const Variant v : simd::AvailableVariants()) {
+    const KernelTable& t = *simd::KernelTableFor(v);
+    std::vector<double> p = RandomVector(rng, n, 1.0);
+    std::vector<double> q = RandomVector(rng, n, 1.0);
+    // q == 0, p == 0: no contribution, sum stays finite.
+    p[9] = 0.0;
+    q[9] = 0.0;
+    q[n - 1] = -0.0;  // negative zero is <= 0 too
+    p[n - 1] = 0.0;
+    EXPECT_TRUE(std::isfinite(t.chi_square(p.data(), q.data(), n)))
+        << simd::VariantName(v);
+    // q <= 0 with p > 0 anywhere (vector body or tail) => +inf, never NaN.
+    p[9] = 0.5;
+    EXPECT_EQ(t.chi_square(p.data(), q.data(), n),
+              std::numeric_limits<double>::infinity())
+        << simd::VariantName(v);
+    p[9] = 0.0;
+    p[n - 1] = 0.5;
+    EXPECT_EQ(t.chi_square(p.data(), q.data(), n),
+              std::numeric_limits<double>::infinity())
+        << simd::VariantName(v);
+    // NaN q is NOT <= 0: the term is computed and poisons the sum.
+    p[n - 1] = 0.0;
+    q[4] = nan;
+    EXPECT_TRUE(std::isnan(t.chi_square(p.data(), q.data(), n)))
+        << simd::VariantName(v);
+  }
+}
+
+TEST(SimdKernelDifferentialTest, ZAccumulateNanCutSemantics) {
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  const size_t n = 517;
+  Rng rng(4105);
+  for (const Variant v : simd::AvailableVariants()) {
+    const KernelTable& t = *simd::KernelTableFor(v);
+    std::vector<double> dstar = RandomVector(rng, n, 1e-3);
+    std::vector<double> counts = RandomVector(rng, n, 20.0);
+    // NaN dstar is not < cut, so it is kept and must poison the sum —
+    // identical to the scalar early-out's comparison semantics.
+    dstar[123] = nan;
+    EXPECT_TRUE(std::isnan(
+        t.z_accumulate(dstar.data(), counts.data(), n, 100.0, 1e-4)))
+        << simd::VariantName(v);
+    // A cut above every dstar drops everything, including division hazards.
+    dstar[123] = 0.0;  // m * 0 == 0 divisor must be masked out
+    EXPECT_EQ(t.z_accumulate(dstar.data(), counts.data(), n, 100.0, 1.0),
+              0.0)
+        << simd::VariantName(v);
+  }
+}
+
+TEST(SimdAliasResolveTest, BitIdenticalStreamsAcrossVariants) {
+  // The resolve is comparisons only — every variant must produce the exact
+  // sample stream of the scalar path, on every tail length.
+  Rng weights_rng(4106);
+  const size_t domain = 777;
+  const AliasSampler sampler(RandomVector(weights_rng, domain, 1.0));
+  const KernelTable& ref = ScalarTable();
+  const int64_t kCounts[] = {0, 1, 3, 4, 5, 7, 8, 9, 31, 1024, 1337};
+  for (const int64_t count : kCounts) {
+    Rng rng(static_cast<uint64_t>(9000 + count));
+    std::vector<uint64_t> cols(static_cast<size_t>(count) + 1);
+    std::vector<double> us(static_cast<size_t>(count) + 1);
+    rng.FillPairs(domain, cols.data(), us.data(), count);
+    std::vector<size_t> expected(static_cast<size_t>(count) + 1);
+    ref.resolve_alias(sampler.prob().data(), sampler.alias().data(),
+                      cols.data(), us.data(), expected.data(), count);
+    for (const Variant v : simd::AvailableVariants()) {
+      const KernelTable& t = *simd::KernelTableFor(v);
+      std::vector<size_t> got(static_cast<size_t>(count) + 1, ~size_t{0});
+      t.resolve_alias(sampler.prob().data(), sampler.alias().data(),
+                      cols.data(), us.data(), got.data(), count);
+      for (int64_t i = 0; i < count; ++i) {
+        ASSERT_EQ(got[static_cast<size_t>(i)],
+                  expected[static_cast<size_t>(i)])
+            << "variant=" << simd::VariantName(v) << " count=" << count
+            << " i=" << i;
+      }
+    }
+  }
+}
+
+TEST(SimdAliasResolveTest, SampleBatchStreamMatchesRepeatedSample) {
+  // End-to-end guard: whatever variant is active in this process,
+  // SampleBatch must remain stream-identical to repeated Sample() calls.
+  Rng weights_rng(4107);
+  const AliasSampler sampler(RandomVector(weights_rng, 513, 1.0));
+  Rng rng_batch(777);
+  Rng rng_single(777);
+  std::vector<size_t> batch(4099);
+  sampler.SampleBatch(rng_batch, batch.data(),
+                      static_cast<int64_t>(batch.size()));
+  for (size_t i = 0; i < batch.size(); ++i) {
+    ASSERT_EQ(batch[i], sampler.Sample(rng_single)) << "i=" << i;
+  }
+}
+
+}  // namespace
+}  // namespace histest

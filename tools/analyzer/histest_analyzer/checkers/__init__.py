@@ -4,5 +4,6 @@ from . import clock_discipline  # noqa: F401
 from . import float_compare     # noqa: F401
 from . import raw_accumulate    # noqa: F401
 from . import rng_stream        # noqa: F401
+from . import simd_discipline   # noqa: F401
 from . import static_state      # noqa: F401
 from . import status_discipline  # noqa: F401

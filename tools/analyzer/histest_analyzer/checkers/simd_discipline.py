@@ -1,0 +1,88 @@
+"""simd-discipline: raw vendor intrinsics live only under src/common/simd/.
+
+The SIMD dispatch layer (src/common/simd/) is the one place where ISA-
+specific code is allowed: each backend translation unit is compiled with
+exactly the flags its intrinsics need, registered behind a runtime CPUID/
+HWCAP probe, and differentially tested against the scalar oracle. An
+``_mm256_add_pd`` anywhere else bypasses all three guarantees — the file
+would need a global ``-mavx2`` (miscompiling the portable baseline into
+illegal-instruction territory on older CPUs), would dodge the dispatch
+tally metrics, and would never be exercised by the per-variant
+differential suite.
+
+Flagged constructs:
+
+* vendor intrinsic headers (``immintrin.h``, ``arm_neon.h``, ...);
+* ``_mm``/``_mm256``/``_mm512``-prefixed intrinsic calls and the
+  ``__m128/__m256/__m512`` vector types;
+* NEON intrinsic calls and ``*x2_t``/``*x4_t`` vector types, recognized
+  only when the file includes ``arm_neon.h`` (short lowercase names like
+  ``vaddq_f64`` are too collision-prone to ban unconditionally).
+
+Portable idioms (``__builtin_prefetch``, autovectorizable loops) are not
+SIMD and are fine anywhere.
+"""
+
+from __future__ import annotations
+
+import re
+
+from ..engine import Checker, Finding, register
+
+_SIMD_HEADERS = frozenset({
+    "immintrin.h", "x86intrin.h", "xmmintrin.h", "emmintrin.h",
+    "pmmintrin.h", "tmmintrin.h", "smmintrin.h", "nmmintrin.h",
+    "wmmintrin.h", "avxintrin.h", "avx2intrin.h", "avx512fintrin.h",
+    "arm_neon.h", "arm_sve.h", "arm_acle.h",
+})
+
+_X86_INTRIN_RE = re.compile(r"^_mm(?:256|512)?_\w+$")
+_X86_TYPE_RE = re.compile(r"^__m(?:128|256|512)[di]?$")
+_NEON_TYPE_RE = re.compile(
+    r"^(?:u?int|float|poly)(?:8|16|32|64)x(?:1|2|4|8|16)_t$")
+# NEON intrinsics: v-prefixed ops with a lane-type suffix (vaddq_f64,
+# vld1q_f64, vgetq_lane_u64, vdupq_n_f64, ...).
+_NEON_FN_RE = re.compile(
+    r"^v[a-z0-9_]+_(?:[sup](?:8|16|32|64)|f(?:16|32|64))$")
+
+
+@register
+class SimdDisciplineChecker(Checker):
+    name = "simd-discipline"
+    description = ("raw SIMD intrinsics are banned outside src/common/simd/; "
+                   "add a backend to the dispatch layer instead")
+    scopes = None
+    exempt = ("src/common/simd/*",)
+
+    def check(self, ctx):
+        out = []
+        for pp in ctx.lexed.pp_lines:
+            m = re.match(r'#\s*include\s*[<"]([^>"]+)[>"]', pp.text)
+            if m and m.group(1) in _SIMD_HEADERS:
+                out.append(Finding(
+                    self.name, ctx.rel_path, pp.line, 1,
+                    f"vendor intrinsic header <{m.group(1)}> is banned "
+                    f"outside src/common/simd/: put ISA-specific code in a "
+                    f"dispatch-layer backend so it gets per-file ISA flags, "
+                    f"a runtime CPU probe, and differential tests",
+                    ctx.line_text(pp.line)))
+        neon_file = any(inc in ("arm_neon.h", "arm_sve.h")
+                        for inc in ctx.lexed.includes())
+        for t in ctx.model.tokens:
+            if t.kind != "id":
+                continue
+            if _X86_INTRIN_RE.match(t.text) or _X86_TYPE_RE.match(t.text):
+                out.append(self._finding(ctx, t))
+            elif _NEON_TYPE_RE.match(t.text) or \
+                    (neon_file and _NEON_FN_RE.match(t.text)):
+                out.append(self._finding(ctx, t))
+        return out
+
+    def _finding(self, ctx, t):
+        return Finding(
+            self.name, ctx.rel_path, t.line, t.col,
+            f"raw SIMD intrinsic '{t.text}' outside src/common/simd/: "
+            f"route it through the dispatch layer (common/simd/simd.h) so "
+            f"the kernel is runtime-probed, tallied, and differentially "
+            f"tested against the scalar oracle",
+            ctx.line_text(t.line))
