@@ -18,6 +18,10 @@ namespace histest {
 /// One parallel region. Chunks are handed out through an atomic cursor;
 /// completion is tracked per chunk under the pool mutex so the submitting
 /// thread can sleep until the last in-flight chunk retires.
+///
+/// chunks_done and workers_allowed are guarded by the owning pool's mu_
+/// (not expressible as a HISTEST_GUARDED_BY attribute from a nested struct;
+/// every access below sits inside a MutexLock(mu_) scope).
 struct ThreadPool::Task {
   int64_t count = 0;
   int64_t chunk = 1;
@@ -26,7 +30,7 @@ struct ThreadPool::Task {
   std::atomic<int64_t> next{0};
   int64_t chunks_done = 0;   // guarded by ThreadPool::mu_
   int workers_allowed = 0;   // remaining pool-worker slots, guarded by mu_
-  std::condition_variable done;
+  CondVar done;
 
   bool HasWork() const { return next.load(std::memory_order_relaxed) < count; }
 };
@@ -41,32 +45,34 @@ ThreadPool::ThreadPool(int threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     stop_ = true;
   }
-  work_cv_.notify_all();
+  work_cv_.NotifyAll();
   for (auto& w : workers_) w.join();
 }
 
 void ThreadPool::WorkerLoop() {
-  std::unique_lock<std::mutex> lock(mu_);
   while (true) {
     std::shared_ptr<Task> task;
-    for (auto& t : queue_) {
-      if (t->workers_allowed > 0 && t->HasWork()) {
-        task = t;
-        break;
+    {
+      MutexLock lock(mu_);
+      while (true) {
+        for (auto& t : queue_) {
+          if (t->workers_allowed > 0 && t->HasWork()) {
+            task = t;
+            break;
+          }
+        }
+        if (task != nullptr) {
+          --task->workers_allowed;
+          break;
+        }
+        if (stop_) return;
+        work_cv_.Wait(mu_);
       }
     }
-    if (task == nullptr) {
-      if (stop_) return;
-      work_cv_.wait(lock);
-      continue;
-    }
-    --task->workers_allowed;
-    lock.unlock();
     RunChunks(*task);
-    lock.lock();
   }
 }
 
@@ -81,10 +87,10 @@ void ThreadPool::RunChunks(Task& task) {
     ++finished;
   }
   if (finished == 0) return;
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   task.chunks_done += finished;
   HISTEST_DCHECK_LE(task.chunks_done, task.chunks_total);
-  if (task.chunks_done == task.chunks_total) task.done.notify_all();
+  if (task.chunks_done == task.chunks_total) task.done.NotifyAll();
 }
 
 void ThreadPool::Run(int64_t count, int max_workers,
@@ -105,15 +111,17 @@ void ThreadPool::Run(int64_t count, int max_workers,
   task->chunks_total = (count + task->chunk - 1) / task->chunk;
   HISTEST_DCHECK_GE(task->chunks_total, 1);
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     queue_.push_back(task);
     obs::SetGauge("histest.pool.queue_depth",
                   static_cast<int64_t>(queue_.size()));
   }
-  if (helpers > 0) work_cv_.notify_all();
+  if (helpers > 0) work_cv_.NotifyAll();
   RunChunks(*task);
-  std::unique_lock<std::mutex> lock(mu_);
-  task->done.wait(lock,
+  MutexLock lock(mu_);
+  // The predicate runs with mu_ held (CondVar::Wait's contract); the Task
+  // fields it reads are mu_-guarded by convention (see Task's comment).
+  task->done.Wait(mu_,
                   [&]() { return task->chunks_done == task->chunks_total; });
   queue_.erase(std::find(queue_.begin(), queue_.end(), task));
   obs::SetGauge("histest.pool.queue_depth",
@@ -160,20 +168,17 @@ int DefaultBenchThreads() {
   if (env.present && env.valid) {
     return static_cast<int>(env.value);  // explicit override: no cap
   }
-  if (env.present && !env.raw.empty()) {
+  if (env.present && !env.raw.empty() &&
+      ShouldWarnOnceForEnv("HISTEST_THREADS", env.raw)) {
     // Warn once per distinct bad value, not once per call: the harness
     // calls this in loops, but a changed-yet-still-bad setting (common in
-    // CI matrix edits) should also be surfaced.
-    static std::mutex warn_mu;
-    static std::string warned_value;
-    std::lock_guard<std::mutex> lock(warn_mu);
-    if (warned_value != env.raw) {
-      warned_value = env.raw;
-      std::fprintf(stderr,
-                   "histest: ignoring HISTEST_THREADS='%s' (%s); "
-                   "falling back to min(8, hardware_concurrency)\n",
-                   env.raw.c_str(), env.error.c_str());
-    }
+    // CI matrix edits) should also be surfaced. The dedup registry lives
+    // in common/cli behind an annotated mutex, so racing first readers
+    // elect exactly one warner.
+    std::fprintf(stderr,
+                 "histest: ignoring HISTEST_THREADS='%s' (%s); "
+                 "falling back to min(8, hardware_concurrency)\n",
+                 env.raw.c_str(), env.error.c_str());
   }
   const unsigned hw = std::thread::hardware_concurrency();
   if (hw == 0) return 1;

@@ -1,15 +1,15 @@
 #ifndef HISTEST_BENCHUTIL_PARALLEL_H_
 #define HISTEST_BENCHUTIL_PARALLEL_H_
 
-#include <condition_variable>
 #include <cstdint>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <vector>
 
 #include "benchutil/sweep.h"
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 
 namespace histest {
 
@@ -48,13 +48,16 @@ class ThreadPool {
   struct Task;
 
   void WorkerLoop();
-  void RunChunks(Task& task);
+  void RunChunks(Task& task) HISTEST_EXCLUDES(mu_);
 
-  std::mutex mu_;
-  std::condition_variable work_cv_;
-  std::vector<std::shared_ptr<Task>> queue_;
+  /// Guards the work queue and the shutdown flag; also serializes each
+  /// Task's completion bookkeeping (chunks_done / workers_allowed), which
+  /// lives in the Task but is only ever touched with mu_ held.
+  Mutex mu_;
+  CondVar work_cv_;
+  std::vector<std::shared_ptr<Task>> queue_ HISTEST_GUARDED_BY(mu_);
   std::vector<std::thread> workers_;
-  bool stop_ = false;
+  bool stop_ HISTEST_GUARDED_BY(mu_) = false;
 };
 
 /// Runs `count` index-addressed jobs on up to `threads` concurrent

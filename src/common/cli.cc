@@ -3,10 +3,37 @@
 #include <cerrno>
 #include <cmath>
 #include <cstdlib>
+#include <set>
+#include <utility>
 
 #include "common/check.h"
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 
 namespace histest {
+
+namespace {
+
+/// Registry behind ShouldWarnOnceForEnv. The Mutex is constant-initialized
+/// (constexpr constructor), so it is usable however early a static
+/// initializer first parses an environment knob; the set is allocated on
+/// first use and deliberately leaked (process-lifetime state, like the
+/// metric handles in obs/metrics.cc).
+Mutex g_env_warn_mu;
+std::set<std::pair<std::string, std::string>>* g_env_warned
+    HISTEST_GUARDED_BY(g_env_warn_mu) = nullptr;
+
+}  // namespace
+
+bool ShouldWarnOnceForEnv(const char* name, const std::string& raw) {
+  MutexLock lock(g_env_warn_mu);
+  if (g_env_warned == nullptr) {
+    g_env_warned = new std::set<std::pair<std::string, std::string>>();
+  }
+  // A (name, value) pair, not a concatenated key: "X" + "y=z" must not
+  // collide with "X=y" + "z".
+  return g_env_warned->emplace(name, raw).second;
+}
 
 ArgParser::ArgParser(int argc, const char* const* argv) {
   for (int i = 1; i < argc; ++i) {

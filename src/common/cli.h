@@ -66,6 +66,14 @@ EnvValue<int> ParseEnvEnum(
     const char* name,
     const std::vector<std::pair<std::string, int>>& options, int fallback);
 
+/// Process-wide dedup for once-per-value environment diagnostics. Returns
+/// true exactly once per distinct (name, raw value) pair; when several
+/// threads race on the first read of the same bad value, exactly one of
+/// them is elected to warn (the registry is guarded by an annotated
+/// histest::Mutex — see common/mutex.h). Callers print their own message
+/// when this returns true, keeping the formatted text at the call site.
+bool ShouldWarnOnceForEnv(const char* name, const std::string& raw);
+
 /// Global scale factor for experiment binaries, read from the environment
 /// variable HISTEST_BENCH_SCALE (default 1.0). Trial counts are multiplied
 /// by this, so CI can run quick smoke passes and researchers can run

@@ -149,15 +149,23 @@ const KernelTable* InstallDispatch() {
                                           {"neon", 3}},
                                          static_cast<int>(chosen));
   if (env.present) {
+    // The warnings route through ShouldWarnOnceForEnv for uniformity with
+    // the other env knobs, though InstallDispatch itself already runs at
+    // most once (magic-static guard in ActiveKernels).
     if (!env.valid) {
-      std::fprintf(stderr,
-                   "histest: ignoring HISTEST_SIMD=%s (%s); using %s\n",
-                   env.raw.c_str(), env.error.c_str(), VariantName(chosen));
+      if (ShouldWarnOnceForEnv("HISTEST_SIMD", env.raw)) {
+        std::fprintf(stderr,
+                     "histest: ignoring HISTEST_SIMD=%s (%s); using %s\n",
+                     env.raw.c_str(), env.error.c_str(), VariantName(chosen));
+      }
     } else if (KernelTableFor(static_cast<Variant>(env.value)) == nullptr) {
-      std::fprintf(
-          stderr,
-          "histest: HISTEST_SIMD=%s not usable on this build/CPU; using %s\n",
-          env.raw.c_str(), VariantName(chosen));
+      if (ShouldWarnOnceForEnv("HISTEST_SIMD", env.raw)) {
+        std::fprintf(
+            stderr,
+            "histest: HISTEST_SIMD=%s not usable on this build/CPU; using "
+            "%s\n",
+            env.raw.c_str(), VariantName(chosen));
+      }
     } else {
       chosen = static_cast<Variant>(env.value);
     }
@@ -250,6 +258,15 @@ std::vector<Variant> AvailableVariants() {
 }
 
 const KernelTable& ActiveKernels() {
+  // Concurrency contract: the dispatch table is installed exactly once
+  // under the C++11 magic-static guard — concurrent first callers block
+  // until InstallDispatch returns, so the env probe, the stderr warnings,
+  // and the table choice are all single-shot and race-free. The table
+  // itself is immutable after installation (pointer to a constexpr object
+  // with static storage), so the post-init fast path is a guard-variable
+  // acquire load and nothing else. No mutex, hence no capability
+  // annotations; the lock-discipline checker's ban on raw std::mutex does
+  // not apply to this pattern.
   static const KernelTable* table = InstallDispatch();
   // Re-published on every call (cheap: no-op unless tracing is enabled) so
   // the gauges appear even when obs is switched on after first dispatch —

@@ -89,6 +89,20 @@ class Distribution {
   /// Lazily published by PrefixIndex(); owned. Copies start empty (the
   /// index is a pure function of pmf_ and rebuilds identically on demand);
   /// moves steal it.
+  ///
+  /// Concurrency contract (lock-free by design, so no HISTEST_GUARDED_BY —
+  /// there is deliberately no mutex for the thread-safety analysis to
+  /// check): publication is a single compare_exchange_strong with *release*
+  /// ordering on success, so every field of the fully built PrefixMassIndex
+  /// happens-before the pointer becoming visible; all readers load with
+  /// *acquire*, so a non-null pointer implies a complete, immutable index.
+  /// Losers of the publication race delete their private copy and adopt the
+  /// winner's — both copies are bit-identical functions of pmf_, keeping
+  /// results schedule-independent. The pointer is only torn down by
+  /// assignment/destruction, which require external happens-before with all
+  /// readers anyway (standard shared-object lifetime rules); the annotated
+  /// mutex wrappers in common/mutex.h are the wrong tool for this shape,
+  /// and a lock here would serialize the hot read path every trial takes.
   mutable std::atomic<const PrefixMassIndex*> prefix_index_{nullptr};
 };
 

@@ -3,7 +3,6 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
-#include <mutex>
 #include <sstream>
 
 namespace histest {
@@ -137,11 +136,11 @@ MetricsRegistry& MetricsRegistry::Global() {
 
 Counter& MetricsRegistry::GetCounter(std::string_view name) {
   {
-    std::shared_lock<std::shared_mutex> lock(mu_);
+    ReaderMutexLock lock(mu_);
     auto it = counters_.find(name);
     if (it != counters_.end()) return *it->second;
   }
-  std::unique_lock<std::shared_mutex> lock(mu_);
+  WriterMutexLock lock(mu_);
   auto [it, inserted] = counters_.try_emplace(
       std::string(name), nullptr);
   if (inserted) {
@@ -152,11 +151,11 @@ Counter& MetricsRegistry::GetCounter(std::string_view name) {
 
 Gauge& MetricsRegistry::GetGauge(std::string_view name) {
   {
-    std::shared_lock<std::shared_mutex> lock(mu_);
+    ReaderMutexLock lock(mu_);
     auto it = gauges_.find(name);
     if (it != gauges_.end()) return *it->second;
   }
-  std::unique_lock<std::shared_mutex> lock(mu_);
+  WriterMutexLock lock(mu_);
   auto [it, inserted] = gauges_.try_emplace(std::string(name), nullptr);
   if (inserted) {
     it->second = std::unique_ptr<Gauge>(new Gauge(std::string(name)));
@@ -166,11 +165,11 @@ Gauge& MetricsRegistry::GetGauge(std::string_view name) {
 
 HistogramMetric& MetricsRegistry::GetHistogram(std::string_view name) {
   {
-    std::shared_lock<std::shared_mutex> lock(mu_);
+    ReaderMutexLock lock(mu_);
     auto it = histograms_.find(name);
     if (it != histograms_.end()) return *it->second;
   }
-  std::unique_lock<std::shared_mutex> lock(mu_);
+  WriterMutexLock lock(mu_);
   auto [it, inserted] = histograms_.try_emplace(std::string(name), nullptr);
   if (inserted) {
     it->second = std::unique_ptr<HistogramMetric>(
@@ -181,7 +180,7 @@ HistogramMetric& MetricsRegistry::GetHistogram(std::string_view name) {
 
 MetricsSnapshot MetricsRegistry::Snapshot() const {
   MetricsSnapshot snap;
-  std::shared_lock<std::shared_mutex> lock(mu_);
+  ReaderMutexLock lock(mu_);
   for (const auto& [name, c] : counters_) {
     snap.counters.emplace_back(name, c->Value());
   }
@@ -200,7 +199,7 @@ MetricsSnapshot MetricsRegistry::Snapshot() const {
 }
 
 void MetricsRegistry::ResetForTest() {
-  std::unique_lock<std::shared_mutex> lock(mu_);
+  WriterMutexLock lock(mu_);
   for (auto& [name, c] : counters_) c->Reset();
   for (auto& [name, g] : gauges_) g->Reset();
   for (auto& [name, h] : histograms_) h->Reset();

@@ -6,11 +6,13 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <shared_mutex>
 #include <string>
 #include <string_view>
 #include <utility>
 #include <vector>
+
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 
 namespace histest {
 namespace obs {
@@ -162,11 +164,18 @@ class MetricsRegistry {
  private:
   MetricsRegistry() = default;
 
-  mutable std::shared_mutex mu_;
-  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
-  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
+  /// Guards the name->handle maps only: registration (writer) vs lookup
+  /// and snapshot merge (readers). The metric objects behind the handles
+  /// are lock-free (sharded atomics) and deliberately NOT guarded — once a
+  /// handle escapes the map it is written without any lock, which is the
+  /// whole point of the sharded design.
+  mutable SharedMutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_
+      HISTEST_GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_
+      HISTEST_GUARDED_BY(mu_);
   std::map<std::string, std::unique_ptr<HistogramMetric>, std::less<>>
-      histograms_;
+      histograms_ HISTEST_GUARDED_BY(mu_);
 };
 
 /// Name-addressed recording helpers for call sites that must not hold

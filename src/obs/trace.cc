@@ -38,7 +38,7 @@ TraceSession::~TraceSession() {
 
 SpanId TraceSession::Begin(std::string_view span_name, SpanId parent) {
   const int64_t now = clock_->NowNanos();
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   SpanRecord rec;
   rec.id = next_id_++;
   rec.parent = parent;
@@ -51,14 +51,14 @@ SpanId TraceSession::Begin(std::string_view span_name, SpanId parent) {
 
 void TraceSession::End(SpanId id) {
   const int64_t now = clock_->NowNanos();
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (id >= 1 && static_cast<size_t>(id) <= spans_.size()) {
     spans_[static_cast<size_t>(id) - 1].end_ns = now;
   }
 }
 
 void TraceSession::Annotate(SpanId id, std::string_view key, int64_t value) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (id >= 1 && static_cast<size_t>(id) <= spans_.size()) {
     spans_[static_cast<size_t>(id) - 1].annotations.push_back(
         {std::string(key), std::to_string(value)});
@@ -66,7 +66,7 @@ void TraceSession::Annotate(SpanId id, std::string_view key, int64_t value) {
 }
 
 void TraceSession::Annotate(SpanId id, std::string_view key, double value) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (id >= 1 && static_cast<size_t>(id) <= spans_.size()) {
     spans_[static_cast<size_t>(id) - 1].annotations.push_back(
         {std::string(key), JsonNumber(value)});
@@ -80,7 +80,7 @@ void TraceSession::Annotate(SpanId id, std::string_view key,
   std::string quoted = "\"";
   quoted += JsonEscape(value);
   quoted += '"';
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (id >= 1 && static_cast<size_t>(id) <= spans_.size()) {
     spans_[static_cast<size_t>(id) - 1].annotations.push_back(
         {std::string(key), std::move(quoted)});
@@ -88,18 +88,18 @@ void TraceSession::Annotate(SpanId id, std::string_view key,
 }
 
 size_t TraceSession::NumSpans() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return spans_.size();
 }
 
 std::vector<SpanRecord> TraceSession::Spans() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return spans_;
 }
 
 Status TraceSession::WriteJsonl(std::ostream& os,
                                 const MetricsSnapshot* metrics) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   os << "{\"type\":\"header\",\"schema_version\":" << kSchemaVersion
      << ",\"tool\":\"histest\",\"session\":\"" << JsonEscape(name_)
      << "\"}\n";

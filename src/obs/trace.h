@@ -2,13 +2,14 @@
 #define HISTEST_OBS_TRACE_H_
 
 #include <cstdint>
-#include <mutex>
 #include <ostream>
 #include <string>
 #include <string_view>
 #include <vector>
 
+#include "common/mutex.h"
 #include "common/status.h"
+#include "common/thread_annotations.h"
 #include "obs/clock.h"
 #include "obs/metrics.h"
 
@@ -87,11 +88,14 @@ class TraceSession {
                         const MetricsSnapshot* metrics) const;
 
  private:
-  mutable std::mutex mu_;
+  /// Serializes span recording: Begin/End/Annotate from any pool thread vs
+  /// reads (Spans, WriteJsonl). name_ and clock_ are set once in the
+  /// constructor and immutable after, so they stay unguarded.
+  mutable Mutex mu_;
   std::string name_;
   const Clock* clock_;
-  std::vector<SpanRecord> spans_;
-  SpanId next_id_ = 1;
+  std::vector<SpanRecord> spans_ HISTEST_GUARDED_BY(mu_);
+  SpanId next_id_ HISTEST_GUARDED_BY(mu_) = 1;
 };
 
 /// The process-wide active session (nullptr when tracing is off). The

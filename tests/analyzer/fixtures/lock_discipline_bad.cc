@@ -1,0 +1,46 @@
+// Fixture: lock-discipline violations — raw std locks outside the wrapper
+// header, a wrapper mutex with no GUARDED_BY association, and a bare
+// thread-safety-analysis opt-out with no reasoned allow.
+#include <condition_variable>
+#include <mutex>
+
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
+
+namespace histest {
+
+class BadCache {
+ public:
+  void Put(int v) {
+    std::lock_guard<std::mutex> lock(mu_);  // raw guard + raw mutex type
+    value_ = v;
+    cv_.notify_one();
+  }
+
+  int WaitTake() {
+    std::unique_lock<std::mutex> lock(mu_);  // raw unique_lock + raw mutex
+    cv_.wait(lock);
+    return value_;
+  }
+
+ private:
+  std::mutex mu_;               // raw capability: invisible to the analysis
+  std::condition_variable cv_;  // raw condition variable
+  int value_ = 0;
+};
+
+class HalfAnnotated {
+ public:
+  int Read() const {
+    MutexLock lock(mu_);
+    return value_;
+  }
+
+ private:
+  mutable Mutex mu_;  // wrapper mutex, but nothing declares what it guards
+  int value_ = 0;
+};
+
+int SneakyRead(const HalfAnnotated& c) HISTEST_NO_THREAD_SAFETY_ANALYSIS;
+
+}  // namespace histest

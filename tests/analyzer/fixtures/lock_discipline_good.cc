@@ -1,0 +1,57 @@
+// Fixture: lock-discipline-clean concurrency code — annotated wrappers
+// with declared guard associations, an allowed std::once_flag (not a
+// capability), and a reasoned thread-safety-analysis opt-out.
+#include <atomic>
+#include <mutex>
+
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
+
+namespace histest {
+
+class GoodCache {
+ public:
+  void Put(int v) {
+    MutexLock lock(mu_);
+    value_ = v;
+    cv_.NotifyOne();
+  }
+
+  int WaitTake() {
+    MutexLock lock(mu_);
+    cv_.Wait(mu_);
+    return value_;
+  }
+
+ private:
+  mutable Mutex mu_;
+  CondVar cv_;
+  int value_ HISTEST_GUARDED_BY(mu_) = 0;
+};
+
+class GoodRegistry {
+ public:
+  int Lookup() const {
+    ReaderMutexLock lock(table_mu_);
+    return table_;
+  }
+  void Install(int v) {
+    WriterMutexLock lock(table_mu_);
+    table_ = v;
+  }
+
+ private:
+  mutable SharedMutex table_mu_;
+  int table_ HISTEST_GUARDED_BY(table_mu_) = 0;
+};
+
+// once_flag/call_once are not lockable capabilities and stay allowed.
+std::once_flag g_init_once;
+
+int InitTables();
+
+// analyzer-allow(lock-discipline): reads a pointer published with release
+// ordering before any reader thread exists; documented in the header.
+int FastPathPeek() HISTEST_NO_THREAD_SAFETY_ANALYSIS;
+
+}  // namespace histest

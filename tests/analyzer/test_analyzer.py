@@ -47,6 +47,10 @@ DEST = {
     # reaches hot-path code outside the dispatch layer.
     "simd_discipline_bad.cc": "src/dist/simd_discipline_bad.cc",
     "simd_discipline_good.cc": "src/dist/simd_discipline_good.cc",
+    # lock-discipline scans every dir; src/benchutil/ placement mirrors the
+    # thread-pool layer where the wrappers were first adopted.
+    "lock_discipline_bad.cc": "src/benchutil/lock_discipline_bad.cc",
+    "lock_discipline_good.cc": "src/benchutil/lock_discipline_good.cc",
     "static_state_bad.cc": "src/core/static_state_bad.cc",
     "static_state_good.cc": "src/core/static_state_good.cc",
     "suppression_ok.cc": "src/core/suppression_ok.cc",
@@ -167,6 +171,31 @@ class CheckerFixtureTest(unittest.TestCase):
         shutil.copyfile(FIXTURES / "simd_discipline_bad.cc", dest)
         try:
             res = engine.run_scan(root, checker_names=["simd-discipline"],
+                                  backend="internal")
+            self.assertEqual(res.findings, [])
+        finally:
+            shutil.rmtree(root, ignore_errors=True)
+
+    def test_lock_discipline_bad(self):
+        res = scan(["lock_discipline_bad.cc"],
+                   checkers=["lock-discipline"])
+        # 15/21: raw lock holder + raw mutex in its template argument.
+        self.assert_findings(res, "lock-discipline",
+                             [15, 15, 21, 21, 27, 28, 40, 44])
+
+    def test_lock_discipline_good(self):
+        res = scan(["lock_discipline_good.cc"])
+        self.assertEqual(res.findings, [])
+
+    def test_lock_discipline_exempts_wrapper_header(self):
+        # The same raw primitives ARE the sanctioned implementation inside
+        # the wrapper header itself: zero findings there.
+        root = make_tree([])
+        dest = root / "src" / "common" / "mutex.h"
+        dest.parent.mkdir(parents=True, exist_ok=True)
+        shutil.copyfile(FIXTURES / "lock_discipline_bad.cc", dest)
+        try:
+            res = engine.run_scan(root, checker_names=["lock-discipline"],
                                   backend="internal")
             self.assertEqual(res.findings, [])
         finally:

@@ -1,0 +1,216 @@
+#!/usr/bin/env python3
+"""Contract tests for histest-analyzer's incremental (--diff) mode and the
+tools/pre-commit wrapper, run by ctest.
+
+Every test builds a throwaway git repository shaped like the real tree:
+--diff must scan exactly the sources changed relative to the base ref
+(committed violations elsewhere must NOT fail the scan), and the
+pre-commit hook must judge exactly the staged files.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import shutil
+import subprocess
+import sys
+import tempfile
+import unittest
+
+HERE = pathlib.Path(__file__).resolve().parent
+REPO_ROOT = HERE.parents[1]
+FIXTURES = HERE / "fixtures"
+ANALYZER_DIR = REPO_ROOT / "tools" / "analyzer"
+ANALYZER_BIN = ANALYZER_DIR / "histest-analyzer"
+PRE_COMMIT = REPO_ROOT / "tools" / "pre-commit"
+
+sys.path.insert(0, str(ANALYZER_DIR))
+
+from histest_analyzer import engine  # noqa: E402
+
+# A file the lock-discipline checker rejects and a file every checker
+# accepts (same placement rules as test_analyzer.py's DEST map).
+BAD_FIXTURE = FIXTURES / "lock_discipline_bad.cc"
+GOOD_FIXTURE = FIXTURES / "lock_discipline_good.cc"
+
+CLEAN_SOURCE = """\
+#include <cstdint>
+
+namespace histest {
+int64_t Double(int64_t x) { return 2 * x; }
+}  // namespace histest
+"""
+
+
+def git(repo: pathlib.Path, *args: str) -> subprocess.CompletedProcess:
+    proc = subprocess.run(["git", "-C", str(repo), *args],
+                          capture_output=True, text=True)
+    if proc.returncode != 0:
+        raise AssertionError(
+            f"git {' '.join(args)} failed: {proc.stderr}")
+    return proc
+
+
+def run_analyzer(args, cwd=None):
+    return subprocess.run([sys.executable, str(ANALYZER_BIN), *args],
+                          capture_output=True, text=True, cwd=cwd)
+
+
+def run_pre_commit(repo: pathlib.Path):
+    return subprocess.run([sys.executable, str(PRE_COMMIT)],
+                          capture_output=True, text=True, cwd=repo)
+
+
+class TempRepo:
+    """A git repo whose initial commit already contains one committed
+    lock-discipline violation (src/obs/old_bad.cc) — the standing test
+    that incremental scans do not relitigate history."""
+
+    def __init__(self):
+        self.root = pathlib.Path(
+            tempfile.mkdtemp(prefix="histest-analyzer-incr-"))
+        git(self.root, "init", "-q", "-b", "main")
+        git(self.root, "config", "user.email", "test@example.invalid")
+        git(self.root, "config", "user.name", "Incremental Test")
+        self.write("src/obs/old_bad.cc", BAD_FIXTURE.read_text())
+        self.write("src/core/clean.cc", CLEAN_SOURCE)
+        self.commit("seed tree")
+
+    def write(self, rel: str, text: str) -> pathlib.Path:
+        dest = self.root / rel
+        dest.parent.mkdir(parents=True, exist_ok=True)
+        dest.write_text(text)
+        return dest
+
+    def commit(self, message: str):
+        git(self.root, "add", "-A")
+        git(self.root, "commit", "-q", "-m", message)
+
+    def cleanup(self):
+        shutil.rmtree(self.root, ignore_errors=True)
+
+
+class ChangedFilesTest(unittest.TestCase):
+    def setUp(self):
+        self.repo = TempRepo()
+        self.addCleanup(self.repo.cleanup)
+
+    def test_lists_only_scannable_changes(self):
+        self.repo.write("src/core/new.cc", CLEAN_SOURCE)
+        self.repo.write("docs/notes.md", "not a source\n")
+        self.repo.write("tools/helper.cc", "// outside scan dirs\n")
+        self.repo.commit("mixed change")
+        changed = engine.changed_files(self.repo.root, "HEAD~1")
+        self.assertEqual([p.relative_to(self.repo.root).as_posix()
+                          for p in changed],
+                         ["src/core/new.cc"])
+
+    def test_deleted_files_are_skipped(self):
+        (self.repo.root / "src/core/clean.cc").unlink()
+        self.repo.commit("delete clean.cc")
+        self.assertEqual(engine.changed_files(self.repo.root, "HEAD~1"), [])
+
+    def test_unknown_ref_raises(self):
+        with self.assertRaises(RuntimeError):
+            engine.changed_files(self.repo.root, "no-such-ref")
+
+
+class DiffModeTest(unittest.TestCase):
+    def setUp(self):
+        self.repo = TempRepo()
+        self.addCleanup(self.repo.cleanup)
+
+    def test_committed_violation_outside_diff_not_flagged(self):
+        # The tree contains a violation (src/obs/old_bad.cc) but the new
+        # commit only touches a clean file: incremental scan passes while a
+        # full scan of the same tree fails.
+        self.repo.write("src/core/touched.cc", CLEAN_SOURCE)
+        self.repo.commit("clean change")
+        inc = run_analyzer(["--root", str(self.repo.root),
+                            "--backend", "internal", "--diff", "HEAD~1"])
+        self.assertEqual(inc.returncode, 0, inc.stdout + inc.stderr)
+        full = run_analyzer(["--root", str(self.repo.root),
+                             "--backend", "internal"])
+        self.assertEqual(full.returncode, 1, full.stdout + full.stderr)
+
+    def test_changed_violating_file_is_flagged(self):
+        self.repo.write("src/benchutil/new_bad.cc", BAD_FIXTURE.read_text())
+        self.repo.commit("introduce violation")
+        proc = run_analyzer(["--root", str(self.repo.root),
+                             "--backend", "internal", "--diff", "HEAD~1"])
+        self.assertEqual(proc.returncode, 1, proc.stdout + proc.stderr)
+        self.assertIn("new_bad.cc", proc.stdout)
+        self.assertNotIn("old_bad.cc", proc.stdout)
+
+    def test_empty_diff_exits_zero_without_scanning(self):
+        proc = run_analyzer(["--root", str(self.repo.root),
+                             "--backend", "internal", "--diff", "HEAD"])
+        self.assertEqual(proc.returncode, 0, proc.stdout + proc.stderr)
+        self.assertIn("nothing to do", proc.stderr)
+
+    def test_uncommitted_edit_is_scanned_against_head(self):
+        # --diff HEAD picks up working-tree edits, the everyday local use.
+        self.repo.write("src/core/clean.cc",
+                        CLEAN_SOURCE + BAD_FIXTURE.read_text())
+        proc = run_analyzer(["--root", str(self.repo.root),
+                             "--backend", "internal", "--diff", "HEAD"])
+        self.assertEqual(proc.returncode, 1, proc.stdout + proc.stderr)
+
+    def test_diff_and_explicit_paths_conflict(self):
+        proc = run_analyzer(["--root", str(self.repo.root),
+                             "--backend", "internal", "--diff", "HEAD",
+                             "src/core/clean.cc"])
+        self.assertEqual(proc.returncode, 2, proc.stdout + proc.stderr)
+
+    def test_bad_ref_is_a_setup_error(self):
+        proc = run_analyzer(["--root", str(self.repo.root),
+                             "--backend", "internal",
+                             "--diff", "no-such-ref"])
+        self.assertEqual(proc.returncode, 2, proc.stdout + proc.stderr)
+
+
+class PreCommitTest(unittest.TestCase):
+    def setUp(self):
+        self.repo = TempRepo()
+        self.addCleanup(self.repo.cleanup)
+
+    def test_nothing_staged_skips(self):
+        proc = run_pre_commit(self.repo.root)
+        self.assertEqual(proc.returncode, 0, proc.stdout + proc.stderr)
+        self.assertIn("skipping", proc.stdout)
+
+    def test_staged_violation_blocks_commit(self):
+        self.repo.write("src/benchutil/staged_bad.cc",
+                        BAD_FIXTURE.read_text())
+        git(self.repo.root, "add", "src/benchutil/staged_bad.cc")
+        proc = run_pre_commit(self.repo.root)
+        self.assertEqual(proc.returncode, 1, proc.stdout + proc.stderr)
+        self.assertIn("staged_bad.cc", proc.stdout)
+
+    def test_staged_clean_file_passes_despite_committed_violation(self):
+        self.repo.write("src/benchutil/staged_good.cc",
+                        GOOD_FIXTURE.read_text())
+        git(self.repo.root, "add", "src/benchutil/staged_good.cc")
+        proc = run_pre_commit(self.repo.root)
+        self.assertEqual(proc.returncode, 0, proc.stdout + proc.stderr)
+
+    def test_unstaged_violation_is_ignored(self):
+        # Violating file present in the working tree but NOT staged: the
+        # hook judges the index, not the tree.
+        self.repo.write("src/benchutil/unstaged_bad.cc",
+                        BAD_FIXTURE.read_text())
+        self.repo.write("src/core/staged_clean.cc", CLEAN_SOURCE)
+        git(self.repo.root, "add", "src/core/staged_clean.cc")
+        proc = run_pre_commit(self.repo.root)
+        self.assertEqual(proc.returncode, 0, proc.stdout + proc.stderr)
+
+    def test_staged_non_source_files_skip_scan(self):
+        self.repo.write("README.md", "docs only\n")
+        git(self.repo.root, "add", "README.md")
+        proc = run_pre_commit(self.repo.root)
+        self.assertEqual(proc.returncode, 0, proc.stdout + proc.stderr)
+        self.assertIn("skipping", proc.stdout)
+
+
+if __name__ == "__main__":
+    unittest.main(verbosity=2)

@@ -2,7 +2,11 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <cstdint>
 #include <cstdlib>
+
+#include "benchutil/parallel.h"
 
 namespace histest {
 namespace {
@@ -168,6 +172,42 @@ TEST(ParseEnvEnumTest, MatchesSpellingsAndListsOptions) {
     EXPECT_FALSE(v.present);
     EXPECT_EQ(v.value, 3);
   }
+}
+
+// ShouldWarnOnceForEnv backs the once-per-value stderr warnings for
+// malformed env vars (HISTEST_THREADS, HISTEST_SIMD). The registry is
+// process-global and never resets, so each test uses variable names unique
+// to itself.
+TEST(ShouldWarnOnceForEnvTest, TrueExactlyOncePerDistinctPair) {
+  EXPECT_TRUE(ShouldWarnOnceForEnv("HISTEST_TEST_WARN_A", "bogus"));
+  EXPECT_FALSE(ShouldWarnOnceForEnv("HISTEST_TEST_WARN_A", "bogus"));
+  EXPECT_FALSE(ShouldWarnOnceForEnv("HISTEST_TEST_WARN_A", "bogus"));
+
+  // A different value of the same variable is a new pair; so is the same
+  // value under a different variable.
+  EXPECT_TRUE(ShouldWarnOnceForEnv("HISTEST_TEST_WARN_A", "worse"));
+  EXPECT_TRUE(ShouldWarnOnceForEnv("HISTEST_TEST_WARN_B", "bogus"));
+  EXPECT_FALSE(ShouldWarnOnceForEnv("HISTEST_TEST_WARN_A", "worse"));
+  EXPECT_FALSE(ShouldWarnOnceForEnv("HISTEST_TEST_WARN_B", "bogus"));
+}
+
+TEST(ShouldWarnOnceForEnvTest, KeyIsNotAmbiguousAcrossNameValueSplit) {
+  // The registry key must separate name from value: "X=" + "y=z" and
+  // "X=y" + "z" would collide under naive concatenation.
+  EXPECT_TRUE(ShouldWarnOnceForEnv("HISTEST_TEST_WARN_C", "d=e"));
+  EXPECT_TRUE(ShouldWarnOnceForEnv("HISTEST_TEST_WARN_C=d", "e"));
+}
+
+TEST(ShouldWarnOnceForEnvTest, ExactlyOneWinnerUnderConcurrency) {
+  // Many pool workers race the first sighting of one (name, value) pair;
+  // the annotated mutex must admit exactly one warner.
+  std::atomic<int> winners{0};
+  ParallelFor(int64_t{64}, 8, [&](int64_t) {
+    if (ShouldWarnOnceForEnv("HISTEST_TEST_WARN_RACE", "junk")) {
+      winners.fetch_add(1, std::memory_order_relaxed);
+    }
+  });
+  EXPECT_EQ(winners.load(), 1);
 }
 
 }  // namespace

@@ -40,7 +40,9 @@ def libclang_available() -> bool:
 class InternalBackend:
     name = "internal"
 
-    def build_contexts(self, root: pathlib.Path, files):
+    def build_contexts(self, root: pathlib.Path, files, index_tree=False):
+        from .engine import iter_sources
+
         contexts = []
         index = SymbolIndex()
         models = []
@@ -55,17 +57,24 @@ class InternalBackend:
             index.add_model(model)
         # Also index declarations from headers outside the requested file
         # set (explicit-path scans still need repo-wide return types).
+        # With index_tree (incremental --diff scans) every default-scan-dir
+        # source joins the index, so checkers keep their full cross-file
+        # view even when only a handful of changed files are scanned.
         scanned = {p.resolve() for p, *_ in models}
+        extra = list(iter_sources(root)) if index_tree else []
         src = root / "src"
         if src.is_dir():
-            for hdr in sorted(src.rglob("*.h")):
-                if hdr.resolve() in scanned:
-                    continue
-                try:
-                    index.add_model(Model(lex(hdr.read_text(
-                        errors="replace"))))
-                except OSError:
-                    continue
+            extra.extend(sorted(src.rglob("*.h")))
+        for other in extra:
+            resolved = other.resolve()
+            if resolved in scanned:
+                continue
+            scanned.add(resolved)
+            try:
+                index.add_model(Model(lex(other.read_text(
+                    errors="replace"))))
+            except OSError:
+                continue
         for path, text, lexed, model in models:
             ctx = FileContext(root, path, text, lexed, model, index)
             ctx.clang_facts = None
@@ -78,9 +87,10 @@ class LibclangBackend(InternalBackend):
 
     name = "libclang"
 
-    def build_contexts(self, root: pathlib.Path, files):
+    def build_contexts(self, root: pathlib.Path, files, index_tree=False):
         from . import libclang_backend
-        contexts = super().build_contexts(root, files)
+        contexts = super().build_contexts(root, files,
+                                          index_tree=index_tree)
         for ctx in contexts:
             try:
                 ctx.clang_facts = libclang_backend.collect_facts(root,

@@ -2,6 +2,7 @@
 
 from . import clock_discipline  # noqa: F401
 from . import float_compare     # noqa: F401
+from . import lock_discipline   # noqa: F401
 from . import raw_accumulate    # noqa: F401
 from . import rng_stream        # noqa: F401
 from . import simd_discipline   # noqa: F401

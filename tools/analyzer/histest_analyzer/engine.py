@@ -247,9 +247,51 @@ def iter_sources(root: pathlib.Path, paths=None):
             yield f
 
 
+def changed_files(root: pathlib.Path, base_ref: str = "",
+                  cached: bool = False):
+    """Scannable sources changed relative to `base_ref` (or, with `cached`,
+    staged for commit). Deletions, non-source files, files outside the
+    default scan dirs, and analyzer fixtures are filtered out; untracked
+    files are not diffs and are never included. Raises RuntimeError when
+    git cannot answer (not a repository, unknown ref, ...)."""
+    import subprocess
+    cmd = ["git", "-C", str(root), "diff", "--name-only", "-z",
+           "--diff-filter=d"]
+    if cached:
+        cmd.append("--cached")
+    if base_ref:
+        cmd.append(base_ref)
+    cmd.append("--")
+    try:
+        proc = subprocess.run(cmd, capture_output=True, text=True)
+    except OSError as err:
+        raise RuntimeError(f"cannot run git: {err}")
+    if proc.returncode != 0:
+        raise RuntimeError(
+            f"git diff failed ({' '.join(cmd)}): {proc.stderr.strip()}")
+    files = []
+    for rel in proc.stdout.split("\0"):
+        if not rel or not rel.endswith(SOURCE_SUFFIXES):
+            continue
+        if not any(rel.startswith(d + "/") for d in DEFAULT_SCAN_DIRS):
+            continue
+        if any(rel.startswith(e + "/") for e in EXCLUDED_DIRS):
+            continue
+        path = root / rel
+        if path.is_file():
+            files.append(path)
+    return files
+
+
 def run_scan(root: pathlib.Path, checker_names=None, paths=None,
-             all_scopes: bool = False, backend: str = "auto") -> ScanResult:
-    """Scans and returns findings after suppression filtering."""
+             all_scopes: bool = False, backend: str = "auto",
+             index_tree: bool = False) -> ScanResult:
+    """Scans and returns findings after suppression filtering.
+
+    `index_tree` additionally feeds every default-scan-dir source into the
+    cross-file symbol index (not just the scanned files plus src/ headers),
+    so incremental scans of a few changed files still see repo-wide
+    declarations."""
     from . import backends
 
     checkers_by_name = registry()
@@ -269,7 +311,7 @@ def run_scan(root: pathlib.Path, checker_names=None, paths=None,
     result = ScanResult(backend=impl.name,
                         checkers_run=tuple(c.name for c in active))
 
-    contexts = impl.build_contexts(root, files)
+    contexts = impl.build_contexts(root, files, index_tree=index_tree)
     for ctx in contexts:
         result.files_scanned += 1
         sups, bad = extract_suppressions(ctx.lexed, ctx.lines)

@@ -1,0 +1,125 @@
+#!/usr/bin/env python3
+"""Smoke test for the Clang thread-safety lane.
+
+Proves the lane is actually wired: a seeded guarded-read-without-lock must
+FAIL to compile under ``-Werror=thread-safety`` against the real
+``src/common/thread_annotations.h`` + ``src/common/mutex.h`` headers, and
+the equivalent correctly locked code must PASS. A lane whose flags are
+silently dropped (wrong compiler, typo'd option, annotations compiled out)
+would pass the good TU but also pass the bad one — this script catches
+exactly that.
+
+Requires a Clang with thread-safety analysis. When no clang++ is on PATH
+(and $CXX is not Clang) the check SKIPS with exit 0: the analysis is a
+Clang-only diagnostic, local GCC builds cannot run it, and the CI
+thread-safety job installs Clang explicitly.
+
+Exit codes: 0 = both contracts hold (or skipped, with a message),
+1 = contract violated, 2 = usage/setup error.
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+import shutil
+import subprocess
+import sys
+import tempfile
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+
+# One guarded int behind the annotated wrapper; Bad reads it without the
+# lock, Good takes a MutexLock first. Everything else identical.
+_COMMON = """\
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
+
+class Stats {{
+ public:
+  int Read() const {{
+{body}
+  }}
+
+ private:
+  mutable histest::Mutex mu_;
+  int value_ HISTEST_GUARDED_BY(mu_) = 0;
+}};
+
+int main() {{ return Stats().Read(); }}
+"""
+
+BAD_TU = _COMMON.format(body="    return value_;  // no lock held")
+GOOD_TU = _COMMON.format(
+    body="    histest::MutexLock lock(mu_);\n    return value_;")
+
+FLAGS = ["-fsyntax-only", "-std=c++20", "-Wthread-safety",
+         "-Wthread-safety-beta", "-Werror=thread-safety",
+         "-Werror=thread-safety-beta"]
+
+
+def find_clangxx() -> str | None:
+    """$CXX if it is a Clang, else the newest clang++ on PATH."""
+    cxx = os.environ.get("CXX", "")
+    candidates = ([cxx] if cxx else []) + ["clang++"] + \
+        [f"clang++-{v}" for v in range(21, 11, -1)]
+    for cand in candidates:
+        path = shutil.which(cand)
+        if path is None:
+            continue
+        try:
+            probe = subprocess.run([path, "--version"], capture_output=True,
+                                   text=True, timeout=30)
+        except OSError:
+            continue
+        if probe.returncode == 0 and "clang" in probe.stdout.lower():
+            return path
+    return None
+
+
+def compile_tu(clangxx: str, tu: pathlib.Path) -> subprocess.CompletedProcess:
+    return subprocess.run(
+        [clangxx, *FLAGS, f"-I{REPO_ROOT / 'src'}", str(tu)],
+        capture_output=True, text=True, cwd=REPO_ROOT)
+
+
+def main() -> int:
+    clangxx = find_clangxx()
+    if clangxx is None:
+        print("thread-safety smoke: SKIP (no clang++ found; the analysis "
+              "is Clang-only — CI's thread-safety job provides one)")
+        return 0
+
+    with tempfile.TemporaryDirectory(prefix="histest-tsa-smoke-") as td:
+        tmp = pathlib.Path(td)
+        bad = tmp / "guarded_read_without_lock.cc"
+        good = tmp / "guarded_read_with_lock.cc"
+        bad.write_text(BAD_TU)
+        good.write_text(GOOD_TU)
+
+        bad_proc = compile_tu(clangxx, bad)
+        if bad_proc.returncode == 0:
+            print("thread-safety smoke: FAIL — the seeded "
+                  "guarded-read-without-lock compiled cleanly; the "
+                  "-Werror=thread-safety lane is not enforcing anything")
+            return 1
+        if "thread-safety" not in (bad_proc.stderr + bad_proc.stdout):
+            print("thread-safety smoke: FAIL — the seeded violation failed "
+                  "to compile, but not with a thread-safety diagnostic:")
+            print(bad_proc.stderr)
+            return 1
+
+        good_proc = compile_tu(clangxx, good)
+        if good_proc.returncode != 0:
+            print("thread-safety smoke: FAIL — correctly locked code does "
+                  "not compile under the lane's flags:")
+            print(good_proc.stderr)
+            return 1
+
+    print(f"thread-safety smoke: OK ({clangxx}: seeded violation rejected, "
+          f"locked equivalent accepted)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
