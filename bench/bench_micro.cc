@@ -532,6 +532,162 @@ void RunVariantAliasResolveBench(benchmark::State& state,
   state.SetItemsProcessed(state.iterations() * kBatch);
 }
 
+// --- Fused single-pass rows vs their materialize-then-reduce baselines.
+// Each BM_Fused* row streams the producer's compressed/integer form through
+// the reduction once; the paired BM_Materialize* row performs the pre-fusion
+// pipeline (expand/convert into an O(n) scratch buffer, then the unfused
+// kernel) on the same inputs, so the per-variant speedup the fusion buys is
+// read directly off one bench JSON.
+
+struct FusedBenchInput {
+  std::vector<double> values;  // run values (a k=64 histogram shape)
+  std::vector<size_t> ends;    // exclusive run ends
+  std::vector<double> b;       // dense comparand
+};
+
+FusedBenchInput MakeFusedBenchInput(size_t n) {
+  constexpr size_t kRuns = 64;
+  FusedBenchInput in;
+  Rng rng(67);
+  in.values.resize(kRuns);
+  in.ends.resize(kRuns);
+  for (size_t r = 0; r < kRuns; ++r) {
+    in.values[r] = rng.UniformDouble();
+    in.ends[r] = (r + 1) * n / kRuns;
+  }
+  in.ends.back() = n;
+  in.b.resize(n);
+  for (auto& x : in.b) x = rng.UniformDouble();
+  return in;
+}
+
+void ExpandRuns(const FusedBenchInput& in, double* out) {
+  size_t pos = 0;
+  for (size_t r = 0; r < in.values.size(); ++r) {
+    for (; pos < in.ends[r]; ++pos) out[pos] = in.values[r];
+  }
+}
+
+void RunFusedExpandL1Bench(benchmark::State& state,
+                           const simd::KernelTable* t) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  const FusedBenchInput in = MakeFusedBenchInput(n);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(t->fused_expand_l1(
+        in.values.data(), in.ends.data(), in.values.size(), in.b.data(), n));
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(n));
+}
+
+void RunMaterializeExpandL1Bench(benchmark::State& state,
+                                 const simd::KernelTable* t) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  const FusedBenchInput in = MakeFusedBenchInput(n);
+  std::vector<double> scratch(n);
+  for (auto _ : state) {
+    ExpandRuns(in, scratch.data());
+    benchmark::DoNotOptimize(t->l1_distance(scratch.data(), in.b.data(), n));
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(n));
+}
+
+void RunFusedExpandL2Bench(benchmark::State& state,
+                           const simd::KernelTable* t) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  const FusedBenchInput in = MakeFusedBenchInput(n);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(t->fused_expand_l2(
+        in.values.data(), in.ends.data(), in.values.size(), in.b.data(), n));
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(n));
+}
+
+void RunMaterializeExpandL2Bench(benchmark::State& state,
+                                 const simd::KernelTable* t) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  const FusedBenchInput in = MakeFusedBenchInput(n);
+  std::vector<double> scratch(n);
+  for (auto _ : state) {
+    ExpandRuns(in, scratch.data());
+    benchmark::DoNotOptimize(
+        t->l2_distance_squared(scratch.data(), in.b.data(), n));
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(n));
+}
+
+struct CountsBenchInput {
+  std::vector<int64_t> counts;
+  std::vector<double> dstar;  // doubles as the chi-square q
+  double cut = 0.0;
+};
+
+CountsBenchInput MakeCountsBenchInput(size_t n) {
+  CountsBenchInput in;
+  Rng rng(71);
+  in.counts.resize(n);
+  in.dstar.resize(n);
+  for (size_t i = 0; i < n; ++i) {
+    in.counts[i] = rng.UniformInt(8);
+    in.dstar[i] = (0.5 + rng.UniformDouble()) / static_cast<double>(n);
+  }
+  in.cut = 0.1 / static_cast<double>(n);
+  return in;
+}
+
+void RunFusedCountsZBench(benchmark::State& state,
+                          const simd::KernelTable* t) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  const CountsBenchInput in = MakeCountsBenchInput(n);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(t->fused_counts_z(
+        in.dstar.data(), in.counts.data(), n, 1e4, in.cut));
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(n));
+}
+
+void RunMaterializeCountsZBench(benchmark::State& state,
+                                const simd::KernelTable* t) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  const CountsBenchInput in = MakeCountsBenchInput(n);
+  std::vector<double> scratch(n);
+  for (auto _ : state) {
+    for (size_t i = 0; i < n; ++i) {
+      scratch[i] = static_cast<double>(in.counts[i]);
+    }
+    benchmark::DoNotOptimize(
+        t->z_accumulate(in.dstar.data(), scratch.data(), n, 1e4, in.cut));
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(n));
+}
+
+void RunFusedCountsChiSquareBench(benchmark::State& state,
+                                  const simd::KernelTable* t) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  const CountsBenchInput in = MakeCountsBenchInput(n);
+  const double inv_total = 1.0 / (4.0 * static_cast<double>(n));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(t->fused_counts_chi_square(
+        in.counts.data(), inv_total, in.dstar.data(), n));
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(n));
+}
+
+void RunMaterializeCountsChiSquareBench(benchmark::State& state,
+                                        const simd::KernelTable* t) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  const CountsBenchInput in = MakeCountsBenchInput(n);
+  const double inv_total = 1.0 / (4.0 * static_cast<double>(n));
+  std::vector<double> scratch(n);
+  for (auto _ : state) {
+    for (size_t i = 0; i < n; ++i) {
+      scratch[i] = static_cast<double>(in.counts[i]) * inv_total;
+    }
+    benchmark::DoNotOptimize(
+        t->chi_square(scratch.data(), in.dstar.data(), n));
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(n));
+}
+
 void RegisterSimdVariantBenchmarks() {
   using Runner = void (*)(benchmark::State&, const simd::KernelTable*);
   const std::pair<const char*, Runner> kernels[] = {
@@ -539,6 +695,14 @@ void RegisterSimdVariantBenchmarks() {
       {"BM_L2DistanceKernel", &RunVariantL2Bench},
       {"BM_ChiSquareKernel", &RunVariantChiSquareBench},
       {"BM_ZAccumulateKernel", &RunVariantZBench},
+      {"BM_FusedExpandL1", &RunFusedExpandL1Bench},
+      {"BM_MaterializeExpandL1", &RunMaterializeExpandL1Bench},
+      {"BM_FusedExpandL2", &RunFusedExpandL2Bench},
+      {"BM_MaterializeExpandL2", &RunMaterializeExpandL2Bench},
+      {"BM_FusedCountsZ", &RunFusedCountsZBench},
+      {"BM_MaterializeCountsZ", &RunMaterializeCountsZBench},
+      {"BM_FusedCountsChiSquare", &RunFusedCountsChiSquareBench},
+      {"BM_MaterializeCountsChiSquare", &RunMaterializeCountsChiSquareBench},
   };
   for (const simd::Variant v : simd::AvailableVariants()) {
     const simd::KernelTable* t = simd::KernelTableFor(v);

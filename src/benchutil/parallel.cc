@@ -6,6 +6,7 @@
 #include <mutex>
 #include <string>
 
+#include "common/arena.h"
 #include "common/check.h"
 #include "common/cli.h"
 #include "common/rng.h"
@@ -211,6 +212,11 @@ Result<TrialStats> EstimateAcceptanceParallel(
     // thread ran it.
     obs::TraceSpan trial_span("trial");
     trial_span.AnnotateInt("index", t);
+    // Trial-scoped arena window: scratch carved by the tester below is
+    // reclaimed wholesale on scope exit, and the retained chunks make every
+    // trial after this worker's first allocation-free on the scratch path.
+    ScratchArena& arena = ScratchArena::ThreadLocal();
+    const ScratchArena::Scope trial_scope(arena);
     DistributionOracle oracle(sampler, seeds[t].first);
     auto tester = factory(seeds[t].second);
     if (tester == nullptr) {
@@ -229,6 +235,8 @@ Result<TrialStats> EstimateAcceptanceParallel(
     trial_span.AnnotateString(
         "verdict", VerdictToString(outcome.value().verdict));
     trial_span.AnnotateInt("samples_used", outcome.value().samples_used);
+    obs::SetGauge("histest.trial.arena_bytes",
+                  static_cast<int64_t>(arena.bytes_reserved()));
     obs::AddCount("histest.trials.run", 1);
   });
   if (failed.load()) {

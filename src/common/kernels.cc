@@ -62,4 +62,36 @@ double ZAccumulateKernel(const double* dstar, const double* counts, size_t n,
   return t.z_accumulate(dstar, counts, n, m, aeps_cut);
 }
 
+double FusedExpandL1Kernel(const double* values, const size_t* ends,
+                           size_t num_runs, const double* b, size_t n) {
+  obs::AddCount("histest.kernel.fused_expand_l1.calls", 1);
+  const simd::KernelTable& t = simd::ActiveKernels();
+  obs::AddCount(t.tally[simd::kFusedExpandL1], 1);
+  return t.fused_expand_l1(values, ends, num_runs, b, n);
+}
+
+double FusedExpandL2Kernel(const double* values, const size_t* ends,
+                           size_t num_runs, const double* b, size_t n) {
+  obs::AddCount("histest.kernel.fused_expand_l2.calls", 1);
+  const simd::KernelTable& t = simd::ActiveKernels();
+  obs::AddCount(t.tally[simd::kFusedExpandL2], 1);
+  return t.fused_expand_l2(values, ends, num_runs, b, n);
+}
+
+double FusedCountsZKernel(const double* dstar, const int64_t* counts,
+                          size_t n, double m, double aeps_cut) {
+  obs::AddCount("histest.kernel.fused_counts_z.calls", 1);
+  const simd::KernelTable& t = simd::ActiveKernels();
+  obs::AddCount(t.tally[simd::kFusedCountsZ], 1);
+  return t.fused_counts_z(dstar, counts, n, m, aeps_cut);
+}
+
+double FusedCountsChiSquareKernel(const int64_t* counts, double inv_total,
+                                  const double* q, size_t n) {
+  obs::AddCount("histest.kernel.fused_counts_chi_square.calls", 1);
+  const simd::KernelTable& t = simd::ActiveKernels();
+  obs::AddCount(t.tally[simd::kFusedCountsChiSquare], 1);
+  return t.fused_counts_chi_square(counts, inv_total, q, n);
+}
+
 }  // namespace histest

@@ -55,6 +55,43 @@ double ChiSquareKernel(const double* p, const double* q, size_t n);
 double ZAccumulateKernel(const double* dstar, const double* counts, size_t n,
                          double m, double aeps_cut);
 
+/// Producer-consumer fused kernels. Each fuses the O(n) producer pass of a
+/// statistic (expanding a run-length-compressed vector, converting integer
+/// counts to doubles) into the reduction itself, so the domain-sized data is
+/// streamed exactly once instead of materialize-then-reduce. On variants
+/// with lane_order_matches_scalar (scalar, AVX2, NEON) the results are
+/// bit-identical to expanding into a buffer and calling the unfused kernel,
+/// because both take the identical summation order; AVX-512 is ulp-close
+/// and deterministic within the variant, as for the unfused kernels.
+///
+/// Run representation shared by the FusedExpand* kernels: a piecewise-
+/// constant vector of length n given as `num_runs` parallel (value,
+/// exclusive end offset) pairs, with 0 < ends[0] < ... and
+/// ends[num_runs - 1] == n. Element i has value values[r] for the first r
+/// with ends[r] > i.
+
+/// sum_i |expand(values, ends)[i] - b[i]|. b == nullptr means the zero
+/// vector (|v - 0| == |v| bit-for-bit), i.e. the L1 norm of the expansion.
+double FusedExpandL1Kernel(const double* values, const size_t* ends,
+                           size_t num_runs, const double* b, size_t n);
+
+/// sum_i (expand(values, ends)[i] - b[i])^2, b == nullptr as above.
+double FusedExpandL2Kernel(const double* values, const size_t* ends,
+                           size_t num_runs, const double* b, size_t n);
+
+/// ZAccumulateKernel with integer counts converted in-register:
+/// c[i] = (double)counts[i] (exact below 2^53). Equals staging the
+/// converted block and calling ZAccumulateKernel, bit-for-bit on
+/// lane-order-matching variants.
+double FusedCountsZKernel(const double* dstar, const int64_t* counts,
+                          size_t n, double m, double aeps_cut);
+
+/// ChiSquareKernel with the empirical pmf formed on the fly:
+/// p[i] = (double)counts[i] * inv_total. Same q[i] <= 0 convention as
+/// ChiSquareKernel.
+double FusedCountsChiSquareKernel(const int64_t* counts, double inv_total,
+                                  const double* q, size_t n);
+
 }  // namespace histest
 
 #endif  // HISTEST_COMMON_KERNELS_H_

@@ -26,6 +26,14 @@ double ScalarZAccumulate(const double* dstar, const double* counts, size_t n,
 void ScalarResolveAlias(const double* prob, const size_t* alias,
                         const uint64_t* cols, const double* us, size_t* out,
                         int64_t count);
+double ScalarFusedExpandL1(const double* values, const size_t* ends,
+                           size_t num_runs, const double* b, size_t n);
+double ScalarFusedExpandL2(const double* values, const size_t* ends,
+                           size_t num_runs, const double* b, size_t n);
+double ScalarFusedCountsZ(const double* dstar, const int64_t* counts,
+                          size_t n, double m, double aeps_cut);
+double ScalarFusedCountsChiSquare(const int64_t* counts, double inv_total,
+                                  const double* q, size_t n);
 
 double Avx2L1Distance(const double* a, const double* b, size_t n);
 double Avx2L2DistanceSquared(const double* a, const double* b, size_t n);
@@ -38,6 +46,14 @@ double Avx2ZAccumulate(const double* dstar, const double* counts, size_t n,
 void Avx2ResolveAlias(const double* prob, const size_t* alias,
                       const uint64_t* cols, const double* us, size_t* out,
                       int64_t count);
+double Avx2FusedExpandL1(const double* values, const size_t* ends,
+                         size_t num_runs, const double* b, size_t n);
+double Avx2FusedExpandL2(const double* values, const size_t* ends,
+                         size_t num_runs, const double* b, size_t n);
+double Avx2FusedCountsZ(const double* dstar, const int64_t* counts, size_t n,
+                        double m, double aeps_cut);
+double Avx2FusedCountsChiSquare(const int64_t* counts, double inv_total,
+                                const double* q, size_t n);
 
 double Avx512L1Distance(const double* a, const double* b, size_t n);
 double Avx512L2DistanceSquared(const double* a, const double* b, size_t n);
@@ -50,6 +66,14 @@ double Avx512ZAccumulate(const double* dstar, const double* counts, size_t n,
 void Avx512ResolveAlias(const double* prob, const size_t* alias,
                         const uint64_t* cols, const double* us, size_t* out,
                         int64_t count);
+double Avx512FusedExpandL1(const double* values, const size_t* ends,
+                           size_t num_runs, const double* b, size_t n);
+double Avx512FusedExpandL2(const double* values, const size_t* ends,
+                           size_t num_runs, const double* b, size_t n);
+double Avx512FusedCountsZ(const double* dstar, const int64_t* counts,
+                          size_t n, double m, double aeps_cut);
+double Avx512FusedCountsChiSquare(const int64_t* counts, double inv_total,
+                                  const double* q, size_t n);
 
 double NeonL1Distance(const double* a, const double* b, size_t n);
 double NeonL2DistanceSquared(const double* a, const double* b, size_t n);
@@ -59,6 +83,14 @@ double NeonHellinger(const double* a, const double* b, size_t n);
 double NeonChiSquare(const double* p, const double* q, size_t n);
 double NeonZAccumulate(const double* dstar, const double* counts, size_t n,
                        double m, double aeps_cut);
+double NeonFusedExpandL1(const double* values, const size_t* ends,
+                         size_t num_runs, const double* b, size_t n);
+double NeonFusedExpandL2(const double* values, const size_t* ends,
+                         size_t num_runs, const double* b, size_t n);
+double NeonFusedCountsZ(const double* dstar, const int64_t* counts, size_t n,
+                        double m, double aeps_cut);
+double NeonFusedCountsChiSquare(const int64_t* counts, double inv_total,
+                                const double* q, size_t n);
 
 }  // namespace simd
 }  // namespace histest

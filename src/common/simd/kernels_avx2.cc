@@ -53,6 +53,43 @@ inline __m256d AbsPd(__m256d x) {
   return _mm256_andnot_pd(_mm256_set1_pd(-0.0), x);
 }
 
+/// Forward cursor over a (value, exclusive-end) run list. At/At4 require
+/// ascending element indices across calls — exactly the order the blocked
+/// reduce visits — so run boundaries cost a pointer bump, not a search, and
+/// a run spanning a whole 4-lane group broadcasts once (the common case:
+/// histogram pieces are thousands of elements wide).
+struct RunCursor {
+  const double* values;
+  const size_t* ends;
+  size_t run = 0;
+
+  inline double At(size_t i) {
+    while (ends[run] <= i) ++run;
+    return values[run];
+  }
+
+  /// Packed run values for elements i..i+3.
+  inline __m256d At4(size_t i) {
+    while (ends[run] <= i) ++run;
+    if (ends[run] > i + 3) return _mm256_set1_pd(values[run]);
+    const double e0 = values[run];
+    const double e1 = At(i + 1);
+    const double e2 = At(i + 2);
+    const double e3 = At(i + 3);
+    return _mm256_setr_pd(e0, e1, e2, e3);
+  }
+};
+
+/// Packed (double)counts[i..i+3]. No 4-wide epi64->pd exists below
+/// AVX-512DQ; four scalar converts fill the vector, each identical to the
+/// scalar oracle's static_cast (exact below 2^53). The pass stays a single
+/// memory stream — the conversion is ALU-cheap next to the saved traffic.
+inline __m256d CvtCounts4(const int64_t* counts, size_t i) {
+  return _mm256_setr_pd(
+      static_cast<double>(counts[i]), static_cast<double>(counts[i + 1]),
+      static_cast<double>(counts[i + 2]), static_cast<double>(counts[i + 3]));
+}
+
 }  // namespace
 
 double Avx2L1Distance(const double* a, const double* b, size_t n) {
@@ -171,6 +208,112 @@ double Avx2ZAccumulate(const double* dstar, const double* counts, size_t n,
         const double dev = counts[i] - expected;
         return (dev * dev - counts[i]) / expected;
       });
+}
+
+double Avx2FusedExpandL1(const double* values, const size_t* ends,
+                         size_t num_runs, const double* b, size_t n) {
+  (void)num_runs;
+  RunCursor rc{values, ends};
+  if (b == nullptr) {
+    return BlockedReduceAvx2(
+        n, [&](size_t i) { return AbsPd(rc.At4(i)); },
+        [&](size_t i) { return std::fabs(rc.At(i)); });
+  }
+  return BlockedReduceAvx2(
+      n,
+      [&](size_t i) {
+        return AbsPd(_mm256_sub_pd(rc.At4(i), _mm256_loadu_pd(b + i)));
+      },
+      [&](size_t i) { return std::fabs(rc.At(i) - b[i]); });
+}
+
+double Avx2FusedExpandL2(const double* values, const size_t* ends,
+                         size_t num_runs, const double* b, size_t n) {
+  (void)num_runs;
+  RunCursor rc{values, ends};
+  if (b == nullptr) {
+    return BlockedReduceAvx2(
+        n,
+        [&](size_t i) {
+          const __m256d v = rc.At4(i);
+          return _mm256_mul_pd(v, v);
+        },
+        [&](size_t i) {
+          const double v = rc.At(i);
+          return v * v;
+        });
+  }
+  return BlockedReduceAvx2(
+      n,
+      [&](size_t i) {
+        const __m256d d = _mm256_sub_pd(rc.At4(i), _mm256_loadu_pd(b + i));
+        return _mm256_mul_pd(d, d);
+      },
+      [&](size_t i) {
+        const double d = rc.At(i) - b[i];
+        return d * d;
+      });
+}
+
+double Avx2FusedCountsZ(const double* dstar, const int64_t* counts, size_t n,
+                        double m, double aeps_cut) {
+  // Same keep-mask contract as Avx2ZAccumulate; the staged counts load is
+  // replaced by the in-register conversion.
+  const __m256d vm = _mm256_set1_pd(m);
+  const __m256d vcut = _mm256_set1_pd(aeps_cut);
+  return BlockedReduceAvx2(
+      n,
+      [&](size_t i) {
+        const __m256d vd = _mm256_loadu_pd(dstar + i);
+        const __m256d vc = CvtCounts4(counts, i);
+        const __m256d keep = _mm256_cmp_pd(vd, vcut, _CMP_NLT_UQ);
+        const __m256d expected = _mm256_mul_pd(vm, vd);
+        const __m256d dev = _mm256_sub_pd(vc, expected);
+        const __m256d term = _mm256_div_pd(
+            _mm256_sub_pd(_mm256_mul_pd(dev, dev), vc), expected);
+        return _mm256_and_pd(keep, term);
+      },
+      [&](size_t i) {
+        if (dstar[i] < aeps_cut) return 0.0;
+        const double c = static_cast<double>(counts[i]);
+        const double expected = m * dstar[i];
+        const double dev = c - expected;
+        return (dev * dev - c) / expected;
+      });
+}
+
+double Avx2FusedCountsChiSquare(const int64_t* counts, double inv_total,
+                                const double* q, size_t n) {
+  // Avx2ChiSquare with the p operand formed on the fly from the counts.
+  const __m256d zero = _mm256_setzero_pd();
+  const __m256d vinv = _mm256_set1_pd(inv_total);
+  __m256d any_bad = _mm256_setzero_pd();
+  bool tail_infinite = false;
+  const double sum = BlockedReduceAvx2(
+      n,
+      [&](size_t i) {
+        const __m256d vp = _mm256_mul_pd(CvtCounts4(counts, i), vinv);
+        const __m256d vq = _mm256_loadu_pd(q + i);
+        const __m256d qle0 = _mm256_cmp_pd(vq, zero, _CMP_LE_OQ);
+        const __m256d d = _mm256_sub_pd(vp, vq);
+        const __m256d term = _mm256_div_pd(_mm256_mul_pd(d, d), vq);
+        any_bad = _mm256_or_pd(
+            any_bad,
+            _mm256_and_pd(qle0, _mm256_cmp_pd(vp, zero, _CMP_GT_OQ)));
+        return _mm256_andnot_pd(qle0, term);
+      },
+      [&](size_t i) {
+        const double p = static_cast<double>(counts[i]) * inv_total;
+        if (q[i] <= 0.0) {
+          if (p > 0.0) tail_infinite = true;
+          return 0.0;
+        }
+        const double d = p - q[i];
+        return d * d / q[i];
+      });
+  const bool infinite =
+      tail_infinite || _mm256_movemask_pd(any_bad) != 0;
+  return infinite ? std::numeric_limits<double>::infinity() : sum;
 }
 
 void Avx2ResolveAlias(const double* prob, const size_t* alias,

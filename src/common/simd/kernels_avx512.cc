@@ -56,6 +56,45 @@ double BlockedReduceAvx512(size_t n, const VecTerm& vec_term,
 
 inline __m512d AbsPd(__m512d x) { return _mm512_abs_pd(x); }
 
+/// Forward cursor over a (value, exclusive-end) run list; requires
+/// ascending element indices across calls. A run spanning a full 8-lane
+/// group broadcasts once.
+struct RunCursor {
+  const double* values;
+  const size_t* ends;
+  size_t run = 0;
+
+  inline double At(size_t i) {
+    while (ends[run] <= i) ++run;
+    return values[run];
+  }
+
+  inline __m512d At8(size_t i) {
+    while (ends[run] <= i) ++run;
+    if (ends[run] > i + 7) return _mm512_set1_pd(values[run]);
+    const double e0 = values[run];
+    const double e1 = At(i + 1);
+    const double e2 = At(i + 2);
+    const double e3 = At(i + 3);
+    const double e4 = At(i + 4);
+    const double e5 = At(i + 5);
+    const double e6 = At(i + 6);
+    const double e7 = At(i + 7);
+    return _mm512_setr_pd(e0, e1, e2, e3, e4, e5, e6, e7);
+  }
+};
+
+/// Packed (double)counts[i..i+7]. _mm512_cvtepi64_pd needs AVX-512DQ,
+/// which the -mavx512f baseline does not guarantee; eight scalar converts
+/// match the oracle's static_cast exactly and keep the pass single-stream.
+inline __m512d CvtCounts8(const int64_t* counts, size_t i) {
+  return _mm512_setr_pd(
+      static_cast<double>(counts[i]), static_cast<double>(counts[i + 1]),
+      static_cast<double>(counts[i + 2]), static_cast<double>(counts[i + 3]),
+      static_cast<double>(counts[i + 4]), static_cast<double>(counts[i + 5]),
+      static_cast<double>(counts[i + 6]), static_cast<double>(counts[i + 7]));
+}
+
 }  // namespace
 
 double Avx512L1Distance(const double* a, const double* b, size_t n) {
@@ -170,6 +209,108 @@ double Avx512ZAccumulate(const double* dstar, const double* counts, size_t n,
         const double dev = counts[i] - expected;
         return (dev * dev - counts[i]) / expected;
       });
+}
+
+double Avx512FusedExpandL1(const double* values, const size_t* ends,
+                           size_t num_runs, const double* b, size_t n) {
+  (void)num_runs;
+  RunCursor rc{values, ends};
+  if (b == nullptr) {
+    return BlockedReduceAvx512(
+        n, [&](size_t i) { return AbsPd(rc.At8(i)); },
+        [&](size_t i) { return std::fabs(rc.At(i)); });
+  }
+  return BlockedReduceAvx512(
+      n,
+      [&](size_t i) {
+        return AbsPd(_mm512_sub_pd(rc.At8(i), _mm512_loadu_pd(b + i)));
+      },
+      [&](size_t i) { return std::fabs(rc.At(i) - b[i]); });
+}
+
+double Avx512FusedExpandL2(const double* values, const size_t* ends,
+                           size_t num_runs, const double* b, size_t n) {
+  (void)num_runs;
+  RunCursor rc{values, ends};
+  if (b == nullptr) {
+    return BlockedReduceAvx512(
+        n,
+        [&](size_t i) {
+          const __m512d v = rc.At8(i);
+          return _mm512_mul_pd(v, v);
+        },
+        [&](size_t i) {
+          const double v = rc.At(i);
+          return v * v;
+        });
+  }
+  return BlockedReduceAvx512(
+      n,
+      [&](size_t i) {
+        const __m512d d = _mm512_sub_pd(rc.At8(i), _mm512_loadu_pd(b + i));
+        return _mm512_mul_pd(d, d);
+      },
+      [&](size_t i) {
+        const double d = rc.At(i) - b[i];
+        return d * d;
+      });
+}
+
+double Avx512FusedCountsZ(const double* dstar, const int64_t* counts,
+                          size_t n, double m, double aeps_cut) {
+  const __m512d vm = _mm512_set1_pd(m);
+  const __m512d vcut = _mm512_set1_pd(aeps_cut);
+  return BlockedReduceAvx512(
+      n,
+      [&](size_t i) {
+        const __m512d vd = _mm512_loadu_pd(dstar + i);
+        const __m512d vc = CvtCounts8(counts, i);
+        const __mmask8 keep = _mm512_cmp_pd_mask(vd, vcut, _CMP_NLT_UQ);
+        const __m512d expected = _mm512_mul_pd(vm, vd);
+        const __m512d dev = _mm512_sub_pd(vc, expected);
+        const __m512d term = _mm512_div_pd(
+            _mm512_sub_pd(_mm512_mul_pd(dev, dev), vc), expected);
+        return _mm512_maskz_mov_pd(keep, term);
+      },
+      [&](size_t i) {
+        if (dstar[i] < aeps_cut) return 0.0;
+        const double c = static_cast<double>(counts[i]);
+        const double expected = m * dstar[i];
+        const double dev = c - expected;
+        return (dev * dev - c) / expected;
+      });
+}
+
+double Avx512FusedCountsChiSquare(const int64_t* counts, double inv_total,
+                                  const double* q, size_t n) {
+  const __m512d zero = _mm512_setzero_pd();
+  const __m512d vinv = _mm512_set1_pd(inv_total);
+  __mmask8 any_bad = 0;
+  bool tail_infinite = false;
+  const double sum = BlockedReduceAvx512(
+      n,
+      [&](size_t i) {
+        const __m512d vp = _mm512_mul_pd(CvtCounts8(counts, i), vinv);
+        const __m512d vq = _mm512_loadu_pd(q + i);
+        const __mmask8 qle0 = _mm512_cmp_pd_mask(vq, zero, _CMP_LE_OQ);
+        const __m512d d = _mm512_sub_pd(vp, vq);
+        const __m512d term = _mm512_div_pd(_mm512_mul_pd(d, d), vq);
+        any_bad = static_cast<__mmask8>(
+            any_bad | (qle0 & _mm512_cmp_pd_mask(vp, zero, _CMP_GT_OQ)));
+        return _mm512_maskz_mov_pd(static_cast<__mmask8>(~qle0), term);
+      },
+      [&](size_t i) {
+        const double p = static_cast<double>(counts[i]) * inv_total;
+        if (q[i] <= 0.0) {
+          if (p > 0.0) tail_infinite = true;
+          return 0.0;
+        }
+        const double d = p - q[i];
+        return d * d / q[i];
+      });
+  return (tail_infinite || any_bad != 0)
+             ? std::numeric_limits<double>::infinity()
+             : sum;
 }
 
 void Avx512ResolveAlias(const double* prob, const size_t* alias,

@@ -57,6 +57,36 @@ double BlockedReduceNeon(size_t n, const VecTerm& vec_term,
   return total.Total();
 }
 
+/// Forward cursor over a (value, exclusive-end) run list; requires
+/// ascending element indices across calls. A run spanning both lanes of a
+/// pair broadcasts once.
+struct RunCursor {
+  const double* values;
+  const size_t* ends;
+  size_t run = 0;
+
+  inline double At(size_t i) {
+    while (ends[run] <= i) ++run;
+    return values[run];
+  }
+
+  /// Packed run values for elements {i, i+1}.
+  inline float64x2_t At2(size_t i) {
+    while (ends[run] <= i) ++run;
+    if (ends[run] > i + 1) return vdupq_n_f64(values[run]);
+    const double e0 = values[run];
+    const double e1 = At(i + 1);
+    float64x2_t v = vdupq_n_f64(e0);
+    return vsetq_lane_f64(e1, v, 1);
+  }
+};
+
+/// Packed (double)counts[{i, i+1}]. vcvtq_f64_s64 rounds each lane exactly
+/// as the scalar static_cast does (exact below 2^53).
+inline float64x2_t CvtCounts2(const int64_t* counts, size_t i) {
+  return vcvtq_f64_s64(vld1q_s64(counts + i));
+}
+
 }  // namespace
 
 double NeonL1Distance(const double* a, const double* b, size_t n) {
@@ -170,6 +200,110 @@ double NeonZAccumulate(const double* dstar, const double* counts, size_t n,
         const double dev = counts[i] - expected;
         return (dev * dev - counts[i]) / expected;
       });
+}
+
+double NeonFusedExpandL1(const double* values, const size_t* ends,
+                         size_t num_runs, const double* b, size_t n) {
+  (void)num_runs;
+  RunCursor rc{values, ends};
+  if (b == nullptr) {
+    return BlockedReduceNeon(
+        n, [&](size_t i) { return vabsq_f64(rc.At2(i)); },
+        [&](size_t i) { return std::fabs(rc.At(i)); });
+  }
+  return BlockedReduceNeon(
+      n,
+      [&](size_t i) {
+        return vabsq_f64(vsubq_f64(rc.At2(i), vld1q_f64(b + i)));
+      },
+      [&](size_t i) { return std::fabs(rc.At(i) - b[i]); });
+}
+
+double NeonFusedExpandL2(const double* values, const size_t* ends,
+                         size_t num_runs, const double* b, size_t n) {
+  (void)num_runs;
+  RunCursor rc{values, ends};
+  if (b == nullptr) {
+    return BlockedReduceNeon(
+        n,
+        [&](size_t i) {
+          const float64x2_t v = rc.At2(i);
+          return vmulq_f64(v, v);
+        },
+        [&](size_t i) {
+          const double v = rc.At(i);
+          return v * v;
+        });
+  }
+  return BlockedReduceNeon(
+      n,
+      [&](size_t i) {
+        const float64x2_t d = vsubq_f64(rc.At2(i), vld1q_f64(b + i));
+        return vmulq_f64(d, d);
+      },
+      [&](size_t i) {
+        const double d = rc.At(i) - b[i];
+        return d * d;
+      });
+}
+
+double NeonFusedCountsZ(const double* dstar, const int64_t* counts, size_t n,
+                        double m, double aeps_cut) {
+  const float64x2_t vm = vdupq_n_f64(m);
+  const float64x2_t vcut = vdupq_n_f64(aeps_cut);
+  return BlockedReduceNeon(
+      n,
+      [&](size_t i) {
+        const float64x2_t vd = vld1q_f64(dstar + i);
+        const float64x2_t vc = CvtCounts2(counts, i);
+        const uint64x2_t drop = vcltq_f64(vd, vcut);
+        const float64x2_t expected = vmulq_f64(vm, vd);
+        const float64x2_t dev = vsubq_f64(vc, expected);
+        const float64x2_t term =
+            vdivq_f64(vsubq_f64(vmulq_f64(dev, dev), vc), expected);
+        return vreinterpretq_f64_u64(
+            vbicq_u64(vreinterpretq_u64_f64(term), drop));
+      },
+      [&](size_t i) {
+        if (dstar[i] < aeps_cut) return 0.0;
+        const double c = static_cast<double>(counts[i]);
+        const double expected = m * dstar[i];
+        const double dev = c - expected;
+        return (dev * dev - c) / expected;
+      });
+}
+
+double NeonFusedCountsChiSquare(const int64_t* counts, double inv_total,
+                                const double* q, size_t n) {
+  const float64x2_t zero = vdupq_n_f64(0.0);
+  const float64x2_t vinv = vdupq_n_f64(inv_total);
+  uint64x2_t any_bad = vdupq_n_u64(0);
+  bool tail_infinite = false;
+  const double sum = BlockedReduceNeon(
+      n,
+      [&](size_t i) {
+        const float64x2_t vp = vmulq_f64(CvtCounts2(counts, i), vinv);
+        const float64x2_t vq = vld1q_f64(q + i);
+        const uint64x2_t qle0 = vcleq_f64(vq, zero);
+        const float64x2_t d = vsubq_f64(vp, vq);
+        const float64x2_t term = vdivq_f64(vmulq_f64(d, d), vq);
+        any_bad = vorrq_u64(any_bad, vandq_u64(qle0, vcgtq_f64(vp, zero)));
+        return vreinterpretq_f64_u64(vbicq_u64(
+            vreinterpretq_u64_f64(term), qle0));
+      },
+      [&](size_t i) {
+        const double p = static_cast<double>(counts[i]) * inv_total;
+        if (q[i] <= 0.0) {
+          if (p > 0.0) tail_infinite = true;
+          return 0.0;
+        }
+        const double d = p - q[i];
+        return d * d / q[i];
+      });
+  const bool infinite = tail_infinite ||
+                        (vgetq_lane_u64(any_bad, 0) |
+                         vgetq_lane_u64(any_bad, 1)) != 0;
+  return infinite ? std::numeric_limits<double>::infinity() : sum;
 }
 
 }  // namespace simd

@@ -96,6 +96,79 @@ double ScalarZAccumulate(const double* dstar, const double* counts, size_t n,
   });
 }
 
+// The fused kernels ride the same BlockedReduce skeleton through stateful
+// term lambdas. That is sound because the skeleton calls term(i) with
+// strictly ascending i — the four lane statements per unrolled step are
+// sequenced calls — so one forward cursor (a run index, a count pointer)
+// can feed the reduction, and the summation order (hence every rounding)
+// is exactly the materialize-then-reduce order of the unfused kernels.
+
+double ScalarFusedExpandL1(const double* values, const size_t* ends,
+                           size_t num_runs, const double* b, size_t n) {
+  (void)num_runs;  // implied by ends[num_runs - 1] == n; kept for symmetry
+  size_t run = 0;
+  if (b == nullptr) {
+    // Null b is the zero vector: |v - 0| == |v| bit-for-bit (also for -0.0
+    // and NaN payloads), so the load is simply dropped.
+    return BlockedReduce(n, [&](size_t i) {
+      while (ends[run] <= i) ++run;
+      return std::fabs(values[run]);
+    });
+  }
+  return BlockedReduce(n, [&](size_t i) {
+    while (ends[run] <= i) ++run;
+    return std::fabs(values[run] - b[i]);
+  });
+}
+
+double ScalarFusedExpandL2(const double* values, const size_t* ends,
+                           size_t num_runs, const double* b, size_t n) {
+  (void)num_runs;
+  size_t run = 0;
+  if (b == nullptr) {
+    return BlockedReduce(n, [&](size_t i) {
+      while (ends[run] <= i) ++run;
+      const double v = values[run];
+      return v * v;
+    });
+  }
+  return BlockedReduce(n, [&](size_t i) {
+    while (ends[run] <= i) ++run;
+    const double d = values[run] - b[i];
+    return d * d;
+  });
+}
+
+double ScalarFusedCountsZ(const double* dstar, const int64_t* counts,
+                          size_t n, double m, double aeps_cut) {
+  // (double)count is exact below 2^53, so converting in-register is
+  // bit-identical to staging a converted block and running ZAccumulate.
+  return BlockedReduce(n, [&](size_t i) {
+    if (dstar[i] < aeps_cut) return 0.0;
+    const double c = static_cast<double>(counts[i]);
+    const double expected = m * dstar[i];
+    const double dev = c - expected;
+    return (dev * dev - c) / expected;
+  });
+}
+
+double ScalarFusedCountsChiSquare(const int64_t* counts, double inv_total,
+                                  const double* q, size_t n) {
+  // Forms the empirical pmf term count * inv_total on the fly; same
+  // zero-denominator convention (and out-of-band infinity) as ChiSquare.
+  bool infinite = false;
+  const double sum = BlockedReduce(n, [&](size_t i) {
+    const double p = static_cast<double>(counts[i]) * inv_total;
+    if (q[i] <= 0.0) {
+      if (p > 0.0) infinite = true;
+      return 0.0;
+    }
+    const double d = p - q[i];
+    return d * d / q[i];
+  });
+  return infinite ? std::numeric_limits<double>::infinity() : sum;
+}
+
 void ScalarResolveAlias(const double* prob, const size_t* alias,
                         const uint64_t* cols, const double* us, size_t* out,
                         int64_t count) {

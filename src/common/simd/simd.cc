@@ -34,6 +34,10 @@ constexpr KernelTable kScalarTable = {
     &ScalarChiSquare,
     &ScalarZAccumulate,
     &ScalarResolveAlias,
+    &ScalarFusedExpandL1,
+    &ScalarFusedExpandL2,
+    &ScalarFusedCountsZ,
+    &ScalarFusedCountsChiSquare,
     {
         "histest.simd.scalar.l1_distance.calls",
         "histest.simd.scalar.l2_distance_squared.calls",
@@ -43,6 +47,10 @@ constexpr KernelTable kScalarTable = {
         "histest.simd.scalar.chi_square.calls",
         "histest.simd.scalar.z_accumulate.calls",
         "histest.simd.scalar.alias_resolve.calls",
+        "histest.simd.scalar.fused_expand_l1.calls",
+        "histest.simd.scalar.fused_expand_l2.calls",
+        "histest.simd.scalar.fused_counts_z.calls",
+        "histest.simd.scalar.fused_counts_chi_square.calls",
     },
 };
 
@@ -58,6 +66,10 @@ constexpr KernelTable kAvx2Table = {
     &Avx2ChiSquare,
     &Avx2ZAccumulate,
     &Avx2ResolveAlias,
+    &Avx2FusedExpandL1,
+    &Avx2FusedExpandL2,
+    &Avx2FusedCountsZ,
+    &Avx2FusedCountsChiSquare,
     {
         "histest.simd.avx2.l1_distance.calls",
         "histest.simd.avx2.l2_distance_squared.calls",
@@ -67,6 +79,10 @@ constexpr KernelTable kAvx2Table = {
         "histest.simd.avx2.chi_square.calls",
         "histest.simd.avx2.z_accumulate.calls",
         "histest.simd.avx2.alias_resolve.calls",
+        "histest.simd.avx2.fused_expand_l1.calls",
+        "histest.simd.avx2.fused_expand_l2.calls",
+        "histest.simd.avx2.fused_counts_z.calls",
+        "histest.simd.avx2.fused_counts_chi_square.calls",
     },
 };
 #endif
@@ -85,6 +101,10 @@ constexpr KernelTable kAvx512Table = {
     &Avx512ChiSquare,
     &Avx512ZAccumulate,
     &Avx512ResolveAlias,
+    &Avx512FusedExpandL1,
+    &Avx512FusedExpandL2,
+    &Avx512FusedCountsZ,
+    &Avx512FusedCountsChiSquare,
     {
         "histest.simd.avx512.l1_distance.calls",
         "histest.simd.avx512.l2_distance_squared.calls",
@@ -94,6 +114,10 @@ constexpr KernelTable kAvx512Table = {
         "histest.simd.avx512.chi_square.calls",
         "histest.simd.avx512.z_accumulate.calls",
         "histest.simd.avx512.alias_resolve.calls",
+        "histest.simd.avx512.fused_expand_l1.calls",
+        "histest.simd.avx512.fused_expand_l2.calls",
+        "histest.simd.avx512.fused_counts_z.calls",
+        "histest.simd.avx512.fused_counts_chi_square.calls",
     },
 };
 #endif
@@ -112,6 +136,10 @@ constexpr KernelTable kNeonTable = {
     // 128-bit NEON has no gather; the prefetched scalar pass is already
     // latency-bound, so it serves as the NEON resolve path.
     &ScalarResolveAlias,
+    &NeonFusedExpandL1,
+    &NeonFusedExpandL2,
+    &NeonFusedCountsZ,
+    &NeonFusedCountsChiSquare,
     {
         "histest.simd.neon.l1_distance.calls",
         "histest.simd.neon.l2_distance_squared.calls",
@@ -121,6 +149,10 @@ constexpr KernelTable kNeonTable = {
         "histest.simd.neon.chi_square.calls",
         "histest.simd.neon.z_accumulate.calls",
         "histest.simd.neon.alias_resolve.calls",
+        "histest.simd.neon.fused_expand_l1.calls",
+        "histest.simd.neon.fused_expand_l2.calls",
+        "histest.simd.neon.fused_counts_z.calls",
+        "histest.simd.neon.fused_counts_chi_square.calls",
     },
 };
 #endif

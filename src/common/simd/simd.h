@@ -72,6 +72,10 @@ enum KernelId : size_t {
   kChiSquare,
   kZAccumulate,
   kAliasResolve,
+  kFusedExpandL1,
+  kFusedExpandL2,
+  kFusedCountsZ,
+  kFusedCountsChiSquare,
   kNumKernels,
 };
 
@@ -98,6 +102,20 @@ struct KernelTable {
   void (*resolve_alias)(const double* prob, const size_t* alias,
                         const uint64_t* cols, const double* us, size_t* out,
                         int64_t count);
+  // Producer-consumer fused kernels (PR 8): a run-length-compressed or
+  // integer-typed producer feeds the reduction registers directly, so the
+  // O(n) side of the statistic is streamed exactly once. Semantics in
+  // common/kernels.h; variants with `lane_order_matches_scalar` reproduce
+  // the scalar fused order bit-for-bit, which by construction equals the
+  // materialize-then-reduce order of the unfused kernels.
+  double (*fused_expand_l1)(const double* values, const size_t* ends,
+                            size_t num_runs, const double* b, size_t n);
+  double (*fused_expand_l2)(const double* values, const size_t* ends,
+                            size_t num_runs, const double* b, size_t n);
+  double (*fused_counts_z)(const double* dstar, const int64_t* counts,
+                           size_t n, double m, double aeps_cut);
+  double (*fused_counts_chi_square)(const int64_t* counts, double inv_total,
+                                    const double* q, size_t n);
 
   /// Per-kernel dispatch-tally counter names
   /// ("histest.simd.<variant>.<kernel>.calls"), bumped by the dispatch

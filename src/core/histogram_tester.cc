@@ -3,8 +3,10 @@
 #include <algorithm>
 #include <cmath>
 #include <optional>
+#include <span>
 #include <sstream>
 
+#include "common/arena.h"
 #include "common/check.h"
 #include "common/math_util.h"
 #include "obs/obs.h"
@@ -125,7 +127,18 @@ Result<HistogramTestReport> HistogramTester::TestWithReport(
   report.stages.push_back(StageReport{
       "learner", oracle.SamplesDrawn() - stage_start,
       "eps_l=" + std::to_string(eps_learn)});
-  const std::vector<double> dstar = dhat.value().ToDense();
+  // The hypothesis's dense expansion is the run's dominant O(n) temporary;
+  // it comes from the thread's scratch arena, so repeated Test() calls on
+  // one thread (the trial loop) reuse the same retained chunks instead of
+  // allocating n doubles per trial. The downstream stages take spans, so
+  // no vector is ever formed.
+  ScratchArena& arena = ScratchArena::ThreadLocal();
+  const ScratchArena::Scope arena_scope(arena);
+  double* dstar_storage = arena.Alloc<double>(n);
+  dhat.value().ToDenseInto(std::span<double>(dstar_storage, n));
+  const std::span<const double> dstar(dstar_storage, n);
+  obs::SetGauge("histest.trial.arena_bytes",
+                static_cast<int64_t>(arena.bytes_reserved()));
 
   // --- Steps 6-8: sieving. ---
   stage_start = oracle.SamplesDrawn();

@@ -14,7 +14,7 @@ namespace {
 
 /// Number of A_eps elements inside active intervals: the null variance of
 /// the total Z statistic is twice this count.
-double ActiveAepsCount(const std::vector<double>& dstar,
+double ActiveAepsCount(std::span<const double> dstar,
                        const Partition& partition,
                        const std::vector<bool>& active, double eps,
                        const ZStatOptions& zstat) {
@@ -33,7 +33,7 @@ double ActiveAepsCount(const std::vector<double>& dstar,
 }  // namespace
 
 Result<SieveResult> SieveIntervals(SampleOracle& oracle,
-                                   const std::vector<double>& dstar,
+                                   std::span<const double> dstar,
                                    const Partition& partition, size_t k,
                                    double eps, const SieveOptions& options,
                                    Rng& rng) {

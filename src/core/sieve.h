@@ -2,6 +2,7 @@
 #define HISTEST_CORE_SIEVE_H_
 
 #include <cstdint>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -62,13 +63,13 @@ struct SieveResult {
   std::string detail;
 };
 
-/// Runs the two-stage sieve against the learned hypothesis `dstar` (dense):
-/// first discards intervals whose median Z is individually damning, then
-/// iteratively removes the largest remaining statistics until the total is
-/// consistent with chi^2-closeness, up to O(log k) rounds and O(k log k)
-/// removals in total.
+/// Runs the two-stage sieve against the learned hypothesis `dstar` (dense,
+/// passed as a span so arena-backed buffers work): first discards intervals
+/// whose median Z is individually damning, then iteratively removes the
+/// largest remaining statistics until the total is consistent with
+/// chi^2-closeness, up to O(log k) rounds and O(k log k) removals in total.
 Result<SieveResult> SieveIntervals(SampleOracle& oracle,
-                                   const std::vector<double>& dstar,
+                                   std::span<const double> dstar,
                                    const Partition& partition, size_t k,
                                    double eps, const SieveOptions& options,
                                    Rng& rng);

@@ -1,10 +1,47 @@
 #include "dist/empirical.h"
 
 #include <algorithm>
+#include <array>
+#include <cmath>
+#include <cstdio>
+#include <limits>
 
 #include "common/check.h"
+#include "common/cli.h"
+#include "common/kernels.h"
+#include "common/math_util.h"
 
 namespace histest {
+namespace {
+
+/// Storage-mode cutover as a fraction of the domain size, parsed once per
+/// process. Unset keeps the historical integer rule (n / 8, exact at the
+/// boundaries); a set HISTEST_SPARSE_THRESHOLD in (0, 1] switches to
+/// expected_samples < n * fraction. Negative return means "use the
+/// historical rule".
+double SparseThresholdFraction() {
+  static const double fraction = []() {
+    const double fallback =
+        1.0 / static_cast<double>(CountVector::kSparseDomainFraction);
+    const EnvValue<double> env =
+        ParseEnvDouble("HISTEST_SPARSE_THRESHOLD", fallback);
+    if (!env.present) return -1.0;
+    if (!env.valid || env.value > 1.0) {
+      if (ShouldWarnOnceForEnv("HISTEST_SPARSE_THRESHOLD", env.raw)) {
+        std::fprintf(
+            stderr,
+            "histest: ignoring HISTEST_SPARSE_THRESHOLD=%s (%s); using %g\n",
+            env.raw.c_str(),
+            env.valid ? "must be in (0, 1]" : env.error.c_str(), fallback);
+      }
+      return -1.0;
+    }
+    return env.value;
+  }();
+  return fraction;
+}
+
+}  // namespace
 
 CountVector::CountVector(std::vector<int64_t> counts)
     : n_(counts.size()), total_(0), dense_(std::move(counts)) {
@@ -23,10 +60,15 @@ CountVector CountVector::Sparse(size_t n) {
 
 CountVector CountVector::ShapedFor(size_t n, int64_t expected_samples) {
   HISTEST_CHECK_GE(expected_samples, 0);
-  if (expected_samples <
-      static_cast<int64_t>(n / static_cast<size_t>(kSparseDomainFraction))) {
-    return Sparse(n);
-  }
+  const double fraction = SparseThresholdFraction();
+  const bool sparse =
+      fraction < 0.0
+          ? expected_samples < static_cast<int64_t>(
+                                   n / static_cast<size_t>(
+                                           kSparseDomainFraction))
+          : static_cast<double>(expected_samples) <
+                static_cast<double>(n) * fraction;
+  if (sparse) return Sparse(n);
   return CountVector(n);
 }
 
@@ -193,6 +235,38 @@ int64_t CountVector::CollisionPairs() const {
   int64_t pairs = 0;
   ForEachNonZero([&](size_t, int64_t c) { pairs += c * (c - 1) / 2; });
   return pairs;
+}
+
+double CountVector::ChiSquareTo(const std::vector<double>& q) const {
+  HISTEST_CHECK_EQ(q.size(), n_);
+  HISTEST_CHECK_GT(total_, 0);
+  const double inv_total = 1.0 / static_cast<double>(total_);
+  if (!sparse_) {
+    return FusedCountsChiSquareKernel(dense_.data(), inv_total, q.data(), n_);
+  }
+  // Sparse: stage integer counts through a fixed-size block and run the
+  // same fused kernel per block. Each kernel call returns the block partial
+  // exactly (one compensated add on a zero accumulator), so the outer
+  // KahanSum reproduces the dense path's across-block order bit-for-bit.
+  // The infinity sentinel stays out-of-band: feeding +inf through the
+  // compensated accumulator would produce inf - inf = NaN.
+  Cursor reader(*this);
+  std::array<int64_t, kKernelBlock> block;
+  KahanSum acc;
+  bool infinite = false;
+  for (size_t base = 0; base < n_; base += kKernelBlock) {
+    const size_t len = std::min(kKernelBlock, n_ - base);
+    for (size_t i = 0; i < len; ++i) block[i] = reader.At(base + i);
+    const double partial =
+        FusedCountsChiSquareKernel(block.data(), inv_total, q.data() + base,
+                                   len);
+    if (std::isinf(partial)) {
+      infinite = true;
+    } else {
+      acc.Add(partial);
+    }
+  }
+  return infinite ? std::numeric_limits<double>::infinity() : acc.Total();
 }
 
 CountVector::Cursor::Cursor(const CountVector& cv) : cv_(cv) {

@@ -31,8 +31,13 @@ class CountVector {
   static CountVector Sparse(size_t n);
 
   /// Picks the representation for a planned draw of `expected_samples`:
-  /// sparse when expected_samples < n / kSparseDomainFraction, dense
-  /// otherwise. Oracles route DrawCounts through this so the whole pipeline
+  /// sparse when expected_samples < n * threshold, dense otherwise, where
+  /// threshold defaults to 1 / kSparseDomainFraction and can be overridden
+  /// via the HISTEST_SPARSE_THRESHOLD environment variable (a fraction of
+  /// the domain size in (0, 1]; parsed once per process, malformed values
+  /// warn once and keep the default). The knob only moves the storage-mode
+  /// cutover — every query is bit-identical across modes, so outputs never
+  /// change. Oracles route DrawCounts through this so the whole pipeline
   /// agrees on one policy.
   static CountVector ShapedFor(size_t n, int64_t expected_samples);
 
@@ -76,6 +81,15 @@ class CountVector {
   /// Number of colliding pairs: sum_i C(counts_i, 2) (the Paninski
   /// coincidence statistic's numerator).
   int64_t CollisionPairs() const;
+
+  /// Chi-square divergence of the empirical pmf (counts / total) to the
+  /// explicit pmf `q`: sum_i (p_i - q_i)^2 / q_i with the repo's
+  /// zero-denominator convention (a q_i <= 0 term contributes 0 when
+  /// p_i <= 0 and makes the result +infinity otherwise). Dense mode runs
+  /// the fused counts kernel in one pass; sparse mode stages blocks through
+  /// the same summation order, so both modes return bit-identical results.
+  /// Requires total() > 0 and q.size() == size().
+  double ChiSquareTo(const std::vector<double>& q) const;
 
   /// Visits every element with a non-zero count in ascending index order as
   /// fn(index, count). O(n) dense, O(#distinct) sparse.

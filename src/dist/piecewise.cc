@@ -131,12 +131,17 @@ Result<Distribution> PiecewiseConstant::ToDistribution() const {
 
 std::vector<double> PiecewiseConstant::ToDense() const {
   std::vector<double> dense(n_);
+  ToDenseInto(dense);
+  return dense;
+}
+
+void PiecewiseConstant::ToDenseInto(std::span<double> out) const {
+  HISTEST_CHECK_EQ(out.size(), n_);
   for (const Piece& p : pieces_) {
     for (size_t i = p.interval.begin; i < p.interval.end; ++i) {
-      dense[i] = p.value;
+      out[i] = p.value;
     }
   }
-  return dense;
 }
 
 bool PiecewiseConstant::IsKHistogram(size_t k) const {

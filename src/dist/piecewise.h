@@ -2,6 +2,7 @@
 #define HISTEST_DIST_PIECEWISE_H_
 
 #include <cstddef>
+#include <span>
 #include <vector>
 
 #include "common/math_util.h"
@@ -73,6 +74,11 @@ class PiecewiseConstant {
 
   /// Densifies into a raw value vector regardless of total mass.
   std::vector<double> ToDense() const;
+
+  /// Densifies into caller-owned storage (e.g. a ScratchArena buffer) so
+  /// per-trial expansion allocates nothing. Requires out.size() ==
+  /// domain_size(). Writes identical values to ToDense().
+  void ToDenseInto(std::span<double> out) const;
 
   /// True iff this function, as a distribution shape, has at most k pieces
   /// after simplification (i.e., lies in H_k structurally).

@@ -4,8 +4,8 @@
 #include <cmath>
 
 #include "common/check.h"
+#include "common/kernels.h"
 #include "common/math_util.h"
-#include "dist/distance.h"
 #include "histogram/fit_dp.h"
 #include "histogram/fit_merge.h"
 
@@ -33,27 +33,6 @@ std::vector<size_t> AtomOffsets(const std::vector<WeightedAtom>& atoms) {
   return offsets;
 }
 
-/// Expands an AtomFit into a dense value vector over the original domain
-/// (reference-mode candidate evaluation only).
-std::vector<double> FitToDense(const std::vector<WeightedAtom>& atoms,
-                               const AtomFit& fit) {
-  std::vector<double> out;
-  size_t total = 0;
-  for (const WeightedAtom& a : atoms) {
-    total += static_cast<size_t>(std::llround(a.length));
-  }
-  out.reserve(total);
-  size_t atom_idx = 0;
-  for (size_t p = 0; p < fit.piece_values.size(); ++p) {
-    for (; atom_idx < fit.piece_starts[p + 1]; ++atom_idx) {
-      const size_t len =
-          static_cast<size_t>(std::llround(atoms[atom_idx].length));
-      out.insert(out.end(), len, fit.piece_values[p]);
-    }
-  }
-  return out;
-}
-
 /// L1 distance between a run-length-compressed target (atoms `orig` with
 /// element offsets `orig_offsets`) and a piecewise-constant candidate given
 /// by element boundaries `piece_bounds` (size P+1) and values
@@ -78,29 +57,6 @@ double PiecewiseCandidateL1(const std::vector<WeightedAtom>& orig,
     }
   }
   return sum.Total();
-}
-
-/// Per-piece average values of `d` over the fit's piece spans — a
-/// mass-preserving k-piece candidate (total mass exactly 1).
-std::vector<double> AverageValuedCandidate(const Distribution& d,
-                                           const std::vector<WeightedAtom>& atoms,
-                                           const AtomFit& fit) {
-  std::vector<double> out(d.size());
-  // Element offsets of atoms.
-  std::vector<size_t> offsets(atoms.size() + 1, 0);
-  for (size_t i = 0; i < atoms.size(); ++i) {
-    offsets[i + 1] =
-        offsets[i] + static_cast<size_t>(std::llround(atoms[i].length));
-  }
-  for (size_t p = 0; p < fit.piece_values.size(); ++p) {
-    const size_t begin = offsets[fit.piece_starts[p]];
-    const size_t end = offsets[fit.piece_starts[p + 1]];
-    KahanSum mass;
-    for (size_t i = begin; i < end; ++i) mass.Add(d[i]);
-    const double avg = mass.Total() / static_cast<double>(end - begin);
-    for (size_t i = begin; i < end; ++i) out[i] = avg;
-  }
-  return out;
 }
 
 /// Weighted-median L1 cost of atoms [begin, end) — the "oscillation" a
@@ -213,15 +169,49 @@ Result<DistanceBounds> DistanceToHk(const Distribution& d, size_t k,
   // it has positive mass.
   double upper;
   if (options.mode == FitDpMode::kReference) {
-    // Dense evaluation over the full domain.
-    const std::vector<double> avg_candidate =
-        AverageValuedCandidate(d, *dp_atoms, fit.value());
-    upper = 0.5 * L1Distance(d.pmf(), avg_candidate);
-    std::vector<double> med_candidate = FitToDense(*dp_atoms, fit.value());
-    const double med_mass = SumOf(med_candidate);
+    // Dense evaluation over the full domain, single-pass fused: each
+    // candidate is handed to the kernel as (piece value, piece end) runs,
+    // expanded in-register against d's pmf, so no O(n) candidate vector is
+    // ever materialized. Bit-identical to the former
+    // densify-then-L1Distance path: per-piece masses accumulate in the same
+    // KahanSum order as the dense scan did, and the fused kernel takes the
+    // unfused kernel's exact blocked summation order (|cand - d| vs
+    // |d - cand| under fabs is negation-exact).
+    const AtomFit& f = fit.value();
+    const std::vector<size_t> dp_offsets = AtomOffsets(*dp_atoms);
+    const size_t num_pieces = f.piece_values.size();
+    std::vector<size_t> bounds(num_pieces + 1);
+    for (size_t p = 0; p <= num_pieces; ++p) {
+      bounds[p] = dp_offsets[f.piece_starts[p]];
+    }
+    const std::vector<double>& pmf = d.pmf();
+    std::vector<double> avg_values(num_pieces);
+    for (size_t p = 0; p < num_pieces; ++p) {
+      KahanSum mass;
+      for (size_t i = bounds[p]; i < bounds[p + 1]; ++i) mass.Add(pmf[i]);
+      avg_values[p] =
+          mass.Total() / static_cast<double>(bounds[p + 1] - bounds[p]);
+    }
+    upper = 0.5 * FusedExpandL1Kernel(avg_values.data(), bounds.data() + 1,
+                                      num_pieces, pmf.data(), pmf.size());
+    // med_mass replicates the former SumOf over the densified candidate
+    // (a plain per-element KahanSum), adding each piece value once per
+    // covered element, so the normalization divisor is unchanged.
+    KahanSum med_mass_acc;
+    for (size_t p = 0; p < num_pieces; ++p) {
+      const double v = f.piece_values[p];
+      for (size_t i = bounds[p]; i < bounds[p + 1]; ++i) med_mass_acc.Add(v);
+    }
+    const double med_mass = med_mass_acc.Total();
     if (med_mass > 0.0) {
-      for (double& v : med_candidate) v /= med_mass;
-      upper = std::min(upper, 0.5 * L1Distance(d.pmf(), med_candidate));
+      std::vector<double> med_values(num_pieces);
+      for (size_t p = 0; p < num_pieces; ++p) {
+        med_values[p] = f.piece_values[p] / med_mass;
+      }
+      upper = std::min(
+          upper, 0.5 * FusedExpandL1Kernel(med_values.data(),
+                                           bounds.data() + 1, num_pieces,
+                                           pmf.data(), pmf.size()));
     }
   } else {
     // Piecewise evaluation: piece spans in element coordinates come from

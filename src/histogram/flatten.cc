@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/check.h"
+#include "common/kernels.h"
 
 namespace histest {
 
@@ -43,6 +44,21 @@ PiecewiseConstant FlattenAll(const Distribution& d,
     masses.push_back(index.MassOf(iv));
   }
   return PiecewiseConstant::FromPartitionMasses(partition, masses);
+}
+
+double FlattenedL1Distance(const Distribution& d, const Partition& partition) {
+  HISTEST_CHECK_EQ(d.size(), partition.domain_size());
+  const PrefixMassIndex& index = d.PrefixIndex();
+  const size_t num_intervals = partition.NumIntervals();
+  std::vector<double> avg(num_intervals);
+  std::vector<size_t> ends(num_intervals);
+  for (size_t j = 0; j < num_intervals; ++j) {
+    const Interval& iv = partition.interval(j);
+    avg[j] = index.MassOf(iv) / static_cast<double>(iv.size());
+    ends[j] = iv.end;
+  }
+  return FusedExpandL1Kernel(avg.data(), ends.data(), num_intervals,
+                             d.pmf().data(), d.size());
 }
 
 }  // namespace histest

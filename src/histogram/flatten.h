@@ -20,6 +20,13 @@ Distribution FlattenOutside(const Distribution& d, const Partition& partition,
 /// carrying D's interval mass.
 PiecewiseConstant FlattenAll(const Distribution& d, const Partition& partition);
 
+/// L1 distance between D and its full flattening with respect to the
+/// partition, sum_i |Dtilde(i) - D(i)| (halve for total variation), without
+/// materializing the flattened pmf: the per-interval averages are handed to
+/// the fused expand kernel as runs and expanded in-register. Bit-identical
+/// to L1Distance(FlattenOutside(d, partition, {}).pmf(), d.pmf()).
+double FlattenedL1Distance(const Distribution& d, const Partition& partition);
+
 }  // namespace histest
 
 #endif  // HISTEST_HISTOGRAM_FLATTEN_H_

@@ -37,4 +37,18 @@ double ExpectedCollisionStatistic(const std::vector<double>& d) {
   return SumSquaresKernel(d.data(), d.size());
 }
 
+double ExpectedCollisionStatistic(const PiecewiseConstant& d) {
+  const size_t num_pieces = d.NumPieces();
+  std::vector<double> values(num_pieces);
+  std::vector<size_t> ends(num_pieces);
+  for (size_t p = 0; p < num_pieces; ++p) {
+    values[p] = d.pieces()[p].value;
+    ends[p] = d.pieces()[p].interval.end;
+  }
+  // b == nullptr reads the expansion against the zero vector, so the L2
+  // reduction is exactly sum_i v_i^2 in SumSquaresKernel's blocked order.
+  return FusedExpandL2Kernel(values.data(), ends.data(), num_pieces,
+                             /*b=*/nullptr, d.domain_size());
+}
+
 }  // namespace histest

@@ -5,6 +5,7 @@
 
 #include "dist/empirical.h"
 #include "dist/interval.h"
+#include "dist/piecewise.h"
 
 namespace histest {
 
@@ -23,6 +24,12 @@ double RestrictedCollisionStatistic(const CountVector& counts,
 
 /// Expected value of the collision statistic under pmf `d` (= sum d_i^2).
 double ExpectedCollisionStatistic(const std::vector<double>& d);
+
+/// Same expectation for a succinct piecewise-constant pmf, computed by the
+/// fused expand kernel without densifying: the pieces are streamed as runs
+/// straight into the squared-sum reduction. Bit-identical to calling the
+/// dense overload on d.ToDense().
+double ExpectedCollisionStatistic(const PiecewiseConstant& d);
 
 }  // namespace histest
 

@@ -10,7 +10,7 @@
 namespace histest {
 
 Result<ZStatResult> ComputeZStatistics(const CountVector& counts, double m,
-                                       const std::vector<double>& dstar,
+                                       std::span<const double> dstar,
                                        const Partition& partition, double eps,
                                        const ZStatOptions& options,
                                        const std::vector<bool>* active_intervals) {
@@ -31,11 +31,28 @@ Result<ZStatResult> ComputeZStatistics(const CountVector& counts, double m,
   ZStatResult result;
   result.z.assign(partition.NumIntervals(), 0.0);
   KahanSum total;
-  // Partition intervals ascend, so one forward cursor reads the counts in
-  // O(1) amortized per element for both dense and sparse vectors. Counts are
-  // staged through a fixed-size block buffer and reduced by the shared
-  // accumulation kernel: both storage modes take the identical summation
-  // order, preserving the bit-identical dense/sparse contract.
+  if (!counts.is_sparse()) {
+    // Dense counts: the fused kernel converts each int64 count in-register
+    // and feeds it straight into the reduction — one pass over the interval
+    // instead of stage-then-reduce. Bit-identity with the staged path below
+    // holds because the fused kernel takes the identical blocked summation
+    // order (and the KahanSum wrapping each staged block is exact on block
+    // partials), preserving the bit-identical dense/sparse contract.
+    const int64_t* raw = counts.counts().data();
+    for (size_t j = 0; j < partition.NumIntervals(); ++j) {
+      if (active_intervals != nullptr && !(*active_intervals)[j]) continue;
+      const Interval& iv = partition.interval(j);
+      result.z[j] = FusedCountsZKernel(dstar.data() + iv.begin,
+                                       raw + iv.begin, iv.size(), m, aeps_cut);
+      total.Add(result.z[j]);
+    }
+    result.total = total.Total();
+    return result;
+  }
+  // Sparse counts: partition intervals ascend, so one forward cursor reads
+  // the counts in O(1) amortized per element; counts are staged through a
+  // fixed-size block buffer and reduced by the shared accumulation kernel,
+  // the same summation order as the dense fused path above.
   CountVector::Cursor reader(counts);
   std::array<double, kKernelBlock> block;
   for (size_t j = 0; j < partition.NumIntervals(); ++j) {
@@ -57,7 +74,7 @@ Result<ZStatResult> ComputeZStatistics(const CountVector& counts, double m,
   return result;
 }
 
-double ExpectedZ(const std::vector<double>& d, const std::vector<double>& dstar,
+double ExpectedZ(std::span<const double> d, std::span<const double> dstar,
                  const Interval& interval, double m, double eps,
                  const ZStatOptions& options) {
   HISTEST_CHECK_EQ(d.size(), dstar.size());

@@ -2,6 +2,7 @@
 #define HISTEST_STATS_ZSTAT_H_
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "common/status.h"
@@ -29,11 +30,12 @@ struct ZStatResult {
 };
 
 /// Computes the statistics from Poissonized counts against the reference
-/// pmf `dstar` over `partition`. If `active_intervals` is non-null, inactive
-/// intervals get Z_j = 0 and do not contribute to the total. Requires all
-/// sizes to agree and m > 0.
+/// pmf `dstar` over `partition` (a span, so arena-backed buffers work
+/// without copying into a vector). If `active_intervals` is non-null,
+/// inactive intervals get Z_j = 0 and do not contribute to the total.
+/// Requires all sizes to agree and m > 0.
 Result<ZStatResult> ComputeZStatistics(const CountVector& counts, double m,
-                                       const std::vector<double>& dstar,
+                                       std::span<const double> dstar,
                                        const Partition& partition, double eps,
                                        const ZStatOptions& options = {},
                                        const std::vector<bool>* active_intervals =
@@ -41,7 +43,7 @@ Result<ZStatResult> ComputeZStatistics(const CountVector& counts, double m,
 
 /// The exact expectation of Z_j under sampling from `d` (for tests and
 /// calibration): m * sum over I_j cap A_eps of (d_i - dstar_i)^2 / dstar_i.
-double ExpectedZ(const std::vector<double>& d, const std::vector<double>& dstar,
+double ExpectedZ(std::span<const double> d, std::span<const double> dstar,
                  const Interval& interval, double m, double eps,
                  const ZStatOptions& options = {});
 

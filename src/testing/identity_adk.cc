@@ -9,7 +9,7 @@
 namespace histest {
 
 Result<TestOutcome> AdkRestrictedIdentityTest(
-    SampleOracle& oracle, const std::vector<double>& dstar,
+    SampleOracle& oracle, std::span<const double> dstar,
     const Partition& partition, const std::vector<bool>& active_intervals,
     double eps, double m, const AdkOptions& options, Rng& rng) {
   if (oracle.DomainSize() != dstar.size()) {

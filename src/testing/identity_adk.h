@@ -2,6 +2,7 @@
 #define HISTEST_TESTING_IDENTITY_ADK_H_
 
 #include <cstdint>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -40,7 +41,7 @@ struct AdkOptions {
 ///   (i)  d_chi^2(D || dstar) small on the active subdomain  -> accept
 ///   (ii) d_TV(D, dstar) >= eps on the active subdomain      -> reject.
 Result<TestOutcome> AdkRestrictedIdentityTest(
-    SampleOracle& oracle, const std::vector<double>& dstar,
+    SampleOracle& oracle, std::span<const double> dstar,
     const Partition& partition, const std::vector<bool>& active_intervals,
     double eps, double m, const AdkOptions& options, Rng& rng);
 

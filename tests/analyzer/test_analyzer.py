@@ -162,19 +162,60 @@ class CheckerFixtureTest(unittest.TestCase):
         res = scan(["simd_discipline_good.cc"])
         self.assertEqual(res.findings, [])
 
-    def test_simd_discipline_exempts_dispatch_layer(self):
-        # The same intrinsics are the sanctioned implementation when they
-        # live in src/common/simd/: zero findings there.
+    def test_simd_discipline_exempts_backend_tus(self):
+        # The same intrinsics are the sanctioned implementation inside the
+        # per-ISA backend TUs (which also hold the fused kernels): zero
+        # findings in every listed TU.
+        for tu in ("kernels_scalar.cc", "kernels_avx2.cc",
+                   "kernels_avx512.cc", "kernels_neon.cc",
+                   "kernel_impls.h"):
+            root = make_tree([])
+            dest = root / "src" / "common" / "simd" / tu
+            dest.parent.mkdir(parents=True, exist_ok=True)
+            shutil.copyfile(FIXTURES / "simd_discipline_bad.cc", dest)
+            try:
+                res = engine.run_scan(root,
+                                      checker_names=["simd-discipline"],
+                                      backend="internal")
+                self.assertEqual(res.findings, [], tu)
+            finally:
+                shutil.rmtree(root, ignore_errors=True)
+
+    def test_simd_discipline_exemption_is_a_closed_list(self):
+        # A file under src/common/simd/ that is NOT a registered backend TU
+        # (here: a stray helper next to the dispatch shell) gets no free
+        # pass — the exemption is the explicit TU list, not the directory.
         root = make_tree([])
-        dest = root / "src" / "common" / "simd" / "kernels_avx2.cc"
+        dest = root / "src" / "common" / "simd" / "helpers.cc"
         dest.parent.mkdir(parents=True, exist_ok=True)
         shutil.copyfile(FIXTURES / "simd_discipline_bad.cc", dest)
         try:
             res = engine.run_scan(root, checker_names=["simd-discipline"],
                                   backend="internal")
-            self.assertEqual(res.findings, [])
+            self.assertGreater(len(res.findings), 0)
         finally:
             shutil.rmtree(root, ignore_errors=True)
+
+    def test_raw_accumulate_exemption_is_a_closed_list(self):
+        # Same closed-list contract for raw-accumulate: a naive float
+        # accumulation is exempt inside a backend TU but flagged in any
+        # other file under src/common/simd/ (e.g. the dispatch shell).
+        for tu, expect_clean in (("kernels_scalar.cc", True),
+                                 ("simd.cc", False)):
+            root = make_tree([])
+            dest = root / "src" / "common" / "simd" / tu
+            dest.parent.mkdir(parents=True, exist_ok=True)
+            shutil.copyfile(FIXTURES / "raw_accumulate_bad.cc", dest)
+            try:
+                res = engine.run_scan(root,
+                                      checker_names=["raw-accumulate"],
+                                      backend="internal")
+                if expect_clean:
+                    self.assertEqual(res.findings, [], tu)
+                else:
+                    self.assertGreater(len(res.findings), 0, tu)
+            finally:
+                shutil.rmtree(root, ignore_errors=True)
 
     def test_lock_discipline_bad(self):
         res = scan(["lock_discipline_bad.cc"],

@@ -84,6 +84,28 @@ class RoundTripTest(unittest.TestCase):
         for stage, b in summary["budget"].items():
             self.assertGreater(b["theory_shape"], 0.0, stage)
 
+    def test_fused_adoption_and_arena_gauge_render(self):
+        # The traced tester pass runs the dense Z statistic through the
+        # fused counts kernel and draws its dstar scratch from the trial
+        # arena; both must surface in the summaries.
+        proc = run_trace([str(self.jsonl)])
+        self.assertEqual(proc.returncode, 0, proc.stderr)
+        self.assertIn("fused-kernel adoption", proc.stdout)
+        self.assertIn("fused_counts_z", proc.stdout)
+        self.assertIn("gauges:", proc.stdout)
+        self.assertIn("histest.trial.arena_bytes", proc.stdout)
+        proc = run_trace([str(self.jsonl), "--json"])
+        summary = json.loads(proc.stdout)
+        fused = {k: v for k, v in summary["counters"].items()
+                 if k.startswith("histest.simd.") and ".fused_" in k}
+        self.assertTrue(fused, sorted(summary["counters"]))
+        self.assertTrue(all(v > 0 for v in fused.values()), fused)
+        self.assertGreater(
+            summary["counters"].get("histest.kernel.fused_counts_z.calls", 0),
+            0)
+        self.assertGreater(
+            summary["gauges"].get("histest.trial.arena_bytes", 0), 0)
+
     def test_deterministic_reruns_are_identical(self):
         # FakeClock timing: a rerun of the emitter must produce a
         # byte-identical trace file.

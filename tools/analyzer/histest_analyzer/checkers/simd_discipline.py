@@ -52,7 +52,19 @@ class SimdDisciplineChecker(Checker):
     description = ("raw SIMD intrinsics are banned outside src/common/simd/; "
                    "add a backend to the dispatch layer instead")
     scopes = None
-    exempt = ("src/common/simd/*",)
+    # The sanctioned intrinsic homes, as a closed list rather than a
+    # directory glob: exactly the per-ISA backend TUs (which since the
+    # fused-pipeline work also hold the Fused* kernels) and the shared
+    # backend declaration header. The dispatch shell (simd.h / simd.cc)
+    # and any future file dropped under src/common/simd/ stay in scope —
+    # new intrinsic code must be registered here deliberately.
+    exempt = (
+        "src/common/simd/kernel_impls.h",
+        "src/common/simd/kernels_scalar.cc",
+        "src/common/simd/kernels_avx2.cc",
+        "src/common/simd/kernels_avx512.cc",
+        "src/common/simd/kernels_neon.cc",
+    )
 
     def check(self, ctx):
         out = []

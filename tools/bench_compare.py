@@ -1,0 +1,179 @@
+#!/usr/bin/env python3
+"""Compare two Google-Benchmark JSON files and gate on geomean regression.
+
+Usage:
+  bench_compare.py BASELINE.json CURRENT.json [options]
+
+The tool matches benchmark rows by full name (e.g.
+"BM_FusedExpandL1_avx2/1048576"), computes the per-row time ratio
+current / baseline, and fails (exit 1) when the geometric mean of the
+ratios over all matched rows exceeds 1 + threshold (default 0.15, i.e. a
+15% aggregate slowdown).
+
+Cross-machine noise: a committed baseline was produced on some runner; the
+CI runner may simply be a uniformly slower (or faster) machine. Pass
+--normalize NAME to divide every row's time by that row's time *within its
+own file* before comparing; a uniform machine-speed shift then cancels
+while a relative regression (one kernel got slower than the ruler) still
+trips the gate. The ruler row itself is excluded from the geomean.
+
+Rows present in only one file never fail the gate; they are listed in the
+report (and in --json output) so renames are visible. Aggregate rows
+(mean/median/stddev repetitions) are ignored.
+
+Exit codes: 0 pass, 1 regression, 2 usage/input error.
+"""
+
+import argparse
+import json
+import math
+import re
+import sys
+
+
+def die(msg):
+    print(msg, file=sys.stderr)
+    sys.exit(2)
+
+_UNIT_TO_NS = {"ns": 1.0, "us": 1e3, "ms": 1e6, "s": 1e9}
+
+
+def load_rows(path):
+    """Returns {name: time_ns} for the per-iteration rows of a bench JSON."""
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, ValueError) as e:
+        die(f"bench_compare: cannot read {path}: {e}")
+    rows = {}
+    for row in doc.get("benchmarks", []):
+        if row.get("run_type", "iteration") != "iteration":
+            continue  # mean/median/stddev aggregates of repetitions
+        name = row.get("name")
+        time = row.get("real_time")
+        unit = row.get("time_unit", "ns")
+        if name is None or time is None or unit not in _UNIT_TO_NS:
+            continue
+        if time <= 0:
+            continue
+        rows[name] = time * _UNIT_TO_NS[unit]
+    if not rows:
+        die(f"bench_compare: no benchmark rows in {path}")
+    return rows
+
+
+def pick_ruler(rows, pattern, path):
+    """Resolves --normalize: the unique row matching `pattern`."""
+    matches = [n for n in rows if re.search(pattern, n)]
+    if len(matches) != 1:
+        die(
+            f"bench_compare: --normalize {pattern!r} matches "
+            f"{len(matches)} rows in {path} (need exactly 1): "
+            f"{sorted(matches)[:5]}")
+    return matches[0]
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description=__doc__, formatter_class=argparse.RawDescriptionHelpFormatter)
+    parser.add_argument("baseline", help="baseline bench JSON")
+    parser.add_argument("current", help="current bench JSON")
+    parser.add_argument(
+        "--threshold", type=float, default=0.15,
+        help="maximum allowed geomean slowdown (default 0.15 = 15%%)")
+    parser.add_argument(
+        "--filter", default=None, metavar="REGEX",
+        help="only compare rows whose name matches this regex")
+    parser.add_argument(
+        "--normalize", default=None, metavar="REGEX",
+        help="ruler row: divide each file's times by its own time for the "
+             "unique row matching this regex (cancels uniform machine-speed "
+             "differences)")
+    parser.add_argument(
+        "--json", default=None, metavar="PATH",
+        help="write a machine-readable report to PATH")
+    args = parser.parse_args()
+    if args.threshold <= 0:
+        parser.error("--threshold must be positive")
+
+    base = load_rows(args.baseline)
+    cur = load_rows(args.current)
+
+    normalized_by = None
+    if args.normalize:
+        base_ruler = pick_ruler(base, args.normalize, args.baseline)
+        cur_ruler = pick_ruler(cur, args.normalize, args.current)
+        normalized_by = {"baseline": base_ruler, "current": cur_ruler}
+        base_scale = base[base_ruler]
+        cur_scale = cur[cur_ruler]
+        base = {n: t / base_scale for n, t in base.items() if n != base_ruler}
+        cur = {n: t / cur_scale for n, t in cur.items() if n != cur_ruler}
+
+    if args.filter:
+        rx = re.compile(args.filter)
+        base = {n: t for n, t in base.items() if rx.search(n)}
+        cur = {n: t for n, t in cur.items() if rx.search(n)}
+
+    matched = sorted(set(base) & set(cur))
+    missing = sorted(set(base) - set(cur))
+    added = sorted(set(cur) - set(base))
+    if not matched:
+        die("bench_compare: no rows in common between the files")
+
+    per_row = []
+    log_sum = 0.0
+    for name in matched:
+        ratio = cur[name] / base[name]
+        log_sum += math.log(ratio)
+        per_row.append({
+            "name": name,
+            "baseline": base[name],
+            "current": cur[name],
+            "ratio": ratio,
+        })
+    geomean = math.exp(log_sum / len(matched))
+    limit = 1.0 + args.threshold
+    ok = geomean <= limit
+
+    per_row.sort(key=lambda r: r["ratio"], reverse=True)
+    unit = "(ruler-relative)" if normalized_by else "ns/iter"
+    print(f"bench_compare: {len(matched)} rows matched, "
+          f"{len(missing)} missing, {len(added)} new")
+    if normalized_by:
+        print(f"  normalized by: {normalized_by['baseline']}")
+    print(f"  {'name':<52} {'base':>12} {'current':>12} {'ratio':>7}")
+    for r in per_row:
+        flag = "  <-- regression" if r["ratio"] > limit else ""
+        print(f"  {r['name']:<52} {r['baseline']:>12.4g} "
+              f"{r['current']:>12.4g} {r['ratio']:>7.3f}{flag}")
+    print(f"  times in {unit}")
+    for name in missing:
+        print(f"  missing from current run: {name}")
+    for name in added:
+        print(f"  new (not in baseline): {name}")
+    verdict = "PASS" if ok else "FAIL"
+    print(f"bench_compare: geomean ratio {geomean:.4f} "
+          f"(limit {limit:.4f}): {verdict}")
+
+    if args.json:
+        report = {
+            "baseline_file": args.baseline,
+            "current_file": args.current,
+            "threshold": args.threshold,
+            "normalized_by": normalized_by,
+            "geomean_ratio": geomean,
+            "pass": ok,
+            "matched_rows": len(matched),
+            "per_benchmark": per_row,
+            "missing_from_current": missing,
+            "new_in_current": added,
+        }
+        with open(args.json, "w", encoding="utf-8") as f:
+            json.dump(report, f, indent=2, sort_keys=True)
+            f.write("\n")
+
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())
