@@ -15,6 +15,7 @@
 #include "common/rng.h"
 #include "common/table.h"
 #include "core/histogram_tester.h"
+#include "obs/names.h"
 #include "obs/obs.h"
 
 namespace histest {
@@ -51,8 +52,8 @@ inline GridStats RunGrid(const std::vector<WorkloadInstance>& grid,
                          uint64_t seed) {
   // Shared timing/span scaffolding for every experiment's grid sweep; all
   // inert unless tracing is on.
-  obs::ScopedTimer grid_timer("histest.bench.grid_seconds");
-  obs::TraceSpan grid_span("run_grid");
+  obs::ScopedTimer grid_timer(obs::names::kBenchGridSeconds);
+  obs::TraceSpan grid_span(obs::names::kSpanRunGrid);
   grid_span.AnnotateInt("instances", static_cast<int64_t>(grid.size()));
   grid_span.AnnotateInt("trials_per_instance", trials);
   GridStats stats;

@@ -12,6 +12,7 @@
 #include "common/rng.h"
 #include "dist/sampler.h"
 #include "obs/obs.h"
+#include "obs/names.h"
 #include "testing/oracle.h"
 
 namespace histest {
@@ -98,9 +99,9 @@ void ThreadPool::Run(int64_t count, int max_workers,
                      const std::function<void(int64_t)>& job) {
   HISTEST_CHECK_GE(count, 0);
   if (count == 0) return;
-  obs::ScopedTimer run_timer("histest.pool.run_seconds");
-  obs::AddCount("histest.pool.runs", 1);
-  obs::AddCount("histest.pool.jobs", count);
+  obs::ScopedTimer run_timer(obs::names::kPoolRunSeconds);
+  obs::AddCount(obs::names::kPoolRuns, 1);
+  obs::AddCount(obs::names::kPoolJobs, count);
   auto task = std::make_shared<Task>();
   task->count = count;
   task->job = &job;
@@ -114,7 +115,7 @@ void ThreadPool::Run(int64_t count, int max_workers,
   {
     MutexLock lock(mu_);
     queue_.push_back(task);
-    obs::SetGauge("histest.pool.queue_depth",
+    obs::SetGauge(obs::names::kPoolQueueDepth,
                   static_cast<int64_t>(queue_.size()));
   }
   if (helpers > 0) work_cv_.NotifyAll();
@@ -125,7 +126,7 @@ void ThreadPool::Run(int64_t count, int max_workers,
   task->done.Wait(mu_,
                   [&]() { return task->chunks_done == task->chunks_total; });
   queue_.erase(std::find(queue_.begin(), queue_.end(), task));
-  obs::SetGauge("histest.pool.queue_depth",
+  obs::SetGauge(obs::names::kPoolQueueDepth,
                 static_cast<int64_t>(queue_.size()));
 }
 
@@ -146,7 +147,7 @@ ThreadPool& ThreadPool::Shared() {
                  "histest: shared thread pool: %d workers (+1 caller)\n",
                  pool.size());
   });
-  obs::SetGauge("histest.pool.workers", pool.size());
+  obs::SetGauge(obs::names::kPoolWorkers, pool.size());
   return pool;
 }
 
@@ -210,7 +211,7 @@ Result<TrialStats> EstimateAcceptanceParallel(
     // Each trial is a span of its own: spans nest per thread, so a worker's
     // histogram_test subtree hangs under its trial regardless of which pool
     // thread ran it.
-    obs::TraceSpan trial_span("trial");
+    obs::TraceSpan trial_span(obs::names::kSpanTrial);
     trial_span.AnnotateInt("index", t);
     // Trial-scoped arena window: scratch carved by the tester below is
     // reclaimed wholesale on scope exit, and the retained chunks make every
@@ -235,9 +236,9 @@ Result<TrialStats> EstimateAcceptanceParallel(
     trial_span.AnnotateString(
         "verdict", VerdictToString(outcome.value().verdict));
     trial_span.AnnotateInt("samples_used", outcome.value().samples_used);
-    obs::SetGauge("histest.trial.arena_bytes",
+    obs::SetGauge(obs::names::kTrialArenaBytes,
                   static_cast<int64_t>(arena.bytes_reserved()));
-    obs::AddCount("histest.trials.run", 1);
+    obs::AddCount(obs::names::kTrialsRun, 1);
   });
   if (failed.load()) {
     for (const Status& s : statuses) {

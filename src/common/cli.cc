@@ -3,6 +3,7 @@
 #include <cerrno>
 #include <cmath>
 #include <cstdlib>
+#include <cstring>
 #include <set>
 #include <utility>
 
@@ -159,6 +160,17 @@ EnvValue<int> ParseEnvEnum(
   out.valid = false;
   out.error = "expected one of:";
   for (const auto& option : options) out.error += " " + option.first;
+  return out;
+}
+
+EnvValue<bool> ParseEnvFlag(const char* name, bool fallback) {
+  EnvValue<bool> out;
+  out.value = fallback;
+  const char* env = std::getenv(name);
+  if (env == nullptr) return out;
+  out.present = true;
+  out.raw = env;
+  out.value = *env != '\0' && std::strcmp(env, "0") != 0;
   return out;
 }
 

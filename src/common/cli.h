@@ -66,6 +66,14 @@ EnvValue<int> ParseEnvEnum(
     const char* name,
     const std::vector<std::pair<std::string, int>>& options, int fallback);
 
+/// Parses a presence-style boolean environment variable: unset -> fallback;
+/// set to "" or "0" -> false; any other value -> true. Matches the
+/// HISTEST_TRACE convention ("set it to anything but 0 to enable") so
+/// on/off knobs share one parser instead of ad-hoc std::getenv reads
+/// (which the env-discipline analyzer checker now rejects outside this
+/// module). A flag read is never malformed, so `valid` is always true.
+EnvValue<bool> ParseEnvFlag(const char* name, bool fallback);
+
 /// Process-wide dedup for once-per-value environment diagnostics. Returns
 /// true exactly once per distinct (name, raw value) pair; when several
 /// threads race on the first read of the same bad value, exactly one of

@@ -2,6 +2,7 @@
 
 #include "common/simd/simd.h"
 #include "obs/obs.h"
+#include "obs/names.h"
 
 namespace histest {
 
@@ -13,42 +14,42 @@ namespace histest {
 // the per-variant tally so traces show which ISA actually ran.
 
 double L1DistanceKernel(const double* a, const double* b, size_t n) {
-  obs::AddCount("histest.kernel.l1_distance.calls", 1);
+  obs::AddCount(obs::names::kKernelL1DistanceCalls, 1);
   const simd::KernelTable& t = simd::ActiveKernels();
   obs::AddCount(t.tally[simd::kL1Distance], 1);
   return t.l1_distance(a, b, n);
 }
 
 double L2DistanceSquaredKernel(const double* a, const double* b, size_t n) {
-  obs::AddCount("histest.kernel.l2_distance_sq.calls", 1);
+  obs::AddCount(obs::names::kKernelL2DistanceSqCalls, 1);
   const simd::KernelTable& t = simd::ActiveKernels();
   obs::AddCount(t.tally[simd::kL2DistanceSquared], 1);
   return t.l2_distance_squared(a, b, n);
 }
 
 double SumKernel(const double* a, size_t n) {
-  obs::AddCount("histest.kernel.sum.calls", 1);
+  obs::AddCount(obs::names::kKernelSumCalls, 1);
   const simd::KernelTable& t = simd::ActiveKernels();
   obs::AddCount(t.tally[simd::kSum], 1);
   return t.sum(a, n);
 }
 
 double SumSquaresKernel(const double* a, size_t n) {
-  obs::AddCount("histest.kernel.sum_squares.calls", 1);
+  obs::AddCount(obs::names::kKernelSumSquaresCalls, 1);
   const simd::KernelTable& t = simd::ActiveKernels();
   obs::AddCount(t.tally[simd::kSumSquares], 1);
   return t.sum_squares(a, n);
 }
 
 double HellingerAccumulateKernel(const double* a, const double* b, size_t n) {
-  obs::AddCount("histest.kernel.hellinger.calls", 1);
+  obs::AddCount(obs::names::kKernelHellingerCalls, 1);
   const simd::KernelTable& t = simd::ActiveKernels();
   obs::AddCount(t.tally[simd::kHellinger], 1);
   return t.hellinger(a, b, n);
 }
 
 double ChiSquareKernel(const double* p, const double* q, size_t n) {
-  obs::AddCount("histest.kernel.chi_square.calls", 1);
+  obs::AddCount(obs::names::kKernelChiSquareCalls, 1);
   const simd::KernelTable& t = simd::ActiveKernels();
   obs::AddCount(t.tally[simd::kChiSquare], 1);
   return t.chi_square(p, q, n);
@@ -56,7 +57,7 @@ double ChiSquareKernel(const double* p, const double* q, size_t n) {
 
 double ZAccumulateKernel(const double* dstar, const double* counts, size_t n,
                          double m, double aeps_cut) {
-  obs::AddCount("histest.kernel.z_accumulate.calls", 1);
+  obs::AddCount(obs::names::kKernelZAccumulateCalls, 1);
   const simd::KernelTable& t = simd::ActiveKernels();
   obs::AddCount(t.tally[simd::kZAccumulate], 1);
   return t.z_accumulate(dstar, counts, n, m, aeps_cut);
@@ -64,7 +65,7 @@ double ZAccumulateKernel(const double* dstar, const double* counts, size_t n,
 
 double FusedExpandL1Kernel(const double* values, const size_t* ends,
                            size_t num_runs, const double* b, size_t n) {
-  obs::AddCount("histest.kernel.fused_expand_l1.calls", 1);
+  obs::AddCount(obs::names::kKernelFusedExpandL1Calls, 1);
   const simd::KernelTable& t = simd::ActiveKernels();
   obs::AddCount(t.tally[simd::kFusedExpandL1], 1);
   return t.fused_expand_l1(values, ends, num_runs, b, n);
@@ -72,7 +73,7 @@ double FusedExpandL1Kernel(const double* values, const size_t* ends,
 
 double FusedExpandL2Kernel(const double* values, const size_t* ends,
                            size_t num_runs, const double* b, size_t n) {
-  obs::AddCount("histest.kernel.fused_expand_l2.calls", 1);
+  obs::AddCount(obs::names::kKernelFusedExpandL2Calls, 1);
   const simd::KernelTable& t = simd::ActiveKernels();
   obs::AddCount(t.tally[simd::kFusedExpandL2], 1);
   return t.fused_expand_l2(values, ends, num_runs, b, n);
@@ -80,7 +81,7 @@ double FusedExpandL2Kernel(const double* values, const size_t* ends,
 
 double FusedCountsZKernel(const double* dstar, const int64_t* counts,
                           size_t n, double m, double aeps_cut) {
-  obs::AddCount("histest.kernel.fused_counts_z.calls", 1);
+  obs::AddCount(obs::names::kKernelFusedCountsZCalls, 1);
   const simd::KernelTable& t = simd::ActiveKernels();
   obs::AddCount(t.tally[simd::kFusedCountsZ], 1);
   return t.fused_counts_z(dstar, counts, n, m, aeps_cut);
@@ -88,7 +89,7 @@ double FusedCountsZKernel(const double* dstar, const int64_t* counts,
 
 double FusedCountsChiSquareKernel(const int64_t* counts, double inv_total,
                                   const double* q, size_t n) {
-  obs::AddCount("histest.kernel.fused_counts_chi_square.calls", 1);
+  obs::AddCount(obs::names::kKernelFusedCountsChiSquareCalls, 1);
   const simd::KernelTable& t = simd::ActiveKernels();
   obs::AddCount(t.tally[simd::kFusedCountsChiSquare], 1);
   return t.fused_counts_chi_square(counts, inv_total, q, n);

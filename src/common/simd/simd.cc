@@ -6,6 +6,7 @@
 #include "common/cli.h"
 #include "common/simd/kernel_impls.h"
 #include "obs/metrics.h"
+#include "obs/names.h"
 
 namespace histest {
 namespace simd {
@@ -38,20 +39,7 @@ constexpr KernelTable kScalarTable = {
     &ScalarFusedExpandL2,
     &ScalarFusedCountsZ,
     &ScalarFusedCountsChiSquare,
-    {
-        "histest.simd.scalar.l1_distance.calls",
-        "histest.simd.scalar.l2_distance_squared.calls",
-        "histest.simd.scalar.sum.calls",
-        "histest.simd.scalar.sum_squares.calls",
-        "histest.simd.scalar.hellinger.calls",
-        "histest.simd.scalar.chi_square.calls",
-        "histest.simd.scalar.z_accumulate.calls",
-        "histest.simd.scalar.alias_resolve.calls",
-        "histest.simd.scalar.fused_expand_l1.calls",
-        "histest.simd.scalar.fused_expand_l2.calls",
-        "histest.simd.scalar.fused_counts_z.calls",
-        "histest.simd.scalar.fused_counts_chi_square.calls",
-    },
+    {HISTEST_OBS_SIMD_KERNELS(HISTEST_OBS_SIMD_TALLY_ENTRY, "scalar")},
 };
 
 #ifdef HISTEST_SIMD_COMPILED_AVX2
@@ -70,20 +58,7 @@ constexpr KernelTable kAvx2Table = {
     &Avx2FusedExpandL2,
     &Avx2FusedCountsZ,
     &Avx2FusedCountsChiSquare,
-    {
-        "histest.simd.avx2.l1_distance.calls",
-        "histest.simd.avx2.l2_distance_squared.calls",
-        "histest.simd.avx2.sum.calls",
-        "histest.simd.avx2.sum_squares.calls",
-        "histest.simd.avx2.hellinger.calls",
-        "histest.simd.avx2.chi_square.calls",
-        "histest.simd.avx2.z_accumulate.calls",
-        "histest.simd.avx2.alias_resolve.calls",
-        "histest.simd.avx2.fused_expand_l1.calls",
-        "histest.simd.avx2.fused_expand_l2.calls",
-        "histest.simd.avx2.fused_counts_z.calls",
-        "histest.simd.avx2.fused_counts_chi_square.calls",
-    },
+    {HISTEST_OBS_SIMD_KERNELS(HISTEST_OBS_SIMD_TALLY_ENTRY, "avx2")},
 };
 #endif
 
@@ -105,20 +80,7 @@ constexpr KernelTable kAvx512Table = {
     &Avx512FusedExpandL2,
     &Avx512FusedCountsZ,
     &Avx512FusedCountsChiSquare,
-    {
-        "histest.simd.avx512.l1_distance.calls",
-        "histest.simd.avx512.l2_distance_squared.calls",
-        "histest.simd.avx512.sum.calls",
-        "histest.simd.avx512.sum_squares.calls",
-        "histest.simd.avx512.hellinger.calls",
-        "histest.simd.avx512.chi_square.calls",
-        "histest.simd.avx512.z_accumulate.calls",
-        "histest.simd.avx512.alias_resolve.calls",
-        "histest.simd.avx512.fused_expand_l1.calls",
-        "histest.simd.avx512.fused_expand_l2.calls",
-        "histest.simd.avx512.fused_counts_z.calls",
-        "histest.simd.avx512.fused_counts_chi_square.calls",
-    },
+    {HISTEST_OBS_SIMD_KERNELS(HISTEST_OBS_SIMD_TALLY_ENTRY, "avx512")},
 };
 #endif
 
@@ -140,20 +102,7 @@ constexpr KernelTable kNeonTable = {
     &NeonFusedExpandL2,
     &NeonFusedCountsZ,
     &NeonFusedCountsChiSquare,
-    {
-        "histest.simd.neon.l1_distance.calls",
-        "histest.simd.neon.l2_distance_squared.calls",
-        "histest.simd.neon.sum.calls",
-        "histest.simd.neon.sum_squares.calls",
-        "histest.simd.neon.hellinger.calls",
-        "histest.simd.neon.chi_square.calls",
-        "histest.simd.neon.z_accumulate.calls",
-        "histest.simd.neon.alias_resolve.calls",
-        "histest.simd.neon.fused_expand_l1.calls",
-        "histest.simd.neon.fused_expand_l2.calls",
-        "histest.simd.neon.fused_counts_z.calls",
-        "histest.simd.neon.fused_counts_chi_square.calls",
-    },
+    {HISTEST_OBS_SIMD_KERNELS(HISTEST_OBS_SIMD_TALLY_ENTRY, "neon")},
 };
 #endif
 
@@ -303,12 +252,12 @@ const KernelTable& ActiveKernels() {
   // Re-published on every call (cheap: no-op unless tracing is enabled) so
   // the gauges appear even when obs is switched on after first dispatch —
   // the same pattern ThreadPool::Shared() uses for its thread-count gauge.
-  obs::SetGauge("histest.simd.active_variant",
+  obs::SetGauge(obs::names::kSimdActiveVariant,
                 static_cast<int64_t>(table->variant));
   const CpuFeatures& cpu = DetectCpuFeatures();
-  obs::SetGauge("histest.simd.cpu.avx2", cpu.avx2 ? 1 : 0);
-  obs::SetGauge("histest.simd.cpu.avx512f", cpu.avx512f ? 1 : 0);
-  obs::SetGauge("histest.simd.cpu.neon", cpu.neon ? 1 : 0);
+  obs::SetGauge(obs::names::kSimdCpuAvx2, cpu.avx2 ? 1 : 0);
+  obs::SetGauge(obs::names::kSimdCpuAvx512f, cpu.avx512f ? 1 : 0);
+  obs::SetGauge(obs::names::kSimdCpuNeon, cpu.neon ? 1 : 0);
   return *table;
 }
 

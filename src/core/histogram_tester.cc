@@ -10,6 +10,7 @@
 #include "common/check.h"
 #include "common/math_util.h"
 #include "obs/obs.h"
+#include "obs/names.h"
 
 namespace histest {
 
@@ -61,7 +62,7 @@ Result<HistogramTestReport> HistogramTester::TestWithReport(
 
   // Root span for the whole run; stage spans nest under it. Inert (and the
   // helpers below are one load + branch each) unless tracing is enabled.
-  obs::TraceSpan test_span("histogram_test");
+  obs::TraceSpan test_span(obs::names::kSpanHistogramTest);
   test_span.AnnotateInt("n", static_cast<int64_t>(n));
   test_span.AnnotateInt("k", static_cast<int64_t>(k_));
   test_span.AnnotateDouble("eps", eps_);
@@ -69,7 +70,7 @@ Result<HistogramTestReport> HistogramTester::TestWithReport(
     test_span.AnnotateString("verdict", VerdictToString(r.verdict));
     test_span.AnnotateString("decided_by", r.decided_by);
     test_span.AnnotateInt("samples_total", r.samples_total);
-    obs::AddCount("histest.tester.runs", 1);
+    obs::AddCount(obs::names::kTesterRuns, 1);
   };
 
   // Trivial regime: every distribution over [0, n) is an n-histogram.
@@ -94,13 +95,13 @@ Result<HistogramTestReport> HistogramTester::TestWithReport(
   b = std::max(1.0, std::min(b, static_cast<double>(n)));
   int64_t stage_start = oracle.SamplesDrawn();
   std::optional<obs::TraceSpan> stage_span;
-  stage_span.emplace("stage.approx_part");
+  stage_span.emplace(obs::names::kSpanStageApproxPart);
   auto partition = ApproxPartition(oracle, b, opts.approx_part);
   {
     const int64_t drawn = oracle.SamplesDrawn() - stage_start;
     stage_span->AnnotateInt("samples_drawn", drawn);
     stage_span.reset();
-    obs::AddCount("histest.stage.approx_part.samples_drawn", drawn);
+    obs::AddCount(obs::names::kStageApproxPartSamplesDrawn, drawn);
   }
   HISTEST_RETURN_IF_ERROR(partition.status());
   report.partition_size = partition.value().NumIntervals();
@@ -114,14 +115,14 @@ Result<HistogramTestReport> HistogramTester::TestWithReport(
   // --- Step 4: chi-square learner. ---
   stage_start = oracle.SamplesDrawn();
   const double eps_learn = opts.learner_eps_fraction * eps_;
-  stage_span.emplace("stage.learner");
+  stage_span.emplace(obs::names::kSpanStageLearner);
   auto dhat = LearnHistogramChiSquare(oracle, partition.value(), eps_learn,
                                       opts.learner);
   {
     const int64_t drawn = oracle.SamplesDrawn() - stage_start;
     stage_span->AnnotateInt("samples_drawn", drawn);
     stage_span.reset();
-    obs::AddCount("histest.stage.learner.samples_drawn", drawn);
+    obs::AddCount(obs::names::kStageLearnerSamplesDrawn, drawn);
   }
   HISTEST_RETURN_IF_ERROR(dhat.status());
   report.stages.push_back(StageReport{
@@ -137,19 +138,19 @@ Result<HistogramTestReport> HistogramTester::TestWithReport(
   double* dstar_storage = arena.Alloc<double>(n);
   dhat.value().ToDenseInto(std::span<double>(dstar_storage, n));
   const std::span<const double> dstar(dstar_storage, n);
-  obs::SetGauge("histest.trial.arena_bytes",
+  obs::SetGauge(obs::names::kTrialArenaBytes,
                 static_cast<int64_t>(arena.bytes_reserved()));
 
   // --- Steps 6-8: sieving. ---
   stage_start = oracle.SamplesDrawn();
-  stage_span.emplace("stage.sieve");
+  stage_span.emplace(obs::names::kSpanStageSieve);
   auto sieve = SieveIntervals(oracle, dstar, partition.value(), k_, eps_,
                               opts.sieve, rng_);
   {
     const int64_t drawn = oracle.SamplesDrawn() - stage_start;
     stage_span->AnnotateInt("samples_drawn", drawn);
     stage_span.reset();
-    obs::AddCount("histest.stage.sieve.samples_drawn", drawn);
+    obs::AddCount(obs::names::kStageSieveSamplesDrawn, drawn);
   }
   HISTEST_RETURN_IF_ERROR(sieve.status());
   report.removed_intervals =
@@ -166,7 +167,7 @@ Result<HistogramTestReport> HistogramTester::TestWithReport(
   }
 
   // --- Step 10: offline closeness check on the kept subdomain. ---
-  stage_span.emplace("stage.check");
+  stage_span.emplace(obs::names::kSpanStageCheck);
   auto check = CheckCloseToHkOnSubdomain(dhat.value(), partition.value(),
                                          sieve.value().active, k_, eps_,
                                          opts.check);
@@ -194,7 +195,7 @@ Result<HistogramTestReport> HistogramTester::TestWithReport(
   const double m_final = opts.final_test.sample_constant *
                          std::sqrt(static_cast<double>(n)) /
                          (eps_final * eps_final);
-  stage_span.emplace("stage.final");
+  stage_span.emplace(obs::names::kSpanStageFinal);
   auto final_outcome = AdkRestrictedIdentityTest(
       oracle, dstar, partition.value(), sieve.value().active, eps_final,
       m_final, opts.final_test, rng_);
@@ -202,7 +203,7 @@ Result<HistogramTestReport> HistogramTester::TestWithReport(
     const int64_t drawn = oracle.SamplesDrawn() - stage_start;
     stage_span->AnnotateInt("samples_drawn", drawn);
     stage_span.reset();
-    obs::AddCount("histest.stage.final.samples_drawn", drawn);
+    obs::AddCount(obs::names::kStageFinalSamplesDrawn, drawn);
   }
   HISTEST_RETURN_IF_ERROR(final_outcome.status());
   report.stages.push_back(StageReport{"final",

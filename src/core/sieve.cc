@@ -7,6 +7,7 @@
 #include "common/check.h"
 #include "common/math_util.h"
 #include "obs/obs.h"
+#include "obs/names.h"
 #include "stats/poissonization.h"
 
 namespace histest {
@@ -70,13 +71,13 @@ Result<SieveResult> SieveIntervals(SampleOracle& oracle,
     for (size_t j = 0; j < big_k; ++j) {
       if (result.active[j]) ++survivors;
     }
-    obs::AddCount("histest.sieve.candidates", static_cast<int64_t>(big_k));
-    obs::AddCount("histest.sieve.survivors", survivors);
-    obs::AddCount("histest.sieve.removed_heavy",
+    obs::AddCount(obs::names::kSieveCandidates, static_cast<int64_t>(big_k));
+    obs::AddCount(obs::names::kSieveSurvivors, survivors);
+    obs::AddCount(obs::names::kSieveRemovedHeavy,
                   static_cast<int64_t>(result.removed_heavy));
-    obs::AddCount("histest.sieve.removed_iterative",
+    obs::AddCount(obs::names::kSieveRemovedIterative,
                   static_cast<int64_t>(result.removed_iterative));
-    obs::AddCount("histest.sieve.rounds",
+    obs::AddCount(obs::names::kSieveRounds,
                   static_cast<int64_t>(result.rounds_used));
   };
 

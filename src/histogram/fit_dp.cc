@@ -8,6 +8,7 @@
 #include "common/check.h"
 #include "common/math_util.h"
 #include "obs/obs.h"
+#include "obs/names.h"
 
 namespace histest {
 namespace {
@@ -551,8 +552,8 @@ Result<AtomFit> FitAtomsL1(const std::vector<WeightedAtom>& atoms, size_t k,
           return table.Cost(s, e);
         },
         [&](size_t s, size_t e) { return table.OptimalValue(s, e); });
-    obs::AddCount("histest.fit_dp.l1.reference.cost_probes", probes);
-    obs::AddCount("histest.fit_dp.l1.reference.calls", 1);
+    obs::AddCount(obs::names::kFitDpL1ReferenceCostProbes, probes);
+    obs::AddCount(obs::names::kFitDpL1ReferenceCalls, 1);
     return fit;
   }
   const PersistentRankTree tree(atoms);
@@ -576,8 +577,8 @@ Result<AtomFit> FitAtomsL1(const std::vector<WeightedAtom>& atoms, size_t k,
         tree.CostBlock(s, blk, e, out);
       },
       [&](size_t s, size_t e) { return tree.MedianValue(s, e); });
-  obs::AddCount("histest.fit_dp.l1.fast.cost_probes", probes);
-  obs::AddCount("histest.fit_dp.l1.fast.calls", 1);
+  obs::AddCount(obs::names::kFitDpL1FastCostProbes, probes);
+  obs::AddCount(obs::names::kFitDpL1FastCalls, 1);
   return fit;
 }
 

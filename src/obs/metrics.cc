@@ -1,5 +1,7 @@
 #include "obs/metrics.h"
 
+#include "common/cli.h"
+
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -46,10 +48,8 @@ bool Enabled() { return g_enabled.load(std::memory_order_relaxed); }
 void SetEnabled(bool on) { g_enabled.store(on, std::memory_order_relaxed); }
 
 bool InitFromEnv() {
-  const char* env = std::getenv("HISTEST_TRACE");
-  if (env != nullptr && *env != '\0' && std::strcmp(env, "0") != 0) {
-    SetEnabled(true);
-  }
+  const EnvValue<bool> env = ParseEnvFlag("HISTEST_TRACE", false);
+  if (env.present && env.value) SetEnabled(true);
   return Enabled();
 }
 

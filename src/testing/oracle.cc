@@ -4,6 +4,7 @@
 
 #include "common/check.h"
 #include "obs/obs.h"
+#include "obs/names.h"
 
 namespace histest {
 
@@ -50,8 +51,8 @@ void DistributionOracle::DrawBatch(size_t* out, int64_t count) {
   // Batch-level accounting only: Draw() stays uninstrumented so the scalar
   // hot path is untouched, and drawn_ remains the ground truth the per-stage
   // counters are checked against.
-  obs::AddCount("histest.oracle.batch_samples", count);
-  obs::AddCount("histest.oracle.batches", 1);
+  obs::AddCount(obs::names::kOracleBatchSamples, count);
+  obs::AddCount(obs::names::kOracleBatches, 1);
 }
 
 CountVector DistributionOracle::DrawCounts(int64_t count) {
@@ -73,9 +74,9 @@ CountVector DistributionOracle::DrawCounts(int64_t count) {
     left -= c;
   }
   drawn_ += count;
-  obs::AddCount("histest.oracle.counts_samples", count);
-  obs::AddCount(cv.is_sparse() ? "histest.oracle.counts_sparse"
-                               : "histest.oracle.counts_dense",
+  obs::AddCount(obs::names::kOracleCountsSamples, count);
+  obs::AddCount(cv.is_sparse() ? obs::names::kOracleCountsSparse
+                               : obs::names::kOracleCountsDense,
                 1);
   return cv;
 }

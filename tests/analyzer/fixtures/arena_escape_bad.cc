@@ -1,0 +1,45 @@
+#include <cstddef>
+
+#include "benchutil/parallel.h"
+#include "common/arena.h"
+
+namespace histest {
+
+// Allocation helper: no Scope of its own, so this is summary-only
+// (returns_arena=true) — the violations are at the call sites below.
+double* MakeBuf(ScratchArena& arena, size_t n) {
+  return arena.Alloc<double>(n);
+}
+
+double* DirectEscape(size_t n) {
+  ScratchArena arena;
+  ScratchArena::Scope scope(arena);
+  double* buf = arena.Alloc<double>(n);
+  return buf;  // escapes this function's own Scope rewind
+}
+
+double* HelperEscape(ScratchArena& arena, size_t n) {
+  ScratchArena::Scope scope(arena);
+  double* buf = MakeBuf(arena, n);  // tainted through MakeBuf's summary
+  return buf;
+}
+
+class Holder {
+ public:
+  void Fill(ScratchArena& arena, size_t n) {
+    ScratchArena::Scope scope(arena);
+    buf_ = arena.Alloc<double>(n);  // member outlives the Scope
+  }
+
+ private:
+  double* buf_ = nullptr;
+};
+
+void Deferred(ThreadPool& pool, size_t n) {
+  ScratchArena& arena = ScratchArena::ThreadLocal();
+  ScratchArena::Scope scope(arena);
+  double* buf = arena.Alloc<double>(n);
+  pool.Submit([&] { buf[0] = 1.0; });  // task may run after the rewind
+}
+
+}  // namespace histest

@@ -1,0 +1,14 @@
+#include <cstddef>
+
+#include "common/arena.h"
+
+namespace histest {
+
+// Defined in a different translation unit than its caller: the
+// returns_arena fact must travel through the program-wide summary table.
+double* CrossFileBuf(ScratchArena& arena, size_t n) {
+  double* raw = arena.Alloc<double>(n);
+  return raw;
+}
+
+}  // namespace histest

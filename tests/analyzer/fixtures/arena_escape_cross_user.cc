@@ -1,0 +1,16 @@
+#include <cstddef>
+
+#include "common/arena.h"
+
+namespace histest {
+
+double* CrossFileBuf(ScratchArena& arena, size_t n);
+
+double* CrossFileEscape(size_t n) {
+  ScratchArena& arena = ScratchArena::ThreadLocal();
+  ScratchArena::Scope scope(arena);
+  double* buf = CrossFileBuf(arena, n);  // tainted via cross-file summary
+  return buf;
+}
+
+}  // namespace histest

@@ -1,0 +1,53 @@
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "benchutil/parallel.h"
+#include "common/arena.h"
+
+namespace histest {
+
+// Allocation helper: no Scope of its own — the caller owns the lifetime,
+// so returning the allocation is the contract, not an escape.
+double* MakeBuf(ScratchArena& arena, size_t n) {
+  return arena.Alloc<double>(n);
+}
+
+double UseWithinScope(size_t n) {
+  ScratchArena& arena = ScratchArena::ThreadLocal();
+  ScratchArena::Scope scope(arena);
+  double* buf = arena.Alloc<double>(n);
+  buf[0] = 1.0;
+  return buf[0];  // value copied out; the storage never escapes
+}
+
+std::vector<double> CopyOut(size_t n) {
+  ScratchArena& arena = ScratchArena::ThreadLocal();
+  ScratchArena::Scope scope(arena);
+  double* buf = MakeBuf(arena, n);
+  std::vector<double> out(n, 0.0);
+  for (size_t i = 0; i < n; ++i) {
+    out[i] = buf[i];  // deep copy before the Scope rewinds
+  }
+  return out;
+}
+
+void LocalRebind(size_t n) {
+  ScratchArena& arena = ScratchArena::ThreadLocal();
+  ScratchArena::Scope scope(arena);
+  double* buf = arena.Alloc<double>(n);
+  buf = arena.Alloc<double>(n);  // local reassignment: lifetime-safe
+  buf[0] = 0.0;
+}
+
+void JoiningParallel(size_t n) {
+  ScratchArena& arena = ScratchArena::ThreadLocal();
+  ScratchArena::Scope scope(arena);
+  double* buf = arena.Alloc<double>(n);
+  // ParallelFor joins before returning, so the capture cannot outlive
+  // the Scope (only Submit/Enqueue/Dispatch defer their callable).
+  ParallelFor(static_cast<int64_t>(n), 2,
+              [&](int64_t i) { buf[i] = 0.0; });
+}
+
+}  // namespace histest

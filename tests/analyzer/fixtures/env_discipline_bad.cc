@@ -1,0 +1,18 @@
+#include <cstdlib>
+
+namespace histest {
+
+int ThreadsFromEnv() {
+  const char* raw = std::getenv("HISTEST_THREADS");
+  if (raw == nullptr) {
+    return 1;
+  }
+  return raw[0] == '4' ? 4 : 1;
+}
+
+int SeedPresent() {
+  const char* raw = ::getenv("HISTEST_SEED");
+  return raw != nullptr ? 1 : 0;
+}
+
+}  // namespace histest

@@ -1,0 +1,13 @@
+#include "common/cli.h"
+
+namespace histest {
+
+int ThreadsFromEnv() {
+  return ParseEnvInt("HISTEST_THREADS", 1, 1, 64).value;
+}
+
+bool TraceEnabled() {
+  return ParseEnvFlag("HISTEST_TRACE", false).value;
+}
+
+}  // namespace histest

@@ -1,0 +1,16 @@
+#include "obs/clock.h"
+#include "obs/metrics.h"
+#include "obs/names.h"
+#include "obs/trace.h"
+
+namespace histest {
+
+void Emit(int n) {
+  obs::AddCount(obs::names::kTrialsRun, 1);
+  obs::SetGauge(obs::names::kPoolWorkers, n);
+  obs::ObserveHistogram(obs::names::kPoolRunSeconds, 0.5);
+  obs::TraceSpan span(obs::names::kSpanTrial);
+  obs::ScopedTimer timer(obs::names::kPoolRunSeconds);
+}
+
+}  // namespace histest

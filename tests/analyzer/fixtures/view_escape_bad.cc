@@ -1,0 +1,40 @@
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace histest {
+
+// Returned pointer aliases the parameter: summary views_params={0}.
+// No finding here — the parameter's storage belongs to the caller.
+const char* CStr(const std::string& s) {
+  return s.c_str();
+}
+
+std::string_view DanglingView() {
+  std::string local = "abc";
+  return local;  // implicit string -> string_view over dying storage
+}
+
+const double* DanglingData() {
+  std::vector<double> v(4, 0.0);
+  return v.data();
+}
+
+std::string_view ViaLocalView() {
+  std::string local = "abc";
+  std::string_view sv = local;
+  return sv;  // sv is bound to `local`, which dies with the frame
+}
+
+const char* ViaHelper() {
+  std::string local = "tmp";
+  return CStr(local);  // CStr's return aliases arg 0 (summary)
+}
+
+std::string_view ViaCtor() {
+  std::string local = "xyz";
+  return std::string_view(local);
+}
+
+}  // namespace histest

@@ -1,0 +1,41 @@
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace histest {
+
+// Views of parameters alias caller-owned storage: fine to return.
+const char* CStr(const std::string& s) {
+  return s.c_str();
+}
+
+std::string_view FirstHalf(std::string_view text) {
+  return text;
+}
+
+// By-value return: the container is moved/copied out, nothing dangles.
+std::string BuildName(int k) {
+  std::string out = "trial-";
+  out += static_cast<char>('0' + k);
+  return out;
+}
+
+// Static local storage outlives every call.
+const char* CachedLabel() {
+  static const std::string label = "histogram-tester";
+  return label.c_str();
+}
+
+// A call-shaped return through a helper with no view summary stays
+// silent: Find's return does not alias its argument.
+size_t Find(const std::string& s);
+
+const char* Describe() {
+  std::string scratch = "scratch";
+  scratch += '!';
+  size_t n = Find(scratch);
+  return n > 0 ? "found" : "missing";  // literals have static storage
+}
+
+}  // namespace histest

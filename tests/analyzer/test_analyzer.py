@@ -53,6 +53,22 @@ DEST = {
     "lock_discipline_good.cc": "src/benchutil/lock_discipline_good.cc",
     "static_state_bad.cc": "src/core/static_state_bad.cc",
     "static_state_good.cc": "src/core/static_state_good.cc",
+    # arena-escape scans every dir; src/core/ mirrors the statistic
+    # pipeline where trial-scoped arenas live.
+    "arena_escape_bad.cc": "src/core/arena_escape_bad.cc",
+    "arena_escape_good.cc": "src/core/arena_escape_good.cc",
+    # Cross-TU pair: the helper's returns_arena fact must reach a caller
+    # in a different directory through the program summary table.
+    "arena_escape_cross_helper.cc": "src/core/arena_escape_cross_helper.cc",
+    "arena_escape_cross_user.cc":
+        "src/histogram/arena_escape_cross_user.cc",
+    "view_escape_bad.cc": "src/dist/view_escape_bad.cc",
+    "view_escape_good.cc": "src/dist/view_escape_good.cc",
+    # obs-name-discipline is scoped to src/.
+    "obs_name_bad.cc": "src/core/obs_name_bad.cc",
+    "obs_name_good.cc": "src/core/obs_name_good.cc",
+    "env_discipline_bad.cc": "src/app/env_discipline_bad.cc",
+    "env_discipline_good.cc": "src/app/env_discipline_good.cc",
     "suppression_ok.cc": "src/core/suppression_ok.cc",
     "suppression_missing_reason.cc": "src/core/suppression_missing_reason.cc",
 }
@@ -72,11 +88,11 @@ def make_tree(names, allowlist=None):
     return root
 
 
-def scan(names, checkers=None, allowlist=None):
+def scan(names, checkers=None, allowlist=None, **kwargs):
     root = make_tree(names, allowlist)
     try:
         return engine.run_scan(root, checker_names=checkers,
-                               backend="internal")
+                               backend="internal", **kwargs)
     finally:
         shutil.rmtree(root, ignore_errors=True)
 
@@ -250,6 +266,188 @@ class CheckerFixtureTest(unittest.TestCase):
         res = scan(["static_state_good.cc"])
         self.assertEqual(res.findings, [])
 
+    def test_arena_escape_bad(self):
+        # 18: return past own Scope; 24: same through the MakeBuf helper's
+        # summary; 31: member store; 42: capture in a Submit lambda.
+        res = scan(["arena_escape_bad.cc"], checkers=["arena-escape"])
+        self.assert_findings(res, "arena-escape", [18, 24, 31, 42])
+
+    def test_arena_escape_good(self):
+        res = scan(["arena_escape_good.cc"])
+        self.assertEqual(res.findings, [])
+
+    def test_arena_escape_cross_file(self):
+        # The allocation helper lives in src/core/, the escaping caller in
+        # src/histogram/: the finding must land in the caller, carried by
+        # the cross-TU returns_arena summary.
+        res = scan(["arena_escape_cross_helper.cc",
+                    "arena_escape_cross_user.cc"],
+                   checkers=["arena-escape"])
+        self.assertEqual(
+            [(f.path, f.line) for f in res.findings],
+            [("src/histogram/arena_escape_cross_user.cc", 13)],
+            "\n".join(f.format_text() for f in res.findings))
+
+    def test_view_escape_bad(self):
+        # 16: container -> view conversion; 21: .data(); 27: via a local
+        # view variable; 32: via CStr()'s views_params summary; 37: via a
+        # string_view constructor.
+        res = scan(["view_escape_bad.cc"], checkers=["view-escape"])
+        self.assert_findings(res, "view-escape", [16, 21, 27, 32, 37])
+
+    def test_view_escape_good(self):
+        res = scan(["view_escape_good.cc"])
+        self.assertEqual(res.findings, [])
+
+    def test_obs_name_bad(self):
+        # 8/9/10: literal first args to the metric entry points; 11/12:
+        # TraceSpan/ScopedTimer ctor literals; 13: a registry-namespace
+        # literal smuggled through a local.
+        res = scan(["obs_name_bad.cc"], checkers=["obs-name-discipline"])
+        self.assert_findings(res, "obs-name-discipline",
+                             [8, 9, 10, 11, 12, 13])
+
+    def test_obs_name_good(self):
+        res = scan(["obs_name_good.cc"])
+        self.assertEqual(res.findings, [])
+
+    def test_obs_name_scoped_to_src(self):
+        # bench-internal synthetic names are not part of the registry
+        # contract: the same file outside src/ is clean.
+        root = make_tree([])
+        dest = root / "bench" / "obs_name_bad.cc"
+        dest.parent.mkdir(parents=True, exist_ok=True)
+        shutil.copyfile(FIXTURES / "obs_name_bad.cc", dest)
+        try:
+            res = engine.run_scan(root,
+                                  checker_names=["obs-name-discipline"],
+                                  backend="internal")
+            self.assertEqual(res.findings, [])
+        finally:
+            shutil.rmtree(root, ignore_errors=True)
+
+    def test_obs_name_registry_header_exempt(self):
+        # The registry header is where the literals are supposed to live.
+        root = make_tree([])
+        dest = root / "src" / "obs" / "names.h"
+        dest.parent.mkdir(parents=True, exist_ok=True)
+        shutil.copyfile(FIXTURES / "obs_name_bad.cc", dest)
+        try:
+            res = engine.run_scan(root,
+                                  checker_names=["obs-name-discipline"],
+                                  backend="internal")
+            self.assertEqual(res.findings, [])
+        finally:
+            shutil.rmtree(root, ignore_errors=True)
+
+    def test_env_discipline_bad(self):
+        res = scan(["env_discipline_bad.cc"], checkers=["env-discipline"])
+        self.assert_findings(res, "env-discipline", [6, 14])
+
+    def test_env_discipline_good(self):
+        res = scan(["env_discipline_good.cc"])
+        self.assertEqual(res.findings, [])
+
+    def test_env_discipline_exempts_parser_impl(self):
+        # The ParseEnv* implementation is the one sanctioned getenv site.
+        root = make_tree([])
+        dest = root / "src" / "common" / "cli.cc"
+        dest.parent.mkdir(parents=True, exist_ok=True)
+        shutil.copyfile(FIXTURES / "env_discipline_bad.cc", dest)
+        try:
+            res = engine.run_scan(root, checker_names=["env-discipline"],
+                                  backend="internal")
+            self.assertEqual(res.findings, [])
+        finally:
+            shutil.rmtree(root, ignore_errors=True)
+
+
+class InterproceduralUpgradeTest(unittest.TestCase):
+    """PR-4-era checkers seeing through one helper level via summaries."""
+
+    def _scan_text(self, text, checkers):
+        root = pathlib.Path(tempfile.mkdtemp())
+        try:
+            f = root / "src" / "core" / "t.cc"
+            f.parent.mkdir(parents=True)
+            f.write_text(text)
+            return engine.run_scan(root, checker_names=checkers,
+                                   backend="internal")
+        finally:
+            shutil.rmtree(root, ignore_errors=True)
+
+    def test_rng_helper_draw_in_parallel_lambda(self):
+        res = self._scan_text(
+            "#include \"common/rng.h\"\n"
+            "namespace histest {\n"
+            "double DrawOne(Rng& rng) { return rng.UniformDouble(); }\n"
+            "void Run(Rng& rng, double* out, int64_t n) {\n"
+            "  ParallelFor(n, 2, [&](int64_t i) {\n"
+            "    out[i] = DrawOne(rng);\n"
+            "  });\n"
+            "}\n"
+            "}\n", ["rng-stream"])
+        self.assertEqual([(f.checker, f.line) for f in res.findings],
+                         [("rng-stream", 6)],
+                         "\n".join(f.format_text() for f in res.findings))
+
+    def test_rng_helper_with_lambda_local_generator_clean(self):
+        res = self._scan_text(
+            "#include \"common/rng.h\"\n"
+            "namespace histest {\n"
+            "double DrawOne(Rng& rng) { return rng.UniformDouble(); }\n"
+            "void Run(const uint64_t* seeds, double* out, int64_t n) {\n"
+            "  ParallelFor(n, 2, [&](int64_t i) {\n"
+            "    Rng task(seeds[i]);\n"
+            "    out[i] = DrawOne(task);\n"
+            "  });\n"
+            "}\n"
+            "}\n", ["rng-stream"])
+        self.assertEqual(res.findings, [],
+                         "\n".join(f.format_text() for f in res.findings))
+
+    def test_auto_status_wrapper_discard_flagged(self):
+        res = self._scan_text(
+            "#include \"common/status.h\"\n"
+            "namespace histest {\n"
+            "Status DoThing() { return Status(); }\n"
+            "auto Forward() { return DoThing(); }\n"
+            "void Caller() {\n"
+            "  Forward();\n"
+            "}\n"
+            "}\n", ["status-discipline"])
+        self.assertEqual([(f.checker, f.line) for f in res.findings],
+                         [("status-discipline", 6)],
+                         "\n".join(f.format_text() for f in res.findings))
+
+    def test_auto_nonstatus_wrapper_discard_clean(self):
+        res = self._scan_text(
+            "namespace histest {\n"
+            "int Compute() { return 3; }\n"
+            "auto Forward() { return Compute(); }\n"
+            "void Caller() {\n"
+            "  Forward();\n"
+            "}\n"
+            "}\n", ["status-discipline"])
+        self.assertEqual(res.findings, [])
+
+    def test_overload_union_status_ambiguity_is_silent(self):
+        # Two definitions share the bare name: one returns Status, one is
+        # void. The summary must answer "ambiguous" (no finding), same
+        # contract as SymbolIndex._ambiguous.
+        res = self._scan_text(
+            "#include \"common/status.h\"\n"
+            "namespace histest {\n"
+            "Status Build(int x) { return Status(); }\n"
+            "struct S { void Build(); };\n"
+            "void S::Build() { }\n"
+            "void Caller(S& s) {\n"
+            "  s.Build();\n"
+            "}\n"
+            "}\n", ["status-discipline"])
+        self.assertEqual(res.findings, [],
+                         "\n".join(f.format_text() for f in res.findings))
+
 
 class SuppressionTest(unittest.TestCase):
     def test_reasoned_inline_suppression_honored(self):
@@ -290,6 +488,103 @@ class SuppressionTest(unittest.TestCase):
         with self.assertRaises(ValueError):
             scan(["raw_accumulate_bad.cc"],
                  allowlist="raw-accumulate src/core/raw_accumulate_bad.cc\n")
+
+
+class StaleSuppressionTest(unittest.TestCase):
+    """Suppressions that no longer suppress anything are findings."""
+
+    def _tree_with(self, text, allowlist=None):
+        root = pathlib.Path(tempfile.mkdtemp())
+        f = root / "src" / "core" / "t.cc"
+        f.parent.mkdir(parents=True)
+        f.write_text(text)
+        if allowlist is not None:
+            cfg = root / "tools" / "analyzer"
+            cfg.mkdir(parents=True)
+            (cfg / "allowlist.txt").write_text(allowlist)
+        return root
+
+    _CLEAN_WITH_SUPPRESSION = (
+        "// analyzer-allow(raw-accumulate): left over from a refactor\n"
+        "double Get(const double* v) {\n"
+        "  return v[0];\n"
+        "}\n")
+
+    def test_stale_inline_suppression_is_a_warning(self):
+        root = self._tree_with(self._CLEAN_WITH_SUPPRESSION)
+        try:
+            res = engine.run_scan(root, backend="internal")
+            self.assertEqual(
+                [(f.checker, f.line, f.severity) for f in res.findings],
+                [("stale-suppression", 1, "warning")])
+            self.assertEqual(res.errors, [])  # exit stays 0
+        finally:
+            shutil.rmtree(root, ignore_errors=True)
+
+    def test_stale_inline_suppression_strict_is_an_error(self):
+        root = self._tree_with(self._CLEAN_WITH_SUPPRESSION)
+        try:
+            res = engine.run_scan(root, backend="internal",
+                                  strict_suppressions=True)
+            self.assertEqual(
+                [(f.checker, f.severity) for f in res.findings],
+                [("stale-suppression", "error")])
+            self.assertEqual(len(res.errors), 1)
+        finally:
+            shutil.rmtree(root, ignore_errors=True)
+
+    def test_used_suppression_is_not_stale(self):
+        root = self._tree_with(
+            "double S(const double* v, int n) {\n"
+            "  double t = 0.0;\n"
+            "  for (int i = 0; i < n; ++i) {\n"
+            "    // analyzer-allow(raw-accumulate): fixture kernel\n"
+            "    t += v[i];\n"
+            "  }\n"
+            "  return t;\n"
+            "}\n")
+        try:
+            res = engine.run_scan(root, backend="internal")
+            self.assertEqual(res.findings, [])
+        finally:
+            shutil.rmtree(root, ignore_errors=True)
+
+    def test_suppression_for_inactive_checker_not_judged(self):
+        # Scanning with a checker subset must not call suppressions for
+        # the *other* checkers stale.
+        root = self._tree_with(self._CLEAN_WITH_SUPPRESSION)
+        try:
+            res = engine.run_scan(root, checker_names=["float-compare"],
+                                  backend="internal")
+            self.assertEqual(res.findings, [])
+        finally:
+            shutil.rmtree(root, ignore_errors=True)
+
+    def test_stale_allowlist_entry_reported_on_full_scan(self):
+        root = self._tree_with(
+            "double Get(const double* v) { return v[0]; }\n",
+            allowlist="raw-accumulate src/core/deleted_file.cc"
+                      " -- file was removed\n")
+        try:
+            res = engine.run_scan(root, backend="internal")
+            self.assertEqual(
+                [(f.checker, f.path, f.severity) for f in res.findings],
+                [("stale-suppression", "tools/analyzer/allowlist.txt",
+                  "warning")])
+        finally:
+            shutil.rmtree(root, ignore_errors=True)
+
+    def test_cli_strict_suppressions_exits_one(self):
+        root = self._tree_with(self._CLEAN_WITH_SUPPRESSION)
+        try:
+            ok = run_cli(["--root", str(root), "--backend", "internal"])
+            self.assertEqual(ok.returncode, 0, ok.stdout + ok.stderr)
+            strict = run_cli(["--root", str(root), "--backend", "internal",
+                              "--strict-suppressions"])
+            self.assertEqual(strict.returncode, 1,
+                             strict.stdout + strict.stderr)
+        finally:
+            shutil.rmtree(root, ignore_errors=True)
 
 
 class CliOutputTest(unittest.TestCase):

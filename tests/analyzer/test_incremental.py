@@ -168,6 +168,78 @@ class DiffModeTest(unittest.TestCase):
                              "--diff", "no-such-ref"])
         self.assertEqual(proc.returncode, 2, proc.stdout + proc.stderr)
 
+    def test_renamed_violating_file_is_scanned_at_new_path(self):
+        # A rename is a change: the file's violations must be judged at
+        # the destination path, and the vanished source path must not
+        # break the scan (regardless of git's rename detection showing
+        # one R entry or a delete+add pair).
+        git(self.repo.root, "mv", "src/obs/old_bad.cc",
+            "src/core/moved_bad.cc")
+        self.repo.commit("move the bad file")
+        proc = run_analyzer(["--root", str(self.repo.root),
+                             "--backend", "internal", "--diff", "HEAD~1"])
+        self.assertEqual(proc.returncode, 1, proc.stdout + proc.stderr)
+        self.assertIn("moved_bad.cc", proc.stdout)
+        self.assertNotIn("old_bad.cc", proc.stdout)
+
+    def test_renamed_clean_file_passes(self):
+        git(self.repo.root, "mv", "src/core/clean.cc",
+            "src/core/renamed_clean.cc")
+        self.repo.commit("rename the clean file")
+        proc = run_analyzer(["--root", str(self.repo.root),
+                             "--backend", "internal", "--diff", "HEAD~1"])
+        self.assertEqual(proc.returncode, 0, proc.stdout + proc.stderr)
+
+    def test_deleting_a_violating_file_passes(self):
+        # The only change is a deletion: nothing scannable remains, so the
+        # incremental scan must exit 0 instead of choking on the missing
+        # path (the committed violation is gone with the file).
+        git(self.repo.root, "rm", "-q", "src/obs/old_bad.cc")
+        self.repo.commit("drop the bad file")
+        proc = run_analyzer(["--root", str(self.repo.root),
+                             "--backend", "internal", "--diff", "HEAD~1"])
+        self.assertEqual(proc.returncode, 0, proc.stdout + proc.stderr)
+        self.assertIn("nothing to do", proc.stderr)
+
+    @staticmethod
+    def _raw_acc(allow: str) -> str:
+        return ("double S(const double* v, int n) {\n"
+                "  double t = 0.0;\n"
+                "  for (int i = 0; i < n; ++i) {\n"
+                + allow +
+                "    t += v[i];\n"
+                "  }\n"
+                "  return t;\n"
+                "}\n")
+
+    _ALLOW = "    // analyzer-allow(raw-accumulate): checked kernel\n"
+
+    def test_adding_only_a_suppression_comment_passes(self):
+        # The commit changes nothing but a suppression comment; --diff
+        # re-judges the file and the suppression must silence the
+        # committed violation.
+        self.repo.write("src/core/acc.cc", self._raw_acc(""))
+        self.repo.commit("committed violation")
+        self.repo.write("src/core/acc.cc",
+                        self._raw_acc(self._ALLOW))
+        self.repo.commit("suppress it")
+        proc = run_analyzer(["--root", str(self.repo.root),
+                             "--backend", "internal", "--diff", "HEAD~1"])
+        self.assertEqual(proc.returncode, 0, proc.stdout + proc.stderr)
+
+    def test_removing_only_a_suppression_comment_fails(self):
+        # The mirror image: deleting the comment is a one-line change that
+        # must resurface the finding it was suppressing.
+        self.repo.write("src/core/acc.cc",
+                        self._raw_acc(self._ALLOW))
+        self.repo.commit("suppressed violation")
+        self.repo.write("src/core/acc.cc", self._raw_acc(""))
+        self.repo.commit("drop the suppression")
+        proc = run_analyzer(["--root", str(self.repo.root),
+                             "--backend", "internal", "--diff", "HEAD~1"])
+        self.assertEqual(proc.returncode, 1, proc.stdout + proc.stderr)
+        self.assertIn("raw-accumulate", proc.stdout)
+
 
 class PreCommitTest(unittest.TestCase):
     def setUp(self):

@@ -15,8 +15,10 @@
 #include <cstdlib>
 #include <limits>
 #include <string>
+#include <utility>
 #include <vector>
 
+#include "common/cli.h"
 #include "common/rng.h"
 #include "dist/sampler.h"
 
@@ -91,16 +93,17 @@ TEST(SimdDispatchTest, HonorsEnvOverride) {
   // When the harness pins HISTEST_SIMD (the per-variant CI lanes do), the
   // active table must be exactly that variant — this is what makes a green
   // per-variant ctest pass evidence that the variant actually ran.
-  const char* env = std::getenv("HISTEST_SIMD");
+  std::vector<std::pair<std::string, int>> options;
+  for (const Variant v : simd::AvailableVariants()) {
+    options.emplace_back(simd::VariantName(v), static_cast<int>(v));
+  }
+  const EnvValue<int> env = ParseEnvEnum("HISTEST_SIMD", options, -1);
   const Variant active = simd::ActiveVariant();
   ASSERT_NE(simd::KernelTableFor(active), nullptr);
-  if (env != nullptr) {
-    const std::string want(env);
-    for (const Variant v : simd::AvailableVariants()) {
-      if (want == simd::VariantName(v)) {
-        EXPECT_EQ(active, v) << "HISTEST_SIMD=" << want << " not honored";
-      }
-    }
+  if (env.present && env.valid) {
+    const Variant want = static_cast<Variant>(env.value);
+    EXPECT_EQ(active, want)
+        << "HISTEST_SIMD=" << env.raw << " not honored";
   }
 }
 

@@ -12,16 +12,28 @@ Two backends build `FileContext`s for the checkers:
 Both backends attach the same internal model (suppressions, statements,
 token stream); libclang additionally attaches `ctx.clang_facts`, which
 checkers prefer over their heuristic paths when present.
+
+Every context also carries `ctx.summaries`: the interprocedural
+`ProgramSummaries` table built over the union of the scanned files, the
+tree-index sources (incremental scans), and the src/ headers — so the
+escape/lifetime checkers see one call graph regardless of scan shape.
+
+Parsing is embarrassingly parallel and dominates scan wall-clock on the
+full tree, so `build_contexts(jobs=N)` fans the lex+model step out over a
+multiprocessing pool; the summary fixpoint and the checkers stay serial
+(they are cheap and order-sensitive respectively).
 """
 
 from __future__ import annotations
 
 import pathlib
+import time
 
 from .engine import FileContext
 from .index import SymbolIndex
 from .lexer import lex
 from .model import Model
+from .summaries import ProgramSummaries
 
 
 def libclang_available() -> bool:
@@ -37,47 +49,91 @@ def libclang_available() -> bool:
         return False
 
 
+def _parse_source(path_str: str):
+    """Pool worker: lex + model one file. Top-level so it pickles."""
+    try:
+        text = pathlib.Path(path_str).read_text(errors="replace")
+    except OSError:
+        return None
+    lexed = lex(text)
+    return path_str, text, lexed, Model(lexed)
+
+
+def _parse_all(paths, jobs: int):
+    """Parses `paths`, optionally across processes. Returns the list of
+    non-None `_parse_source` results in input order."""
+    path_strs = [str(p) for p in paths]
+    if jobs > 1 and len(path_strs) > 1:
+        try:
+            import multiprocessing
+            with multiprocessing.Pool(min(jobs, len(path_strs))) as pool:
+                parsed = pool.map(_parse_source, path_strs, chunksize=4)
+            return [r for r in parsed if r is not None]
+        except (ImportError, OSError):  # pragma: no cover - env specific
+            pass  # no fork/pool available: fall through to serial
+    return [r for r in map(_parse_source, path_strs) if r is not None]
+
+
 class InternalBackend:
     name = "internal"
 
-    def build_contexts(self, root: pathlib.Path, files, index_tree=False):
+    def __init__(self):
+        # Populated by build_contexts; reported by the CLI so CI can log
+        # the parse wall-clock against its budget.
+        self.parse_seconds = 0.0
+        self.parse_files = 0
+        self.parse_jobs = 1
+
+    def build_contexts(self, root: pathlib.Path, files, index_tree=False,
+                       jobs: int = 1):
         from .engine import iter_sources
 
-        contexts = []
-        index = SymbolIndex()
-        models = []
-        for path in files:
-            try:
-                text = path.read_text(errors="replace")
-            except OSError:
-                continue
-            lexed = lex(text)
-            model = Model(lexed)
-            models.append((path, text, lexed, model))
-            index.add_model(model)
-        # Also index declarations from headers outside the requested file
-        # set (explicit-path scans still need repo-wide return types).
-        # With index_tree (incremental --diff scans) every default-scan-dir
-        # source joins the index, so checkers keep their full cross-file
-        # view even when only a handful of changed files are scanned.
-        scanned = {p.resolve() for p, *_ in models}
+        # Scanned files first, then extra index/summary sources: headers
+        # under src/ always (explicit-path scans still need repo-wide
+        # return types), and with index_tree (incremental --diff scans)
+        # every default-scan-dir source — checkers keep their full
+        # cross-file view even when only a handful of changed files are
+        # scanned.
+        scan_list = []
+        seen = set()
+        for p in files:
+            r = pathlib.Path(p).resolve()
+            if r not in seen:
+                seen.add(r)
+                scan_list.append(p)
+        n_scanned = len(scan_list)
         extra = list(iter_sources(root)) if index_tree else []
         src = root / "src"
         if src.is_dir():
             extra.extend(sorted(src.rglob("*.h")))
         for other in extra:
-            resolved = other.resolve()
-            if resolved in scanned:
+            r = other.resolve()
+            if r not in seen:
+                seen.add(r)
+                scan_list.append(other)
+
+        t0 = time.monotonic()
+        parsed = _parse_all(scan_list, jobs)
+        self.parse_seconds = time.monotonic() - t0
+        self.parse_files = len(parsed)
+        self.parse_jobs = max(1, jobs)
+
+        index = SymbolIndex()
+        summaries = ProgramSummaries()
+        for _, _, _, model in parsed:
+            index.add_model(model)
+            summaries.add_model(model)
+        summaries.finalize()
+
+        scanned_set = {str(p) for p in scan_list[:n_scanned]}
+        contexts = []
+        for path_str, text, lexed, model in parsed:
+            if path_str not in scanned_set:
                 continue
-            scanned.add(resolved)
-            try:
-                index.add_model(Model(lex(other.read_text(
-                    errors="replace"))))
-            except OSError:
-                continue
-        for path, text, lexed, model in models:
-            ctx = FileContext(root, path, text, lexed, model, index)
+            ctx = FileContext(root, pathlib.Path(path_str), text, lexed,
+                              model, index)
             ctx.clang_facts = None
+            ctx.summaries = summaries
             contexts.append(ctx)
         return contexts
 
@@ -87,10 +143,11 @@ class LibclangBackend(InternalBackend):
 
     name = "libclang"
 
-    def build_contexts(self, root: pathlib.Path, files, index_tree=False):
+    def build_contexts(self, root: pathlib.Path, files, index_tree=False,
+                       jobs: int = 1):
         from . import libclang_backend
         contexts = super().build_contexts(root, files,
-                                          index_tree=index_tree)
+                                          index_tree=index_tree, jobs=jobs)
         for ctx in contexts:
             try:
                 ctx.clang_facts = libclang_backend.collect_facts(root,

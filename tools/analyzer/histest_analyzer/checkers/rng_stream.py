@@ -24,6 +24,7 @@ from __future__ import annotations
 
 from ..engine import Checker, Finding, register
 from ..model import RNG_DRAW_METHODS
+from ..summaries import iter_calls, split_call_args
 from ._shared import statement_spans
 
 _STD_RNG_IDS = frozenset({
@@ -174,6 +175,61 @@ class RngStreamChecker(Checker):
                             seen.add((f.line, f.col))
                             out.append(f)
                 i += 1
+            out.extend(self._helper_draws(ctx, fn, st, tainted_only, seen))
+        return out
+
+    def _helper_draws(self, ctx, fn, st, tainted_only, seen):
+        """Interprocedural half of parts 3+4: `Helper(rng)` where Helper's
+        summary says it draws from that parameter position is a draw from
+        `rng` at this site — a shared generator handed to a helper inside
+        a parallel lambda is as schedule-dependent as a direct draw."""
+        summaries = getattr(ctx, "summaries", None)
+        if summaries is None:
+            return []
+        check_parallel = st.parallel_call and not tainted_only
+        if not (check_parallel or st.thread_tainted):
+            return []
+        toks = ctx.model.tokens
+        match = ctx.model.match
+        out = []
+        for callee, op in iter_calls(toks, match, st.start, st.end):
+            positions = summaries.draws_rng_params(callee)
+            if not positions:
+                continue
+            args, _ = split_call_args(toks, match, op)
+            for a_i, (a_s, a_e) in enumerate(args):
+                if a_i not in positions:
+                    continue
+                for k in range(a_s, a_e):
+                    t = toks[k]
+                    if t.kind != "id" or \
+                            fn.type_of(t.text, ctx.index,
+                                       ctx.model.member_types) != "rng":
+                        continue
+                    if (t.line, t.col) in seen:
+                        continue
+                    if check_parallel:
+                        if fn.is_lambda and fn.declared_locally(t.text):
+                            continue  # per-task generator: safe to hand on
+                        seen.add((t.line, t.col))
+                        out.append(Finding(
+                            self.name, ctx.rel_path, t.line, t.col,
+                            f"shared Rng '{t.text}' is handed to "
+                            f"'{callee}()', which draws from it "
+                            f"(interprocedural summary), inside a "
+                            f"parallel-harness lambda: draw order then "
+                            f"depends on the schedule. Fork() a per-task "
+                            f"generator before submitting",
+                            ctx.line_text(t.line)))
+                    elif st.thread_tainted:
+                        seen.add((t.line, t.col))
+                        out.append(Finding(
+                            self.name, ctx.rel_path, t.line, t.col,
+                            f"'{callee}()' draws from '{t.text}' "
+                            f"(interprocedural summary) under thread-"
+                            f"topology guard; the consumed stream then "
+                            f"depends on worker count",
+                            ctx.line_text(t.line)))
         return out
 
     def _check_draw(self, ctx, fn, st, recv, method, tainted_only):

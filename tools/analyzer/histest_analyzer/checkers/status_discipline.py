@@ -60,7 +60,15 @@ class StatusDisciplineChecker(Checker):
             if callee_idx is None:
                 continue
             callee = toks[callee_idx]
-            if index is not None and index.returns_status(callee.text):
+            from_index = index is not None and \
+                index.returns_status(callee.text)
+            # Interprocedural: an `auto`-returning wrapper that forwards a
+            # Status call classifies as status-returning in its summary
+            # even though the index cannot type its return.
+            summaries = getattr(ctx, "summaries", None)
+            from_summary = summaries is not None and \
+                summaries.returns_status(callee.text)
+            if from_index or from_summary:
                 out.append(self._finding(ctx, callee.line, callee.col,
                                          callee.text))
         return out

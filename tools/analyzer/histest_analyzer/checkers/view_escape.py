@@ -1,0 +1,162 @@
+"""view-escape: returning a view/pointer/reference into function-local
+storage.
+
+A `std::string_view`, `std::span`, pointer, or reference that points into
+a function-local container dangles the instant the function returns. The
+checker fires only on functions whose declared return type can carry such
+an alias (view type, `*`, or `&`), then walks every `return` statement:
+
+  * the returned expression names a local owning container directly
+    (`return s;` from a string_view-returning function) or takes its
+    address (`return v.data();`);
+  * it names a local *view variable* previously bound to a local
+    container (`std::string_view sv = s; ... return sv;`);
+  * it forwards a local container through a helper whose summary says the
+    returned view aliases that parameter position (`return Trim(s);`) —
+    the one-wrapper interprocedural case from summaries.py.
+
+Static locals and parameters are excluded: their storage outlives the
+call. Members are invisible to `decl_texts` and therefore never flagged —
+the checker errs toward silence on constructs the model cannot prove.
+"""
+
+from __future__ import annotations
+
+from ..engine import Checker, Finding, register
+from ..summaries import (ADDRESS_YIELDING_METHODS, VIEW_TYPE_IDS,
+                         EmptySummaries, find_escaping, iter_return_stmts,
+                         local_containers, returns_view_type,
+                         split_call_args, _stmt_declares)
+
+
+def _view_locals(fn, model, containers):
+    """Local view/pointer variables whose initializer aliases a local
+    container. Forward pass, same shape as compute_arena_taint."""
+    toks = model.tokens
+    tainted = set()
+    aliasing_types = VIEW_TYPE_IDS | {"*", "&", "auto"}
+    for st in fn.statements:
+        declared = [n for n in fn.decl_texts
+                    if _stmt_declares(fn, toks, st, n) and
+                    any(t in aliasing_types for t in fn.decl_texts[n])]
+        declared += [n for n, (s, e) in fn.auto_inits.items()
+                     if st.start <= s < st.end and n not in fn.decl_texts]
+        if not declared:
+            continue
+        if find_escaping(toks, st.start, st.end,
+                         containers | tainted) is not None:
+            tainted.update(declared)
+    return tainted
+
+
+@register
+class ViewEscapeChecker(Checker):
+    name = "view-escape"
+    description = ("views/pointers into function-local containers must "
+                   "not be returned")
+    scopes = None
+
+    def check(self, ctx):
+        out = []
+        summaries = getattr(ctx, "summaries", None) or EmptySummaries()
+        toks = ctx.model.tokens
+        for fn in ctx.model.functions:
+            if fn.is_lambda or not returns_view_type(fn):
+                continue
+            containers = local_containers(fn)
+            if not containers:
+                continue
+            views = _view_locals(fn, ctx.model, containers)
+            for r_s, r_e in iter_return_stmts(fn, toks):
+                f = self._check_return(ctx, fn, r_s, r_e, containers,
+                                       views, summaries)
+                if f is not None:
+                    out.append(f)
+        return out
+
+    def _check_return(self, ctx, fn, r_s, r_e, containers, views,
+                      summaries):
+        toks = ctx.model.tokens
+        match = ctx.model.match
+        call = self._whole_expr_call(toks, match, r_s, r_e)
+        if call is not None:
+            # `return Callee(args);` — whether the result aliases an
+            # argument is the *callee's* business: judge by its summary
+            # (or by construction for std::string_view / std::span), so
+            # `return Lookup(s);` returning static storage stays silent.
+            callee, op = call
+            args, _ = split_call_args(toks, match, op)
+            view_positions = summaries.views_params(callee)
+            is_view_ctor = callee in VIEW_TYPE_IDS
+            for a_i, (a_s, a_e) in enumerate(args):
+                hit = self._address_yield(toks, a_s, a_e,
+                                          containers | views)
+                if hit is not None:
+                    t = toks[hit]
+                    return Finding(
+                        self.name, ctx.rel_path, t.line, t.col,
+                        f"returns a pointer into function-local "
+                        f"'{t.text}' (via .{toks[hit + 2].text}()); the "
+                        f"storage dies when the function returns",
+                        ctx.line_text(t.line))
+                if not (is_view_ctor or a_i in view_positions):
+                    continue
+                hit = find_escaping(toks, a_s, a_e, containers | views)
+                if hit is not None:
+                    t = toks[hit]
+                    how = f"a {callee} constructed over" if is_view_ctor \
+                        else f"a view produced by '{callee}()' into"
+                    return Finding(
+                        self.name, ctx.rel_path, t.line, t.col,
+                        f"returns {how} function-local '{t.text}'; the "
+                        f"helper's return aliases that argument "
+                        f"(interprocedural summary) and the storage dies "
+                        f"with this frame",
+                        ctx.line_text(t.line))
+            return None
+        hit = find_escaping(toks, r_s, r_e, containers)
+        if hit is not None:
+            t = toks[hit]
+            return Finding(
+                self.name, ctx.rel_path, t.line, t.col,
+                f"returns a view/pointer into function-local '{t.text}'; "
+                f"its storage dies when the function returns — return by "
+                f"value or write into caller-owned storage",
+                ctx.line_text(t.line))
+        hit = find_escaping(toks, r_s, r_e, views)
+        if hit is not None:
+            t = toks[hit]
+            return Finding(
+                self.name, ctx.rel_path, t.line, t.col,
+                f"returns '{t.text}', a view bound to a function-local "
+                f"container; its storage dies when the function returns",
+                ctx.line_text(t.line))
+        return None
+
+    def _whole_expr_call(self, toks, match, r_s, r_e):
+        """(callee, open_paren_idx) when the whole return expression is a
+        single (possibly qualified) call `ns::Name(...)`, else None."""
+        if toks[r_e - 1].kind != "punct" or toks[r_e - 1].text != ")":
+            return None
+        op = match.get(r_e - 1)
+        if op is None or op - 1 < r_s or toks[op - 1].kind != "id":
+            return None
+        for i in range(r_s, op - 1):
+            t = toks[i]
+            if t.text == "::" or t.kind in ("id", "kw"):
+                continue
+            return None
+        return toks[op - 1].text, op
+
+    def _address_yield(self, toks, lo, hi, names):
+        """Index of `name` in `names` whose address-yielding method is
+        called within [lo, hi), else None."""
+        for i in range(lo, hi - 2):
+            t = toks[i]
+            if t.kind == "id" and t.text in names and \
+                    toks[i + 1].kind == "punct" and \
+                    toks[i + 1].text in (".", "->") and \
+                    toks[i + 2].kind == "id" and \
+                    toks[i + 2].text in ADDRESS_YIELDING_METHODS:
+                return i
+        return None

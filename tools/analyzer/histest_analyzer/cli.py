@@ -1,6 +1,7 @@
 """Command-line interface for histest-analyzer.
 
-Exit status: 0 clean, 1 unsuppressed findings, 2 usage/configuration error.
+Exit status: 0 clean (warnings allowed), 1 unsuppressed error findings,
+2 usage/configuration error.
 """
 
 from __future__ import annotations
@@ -48,6 +49,13 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--all-scopes", action="store_true",
                    help="apply every checker to every scanned file, "
                         "ignoring per-checker path scopes (fixture tests)")
+    p.add_argument("--jobs", type=int, default=1, metavar="N",
+                   help="parse files with N worker processes (0 = one per "
+                        "CPU); the summary fixpoint and checkers stay "
+                        "serial")
+    p.add_argument("--strict-suppressions", action="store_true",
+                   help="treat stale-suppression findings as errors "
+                        "(exit 1) instead of warnings (CI mode)")
     p.add_argument("--list-checkers", action="store_true")
     p.add_argument("--version", action="version",
                    version=f"{TOOL_NAME} {__version__}")
@@ -94,16 +102,29 @@ def main(argv=None) -> int:
         paths = [str(f) for f in changed]
         index_tree = True
 
+    jobs = args.jobs
+    if jobs == 0:
+        import os
+        jobs = os.cpu_count() or 1
+    if jobs < 1:
+        print(f"{TOOL_NAME}: --jobs must be >= 0", file=sys.stderr)
+        return 2
+
     try:
         result = engine.run_scan(root, checker_names=checker_names,
                                  paths=paths,
                                  all_scopes=args.all_scopes,
                                  backend=args.backend,
-                                 index_tree=index_tree)
+                                 index_tree=index_tree,
+                                 jobs=jobs,
+                                 strict_suppressions=args.strict_suppressions)
     except (ValueError, RuntimeError) as err:
         print(f"{TOOL_NAME}: {err}", file=sys.stderr)
         return 2
 
+    print(f"{TOOL_NAME}: parsed in {result.parse_seconds:.2f}s "
+          f"(jobs={result.parse_jobs}), checked in "
+          f"{result.check_seconds:.2f}s", file=sys.stderr)
     report = output.render(result, args.fmt)
     if args.output:
         pathlib.Path(args.output).write_text(report)
@@ -113,7 +134,9 @@ def main(argv=None) -> int:
         if args.fmt != "text":
             print(engine.summary_line(result), file=sys.stderr)
 
-    return 1 if result.findings else 0
+    # Warnings (stale suppressions outside --strict-suppressions) are
+    # reported but do not fail the scan.
+    return 1 if result.errors else 0
 
 
 if __name__ == "__main__":

@@ -209,8 +209,16 @@ def load_allowlist(path: pathlib.Path, known_checkers) -> list[AllowlistEntry]:
 
 
 def allowlisted(entries, checker: str, rel_path: str) -> bool:
-    return any(e.checker == checker and fnmatch.fnmatch(rel_path, e.glob)
-               for e in entries)
+    return allowlist_match(entries, checker, rel_path) is not None
+
+
+def allowlist_match(entries, checker: str, rel_path: str):
+    """Returns the first matching AllowlistEntry, or None — callers that
+    track suppression staleness need the entry identity, not just a bool."""
+    for e in entries:
+        if e.checker == checker and fnmatch.fnmatch(rel_path, e.glob):
+            return e
+    return None
 
 
 @dataclass
@@ -219,6 +227,13 @@ class ScanResult:
     files_scanned: int = 0
     backend: str = "internal"
     checkers_run: tuple = ()
+    parse_seconds: float = 0.0
+    check_seconds: float = 0.0
+    parse_jobs: int = 1
+
+    @property
+    def errors(self):
+        return [f for f in self.findings if f.severity == "error"]
 
 
 def iter_sources(root: pathlib.Path, paths=None):
@@ -285,13 +300,28 @@ def changed_files(root: pathlib.Path, base_ref: str = "",
 
 def run_scan(root: pathlib.Path, checker_names=None, paths=None,
              all_scopes: bool = False, backend: str = "auto",
-             index_tree: bool = False) -> ScanResult:
+             index_tree: bool = False, jobs: int = 1,
+             report_stale: bool = True,
+             strict_suppressions: bool = False) -> ScanResult:
     """Scans and returns findings after suppression filtering.
 
     `index_tree` additionally feeds every default-scan-dir source into the
     cross-file symbol index (not just the scanned files plus src/ headers),
     so incremental scans of a few changed files still see repo-wide
-    declarations."""
+    declarations.
+
+    `jobs` > 1 parallelizes the parse phase over processes (the summary
+    fixpoint and checkers stay serial).
+
+    Suppressions that filtered no finding are themselves reported as
+    `stale-suppression` findings (severity warning, or error under
+    `strict_suppressions`) — an exemption that matches nothing is either a
+    fixed issue whose justification now misleads, or a typo that will
+    silently fail to suppress when the issue returns. Allowlist staleness
+    is only judged on full default-tree scans; a --diff or explicit-path
+    scan sees too few files to conclude an entry is dead."""
+    import time as _time
+
     from . import backends
 
     checkers_by_name = registry()
@@ -310,8 +340,15 @@ def run_scan(root: pathlib.Path, checker_names=None, paths=None,
     impl = backends.select(backend)
     result = ScanResult(backend=impl.name,
                         checkers_run=tuple(c.name for c in active))
+    active_names = {c.name for c in active}
+    stale_severity = "error" if strict_suppressions else "warning"
 
-    contexts = impl.build_contexts(root, files, index_tree=index_tree)
+    contexts = impl.build_contexts(root, files, index_tree=index_tree,
+                                   jobs=jobs)
+    result.parse_seconds = getattr(impl, "parse_seconds", 0.0)
+    result.parse_jobs = getattr(impl, "parse_jobs", 1)
+    t_check = _time.monotonic()
+    used_allowlist_ids: set = set()
     for ctx in contexts:
         result.files_scanned += 1
         sups, bad = extract_suppressions(ctx.lexed, ctx.lines)
@@ -326,13 +363,42 @@ def run_scan(root: pathlib.Path, checker_names=None, paths=None,
             if not checker.applies_to(ctx.rel_path, all_scopes):
                 continue
             raw.extend(checker.check(ctx))
+        used_sup_ids: set = set()
         for f in raw:
-            if any(s.checker == f.checker and s.line == f.line
-                   for s in sups):
+            matched = [s for s in sups
+                       if s.checker == f.checker and s.line == f.line]
+            if matched:
+                used_sup_ids.update(id(s) for s in matched)
                 continue
-            if allowlisted(allowlist, f.checker, ctx.rel_path):
+            entry = allowlist_match(allowlist, f.checker, ctx.rel_path)
+            if entry is not None:
+                used_allowlist_ids.add(id(entry))
                 continue
             result.findings.append(f)
+        if not report_stale:
+            continue
+        for s in sups:
+            if id(s) in used_sup_ids or s.checker not in active_names:
+                continue
+            result.findings.append(Finding(
+                "stale-suppression", ctx.rel_path, s.origin_line, 1,
+                f"analyzer-allow({s.checker}) suppresses no finding; the "
+                f"issue it justified is gone — remove the comment (or fix "
+                f"the checker name if this was meant to match)",
+                ctx.line_text(s.origin_line), severity=stale_severity))
+    result.check_seconds = _time.monotonic() - t_check
+
+    if report_stale and not paths:
+        allow_rel = "tools/analyzer/allowlist.txt"
+        for entry in allowlist:
+            if id(entry) in used_allowlist_ids or \
+                    entry.checker not in active_names:
+                continue
+            result.findings.append(Finding(
+                "stale-suppression", allow_rel, entry.line, 1,
+                f"allowlist entry '{entry.checker} {entry.glob}' exempts "
+                f"no finding on a full-tree scan; remove it",
+                severity=stale_severity))
 
     result.findings.sort(key=lambda f: (f.path, f.line, f.col, f.checker))
     return result
@@ -342,5 +408,10 @@ def summary_line(result: ScanResult) -> str:
     if not result.findings:
         return (f"{TOOL_NAME}: clean ({result.files_scanned} files, "
                 f"backend={result.backend})")
-    return (f"{TOOL_NAME}: {len(result.findings)} finding(s) in "
+    errors = len(result.errors)
+    warnings = len(result.findings) - errors
+    detail = f"{errors} error(s)"
+    if warnings:
+        detail += f", {warnings} warning(s)"
+    return (f"{TOOL_NAME}: {detail} in "
             f"{result.files_scanned} files (backend={result.backend})")

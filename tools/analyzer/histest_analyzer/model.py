@@ -84,6 +84,14 @@ class FunctionDef:
     var_types: dict = field(default_factory=dict)   # name -> class
     auto_inits: dict = field(default_factory=dict)  # name -> (start, end)
     statements: list = field(default_factory=list)
+    # Raw syntax retained for the interprocedural summary layer
+    # (summaries.py): contract classes alone cannot express arena/view/
+    # container types, and call-site argument matching needs positions.
+    param_order: list = field(default_factory=list)  # (name|None, class|None)
+    decl_texts: dict = field(default_factory=dict)   # name -> type-token texts
+    decl_statics: set = field(default_factory=set)   # static/thread_local vars
+    return_texts: tuple = ()                         # return-type token texts
+    parallel_call: str | None = None                 # lambdas: harness callee
 
     def declared_locally(self, name: str) -> bool:
         return name in self.var_types or name in self.auto_inits
@@ -299,6 +307,7 @@ class Model:
         lam = FunctionDef("<lambda>", None, brace, brace, close,
                           parent=func, is_lambda=True)
         lam._tokens = self.tokens
+        lam.parallel_call = parallel
         self._parse_lambda_params(lam, brace)
         self.functions.append(lam)
         self._scan_scope(brace + 1, close, "func", lam,
@@ -441,6 +450,7 @@ class Model:
         fn = FunctionDef(name, ret_class, head_start, brace,
                          self.match.get(brace, brace))
         fn._tokens = toks
+        fn.return_texts = tuple(t.text for t in ret_tokens)
         self._parse_params(fn, open_p, close_p)
         return fn
 
@@ -494,8 +504,13 @@ class Model:
                 continue
             namet = seg[-1]
             if namet.kind != "id":
+                # Unnamed parameter: keep the position so call-site
+                # argument indices stay aligned with the summary layer.
+                fn.param_order.append((None, None))
                 continue
             cls = classify_type_tokens(seg[:-1])
+            fn.param_order.append((namet.text, cls))
+            fn.decl_texts[namet.text] = tuple(t.text for t in seg[:-1])
             if cls:
                 fn.var_types[namet.text] = cls
 
@@ -519,8 +534,11 @@ class Model:
         `double a, b;` and the first clause of classic for-heads."""
         toks = self.tokens
         i = start
+        is_static = False
         while i < end and toks[i].kind == "kw" and \
                 toks[i].text in _DECL_QUALIFIERS:
+            is_static = is_static or toks[i].text in ("static",
+                                                      "thread_local")
             i += 1
         if i >= end:
             return
@@ -558,8 +576,18 @@ class Model:
                     pass  # part of the type
                 else:
                     # This id is the declared name (if what precedes
-                    # classifies as a type).
-                    cls = classify_type_tokens(toks[type_start:j])
+                    # classifies as a type). Record the raw type span for
+                    # the summary layer even when it has no contract class
+                    # (arena/view/container types), but only when it looks
+                    # like a type (ids/keywords present) — `x = y;` has an
+                    # empty span and is an assignment, not a declaration.
+                    type_span = toks[type_start:j]
+                    cls = classify_type_tokens(type_span)
+                    if any(tt.kind in ("id", "kw") for tt in type_span):
+                        fn.decl_texts[tj.text] = tuple(
+                            tt.text for tt in type_span)
+                        if is_static:
+                            fn.decl_statics.add(tj.text)
                     if cls is None:
                         return
                     fn.var_types[tj.text] = cls
@@ -577,6 +605,8 @@ class Model:
                                 if k + 1 < end and \
                                         toks[k + 1].kind == "id":
                                     fn.var_types[toks[k + 1].text] = cls
+                                    fn.decl_texts[toks[k + 1].text] = \
+                                        tuple(tt.text for tt in type_span)
                         k += 1
                     return
             elif tj.kind == "kw" and angle == 0 and \

@@ -1,0 +1,158 @@
+"""Parse src/obs/names.h — the single source of observability names.
+
+The header defines three machine-readable pieces:
+
+  * ``HISTEST_OBS_NAMES(X)``: a flat X-macro list of
+    ``X(ident, "name", kind, "description")`` entries;
+  * ``HISTEST_OBS_SIMD_VARIANTS(V)`` / ``HISTEST_OBS_SIMD_KERNELS(K, v)``:
+    the variant and kernel lists whose cross product names the per-variant
+    dispatch tallies;
+  * ``HISTEST_OBS_SIMD_TALLY_NAME(variant, kernel)``: the string-literal
+    concatenation pattern that assembles one tally name.
+
+This module reconstructs all of them so Python tooling (trace_gate.py,
+gen_obs_names_table.py, the analyzer's obs-name-discipline checker) shares
+the exact name set the C++ emits, with no second copy to drift.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from pathlib import Path
+
+NAMES_HEADER = Path(__file__).resolve().parent.parent / "src" / "obs" / "names.h"
+
+VALID_KINDS = ("counter", "gauge", "histogram", "span")
+
+
+@dataclass(frozen=True)
+class ObsName:
+    ident: str          # C++ constant, e.g. "kPoolRuns" ("" for generated)
+    name: str           # wire name, e.g. "histest.pool.runs"
+    kind: str           # counter | gauge | histogram | span
+    description: str
+
+
+class NamesParseError(Exception):
+    pass
+
+
+def _macro_body(text: str, macro: str) -> str:
+    """Returns the full (backslash-continued) body of a #define."""
+    m = re.search(rf"#define\s+{re.escape(macro)}\s*\([^)]*\)(.*)", text)
+    if m is None:
+        raise NamesParseError(f"missing #define {macro} in names.h")
+    lines = []
+    rest = text[m.end(0) - len(m.group(1)):]
+    for line in rest.splitlines():
+        stripped = line.rstrip()
+        if stripped.endswith("\\"):
+            lines.append(stripped[:-1])
+        else:
+            lines.append(stripped)
+            break
+    body = "\n".join(lines)
+    # Strip block comments (the section banners inside the X-macro list).
+    return re.sub(r"/\*.*?\*/", "", body, flags=re.S)
+
+
+def _parse_entries(body: str) -> list[ObsName]:
+    entries = []
+    pat = re.compile(
+        r'X\s*\(\s*(\w+)\s*,\s*"([^"]*)"\s*,\s*(\w+)\s*,\s*"((?:[^"\\]|\\.)*)"\s*\)',
+        re.S)
+    for m in pat.finditer(body):
+        ident, name, kind, desc = m.groups()
+        if kind not in VALID_KINDS:
+            raise NamesParseError(f"{ident}: unknown kind {kind!r}")
+        entries.append(ObsName(ident, name, kind, desc))
+    if not entries:
+        raise NamesParseError("no X(...) entries parsed from HISTEST_OBS_NAMES")
+    return entries
+
+
+def _parse_string_list(body: str, arg_index: int) -> list[str]:
+    """Extracts the quoted-literal arguments from V(...)/K(...) expansions."""
+    out = []
+    for m in re.finditer(r"[VK]\s*\(([^)]*)\)", body):
+        args = [a.strip() for a in m.group(1).split(",")]
+        lit = args[arg_index]
+        lm = re.fullmatch(r'"([^"]*)"', lit)
+        if lm is None:
+            raise NamesParseError(f"expected string literal, got {lit!r}")
+        out.append(lm.group(1))
+    if not out:
+        raise NamesParseError("empty variant/kernel list in names.h")
+    return out
+
+
+def _parse_tally_pattern(text: str) -> "tuple[str, ...]":
+    """Returns the literal/placeholder sequence of HISTEST_OBS_SIMD_TALLY_NAME.
+
+    The macro body is C string-literal concatenation, e.g.
+    ``"histest.simd." variant "." kernel ".calls"`` — returned as the tuple
+    ('histest.simd.', '{variant}', '.', '{kernel}', '.calls').
+    """
+    body = _macro_body(text, "HISTEST_OBS_SIMD_TALLY_NAME")
+    parts = []
+    for tok in re.finditer(r'"([^"]*)"|(\bvariant\b|\bkernel\b)', body):
+        if tok.group(1) is not None:
+            parts.append(tok.group(1))
+        else:
+            parts.append("{" + tok.group(2) + "}")
+    if "{variant}" not in parts or "{kernel}" not in parts:
+        raise NamesParseError("tally-name pattern lost its placeholders")
+    return tuple(parts)
+
+
+def load(path: Path | str = NAMES_HEADER) -> dict:
+    """Parses names.h. Returns a dict with:
+
+      entries: list[ObsName]          — the explicit registry entries
+      simd_variants: list[str]        — e.g. ["scalar", "avx2", ...]
+      simd_kernels: list[str]         — KernelIndex-ordered kernel names
+      simd_tallies: list[ObsName]     — the generated cross-product counters
+      all_names: dict[str, ObsName]   — wire name -> entry (explicit + generated)
+    """
+    text = Path(path).read_text(encoding="utf-8")
+    entries = _parse_entries(_macro_body(text, "HISTEST_OBS_NAMES"))
+    variants = _parse_string_list(_macro_body(text, "HISTEST_OBS_SIMD_VARIANTS"), 0)
+    kernels = _parse_string_list(_macro_body(text, "HISTEST_OBS_SIMD_KERNELS"), 1)
+    pattern = _parse_tally_pattern(text)
+
+    tallies = []
+    for variant in variants:
+        for kernel in kernels:
+            name = "".join(
+                p.format(variant=variant, kernel=kernel) if p.startswith("{")
+                else p for p in pattern)
+            tallies.append(ObsName(
+                "", name, "counter",
+                f"{kernel} dispatches served by the {variant} backend"))
+
+    all_names: dict[str, ObsName] = {}
+    for e in entries + tallies:
+        if e.name in all_names:
+            raise NamesParseError(f"duplicate name {e.name!r} in registry")
+        all_names[e.name] = e
+
+    return {
+        "entries": entries,
+        "simd_variants": variants,
+        "simd_kernels": kernels,
+        "simd_tallies": tallies,
+        "all_names": all_names,
+    }
+
+
+def known_names(path: Path | str = NAMES_HEADER) -> "set[str]":
+    """The full set of wire names (metrics, gauges, histograms, spans)."""
+    return set(load(path)["all_names"])
+
+
+if __name__ == "__main__":
+    reg = load()
+    print(f"{len(reg['entries'])} explicit entries, "
+          f"{len(reg['simd_tallies'])} generated simd tallies, "
+          f"{len(reg['all_names'])} names total")

@@ -26,6 +26,10 @@ from __future__ import annotations
 import argparse
 import json
 import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+import obs_names  # noqa: E402  (sibling module, needs the path tweak)
 
 # Disabled-mode obs entry points that must be near-free.
 OBS_DISABLED_BENCHMARKS = (
@@ -50,6 +54,11 @@ def fail(msg: str) -> None:
 
 def check_summaries(paths) -> bool:
     ok = True
+    try:
+        known = obs_names.known_names()
+    except (OSError, obs_names.NamesParseError) as e:
+        fail(f"cannot load obs name registry: {e}")
+        return False
     for path in paths:
         try:
             with open(path, "r", encoding="utf-8") as f:
@@ -75,6 +84,22 @@ def check_summaries(paths) -> bool:
         if summary.get("tests", 0) <= 0:
             fail(f"{path}: no histogram_test spans recorded")
             ok = False
+        # Every emitted metric name must resolve through the
+        # src/obs/names.h registry — an unknown name here means a call
+        # site bypassed the registry (or the registry lost an entry), the
+        # exact drift obs-name-discipline exists to prevent.
+        emitted = set(summary.get("counters", {}))
+        emitted |= set(summary.get("gauges", {}))
+        unknown = sorted(emitted - known)
+        if unknown:
+            fail(f"{path}: metric names missing from src/obs/names.h: "
+                 f"{', '.join(unknown)}")
+            ok = False
+        elif emitted:
+            # stderr: the stdout log format predates the registry check and
+            # is diffed by downstream tooling.
+            print(f"trace-gate: {path}: {len(emitted)} metric names "
+                  f"all registered in src/obs/names.h ok", file=sys.stderr)
     return ok
 
 
