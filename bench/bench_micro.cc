@@ -759,6 +759,19 @@ void BM_ObsScopedTimerDisabled(benchmark::State& state) {
 }
 BENCHMARK(BM_ObsScopedTimerDisabled);
 
+void BM_ObsRecorderEventDisabled(benchmark::State& state) {
+  // The flight-recorder gate on the metrics fast path: with the recorder
+  // off this is one relaxed load and a branch in front of the (also
+  // disabled) registry path, held to the same trace-gate budget as the
+  // other disabled-mode rows.
+  obs::FlightRecorder::SetEnabled(false);
+  obs::SetEnabled(false);
+  for (auto _ : state) {
+    obs::AddCount("histest.bench.disabled_recorder_counter", 1);
+  }
+}
+BENCHMARK(BM_ObsRecorderEventDisabled);
+
 }  // namespace
 }  // namespace histest
 
@@ -772,6 +785,11 @@ int main(int argc, char** argv) {
   benchmark::AddCustomContext(
       "histest_simd_variant",
       histest::simd::VariantName(histest::simd::ActiveVariant()));
+  // Full provenance record (git describe, build type, env knobs, ...) as a
+  // JSON-valued context key, so tools/histest-obs can refuse to diff bench
+  // runs whose load-bearing configuration differs.
+  benchmark::AddCustomContext(
+      "histest_manifest", histest::obs::CurrentRunManifest().ToJson());
   histest::RegisterSimdVariantBenchmarks();
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;

@@ -2,8 +2,11 @@
 #define HISTEST_BENCH_EXP_COMMON_H_
 
 #include <cctype>
+#include <cstdio>
+#include <cstdlib>
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "benchutil/parallel.h"
@@ -21,18 +24,45 @@
 namespace histest {
 namespace bench {
 
+/// The parsed command-line flags as manifest params (name -> raw value),
+/// plus the experiment id — the per-run seeds/params block of RunManifest.
+inline std::vector<std::pair<std::string, std::string>> ManifestParams(
+    const ArgParser& args, const std::string& id) {
+  std::vector<std::pair<std::string, std::string>> params;
+  params.emplace_back("experiment_id", id);
+  for (const auto& [name, value] : args.flags()) {
+    params.emplace_back(name, value);
+  }
+  return params;
+}
+
 /// Builds the run-scoped trace guard every experiment binary shares:
 /// --trace switches tracing on, --trace-out overrides the JSONL path
 /// (default trace_<id>.jsonl), and HISTEST_TRACE=1 works without any flag.
+/// The parsed flags are stamped into the trace's RunManifest as params.
+///
+/// --manifest short-circuits the run: the binary prints its RunManifest
+/// (provenance + flags) as one JSON object on stdout and exits 0, so CI
+/// and shoot-out scripts can capture "what exactly would this run be?"
+/// without paying for the run.
 inline std::unique_ptr<TraceRunGuard> MakeTraceGuard(const ArgParser& args,
                                                      const std::string& id) {
+  if (args.GetBool("manifest", false)) {
+    obs::RunManifest manifest = obs::CurrentRunManifest();
+    for (auto& [key, value] : ManifestParams(args, id)) {
+      manifest.AddParam(std::move(key), std::move(value));
+    }
+    std::fputs((manifest.ToJson() + "\n").c_str(), stdout);
+    std::exit(0);
+  }
   std::string file_id = id;
   for (char& c : file_id) {
     c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
   }
   return std::make_unique<TraceRunGuard>(
       id, args.GetBool("trace", false),
-      args.GetString("trace-out", "trace_" + file_id + ".jsonl"));
+      args.GetString("trace-out", "trace_" + file_id + ".jsonl"),
+      ManifestParams(args, id));
 }
 
 /// Correctness + cost of a tester over a full workload grid: the minimum

@@ -3,7 +3,6 @@
 #include <algorithm>
 #include <atomic>
 #include <cstdio>
-#include <mutex>
 #include <string>
 
 #include "common/arena.h"
@@ -130,23 +129,19 @@ void ThreadPool::Run(int64_t count, int max_workers,
                 static_cast<int64_t>(queue_.size()));
 }
 
+int ThreadPool::SharedPlannedWorkers() {
+  const int hw =
+      std::max(1, static_cast<int>(std::thread::hardware_concurrency()));
+  // Workers + the calling thread should cover the largest sensible
+  // request, including an oversized HISTEST_THREADS override.
+  return std::max(1, std::max(hw, DefaultBenchThreads()) - 1);
+}
+
 ThreadPool& ThreadPool::Shared() {
-  static ThreadPool pool([]() {
-    const int hw =
-        std::max(1, static_cast<int>(std::thread::hardware_concurrency()));
-    // Workers + the calling thread should cover the largest sensible
-    // request, including an oversized HISTEST_THREADS override.
-    return std::max(1, std::max(hw, DefaultBenchThreads()) - 1);
-  }());
-  // Announce the resolved size once (stderr, so experiment stdout stays
-  // byte-identical) and keep the gauge current for metrics snapshots taken
-  // after tracing is switched on.
-  static std::once_flag logged;
-  std::call_once(logged, []() {
-    std::fprintf(stderr,
-                 "histest: shared thread pool: %d workers (+1 caller)\n",
-                 pool.size());
-  });
+  static ThreadPool pool(SharedPlannedWorkers());
+  // The resolved size is observable through the gauge and the run manifest
+  // (pool_workers field); deliberately no stderr announcement, so the obs
+  // layer is the single channel for sizing provenance.
   obs::SetGauge(obs::names::kPoolWorkers, pool.size());
   return pool;
 }

@@ -44,6 +44,13 @@ class ThreadPool {
   /// executors; created on first use.
   static ThreadPool& Shared();
 
+  /// The worker count Shared() uses (or would use): the sizing formula is
+  /// pure, so provenance consumers (RunManifest's pool_workers field) can
+  /// report it without forcing pool construction. The resolved size is also
+  /// published as the histest.pool.workers gauge — there is no stderr
+  /// announcement; the manifest is the canonical record.
+  static int SharedPlannedWorkers();
+
  private:
   struct Task;
 

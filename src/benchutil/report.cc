@@ -1,6 +1,9 @@
 #include "benchutil/report.h"
 
 #include <cstdio>
+#include <utility>
+
+#include "common/cli.h"
 
 namespace histest {
 
@@ -22,19 +25,66 @@ void PrintNote(const std::string& note) {
   std::fflush(stdout);
 }
 
-TraceRunGuard::TraceRunGuard(const std::string& id, bool enable,
-                             const std::string& out_path)
+TraceRunGuard::TraceRunGuard(
+    const std::string& id, bool enable, const std::string& out_path,
+    std::vector<std::pair<std::string, std::string>> params)
     : out_path_(out_path), was_enabled_(obs::Enabled()) {
+  // Post-mortem and live-metrics plumbing run independently of tracing:
+  // the recorder and publisher have their own env gates, so a daemon-style
+  // run can keep them on with span collection off.
+  obs::FlightRecorder::InitFromEnv();
+  const EnvValue<std::string> metrics_out =
+      ParseEnvString("HISTEST_METRICS_OUT", "");
+  if (metrics_out.present && !metrics_out.value.empty()) {
+    const EnvValue<int64_t> interval =
+        ParseEnvInt("HISTEST_METRICS_INTERVAL_MS", 1, 3600000, 1000);
+    obs::MetricsPublisher::Options opts;
+    opts.interval_ms = interval.valid ? interval.value : 1000;
+    opts.jsonl_path = metrics_out.value;
+    opts.openmetrics_path = metrics_out.value + ".om";
+    publisher_ = std::make_unique<obs::MetricsPublisher>(std::move(opts));
+    const Status pub_status = publisher_->Start();
+    if (!pub_status.ok()) {
+      std::fprintf(stderr, "histest: metrics publisher: %s\n",
+                   pub_status.ToString().c_str());
+      publisher_.reset();
+    }
+  }
   const bool env_enable = obs::InitFromEnv();
   if (!enable && !env_enable && !was_enabled_) return;
   obs::SetEnabled(true);
   session_ = std::make_unique<obs::TraceSession>(
       id, obs::MonotonicClock::Get());
+  obs::RunManifest manifest = obs::CurrentRunManifest();
+  manifest.AddParam("experiment", id);
+  for (auto& [key, value] : params) {
+    manifest.AddParam(std::move(key), std::move(value));
+  }
+  session_->SetManifestJson(manifest.ToJson());
   activation_ =
       std::make_unique<obs::ScopedTraceActivation>(session_.get());
 }
 
 TraceRunGuard::~TraceRunGuard() {
+  if (publisher_ != nullptr) {
+    publisher_->Stop();
+    std::fprintf(stderr,
+                 "histest: metrics: wrote %lld snapshots (publisher)\n",
+                 static_cast<long long>(publisher_->SnapshotCount()));
+  }
+  if (obs::FlightRecorder::Enabled()) {
+    const EnvValue<std::string> dump_path = ParseEnvString(
+        "HISTEST_FLIGHT_RECORDER_OUT", "histest_flight_recorder.jsonl");
+    const Status dump_status =
+        obs::FlightRecorder::DumpNow(dump_path.value, "run_guard_exit");
+    if (dump_status.ok()) {
+      std::fprintf(stderr, "histest: flight recorder: dumped to %s\n",
+                   dump_path.value.c_str());
+    } else {
+      std::fprintf(stderr, "histest: flight recorder: %s\n",
+                   dump_status.ToString().c_str());
+    }
+  }
   if (session_ == nullptr) return;
   activation_.reset();  // deactivate before the session is torn down
   const obs::MetricsSnapshot metrics =

@@ -1,14 +1,37 @@
 #include "common/check.h"
 
+#include <atomic>
 #include <cstdio>
 #include <cstdlib>
 
 namespace histest {
+
+namespace {
+
+std::atomic<CheckFailedHook> g_check_failed_hook{nullptr};
+
+/// Re-entrancy guard: a hook that fails its own HISTEST_CHECK must not
+/// recurse back into itself.
+thread_local bool t_in_check_failed_hook = false;
+
+}  // namespace
+
+CheckFailedHook SetCheckFailedHook(CheckFailedHook hook) {
+  return g_check_failed_hook.exchange(hook, std::memory_order_acq_rel);
+}
+
 namespace internal_check {
 
 void CheckFailed(const char* file, int line, const std::string& msg) {
   std::fprintf(stderr, "%s:%d: CHECK failed: %s\n", file, line, msg.c_str());
   std::fflush(stderr);
+  const CheckFailedHook hook =
+      g_check_failed_hook.load(std::memory_order_acquire);
+  if (hook != nullptr && !t_in_check_failed_hook) {
+    t_in_check_failed_hook = true;
+    hook(file, line, msg.c_str());
+    t_in_check_failed_hook = false;
+  }
   std::abort();
 }
 

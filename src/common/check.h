@@ -10,6 +10,23 @@ namespace internal_check {
 /// Prints "<file>:<line>: CHECK failed: <msg>" to stderr and aborts.
 [[noreturn]] void CheckFailed(const char* file, int line, const std::string& msg);
 
+}  // namespace internal_check
+
+/// Observer invoked by CheckFailed between printing the diagnostic and
+/// calling abort(). The hook must be safe to run on a failing thread (no
+/// allocation requirements are imposed, but it must not itself CHECK —
+/// re-entrant failures skip the hook and abort directly). Installed by the
+/// flight recorder so a HISTEST_CHECK failure is captured in the post-mortem
+/// event stream before the SIGABRT dump fires; common/ stays free of any
+/// obs/ dependency because the registration points the other way.
+using CheckFailedHook = void (*)(const char* file, int line, const char* msg);
+
+/// Installs (or clears, with nullptr) the process-wide failure hook.
+/// Returns the previously installed hook.
+CheckFailedHook SetCheckFailedHook(CheckFailedHook hook);
+
+namespace internal_check {
+
 /// Streams both operands into a failure message for binary CHECK macros.
 template <typename A, typename B>
 std::string BinaryFailureMessage(const char* expr, const A& a, const B& b) {

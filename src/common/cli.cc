@@ -4,6 +4,7 @@
 #include <cmath>
 #include <cstdlib>
 #include <cstring>
+#include <iterator>
 #include <set>
 #include <utility>
 
@@ -171,6 +172,47 @@ EnvValue<bool> ParseEnvFlag(const char* name, bool fallback) {
   out.present = true;
   out.raw = env;
   out.value = *env != '\0' && std::strcmp(env, "0") != 0;
+  return out;
+}
+
+EnvValue<std::string> ParseEnvString(const char* name, std::string fallback) {
+  EnvValue<std::string> out;
+  out.value = std::move(fallback);
+  const char* env = std::getenv(name);
+  if (env == nullptr) return out;
+  out.present = true;
+  out.raw = env;
+  out.value = env;
+  return out;
+}
+
+std::vector<EnvKnob> SnapshotEnvKnobs() {
+  // Canonical inventory of every environment knob the library consults.
+  // Keep sorted; SnapshotEnvKnobs() order is the manifest `env` block order
+  // and tests assert full coverage.
+  static constexpr const char* kKnobs[] = {
+      "HISTEST_BENCH_SCALE",
+      "HISTEST_FLIGHT_RECORDER",
+      "HISTEST_FLIGHT_RECORDER_OUT",
+      "HISTEST_METRICS_INTERVAL_MS",
+      "HISTEST_METRICS_OUT",
+      "HISTEST_SIMD",
+      "HISTEST_SPARSE_THRESHOLD",
+      "HISTEST_THREADS",
+      "HISTEST_TRACE",
+  };
+  std::vector<EnvKnob> out;
+  out.reserve(std::size(kKnobs));
+  for (const char* name : kKnobs) {
+    EnvKnob knob;
+    knob.name = name;
+    const char* env = std::getenv(name);
+    if (env != nullptr) {
+      knob.present = true;
+      knob.raw = env;
+    }
+    out.push_back(std::move(knob));
+  }
   return out;
 }
 

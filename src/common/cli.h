@@ -30,6 +30,10 @@ class ArgParser {
 
   const std::vector<std::string>& positional() const { return positional_; }
 
+  /// All parsed flags (name -> raw value), in sorted order. Experiment
+  /// harnesses stamp these into the run manifest as per-run parameters.
+  const std::map<std::string, std::string>& flags() const { return flags_; }
+
  private:
   std::map<std::string, std::string> flags_;
   std::vector<std::string> positional_;
@@ -73,6 +77,28 @@ EnvValue<int> ParseEnvEnum(
 /// (which the env-discipline analyzer checker now rejects outside this
 /// module). A flag read is never malformed, so `valid` is always true.
 EnvValue<bool> ParseEnvFlag(const char* name, bool fallback);
+
+/// Parses a free-form string environment variable (paths, file names).
+/// Never malformed: `valid` is always true; unset -> fallback.
+EnvValue<std::string> ParseEnvString(const char* name, std::string fallback);
+
+/// One HISTEST_* knob as observed in the current environment. `raw` is only
+/// meaningful when `present` is true; no validation is applied here — the
+/// manifest records what the process was *given*, the typed parsers above
+/// decide what it *means*.
+struct EnvKnob {
+  const char* name;
+  bool present = false;
+  std::string raw;
+};
+
+/// Snapshot of every HISTEST_* environment knob the library reads, in a
+/// fixed canonical order. This is the single inventory backing the
+/// RunManifest `env` block: adding a knob anywhere in the codebase means
+/// adding it to the list in cli.cc, so provenance can never silently lag
+/// behind behavior. (cli.cc is the one module allowed to call std::getenv;
+/// the env-discipline checker enforces that.)
+std::vector<EnvKnob> SnapshotEnvKnobs();
 
 /// Process-wide dedup for once-per-value environment diagnostics. Returns
 /// true exactly once per distinct (name, raw value) pair; when several

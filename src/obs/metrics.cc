@@ -1,7 +1,9 @@
 #include "obs/metrics.h"
 
 #include "common/cli.h"
+#include "obs/flight_recorder.h"
 
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -255,17 +257,32 @@ std::string MetricsSnapshot::ToJson() const {
 
 // ----------------------------------------------------- name-keyed helpers
 
+// Each helper feeds the flight recorder first (its own relaxed-load gate,
+// independent of Enabled(): post-mortem recording works with the metrics
+// layer off), then the registry. Disabled-disabled cost is two relaxed
+// loads + branches — still inside trace_gate.py's overhead budget, which
+// benches these exact entry points.
+
 void AddCount(std::string_view name, int64_t delta) {
+  FlightRecorder::Record(FrEventKind::kCount, name, delta);
   if (!Enabled()) return;
   MetricsRegistry::Global().GetCounter(name).Add(delta);
 }
 
 void SetGauge(std::string_view name, int64_t value) {
+  FlightRecorder::Record(FrEventKind::kGauge, name, value);
   if (!Enabled()) return;
   MetricsRegistry::Global().GetGauge(name).Set(value);
 }
 
 void ObserveHistogram(std::string_view name, double value) {
+  // Ring events carry int64 payloads; observations (seconds, in every
+  // current histogram) are recorded as nanos. The conversion sits behind
+  // the gate so the disabled path stays a load + branch.
+  if (FlightRecorder::Enabled()) {
+    FlightRecorder::Record(FrEventKind::kHistogram, name,
+                           std::llround(value * 1e9));
+  }
   if (!Enabled()) return;
   MetricsRegistry::Global().GetHistogram(name).Observe(value);
 }

@@ -118,6 +118,12 @@
   /* ---- bench harness (bench/exp_common.h) ---- */                           \
   X(kBenchGridSeconds, "histest.bench.grid_seconds", histogram,                \
     "wall seconds per experiment grid sweep (ScopedTimer)")                    \
+  /* ---- flight recorder (src/obs/flight_recorder.cc) ---- */                 \
+  X(kRecorderThreads, "histest.recorder.threads", gauge,                       \
+    "threads holding a registered flight-recorder ring")                       \
+  /* ---- metrics publisher (src/obs/publisher.cc) ---- */                     \
+  X(kPublisherSnapshots, "histest.publisher.snapshots", counter,               \
+    "registry snapshots written by the background metrics publisher")         \
   /* ---- trace spans ---- */                                                  \
   X(kSpanHistogramTest, "histogram_test", span,                                \
     "one HistogramTester run; parent of the stage spans")                      \

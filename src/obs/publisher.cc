@@ -1,0 +1,192 @@
+#include "obs/publisher.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <utility>
+
+#include "obs/names.h"
+
+namespace histest {
+namespace obs {
+
+namespace {
+
+/// Metric names use dots; the OpenMetrics charset wants [a-zA-Z0-9_:].
+std::string OpenMetricsName(const std::string& name) {
+  std::string out = name;
+  for (char& c : out) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == ':';
+    if (!ok) c = '_';
+  }
+  return out;
+}
+
+void AppendDouble(std::string& out, double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  out += buf;
+}
+
+constexpr double kQuantiles[] = {0.5, 0.95, 0.99};
+constexpr const char* kQuantileLabels[] = {"0.5", "0.95", "0.99"};
+
+}  // namespace
+
+double HistogramQuantile(const HistogramSnapshot& h, double q) {
+  if (h.count <= 0 || h.buckets.empty()) return 0.0;
+  const double clamped_q = std::clamp(q, 0.0, 1.0);
+  // Nearest-rank target (1-based): the smallest cumulative count covering
+  // fraction q of the observations; at least 1 so q=0 selects the first
+  // populated bucket's lower edge region.
+  const double target =
+      std::max(1.0, clamped_q * static_cast<double>(h.count));
+  int64_t cumulative = 0;
+  for (size_t b = 0; b < h.buckets.size(); ++b) {
+    const int64_t in_bucket = h.buckets[b];
+    if (in_bucket == 0) continue;
+    const int64_t before = cumulative;
+    cumulative += in_bucket;
+    if (static_cast<double>(cumulative) < target) continue;
+    const double lower = b == 0 ? 0.0 : HistogramBucketBound(b - 1);
+    if (b + 1 >= h.buckets.size()) {
+      // The last bucket is unbounded; its lower edge is the only honest
+      // answer (documented contract, asserted by tests).
+      return lower;
+    }
+    const double upper = HistogramBucketBound(b);
+    const double frac = std::clamp(
+        (target - static_cast<double>(before)) / static_cast<double>(in_bucket),
+        0.0, 1.0);
+    return lower + frac * (upper - lower);
+  }
+  // Unreachable for a consistent snapshot (sum of buckets == count).
+  return HistogramBucketBound(h.buckets.size() - 1);
+}
+
+std::string RenderOpenMetrics(const MetricsSnapshot& snap) {
+  std::string out;
+  for (const auto& [name, value] : snap.counters) {
+    const std::string om = OpenMetricsName(name);
+    out += "# TYPE " + om + " counter\n";
+    out += om + "_total " + std::to_string(value) + "\n";
+  }
+  for (const auto& [name, value] : snap.gauges) {
+    const std::string om = OpenMetricsName(name);
+    out += "# TYPE " + om + " gauge\n";
+    out += om + " " + std::to_string(value) + "\n";
+  }
+  for (const HistogramSnapshot& h : snap.histograms) {
+    const std::string om = OpenMetricsName(h.name);
+    out += "# TYPE " + om + " summary\n";
+    out += om + "_count " + std::to_string(h.count) + "\n";
+    out += om + "_sum ";
+    AppendDouble(out, h.sum);
+    out += "\n";
+    for (size_t i = 0; i < std::size(kQuantiles); ++i) {
+      out += om + "{quantile=\"";
+      out += kQuantileLabels[i];
+      out += "\"} ";
+      AppendDouble(out, HistogramQuantile(h, kQuantiles[i]));
+      out += "\n";
+    }
+  }
+  out += "# EOF\n";
+  return out;
+}
+
+MetricsPublisher::MetricsPublisher(Options options)
+    : options_(std::move(options)) {}
+
+MetricsPublisher::~MetricsPublisher() { Stop(); }
+
+Status MetricsPublisher::Start() {
+  if (started_) {
+    return Status::FailedPrecondition("publisher already started");
+  }
+  if (options_.jsonl_path.empty() && options_.openmetrics_path.empty()) {
+    return Status::InvalidArgument(
+        "publisher needs jsonl_path and/or openmetrics_path");
+  }
+  if (options_.interval_ms < 1) {
+    return Status::InvalidArgument("publisher interval_ms must be >= 1");
+  }
+  {
+    MutexLock lock(mu_);
+    stop_ = false;
+  }
+  thread_ = std::thread([this]() { Loop(); });
+  started_ = true;
+  return Status::Ok();
+}
+
+void MetricsPublisher::Stop() {
+  if (!started_) return;
+  {
+    MutexLock lock(mu_);
+    stop_ = true;
+  }
+  cv_.NotifyAll();
+  thread_.join();
+  started_ = false;
+  // Final flush after the thread is gone: the last published line always
+  // reflects the registry state at (or after) Stop() entry, which is what
+  // the snapshot-vs-final-registry consistency test pins down.
+  PublishOnce();
+}
+
+MetricsSnapshot MetricsPublisher::LastSnapshot() const {
+  MutexLock lock(mu_);
+  return last_;
+}
+
+void MetricsPublisher::Loop() {
+  while (true) {
+    {
+      MutexLock lock(mu_);
+      if (stop_) return;
+      // Predicate-free timed wait: stop_ is re-checked here with the lock
+      // visibly held, keeping the thread-safety analysis exact. A spurious
+      // wakeup at worst publishes one snapshot early, which is harmless.
+      cv_.WaitForMillis(mu_, options_.interval_ms);
+      if (stop_) return;
+    }
+    // mu_ is released during the publish itself (PublishOnce re-acquires
+    // it only to store the last-snapshot copy); Stop() joining mid-publish
+    // simply waits for this iteration to finish.
+    PublishOnce();
+  }
+}
+
+void MetricsPublisher::PublishOnce() {
+  const Clock* clock =
+      options_.clock != nullptr ? options_.clock : MonotonicClock::Get();
+  const int64_t ts_ms = clock->NowNanos() / 1000000;
+  MetricsSnapshot snap = MetricsRegistry::Global().Snapshot();
+  const int64_t index = snapshots_.fetch_add(1, std::memory_order_relaxed);
+  if (!options_.jsonl_path.empty()) {
+    std::ofstream os(options_.jsonl_path, std::ios::app);
+    if (os.is_open()) {
+      os << "{\"type\":\"metrics_snapshot\",\"index\":" << index
+         << ",\"ts_ms\":" << ts_ms << ",\"metrics\":" << snap.ToJson()
+         << "}\n";
+    }
+  }
+  if (!options_.openmetrics_path.empty()) {
+    // Write-then-rename so scrapers reading the path never see a torn
+    // exposition.
+    const std::string tmp = options_.openmetrics_path + ".tmp";
+    {
+      std::ofstream os(tmp, std::ios::trunc);
+      if (os.is_open()) os << RenderOpenMetrics(snap);
+    }
+    std::rename(tmp.c_str(), options_.openmetrics_path.c_str());
+  }
+  AddCount(names::kPublisherSnapshots, 1);
+  MutexLock lock(mu_);
+  last_ = std::move(snap);
+}
+
+}  // namespace obs
+}  // namespace histest

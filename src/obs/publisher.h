@@ -1,0 +1,100 @@
+#ifndef HISTEST_OBS_PUBLISHER_H_
+#define HISTEST_OBS_PUBLISHER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <thread>
+
+#include "common/mutex.h"
+#include "common/status.h"
+#include "common/thread_annotations.h"
+#include "obs/clock.h"
+#include "obs/metrics.h"
+
+namespace histest {
+namespace obs {
+
+/// Quantile estimate from an exponential-bucket histogram snapshot, using
+/// nearest-rank selection with linear interpolation inside the selected
+/// bucket. Bucket b spans (HistogramBucketBound(b-1), HistogramBucketBound(b)]
+/// (bucket 0 starts at 0; the last bucket is unbounded and reports its lower
+/// bound). Returns 0 for an empty histogram. `q` in [0, 1].
+double HistogramQuantile(const HistogramSnapshot& h, double q);
+
+/// OpenMetrics text exposition of a snapshot: counters as `_total`, gauges
+/// verbatim, histograms as summaries with count/sum and p50/p95/p99
+/// quantile lines derived via HistogramQuantile. Metric-name dots become
+/// underscores per the exposition charset. Ends with "# EOF".
+std::string RenderOpenMetrics(const MetricsSnapshot& snap);
+
+/// Background metrics publisher: a snapshot thread that serializes
+/// MetricsRegistry::Global() every `interval_ms` to a JSONL stream
+/// (appended, one snapshot object per line) and/or an OpenMetrics text file
+/// (atomically replaced via rename, so scrapers never see a torn file).
+/// This is the live-gauges story for long-running processes — queue depth,
+/// arena high-water, per-kernel call rates — without waiting for exit.
+///
+/// Lifecycle: construct -> Start() (spawns the thread) -> Stop() (wakes and
+/// joins it, then writes one final snapshot so the last line always
+/// reflects the registry's end state). The destructor calls Stop().
+/// Start/Stop are not thread-safe against each other; drive the lifecycle
+/// from one owner (TraceRunGuard in the harness).
+class MetricsPublisher {
+ public:
+  struct Options {
+    int64_t interval_ms = 1000;
+    /// Append target for JSONL snapshots ("" = none).
+    std::string jsonl_path;
+    /// Replace target for OpenMetrics text ("" = none).
+    std::string openmetrics_path;
+    /// Timestamp source for snapshot records; nullptr uses the process
+    /// monotonic clock. Tests inject FakeClock for stable timestamps.
+    const Clock* clock = nullptr;
+  };
+
+  explicit MetricsPublisher(Options options);
+  ~MetricsPublisher();
+
+  MetricsPublisher(const MetricsPublisher&) = delete;
+  MetricsPublisher& operator=(const MetricsPublisher&) = delete;
+
+  /// Spawns the snapshot thread. Fails if already started or if neither
+  /// output is configured.
+  Status Start();
+
+  /// Wakes and joins the thread, then publishes one final snapshot.
+  /// Idempotent; safe to call without Start().
+  void Stop();
+
+  /// Snapshots written so far (including the final flush).
+  int64_t SnapshotCount() const {
+    return snapshots_.load(std::memory_order_relaxed);
+  }
+
+  /// Copy of the most recently published snapshot (empty before the
+  /// first publication).
+  MetricsSnapshot LastSnapshot() const;
+
+ private:
+  void Loop();
+  void PublishOnce();
+
+  const Options options_;
+  std::atomic<int64_t> snapshots_{0};
+
+  /// Guards the shutdown flag and the last-snapshot copy against the
+  /// publisher thread; cv_ lets Stop() interrupt the interval sleep.
+  mutable Mutex mu_;
+  CondVar cv_;
+  bool stop_ HISTEST_GUARDED_BY(mu_) = false;
+  MetricsSnapshot last_ HISTEST_GUARDED_BY(mu_);
+
+  bool started_ = false;  // owner-thread only (Start/Stop contract)
+  std::thread thread_;
+};
+
+}  // namespace obs
+}  // namespace histest
+
+#endif  // HISTEST_OBS_PUBLISHER_H_

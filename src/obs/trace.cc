@@ -2,9 +2,11 @@
 
 #include <atomic>
 #include <cstdio>
+#include <cstring>
 #include <fstream>
 
 #include "common/check.h"
+#include "obs/flight_recorder.h"
 
 namespace histest {
 namespace obs {
@@ -97,12 +99,21 @@ std::vector<SpanRecord> TraceSession::Spans() const {
   return spans_;
 }
 
+void TraceSession::SetManifestJson(std::string manifest_json) {
+  MutexLock lock(mu_);
+  manifest_json_ = std::move(manifest_json);
+}
+
 Status TraceSession::WriteJsonl(std::ostream& os,
                                 const MetricsSnapshot* metrics) const {
   MutexLock lock(mu_);
   os << "{\"type\":\"header\",\"schema_version\":" << kSchemaVersion
      << ",\"tool\":\"histest\",\"session\":\"" << JsonEscape(name_)
      << "\"}\n";
+  if (!manifest_json_.empty()) {
+    // manifest_json_ is RunManifest::ToJson output — already a JSON object.
+    os << "{\"type\":\"manifest\",\"manifest\":" << manifest_json_ << "}\n";
+  }
   for (const SpanRecord& s : spans_) {
     os << "{\"type\":\"span\",\"id\":" << s.id << ",\"parent\":" << s.parent
        << ",\"name\":\"" << JsonEscape(s.name) << "\",\"start_ns\":"
@@ -153,6 +164,17 @@ ScopedTraceActivation::ScopedTraceActivation(TraceSession* session)
 ScopedTraceActivation::~ScopedTraceActivation() { SetActiveTrace(previous_); }
 
 TraceSpan::TraceSpan(std::string_view name) : session_(ActiveTrace()) {
+  // Flight-recorder hook before the inert-mode early-out: post-mortem span
+  // events must flow even when no trace session is active. The name is
+  // kept (truncated) so the destructor can emit the matching span_end.
+  if (FlightRecorder::Enabled()) {
+    FlightRecorder::Record(FrEventKind::kSpanBegin, name, 0);
+    const size_t n =
+        name.size() < sizeof(fr_name_) - 1 ? name.size() : sizeof(fr_name_) - 1;
+    std::memcpy(fr_name_, name.data(), n);
+    fr_name_[n] = '\0';
+    fr_armed_ = true;
+  }
   if (session_ == nullptr) return;
   saved_parent_ = tls_parent;
   id_ = session_->Begin(name, saved_parent_);
@@ -160,6 +182,9 @@ TraceSpan::TraceSpan(std::string_view name) : session_(ActiveTrace()) {
 }
 
 TraceSpan::~TraceSpan() {
+  if (fr_armed_) {
+    FlightRecorder::Record(FrEventKind::kSpanEnd, fr_name_, 0);
+  }
   if (session_ == nullptr) return;
   tls_parent = saved_parent_;
   session_->End(id_);

@@ -54,7 +54,8 @@ class TraceSession {
  public:
   /// Trace JSONL schema version; bump on any breaking record change.
   /// tools/histest-trace refuses files whose header disagrees.
-  static constexpr int kSchemaVersion = 1;
+  /// v2: a manifest record (RunManifest provenance) follows the header.
+  static constexpr int kSchemaVersion = 2;
 
   TraceSession(std::string name, const Clock* clock);
   ~TraceSession();
@@ -79,6 +80,12 @@ class TraceSession {
   /// Copy of the recorded spans (tests and in-process summaries).
   std::vector<SpanRecord> Spans() const;
 
+  /// Attaches the run's provenance record (RunManifest::ToJson output).
+  /// WriteJsonl emits it right after the header; an empty string (the
+  /// default) writes no manifest record, which readers treat as a legacy /
+  /// incomplete trace (trace_gate.py fails such traces in CI).
+  void SetManifestJson(std::string manifest_json);
+
   /// Writes the session as JSON Lines: one header record carrying
   /// kSchemaVersion, one record per span, and — when `metrics` is non-null
   /// — one trailing metrics record. This is the wire format
@@ -96,6 +103,7 @@ class TraceSession {
   const Clock* clock_;
   std::vector<SpanRecord> spans_ HISTEST_GUARDED_BY(mu_);
   SpanId next_id_ HISTEST_GUARDED_BY(mu_) = 1;
+  std::string manifest_json_ HISTEST_GUARDED_BY(mu_);
 };
 
 /// The process-wide active session (nullptr when tracing is off). The
@@ -138,6 +146,11 @@ class TraceSpan {
   TraceSession* session_;
   SpanId id_ = 0;
   SpanId saved_parent_ = 0;
+  /// Flight-recorder arming: when the recorder is on at construction, the
+  /// (truncated) span name is kept so the destructor can emit the matching
+  /// span_end event without the session (recording works with tracing off).
+  bool fr_armed_ = false;
+  char fr_name_[48] = {0};
 };
 
 }  // namespace obs

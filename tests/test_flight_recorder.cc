@@ -1,0 +1,200 @@
+// Flight recorder: disabled-mode no-op, dump wire format, ring wrap, name
+// truncation, and the crash path (a forked child fails a HISTEST_CHECK,
+// dies by SIGABRT, and leaves a parseable post-mortem dump behind).
+#include <gtest/gtest.h>
+
+#include <fcntl.h>
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "common/check.h"
+#include "obs/flight_recorder.h"
+
+namespace histest {
+namespace {
+
+using obs::FlightRecorder;
+using obs::FrEventKind;
+
+std::vector<std::string> ReadLines(const std::string& path) {
+  std::ifstream is(path);
+  std::vector<std::string> lines;
+  std::string line;
+  while (std::getline(is, line)) lines.push_back(line);
+  return lines;
+}
+
+bool Contains(const std::string& haystack, const std::string& needle) {
+  return haystack.find(needle) != std::string::npos;
+}
+
+class FlightRecorderTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    FlightRecorder::ResetForTest();
+    FlightRecorder::SetEnabled(true);
+  }
+  void TearDown() override {
+    FlightRecorder::SetEnabled(false);
+    FlightRecorder::ResetForTest();
+  }
+
+  std::string DumpPath(const char* tag) {
+    const std::string path = ::testing::TempDir() + "/fr_" + tag + ".jsonl";
+    std::remove(path.c_str());
+    return path;
+  }
+};
+
+TEST_F(FlightRecorderTest, DisabledRecordIsANoOp) {
+  FlightRecorder::SetEnabled(false);
+  const uint64_t before = FlightRecorder::TotalEvents();
+  FlightRecorder::Record(FrEventKind::kMark, "t.fr_disabled", 1);
+  EXPECT_EQ(FlightRecorder::TotalEvents(), before);
+}
+
+TEST_F(FlightRecorderTest, DumpNowEmitsHeaderManifestAndEvents) {
+  FlightRecorder::Record(FrEventKind::kMark, "t.fr_mark", 7);
+  FlightRecorder::Record(FrEventKind::kCount, "t.fr_count", -3);
+  const std::string path = DumpPath("basic");
+  ASSERT_TRUE(FlightRecorder::DumpNow(path, "unit_test").ok());
+
+  const std::vector<std::string> lines = ReadLines(path);
+  ASSERT_GE(lines.size(), 4u);  // header, manifest, two events
+  EXPECT_TRUE(Contains(lines[0], "\"type\":\"header\"")) << lines[0];
+  EXPECT_TRUE(Contains(lines[0], "\"schema_version\":2")) << lines[0];
+  EXPECT_TRUE(Contains(lines[0], "\"dump\":\"flight_recorder\"")) << lines[0];
+  EXPECT_TRUE(Contains(lines[0], "\"reason\":\"unit_test\"")) << lines[0];
+  EXPECT_TRUE(Contains(lines[1], "\"type\":\"manifest\"")) << lines[1];
+  EXPECT_TRUE(Contains(lines[1], "\"git_describe\"")) << lines[1];
+
+  bool saw_mark = false;
+  bool saw_count = false;
+  for (size_t i = 2; i < lines.size(); ++i) {
+    if (Contains(lines[i], "\"name\":\"t.fr_mark\"")) {
+      saw_mark = true;
+      EXPECT_TRUE(Contains(lines[i], "\"kind\":\"mark\"")) << lines[i];
+      EXPECT_TRUE(Contains(lines[i], "\"value\":7")) << lines[i];
+    }
+    if (Contains(lines[i], "\"name\":\"t.fr_count\"")) {
+      saw_count = true;
+      EXPECT_TRUE(Contains(lines[i], "\"kind\":\"count\"")) << lines[i];
+      EXPECT_TRUE(Contains(lines[i], "\"value\":-3")) << lines[i];
+    }
+  }
+  EXPECT_TRUE(saw_mark);
+  EXPECT_TRUE(saw_count);
+}
+
+TEST_F(FlightRecorderTest, RingWrapKeepsOnlyTheNewestEvents) {
+  constexpr uint64_t kExtra = 32;
+  const uint64_t total = FlightRecorder::kRingCapacity + kExtra;
+  for (uint64_t i = 0; i < total; ++i) {
+    FlightRecorder::Record(FrEventKind::kMark, "t.fr_wrap",
+                           static_cast<int64_t>(i));
+  }
+  const std::string path = DumpPath("wrap");
+  ASSERT_TRUE(FlightRecorder::DumpNow(path, "wrap_test").ok());
+
+  int64_t min_value = -1;
+  int64_t max_value = -1;
+  size_t events = 0;
+  for (const std::string& line : ReadLines(path)) {
+    if (!Contains(line, "\"name\":\"t.fr_wrap\"")) continue;
+    ++events;
+    const size_t pos = line.find("\"value\":");
+    ASSERT_NE(pos, std::string::npos) << line;
+    const int64_t value = std::strtoll(line.c_str() + pos + 8, nullptr, 10);
+    if (min_value < 0 || value < min_value) min_value = value;
+    if (value > max_value) max_value = value;
+  }
+  // The ring holds exactly the newest kRingCapacity events: the first
+  // kExtra were overwritten.
+  EXPECT_EQ(events, FlightRecorder::kRingCapacity);
+  EXPECT_EQ(min_value, static_cast<int64_t>(kExtra));
+  EXPECT_EQ(max_value, static_cast<int64_t>(total - 1));
+}
+
+TEST_F(FlightRecorderTest, NamesTruncateAtMaxNameBytes) {
+  const std::string long_name(FlightRecorder::kMaxNameBytes + 20, 'x');
+  FlightRecorder::Record(FrEventKind::kMark, long_name, 1);
+  const std::string path = DumpPath("trunc");
+  ASSERT_TRUE(FlightRecorder::DumpNow(path, "trunc_test").ok());
+
+  const std::string expected(FlightRecorder::kMaxNameBytes, 'x');
+  bool found = false;
+  for (const std::string& line : ReadLines(path)) {
+    if (!Contains(line, "\"name\":\"x")) continue;
+    found = true;
+    EXPECT_TRUE(Contains(line, "\"name\":\"" + expected + "\"")) << line;
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST_F(FlightRecorderTest, TotalEventsCountsAcrossRecords) {
+  // Warm-up: the thread's first record also registers its ring, which
+  // publishes the recorder-threads gauge (one extra event).
+  FlightRecorder::Record(FrEventKind::kMark, "t.fr_warmup", 0);
+  const uint64_t before = FlightRecorder::TotalEvents();
+  FlightRecorder::Record(FrEventKind::kMark, "t.fr_total", 1);
+  FlightRecorder::Record(FrEventKind::kMark, "t.fr_total", 2);
+  EXPECT_EQ(FlightRecorder::TotalEvents(), before + 2);
+}
+
+// The crash path end to end, isolated in a forked child so the parent's
+// gtest process never sees the abort: the child installs the handlers,
+// records some history, then fails a HISTEST_CHECK. The check hook records
+// a check_fail event, abort() raises SIGABRT, the signal handler writes the
+// dump and re-raises, and the parent asserts both the wait status and the
+// dump contents.
+TEST_F(FlightRecorderTest, SigabrtInChildProducesParseableDump) {
+  const std::string path = DumpPath("sigabrt");
+  const pid_t pid = ::fork();
+  ASSERT_GE(pid, 0) << "fork failed";
+  if (pid == 0) {
+    // Child. Silence the HISTEST_CHECK diagnostic so the test log stays
+    // clean; the dump file is the observable output.
+    const int devnull = ::open("/dev/null", O_WRONLY);
+    if (devnull >= 0) ::dup2(devnull, STDERR_FILENO);
+    ::setenv("HISTEST_FLIGHT_RECORDER_OUT", path.c_str(), 1);
+    obs::FlightRecorder::SetEnabled(true);  // re-resolves the dump path
+    obs::FlightRecorder::InstallCrashHandlers();
+    obs::FlightRecorder::Record(FrEventKind::kMark, "t.fr_child_mark", 11);
+    HISTEST_CHECK(false);  // [[noreturn]]: records check_fail, then aborts
+    ::_exit(97);           // unreachable
+  }
+
+  int status = 0;
+  ASSERT_EQ(::waitpid(pid, &status, 0), pid);
+  ASSERT_TRUE(WIFSIGNALED(status)) << "child did not die by signal";
+  EXPECT_EQ(WTERMSIG(status), SIGABRT);
+
+  const std::vector<std::string> lines = ReadLines(path);
+  ASSERT_GE(lines.size(), 3u) << "dump missing or empty: " << path;
+  EXPECT_TRUE(Contains(lines[0], "\"dump\":\"flight_recorder\"")) << lines[0];
+  EXPECT_TRUE(Contains(lines[0], "\"reason\":\"signal:6\"")) << lines[0];
+  EXPECT_TRUE(Contains(lines[1], "\"type\":\"manifest\"")) << lines[1];
+
+  bool saw_mark = false;
+  bool saw_check_fail = false;
+  for (size_t i = 2; i < lines.size(); ++i) {
+    if (Contains(lines[i], "\"name\":\"t.fr_child_mark\"")) saw_mark = true;
+    if (Contains(lines[i], "\"kind\":\"check_fail\"")) {
+      saw_check_fail = true;
+      // The event name is the failure site, file:line.
+      EXPECT_TRUE(Contains(lines[i], "test_flight_recorder")) << lines[i];
+    }
+  }
+  EXPECT_TRUE(saw_mark);
+  EXPECT_TRUE(saw_check_fail);
+}
+
+}  // namespace
+}  // namespace histest

@@ -188,7 +188,7 @@ TEST_F(ObsTest, WriteJsonlRoundTrip) {
   ASSERT_TRUE(session.WriteJsonl(os, &metrics).ok());
   const std::string out = os.str();
   EXPECT_NE(out.find("\"type\":\"header\""), std::string::npos) << out;
-  EXPECT_NE(out.find("\"schema_version\":1"), std::string::npos) << out;
+  EXPECT_NE(out.find("\"schema_version\":2"), std::string::npos) << out;
   EXPECT_NE(out.find("\"name\":\"stage.learner\""), std::string::npos)
       << out;
   EXPECT_NE(out.find("\"samples_drawn\":12345"), std::string::npos) << out;

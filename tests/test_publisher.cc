@@ -1,0 +1,262 @@
+// Metrics publisher: closed-form quantile checks against the exponential
+// bucket bounds, the OpenMetrics exposition format, the Start/Stop
+// lifecycle, and the snapshot-vs-final-registry consistency contract.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "obs/clock.h"
+#include "obs/metrics.h"
+#include "obs/obs.h"
+#include "obs/publisher.h"
+
+namespace histest {
+namespace {
+
+using obs::FakeClock;
+using obs::HistogramBucketBound;
+using obs::HistogramQuantile;
+using obs::HistogramSnapshot;
+using obs::kHistogramBuckets;
+using obs::MetricsPublisher;
+using obs::MetricsRegistry;
+using obs::MetricsSnapshot;
+using obs::RenderOpenMetrics;
+
+HistogramSnapshot MakeHistogram(
+    const std::vector<std::pair<size_t, int64_t>>& filled) {
+  HistogramSnapshot h;
+  h.name = "t.quantile_hist";
+  h.buckets.assign(kHistogramBuckets, 0);
+  for (const auto& [bucket, count] : filled) {
+    h.buckets[bucket] = count;
+    h.count += count;
+  }
+  return h;
+}
+
+std::vector<std::string> ReadLines(const std::string& path) {
+  std::ifstream is(path);
+  std::vector<std::string> lines;
+  std::string line;
+  while (std::getline(is, line)) lines.push_back(line);
+  return lines;
+}
+
+bool Contains(const std::string& haystack, const std::string& needle) {
+  return haystack.find(needle) != std::string::npos;
+}
+
+std::string TempPath(const char* tag) {
+  const std::string path = ::testing::TempDir() + "/pub_" + tag;
+  std::remove(path.c_str());
+  return path;
+}
+
+// ---------------------------------------------------------------------------
+// HistogramQuantile against the closed-form nearest-rank definition.
+// Bucket b spans (Bound(b-1), Bound(b)]; bucket 0 starts at 0.
+// ---------------------------------------------------------------------------
+
+TEST(HistogramQuantileTest, EmptyHistogramReturnsZero) {
+  const HistogramSnapshot empty = MakeHistogram({});
+  EXPECT_EQ(HistogramQuantile(empty, 0.5), 0.0);
+}
+
+TEST(HistogramQuantileTest, SingleBucketInterpolatesLinearly) {
+  const HistogramSnapshot h = MakeHistogram({{5, 100}});
+  const double lower = HistogramBucketBound(4);
+  const double upper = HistogramBucketBound(5);
+  // target = q*100 observations into a bucket of 100: fraction q exactly.
+  EXPECT_DOUBLE_EQ(HistogramQuantile(h, 0.5), lower + 0.5 * (upper - lower));
+  EXPECT_DOUBLE_EQ(HistogramQuantile(h, 0.95),
+                   lower + 0.95 * (upper - lower));
+  EXPECT_DOUBLE_EQ(HistogramQuantile(h, 1.0), upper);
+  // q=0 clamps the nearest-rank target to 1 (the first observation).
+  EXPECT_DOUBLE_EQ(HistogramQuantile(h, 0.0),
+                   lower + 0.01 * (upper - lower));
+}
+
+TEST(HistogramQuantileTest, CrossBucketNearestRank) {
+  // 30 observations in bucket 2, 70 in bucket 10.
+  const HistogramSnapshot h = MakeHistogram({{2, 30}, {10, 70}});
+  // p50: target = 50; 30 before bucket 10, so (50-30)/70 of the way in.
+  const double lower = HistogramBucketBound(9);
+  const double upper = HistogramBucketBound(10);
+  EXPECT_DOUBLE_EQ(HistogramQuantile(h, 0.5),
+                   lower + (20.0 / 70.0) * (upper - lower));
+  // p25: target = 25, inside bucket 2.
+  const double lower2 = HistogramBucketBound(1);
+  const double upper2 = HistogramBucketBound(2);
+  EXPECT_DOUBLE_EQ(HistogramQuantile(h, 0.25),
+                   lower2 + (25.0 / 30.0) * (upper2 - lower2));
+}
+
+TEST(HistogramQuantileTest, BucketZeroStartsAtZero) {
+  const HistogramSnapshot h = MakeHistogram({{0, 4}});
+  // lower edge 0, upper Bound(0): p50 target=2 of 4 -> halfway.
+  EXPECT_DOUBLE_EQ(HistogramQuantile(h, 0.5),
+                   0.5 * HistogramBucketBound(0));
+}
+
+TEST(HistogramQuantileTest, UnboundedLastBucketReportsItsLowerBound) {
+  const HistogramSnapshot h = MakeHistogram({{kHistogramBuckets - 1, 10}});
+  const double lower = HistogramBucketBound(kHistogramBuckets - 2);
+  EXPECT_DOUBLE_EQ(HistogramQuantile(h, 0.5), lower);
+  EXPECT_DOUBLE_EQ(HistogramQuantile(h, 0.99), lower);
+}
+
+TEST(HistogramQuantileTest, BucketBoundsDoubleGeometrically) {
+  EXPECT_DOUBLE_EQ(HistogramBucketBound(0), obs::kHistogramMinBound);
+  EXPECT_DOUBLE_EQ(HistogramBucketBound(10),
+                   obs::kHistogramMinBound * 1024.0);
+}
+
+// ---------------------------------------------------------------------------
+// OpenMetrics exposition.
+// ---------------------------------------------------------------------------
+
+TEST(RenderOpenMetricsTest, RendersAllMetricFamilies) {
+  MetricsSnapshot snap;
+  snap.counters.emplace_back("t.om.counter", 42);
+  snap.gauges.emplace_back("t.om.gauge", -7);
+  HistogramSnapshot h = MakeHistogram({{5, 100}});
+  h.name = "t.om.hist";
+  h.sum = 12.5;
+  snap.histograms.push_back(h);
+
+  const std::string text = RenderOpenMetrics(snap);
+  // Dots become underscores; counters get the _total suffix.
+  EXPECT_TRUE(Contains(text, "# TYPE t_om_counter counter\n")) << text;
+  EXPECT_TRUE(Contains(text, "t_om_counter_total 42\n")) << text;
+  EXPECT_TRUE(Contains(text, "# TYPE t_om_gauge gauge\n")) << text;
+  EXPECT_TRUE(Contains(text, "t_om_gauge -7\n")) << text;
+  EXPECT_TRUE(Contains(text, "# TYPE t_om_hist summary\n")) << text;
+  EXPECT_TRUE(Contains(text, "t_om_hist_count 100\n")) << text;
+  EXPECT_TRUE(Contains(text, "t_om_hist_sum 12.5\n")) << text;
+  EXPECT_TRUE(Contains(text, "t_om_hist{quantile=\"0.5\"} ")) << text;
+  EXPECT_TRUE(Contains(text, "t_om_hist{quantile=\"0.95\"} ")) << text;
+  EXPECT_TRUE(Contains(text, "t_om_hist{quantile=\"0.99\"} ")) << text;
+  EXPECT_TRUE(text.size() >= 6 &&
+              text.compare(text.size() - 6, 6, "# EOF\n") == 0)
+      << text;
+}
+
+// ---------------------------------------------------------------------------
+// Publisher lifecycle.
+// ---------------------------------------------------------------------------
+
+class PublisherTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    MetricsRegistry::Global().ResetForTest();
+    obs::SetEnabled(true);
+  }
+  void TearDown() override {
+    obs::SetEnabled(false);
+    MetricsRegistry::Global().ResetForTest();
+  }
+};
+
+TEST_F(PublisherTest, StartRequiresAnOutput) {
+  MetricsPublisher::Options options;
+  MetricsPublisher publisher(options);
+  EXPECT_FALSE(publisher.Start().ok());
+}
+
+TEST_F(PublisherTest, StartRejectsNonPositiveInterval) {
+  MetricsPublisher::Options options;
+  options.jsonl_path = TempPath("bad_interval.jsonl");
+  options.interval_ms = 0;
+  MetricsPublisher publisher(options);
+  EXPECT_FALSE(publisher.Start().ok());
+}
+
+TEST_F(PublisherTest, DoubleStartFailsAndStopIsIdempotent) {
+  MetricsPublisher::Options options;
+  options.jsonl_path = TempPath("lifecycle.jsonl");
+  MetricsPublisher publisher(options);
+  ASSERT_TRUE(publisher.Start().ok());
+  EXPECT_FALSE(publisher.Start().ok());
+  publisher.Stop();
+  publisher.Stop();  // no-op
+  EXPECT_GE(publisher.SnapshotCount(), 1);
+}
+
+TEST_F(PublisherTest, FinalSnapshotMatchesRegistryEndState) {
+  const FakeClock clock(5'000'000'000, 0);  // stable ts_ms = 5000
+  obs::AddCount("t.pub.counter", 7);
+  obs::SetGauge("t.pub.gauge", 3);
+
+  MetricsPublisher::Options options;
+  options.jsonl_path = TempPath("consistency.jsonl");
+  options.interval_ms = 1;
+  options.clock = &clock;
+  MetricsPublisher publisher(options);
+  ASSERT_TRUE(publisher.Start().ok());
+  obs::AddCount("t.pub.counter", 5);  // registry end state: 12
+  publisher.Stop();
+
+  // Stop() publishes a final snapshot after joining the thread, so the
+  // last JSONL line and LastSnapshot() both reflect the registry's end
+  // state for every metric the test wrote.
+  const int64_t snapshots = publisher.SnapshotCount();
+  ASSERT_GE(snapshots, 1);
+  const MetricsSnapshot last = publisher.LastSnapshot();
+  bool saw_counter = false;
+  for (const auto& [name, value] : last.counters) {
+    if (name == "t.pub.counter") {
+      saw_counter = true;
+      EXPECT_EQ(value, 12);
+    }
+  }
+  EXPECT_TRUE(saw_counter);
+
+  const std::vector<std::string> lines = ReadLines(options.jsonl_path);
+  ASSERT_EQ(lines.size(), static_cast<size_t>(snapshots));
+  const std::string& final_line = lines.back();
+  EXPECT_TRUE(Contains(final_line, "\"type\":\"metrics_snapshot\""))
+      << final_line;
+  EXPECT_TRUE(Contains(final_line,
+                       "\"index\":" + std::to_string(snapshots - 1)))
+      << final_line;
+  EXPECT_TRUE(Contains(final_line, "\"ts_ms\":5000")) << final_line;
+  EXPECT_TRUE(Contains(final_line, "\"t.pub.counter\":12")) << final_line;
+  EXPECT_TRUE(Contains(final_line, "\"t.pub.gauge\":3")) << final_line;
+  // The final line's metrics object is byte-identical to a fresh registry
+  // snapshot minus the publisher's own bookkeeping counter, which is
+  // incremented after each snapshot is taken.
+  const size_t metrics_pos = final_line.find("\"metrics\":");
+  ASSERT_NE(metrics_pos, std::string::npos);
+  EXPECT_EQ(final_line.substr(metrics_pos + 10,
+                              final_line.size() - metrics_pos - 11),
+            last.ToJson());
+}
+
+TEST_F(PublisherTest, OpenMetricsFileIsCompleteExposition) {
+  const FakeClock clock(0, 0);
+  obs::AddCount("t.pub.om_counter", 9);
+
+  MetricsPublisher::Options options;
+  options.openmetrics_path = TempPath("scrape.om");
+  options.interval_ms = 1;
+  options.clock = &clock;
+  MetricsPublisher publisher(options);
+  ASSERT_TRUE(publisher.Start().ok());
+  publisher.Stop();
+
+  std::ifstream is(options.openmetrics_path);
+  ASSERT_TRUE(is.is_open()) << options.openmetrics_path;
+  std::string text((std::istreambuf_iterator<char>(is)),
+                   std::istreambuf_iterator<char>());
+  EXPECT_TRUE(Contains(text, "t_pub_om_counter_total 9\n")) << text;
+  EXPECT_TRUE(text.size() >= 6 &&
+              text.compare(text.size() - 6, 6, "# EOF\n") == 0)
+      << text;
+}
+
+}  // namespace
+}  // namespace histest

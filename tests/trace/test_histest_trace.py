@@ -43,12 +43,21 @@ class RoundTripTest(unittest.TestCase):
 
     def test_wire_format_schema(self):
         lines = self.jsonl.read_text().splitlines()
-        self.assertGreater(len(lines), 2)
+        self.assertGreater(len(lines), 3)
         header = json.loads(lines[0])
         self.assertEqual(header["type"], "header")
-        self.assertEqual(header["schema_version"], 1)
+        self.assertEqual(header["schema_version"], 2)
         self.assertEqual(header["tool"], "histest")
-        kinds = [json.loads(l)["type"] for l in lines[1:]]
+        # Schema v2: the provenance manifest rides along as record two.
+        manifest_rec = json.loads(lines[1])
+        self.assertEqual(manifest_rec["type"], "manifest")
+        manifest = manifest_rec["manifest"]
+        self.assertEqual(manifest["manifest_version"], 1)
+        self.assertIn("git_describe", manifest)
+        self.assertIn("simd_variant", manifest)
+        # The emitter masks the timestamp for byte-identical reruns.
+        self.assertEqual(manifest["timestamp_unix_ms"], 0)
+        kinds = [json.loads(l)["type"] for l in lines[2:]]
         self.assertEqual(kinds[-1], "metrics")
         self.assertTrue(all(k == "span" for k in kinds[:-1]))
 
@@ -64,8 +73,10 @@ class RoundTripTest(unittest.TestCase):
         proc = run_trace([str(self.jsonl), "--json"])
         self.assertEqual(proc.returncode, 0, proc.stderr)
         summary = json.loads(proc.stdout)
-        self.assertEqual(summary["schema_version"], 1)
+        self.assertEqual(summary["schema_version"], 2)
         self.assertEqual(summary["tests"], 1)
+        self.assertIsInstance(summary["manifest"], dict)
+        self.assertEqual(summary["manifest"]["manifest_version"], 1)
         self.assertGreater(summary["spans"], 1)
         # Span annotations and metrics counters are two independent
         # accounting paths; they must agree stage by stage.
@@ -123,6 +134,52 @@ class RoundTripTest(unittest.TestCase):
         proc = run_trace([str(bad)])
         self.assertEqual(proc.returncode, 2, proc.stdout + proc.stderr)
         self.assertIn("schema_version", proc.stderr)
+
+    def test_truncated_trace_exits_three(self):
+        # Strip the trailing metrics record: a regular trace without it is
+        # a writer that died mid-run, reported distinctly (exit 3) from
+        # both malformed input (1) and flight-recorder dumps (0).
+        lines = self.jsonl.read_text().splitlines()
+        self.assertEqual(json.loads(lines[-1])["type"], "metrics")
+        truncated = self.tmp / "trace_truncated.jsonl"
+        truncated.write_text("\n".join(lines[:-1]) + "\n")
+        proc = run_trace([str(truncated)])
+        self.assertEqual(proc.returncode, 3, proc.stdout + proc.stderr)
+        self.assertIn("truncated", proc.stderr)
+        self.assertIn("flight-recorder", proc.stderr)
+
+    def test_flight_recorder_dump_summarizes(self):
+        # A dump shares the header+manifest framing but carries event
+        # records and no metrics trailer; the header's `dump` marker routes
+        # it to the post-mortem summary rather than the truncation error.
+        lines = self.jsonl.read_text().splitlines()
+        header = json.loads(lines[0])
+        header["dump"] = "flight_recorder"
+        header["reason"] = "signal:6"
+        header["dropped"] = 0
+        events = [
+            {"type": "event", "thread": 0, "seq": 0, "ns": 10,
+             "kind": "mark", "name": "t.dump_mark", "value": 1},
+            {"type": "event", "thread": 0, "seq": 1, "ns": 20,
+             "kind": "check_fail", "name": "foo.cc:42", "value": 0},
+        ]
+        dump = self.tmp / "dump.jsonl"
+        dump.write_text("\n".join(
+            [json.dumps(header), lines[1]] +
+            [json.dumps(e) for e in events]) + "\n")
+        proc = run_trace([str(dump), "--json"])
+        self.assertEqual(proc.returncode, 0, proc.stdout + proc.stderr)
+        summary = json.loads(proc.stdout)
+        self.assertEqual(summary["dump"], "flight_recorder")
+        self.assertEqual(summary["reason"], "signal:6")
+        self.assertEqual(summary["events"], 2)
+        self.assertEqual(summary["kinds"]["check_fail"], 1)
+        self.assertEqual(summary["check_fails"], ["foo.cc:42"])
+        self.assertIsInstance(summary["manifest"], dict)
+        text = run_trace([str(dump)])
+        self.assertEqual(text.returncode, 0, text.stderr)
+        self.assertIn("flight-recorder dump", text.stdout)
+        self.assertIn("signal:6", text.stdout)
 
     def test_missing_file_exits_one(self):
         proc = run_trace([str(self.tmp / "nope.jsonl")])

@@ -26,6 +26,10 @@ int main(int argc, char** argv) {
   obs::SetEnabled(true);
   obs::FakeClock clock(/*start_ns=*/1'000'000, /*auto_step_ns=*/250'000);
   obs::TraceSession session("trace-emit", &clock);
+  // Stamp the provenance record with the timestamp zeroed: reruns of this
+  // emitter must stay byte-identical (the determinism test diffs them).
+  session.SetManifestJson(
+      obs::CurrentRunManifest().ToJson(/*include_timestamp=*/false));
   {
     obs::ScopedTraceActivation activation(&session);
     DistributionOracle oracle(Distribution::UniformOver(512), 17);

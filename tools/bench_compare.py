@@ -21,14 +21,24 @@ Rows present in only one file never fail the gate; they are listed in the
 report (and in --json output) so renames are visible. Aggregate rows
 (mean/median/stddev repetitions) are ignored.
 
+Pass --trace-diff BASELINE_SUMMARY CURRENT_SUMMARY (two histest-trace
+--json summaries of the same workload) to attribute a failing gate: when
+the geomean trips, the tool prints the per-stage wall-clock attribution
+and kernel-call tally deltas from tools/obs_diff.py, so the CI log says
+*which pipeline stage* regressed, not just that something did.
+
 Exit codes: 0 pass, 1 regression, 2 usage/input error.
 """
 
 import argparse
 import json
 import math
+import os
 import re
 import sys
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+import obs_diff  # noqa: E402  (sibling module, needs the path tweak)
 
 
 def die(msg):
@@ -73,6 +83,27 @@ def pick_ruler(rows, pattern, path):
     return matches[0]
 
 
+def attribute_regression(base_summary, cur_summary):
+    """Prints the stage attribution for a failed gate; returns the report
+    dict (or None when the summaries cannot be compared)."""
+    try:
+        base = obs_diff.load_run(base_summary)
+        cur = obs_diff.load_run(cur_summary)
+    except obs_diff.DiffError as e:
+        print(f"bench_compare: --trace-diff: {e}", file=sys.stderr)
+        return None
+    mismatches = obs_diff.manifest_mismatches(base, cur)
+    # Informational only here: the bench gate already decided the verdict,
+    # and a differing config is exactly what the attribution should expose.
+    gate_lines, _ = obs_diff.render_gate(mismatches, force=True)
+    for line in gate_lines:
+        print(f"bench_compare: {line}", file=sys.stderr)
+    report = obs_diff.diff_runs(base, cur)
+    print("bench_compare: regression attribution (from traced runs):")
+    print(obs_diff.render_report(report))
+    return report
+
+
 def main():
     parser = argparse.ArgumentParser(
         description=__doc__, formatter_class=argparse.RawDescriptionHelpFormatter)
@@ -92,6 +123,12 @@ def main():
     parser.add_argument(
         "--json", default=None, metavar="PATH",
         help="write a machine-readable report to PATH")
+    parser.add_argument(
+        "--trace-diff", nargs=2, default=None,
+        metavar=("BASE_SUMMARY", "CUR_SUMMARY"),
+        help="histest-trace --json summaries of the same workload; on a "
+             "failing gate, print which pipeline stage the regression "
+             "attributes to")
     args = parser.parse_args()
     if args.threshold <= 0:
         parser.error("--threshold must be positive")
@@ -155,6 +192,10 @@ def main():
     print(f"bench_compare: geomean ratio {geomean:.4f} "
           f"(limit {limit:.4f}): {verdict}")
 
+    trace_attribution = None
+    if not ok and args.trace_diff:
+        trace_attribution = attribute_regression(*args.trace_diff)
+
     if args.json:
         report = {
             "baseline_file": args.baseline,
@@ -167,6 +208,7 @@ def main():
             "per_benchmark": per_row,
             "missing_from_current": missing,
             "new_in_current": added,
+            "trace_attribution": trace_attribution,
         }
         with open(args.json, "w", encoding="utf-8") as f:
             json.dump(report, f, indent=2, sort_keys=True)

@@ -1,0 +1,86 @@
+"""Parse src/obs/manifest.h — the single source of RunManifest fields.
+
+``HISTEST_MANIFEST_FIELDS(X)`` is an X-macro of ``X(key, "description")``
+entries; the JSON object RunManifest::ToJson emits has exactly those keys
+in that order. This module reconstructs the inventory so Python tooling
+(tools/gen_manifest_table.py, tools/trace_gate.py, tools/obs_diff.py)
+shares the exact field set the C++ emits, with no second copy to drift.
+The adjacent ``kManifestVersion`` constant is parsed too, so readers can
+refuse manifests from a newer schema instead of guessing.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from pathlib import Path
+
+MANIFEST_HEADER = (Path(__file__).resolve().parent.parent / "src" / "obs" /
+                   "manifest.h")
+
+
+@dataclass(frozen=True)
+class ManifestField:
+    key: str            # JSON key, e.g. "git_describe"
+    description: str
+
+
+class ManifestParseError(Exception):
+    pass
+
+
+def _macro_body(text: str, macro: str) -> str:
+    """Returns the full (backslash-continued) body of a #define."""
+    m = re.search(rf"#define\s+{re.escape(macro)}\s*\([^)]*\)(.*)", text)
+    if m is None:
+        raise ManifestParseError(f"missing #define {macro} in manifest.h")
+    lines = []
+    rest = text[m.end(0) - len(m.group(1)):]
+    for line in rest.splitlines():
+        stripped = line.rstrip()
+        if stripped.endswith("\\"):
+            lines.append(stripped[:-1])
+        else:
+            lines.append(stripped)
+            break
+    return "\n".join(lines)
+
+
+def _join_literals(raw: str) -> str:
+    """Concatenates adjacent C string literals and unescapes them."""
+    parts = re.findall(r'"((?:[^"\\]|\\.)*)"', raw)
+    if not parts:
+        raise ManifestParseError(f"expected string literal(s), got {raw!r}")
+    joined = "".join(parts)
+    return joined.replace('\\"', '"').replace("\\\\", "\\")
+
+
+def load(path: Path | str = MANIFEST_HEADER) -> dict:
+    """Parses manifest.h. Returns a dict with:
+
+      fields: list[ManifestField]   — declaration-ordered field inventory
+      keys: list[str]               — just the JSON keys, same order
+      version: int                  — kManifestVersion
+    """
+    text = Path(path).read_text(encoding="utf-8")
+    body = _macro_body(text, "HISTEST_MANIFEST_FIELDS")
+    fields = []
+    for m in re.finditer(r"X\s*\(\s*(\w+)\s*,((?:[^()]|\([^)]*\))*)\)", body):
+        fields.append(ManifestField(m.group(1), _join_literals(m.group(2))))
+    if not fields:
+        raise ManifestParseError(
+            "no X(...) entries parsed from HISTEST_MANIFEST_FIELDS")
+    vm = re.search(r"kManifestVersion\s*=\s*(\d+)", text)
+    if vm is None:
+        raise ManifestParseError("missing kManifestVersion in manifest.h")
+    return {
+        "fields": fields,
+        "keys": [f.key for f in fields],
+        "version": int(vm.group(1)),
+    }
+
+
+if __name__ == "__main__":
+    reg = load()
+    print(f"manifest v{reg['version']}: {len(reg['fields'])} fields: "
+          f"{', '.join(reg['keys'])}")

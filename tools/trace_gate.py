@@ -8,7 +8,10 @@ Two independent checks, each enabled by the corresponding flag:
       Fails if any budget-table stage (the sample-drawing stages of
       Algorithm 1) measured zero samples: a zero there means the traced
       smoke run silently skipped a stage, so the per-stage accounting can
-      no longer be trusted.
+      no longer be trusted. Also fails when a summary carries no valid
+      RunManifest record (every gated trace must state its provenance:
+      all HISTEST_MANIFEST_FIELDS keys present, at a schema version this
+      checkout understands).
 
   --bench <bench_micro.json>
       Google-benchmark JSON output containing the BM_Obs*Disabled
@@ -29,13 +32,15 @@ import sys
 from pathlib import Path
 
 sys.path.insert(0, str(Path(__file__).resolve().parent))
-import obs_names  # noqa: E402  (sibling module, needs the path tweak)
+import manifest_fields  # noqa: E402  (sibling module, needs the path tweak)
+import obs_names  # noqa: E402
 
 # Disabled-mode obs entry points that must be near-free.
 OBS_DISABLED_BENCHMARKS = (
     "BM_ObsCounterAddDisabled",
     "BM_ObsTraceSpanDisabled",
     "BM_ObsScopedTimerDisabled",
+    "BM_ObsRecorderEventDisabled",
 )
 
 # Instrumented kernels used as the denominator: each of these calls
@@ -50,6 +55,33 @@ KERNEL_BENCHMARK_PREFIXES = (
 
 def fail(msg: str) -> None:
     print(f"trace-gate: FAIL: {msg}", file=sys.stderr)
+
+
+def check_manifest(path: str, summary) -> bool:
+    """Every gated trace must carry a complete, current-schema manifest."""
+    try:
+        reg = manifest_fields.load()
+    except (OSError, manifest_fields.ManifestParseError) as e:
+        fail(f"cannot load manifest field inventory: {e}")
+        return False
+    manifest = summary.get("manifest")
+    if not isinstance(manifest, dict) or not manifest:
+        fail(f"{path}: no RunManifest record in the trace; gated runs "
+             f"must state their provenance (histest build too old?)")
+        return False
+    version = manifest.get("manifest_version")
+    if version != reg["version"]:
+        fail(f"{path}: manifest_version {version} != supported "
+             f"{reg['version']}")
+        return False
+    missing = [k for k in reg["keys"] if k not in manifest]
+    if missing:
+        fail(f"{path}: manifest is missing field(s): {', '.join(missing)}")
+        return False
+    print(f"trace-gate: {path}: manifest v{version} complete "
+          f"({len(reg['keys'])} fields, git {manifest.get('git_describe')}, "
+          f"simd {manifest.get('simd_variant')}) ok", file=sys.stderr)
+    return True
 
 
 def check_summaries(paths) -> bool:
@@ -84,6 +116,7 @@ def check_summaries(paths) -> bool:
         if summary.get("tests", 0) <= 0:
             fail(f"{path}: no histogram_test spans recorded")
             ok = False
+        ok = check_manifest(path, summary) and ok
         # Every emitted metric name must resolve through the
         # src/obs/names.h registry — an unknown name here means a call
         # site bypassed the registry (or the registry lost an entry), the
